@@ -1,0 +1,45 @@
+//! Micro-benchmarks for the Bloom-filter substrate: the hot path of every
+//! ad-cache lookup (8 probes × terms per cached ad).
+
+use asap_bloom::hashing::KeyHash;
+use asap_bloom::{BloomFilter, BloomParams, CountingBloom, FilterPatch};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_bloom(c: &mut Criterion) {
+    let params = BloomParams::paper_default();
+    let keys: Vec<String> = (0..1_000).map(|i| format!("kw{i}")).collect();
+    let filter = BloomFilter::from_keys(params, keys.iter().map(String::as_str));
+    let present = KeyHash::of("kw500");
+    let absent = KeyHash::of("definitely-absent");
+
+    c.bench_function("bloom/contains_hash_present", |b| {
+        b.iter(|| black_box(filter.contains_hash(black_box(&present))))
+    });
+    c.bench_function("bloom/contains_hash_absent", |b| {
+        b.iter(|| black_box(filter.contains_hash(black_box(&absent))))
+    });
+    c.bench_function("bloom/key_hash", |b| {
+        b.iter(|| black_box(KeyHash::of(black_box("some query keyword"))))
+    });
+    c.bench_function("bloom/counting_insert_remove", |b| {
+        let mut counting = CountingBloom::new(params);
+        b.iter(|| {
+            counting.insert("cycled-keyword");
+            counting.remove("cycled-keyword");
+        })
+    });
+    c.bench_function("bloom/snapshot_1000_keys", |b| {
+        let mut counting = CountingBloom::new(params);
+        for k in &keys {
+            counting.insert(k);
+        }
+        b.iter(|| black_box(counting.snapshot()))
+    });
+    c.bench_function("bloom/patch_diff", |b| {
+        let old = BloomFilter::from_keys(params, keys.iter().take(990).map(String::as_str));
+        b.iter(|| black_box(FilterPatch::diff(black_box(&old), black_box(&filter))))
+    });
+}
+
+criterion_group!(benches, bench_bloom);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Engine throughput: how fast the event loop processes messages — the
+//! figure that bounds how big a `--scale` is affordable.
+
+use asap_metrics::MsgClass;
+use asap_overlay::{OverlayConfig, OverlayKind, PeerId};
+use asap_sim::{query_size, Ctx, Protocol, Simulation};
+use asap_topology::{PhysicalNetwork, TransitStubConfig};
+use asap_workload::{QuerySpec, WorkloadConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// A protocol that bounces each query around `HOPS` times — pure engine
+/// overhead (heap + latency oracle + accounting), no protocol logic.
+struct PingPong;
+
+impl Protocol for PingPong {
+    type Msg = u32;
+
+    fn on_query(&mut self, ctx: &mut Ctx<'_, u32>, q: &QuerySpec) {
+        let neighbor = ctx.neighbors(q.requester).first().copied();
+        if let Some(n) = neighbor {
+            ctx.send(q.requester, n, MsgClass::Query, query_size(2), 64);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, to: PeerId, from: PeerId, hops: u32) {
+        if hops > 0 {
+            ctx.send(to, from, MsgClass::Query, query_size(2), hops - 1);
+        }
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let phys = PhysicalNetwork::generate(&TransitStubConfig::reduced(3));
+    let workload = asap_workload::generate(&WorkloadConfig::reduced(200, 500, 3));
+
+    c.bench_function("engine/pingpong_500_queries_64_hops", |b| {
+        b.iter(|| {
+            let overlay = OverlayConfig::new(OverlayKind::Random, 200, 3).build();
+            let report =
+                Simulation::new(&phys, &workload, overlay, OverlayKind::Random, PingPong, 3).run();
+            black_box(report.messages_sent)
+        })
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

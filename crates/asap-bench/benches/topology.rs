@@ -1,0 +1,39 @@
+//! Micro-benchmarks for the transit-stub substrate: oracle construction and
+//! the per-message latency query (executed once per simulated message).
+
+use asap_topology::{PhysNodeId, PhysicalNetwork, TransitStubConfig};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_topology(c: &mut Criterion) {
+    c.bench_function("topology/generate_reduced_300", |b| {
+        b.iter(|| black_box(PhysicalNetwork::generate(&TransitStubConfig::reduced(7))))
+    });
+
+    let medium = PhysicalNetwork::generate(&TransitStubConfig::medium(7));
+    let mut rng = SmallRng::seed_from_u64(1);
+    let pairs: Vec<(PhysNodeId, PhysNodeId)> = (0..1_024)
+        .map(|_| {
+            (
+                PhysNodeId(rng.gen_range(0..medium.num_nodes() as u32)),
+                PhysNodeId(rng.gen_range(0..medium.num_nodes() as u32)),
+            )
+        })
+        .collect();
+    let mut i = 0;
+    c.bench_function("topology/latency_query_medium", |b| {
+        b.iter(|| {
+            let (a, b_) = pairs[i & 1023];
+            i += 1;
+            black_box(medium.latency_us(a, b_))
+        })
+    });
+
+    c.bench_function("topology/generate_medium_5k", |b| {
+        b.iter(|| black_box(PhysicalNetwork::generate(&TransitStubConfig::medium(9))))
+    });
+}
+
+criterion_group!(benches, bench_topology);
+criterion_main!(benches);

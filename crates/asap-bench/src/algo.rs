@@ -1,0 +1,117 @@
+//! The six algorithms of the evaluation matrix.
+
+use crate::scale::Scale;
+use asap_core::{Asap, AsapConfig};
+
+/// One column of the paper's comparison plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AlgoKind {
+    Flooding,
+    RandomWalk,
+    Gsa,
+    AsapFld,
+    AsapRw,
+    AsapGsa,
+}
+
+impl AlgoKind {
+    /// All six, in the paper's plotting order.
+    pub const ALL: [AlgoKind; 6] = [
+        Self::Flooding,
+        Self::RandomWalk,
+        Self::Gsa,
+        Self::AsapFld,
+        Self::AsapRw,
+        Self::AsapGsa,
+    ];
+
+    /// The three baselines.
+    pub const BASELINES: [AlgoKind; 3] = [Self::Flooding, Self::RandomWalk, Self::Gsa];
+
+    /// The three ASAP variants.
+    pub const ASAP: [AlgoKind; 3] = [Self::AsapFld, Self::AsapRw, Self::AsapGsa];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Flooding => "flooding",
+            Self::RandomWalk => "random-walk",
+            Self::Gsa => "GSA",
+            Self::AsapFld => "ASAP(FLD)",
+            Self::AsapRw => "ASAP(RW)",
+            Self::AsapGsa => "ASAP(GSA)",
+        }
+    }
+
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "flooding" | "fld" => Some(Self::Flooding),
+            "random-walk" | "rw" | "walk" => Some(Self::RandomWalk),
+            "gsa" => Some(Self::Gsa),
+            "asap-fld" | "asap(fld)" => Some(Self::AsapFld),
+            "asap-rw" | "asap(rw)" | "asap" => Some(Self::AsapRw),
+            "asap-gsa" | "asap(gsa)" => Some(Self::AsapGsa),
+            _ => None,
+        }
+    }
+
+    pub fn is_asap(self) -> bool {
+        matches!(self, Self::AsapFld | Self::AsapRw | Self::AsapGsa)
+    }
+
+    /// ASAP configuration for this variant at `scale` (panics for
+    /// baselines).
+    ///
+    /// Besides the population-proportional knobs handled by
+    /// [`AsapConfig::scaled_to`], the time constants shrink with the trace:
+    /// the refresh period keeps the paper's ~12.5 rounds per trace and the
+    /// warm-up stagger its 1.6 % of the duration, so at `Scale::Paper` these
+    /// are exactly the published 300 s and 60 s.
+    pub fn asap_config(self, scale: Scale) -> AsapConfig {
+        let base = match self {
+            Self::AsapFld => AsapConfig::fld(),
+            Self::AsapRw => AsapConfig::rw(),
+            Self::AsapGsa => AsapConfig::gsa(),
+            _ => panic!("{self:?} is not an ASAP variant"),
+        };
+        let mut cfg = base.scaled_to(scale.peers());
+        let trace_secs = scale.queries() as f64 / 8.0;
+        cfg.refresh_interval_us = ((trace_secs / 12.5) * 1e6) as u64;
+        cfg.warmup_stagger_us = ((trace_secs * 0.016) * 1e6) as u64;
+        cfg
+    }
+
+    /// Build the ASAP protocol object (ASAP variants only).
+    pub fn build_asap(self, scale: Scale, model: &asap_workload::ContentModel) -> Asap {
+        Asap::new(self.asap_config(scale), model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_common_spellings() {
+        assert_eq!(AlgoKind::parse("FLD"), Some(AlgoKind::Flooding));
+        assert_eq!(AlgoKind::parse("asap(rw)"), Some(AlgoKind::AsapRw));
+        assert_eq!(AlgoKind::parse("GSA"), Some(AlgoKind::Gsa));
+        assert_eq!(AlgoKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn partitions_are_consistent() {
+        for a in AlgoKind::ALL {
+            assert_eq!(a.is_asap(), AlgoKind::ASAP.contains(&a));
+            assert_ne!(
+                AlgoKind::ASAP.contains(&a),
+                AlgoKind::BASELINES.contains(&a)
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not an ASAP variant")]
+    fn baseline_has_no_asap_config() {
+        AlgoKind::Flooding.asap_config(Scale::Tiny);
+    }
+}

@@ -1,0 +1,321 @@
+//! `experiments` — regenerate the ASAP paper's figures.
+//!
+//! ```text
+//! experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|all|ablate>
+//!             [--scale tiny|default|paper] [--seed N] [--workers N]
+//!             [--out DIR]
+//! ```
+//!
+//! Figures 4–6 and 8–10 come from the 6-algorithm × 3-overlay matrix; when
+//! several are requested the matrix is computed once. Tables print to
+//! stdout and land as TSV under `--out` (default `results/`).
+
+use asap_bench::figures;
+use asap_bench::runner::{sweep, RunSummary};
+use asap_bench::scale::Scale;
+use asap_bench::table::{fnum, Table};
+use asap_bench::AlgoKind;
+use asap_overlay::OverlayKind;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    command: String,
+    scale: Scale,
+    seed: u64,
+    workers: usize,
+    out: PathBuf,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().ok_or_else(usage)?;
+    let mut parsed = Args {
+        command,
+        scale: Scale::Default,
+        seed: 42,
+        workers: 1,
+        out: PathBuf::from("results"),
+    };
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().ok_or(format!("{flag} needs a value"));
+        match flag.as_str() {
+            "--scale" => {
+                let v = value()?;
+                parsed.scale = Scale::parse(&v).ok_or(format!("unknown scale '{v}'"))?;
+            }
+            "--seed" => parsed.seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?,
+            "--workers" => {
+                parsed.workers = value()?.parse().map_err(|e| format!("bad workers: {e}"))?
+            }
+            "--out" => parsed.out = PathBuf::from(value()?),
+            other => return Err(format!("unknown flag '{other}'\n{}", usage())),
+        }
+    }
+    Ok(parsed)
+}
+
+fn usage() -> String {
+    "usage: experiments <fig2..fig10|all|ablate> [--scale tiny|default|paper] \
+     [--seed N] [--workers N] [--out DIR]"
+        .to_string()
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let needs_matrix = matches!(
+        args.command.as_str(),
+        "fig4" | "fig5" | "fig6" | "fig8" | "fig9" | "all"
+    );
+    let needs_crawled_only = matches!(args.command.as_str(), "fig7" | "fig10");
+
+    println!(
+        "# scale={} peers={} queries={} seed={}",
+        args.scale.label(),
+        args.scale.peers(),
+        args.scale.queries(),
+        args.seed
+    );
+
+    match args.command.as_str() {
+        "fig2" | "fig3" => {
+            let workload = asap_workload::generate(&args.scale.workload(args.seed));
+            if args.command == "fig2" {
+                figures::emit(
+                    &args.out,
+                    "fig2.tsv",
+                    "Fig 2: semantic-class distribution (nodes sharing content per class)",
+                    &figures::fig2_class_distribution(&workload),
+                );
+            } else {
+                figures::emit(
+                    &args.out,
+                    "fig3.tsv",
+                    "Fig 3: interest distribution (nodes per interest)",
+                    &figures::fig3_interest_distribution(&workload),
+                );
+            }
+        }
+        "all" => {
+            let workload = asap_workload::generate(&args.scale.workload(args.seed));
+            figures::emit(
+                &args.out,
+                "fig2.tsv",
+                "Fig 2: semantic-class distribution",
+                &figures::fig2_class_distribution(&workload),
+            );
+            figures::emit(
+                &args.out,
+                "fig3.tsv",
+                "Fig 3: interest distribution",
+                &figures::fig3_interest_distribution(&workload),
+            );
+            drop(workload);
+            let runs = run_matrix(&args, asap_bench::runner::full_matrix());
+            emit_matrix_figures(&args, &runs);
+        }
+        _ if needs_matrix => {
+            let runs = run_matrix(&args, asap_bench::runner::full_matrix());
+            match args.command.as_str() {
+                "fig4" => figures::emit(
+                    &args.out,
+                    "fig4.tsv",
+                    "Fig 4: search success rate",
+                    &figures::fig4_success_rate(&runs),
+                ),
+                "fig5" => figures::emit(
+                    &args.out,
+                    "fig5.tsv",
+                    "Fig 5: average response time (ms)",
+                    &figures::fig5_response_time(&runs),
+                ),
+                "fig6" => figures::emit(
+                    &args.out,
+                    "fig6.tsv",
+                    "Fig 6: search cost (bytes per search)",
+                    &figures::fig6_search_cost(&runs),
+                ),
+                "fig8" => figures::emit(
+                    &args.out,
+                    "fig8.tsv",
+                    "Fig 8: average system load (bytes/node/s)",
+                    &figures::fig8_mean_load(&runs),
+                ),
+                "fig9" => figures::emit(
+                    &args.out,
+                    "fig9.tsv",
+                    "Fig 9: system-load standard deviation",
+                    &figures::fig9_load_stddev(&runs),
+                ),
+                _ => unreachable!(),
+            }
+        }
+        _ if needs_crawled_only => {
+            if args.command == "fig7" {
+                let cells = vec![(AlgoKind::AsapRw, OverlayKind::Crawled)];
+                let runs = run_matrix(&args, cells);
+                figures::emit(
+                    &args.out,
+                    "fig7.tsv",
+                    "Fig 7: ASAP(RW) system-load breakdown (crawled overlay)",
+                    &figures::fig7_breakdown(&runs[0], figures::fig7_skip_seconds(args.scale)),
+                );
+            } else {
+                let cells: Vec<_> = AlgoKind::ALL
+                    .iter()
+                    .map(|&a| (a, OverlayKind::Crawled))
+                    .collect();
+                let runs = run_matrix(&args, cells);
+                let start = figures::fig10_start_second(args.scale);
+                figures::emit(
+                    &args.out,
+                    "fig10.tsv",
+                    "Fig 10: real-time system load, 100 s snapshot (crawled overlay)",
+                    &figures::fig10_load_series(&runs, start, 100),
+                );
+            }
+        }
+        "ablate" => ablations(&args),
+        other => {
+            eprintln!("unknown command '{other}'\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn run_matrix(args: &Args, cells: Vec<(AlgoKind, OverlayKind)>) -> Vec<RunSummary> {
+    sweep(args.scale, args.seed, &cells, args.workers)
+}
+
+fn emit_matrix_figures(args: &Args, runs: &[RunSummary]) {
+    figures::emit(
+        &args.out,
+        "fig4.tsv",
+        "Fig 4: search success rate",
+        &figures::fig4_success_rate(runs),
+    );
+    figures::emit(
+        &args.out,
+        "fig5.tsv",
+        "Fig 5: average response time (ms)",
+        &figures::fig5_response_time(runs),
+    );
+    figures::emit(
+        &args.out,
+        "fig6.tsv",
+        "Fig 6: search cost (bytes per search)",
+        &figures::fig6_search_cost(runs),
+    );
+    if let Some(asap_rw) = runs
+        .iter()
+        .find(|r| r.algo == AlgoKind::AsapRw && r.overlay == OverlayKind::Crawled)
+    {
+        figures::emit(
+            &args.out,
+            "fig7.tsv",
+            "Fig 7: ASAP(RW) system-load breakdown (crawled overlay)",
+            &figures::fig7_breakdown(asap_rw, figures::fig7_skip_seconds(args.scale)),
+        );
+    }
+    figures::emit(
+        &args.out,
+        "fig8.tsv",
+        "Fig 8: average system load (bytes/node/s)",
+        &figures::fig8_mean_load(runs),
+    );
+    figures::emit(
+        &args.out,
+        "fig9.tsv",
+        "Fig 9: system-load standard deviation",
+        &figures::fig9_load_stddev(runs),
+    );
+    let start = figures::fig10_start_second(args.scale);
+    figures::emit(
+        &args.out,
+        "fig10.tsv",
+        "Fig 10: real-time system load, 100 s snapshot (crawled overlay)",
+        &figures::fig10_load_series(runs, start, 100),
+    );
+}
+
+/// Ablations over the design knobs DESIGN.md calls out: cache capacity,
+/// ads-request fallback, budget unit M₀, refresh period. ASAP(RW) on the
+/// crawled overlay, matching the paper's default presentation.
+fn ablations(args: &Args) {
+    use asap_bench::runner::World;
+    use asap_core::Asap;
+    use asap_sim::Simulation;
+
+    let world = World::build(args.scale, args.seed);
+    let base = AlgoKind::AsapRw.asap_config(args.scale);
+
+    let run_with = |name: &str, cfg: asap_core::AsapConfig| -> Vec<String> {
+        eprintln!("[ablate] {name}");
+        let overlay = world.overlay(OverlayKind::Crawled);
+        let protocol = Asap::new(cfg, &world.workload.model);
+        let report = Simulation::new(
+            &world.phys,
+            &world.workload,
+            overlay,
+            OverlayKind::Crawled,
+            protocol,
+            args.seed,
+        )
+        .run();
+        vec![
+            name.to_string(),
+            fnum(report.ledger.success_rate()),
+            fnum(report.ledger.avg_response_time_ms()),
+            fnum(report.load.search_cost_bytes() as f64 / report.ledger.num_queries() as f64),
+            fnum(report.load.mean_load()),
+        ]
+    };
+
+    let mut t = Table::new(&[
+        "variant",
+        "success",
+        "response-ms",
+        "bytes/search",
+        "mean-load",
+    ]);
+    t.row(run_with("baseline(RW)", base.clone()));
+    for factor in [0.25, 0.5, 2.0] {
+        let mut c = base.clone();
+        c.cache_capacity = ((c.cache_capacity as f64 * factor) as usize).max(8);
+        t.row(run_with(&format!("cache-x{factor}"), c));
+    }
+    {
+        // Emulate h = 0 (no fallback) by muting ads replies.
+        let mut c = base.clone();
+        c.max_ads_per_reply = 0;
+        t.row(run_with("no-fallback-ads", c));
+    }
+    {
+        let mut c = base.clone();
+        c.ads_request_hops = 2;
+        t.row(run_with("ads-request-h2", c));
+    }
+    for factor in [0.5, 2.0] {
+        let mut c = base.clone();
+        c.budget_unit = ((c.budget_unit as f64 * factor) as u32).max(8);
+        t.row(run_with(&format!("M0-x{factor}"), c));
+    }
+    for factor in [0.25, 4.0] {
+        let mut c = base.clone();
+        c.refresh_interval_us = ((c.refresh_interval_us as f64 * factor) as u64).max(1_000_000);
+        t.row(run_with(&format!("refresh-x{factor}"), c));
+    }
+    figures::emit(
+        &args.out,
+        "ablations.tsv",
+        "Ablations: ASAP(RW), crawled overlay",
+        &t,
+    );
+}

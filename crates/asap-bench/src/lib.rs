@@ -1,0 +1,20 @@
+//! Experiment harness regenerating the ASAP paper's figures.
+//!
+//! The evaluation matrix is 6 algorithms (flooding, random walk, GSA,
+//! ASAP(FLD), ASAP(RW), ASAP(GSA)) × 3 overlays (random, power-law,
+//! crawled). Figures 4–6 and 8–9 are cells of that matrix; Fig. 7 is the
+//! ASAP(RW) load breakdown and Fig. 10 the per-second load series, both on
+//! the crawled overlay; Figs. 2–3 describe the workload itself.
+//!
+//! Run `cargo run --release -p asap-bench --bin experiments -- all` (add
+//! `--scale paper` for the full 10,000-peer configuration — hours of CPU).
+
+pub mod algo;
+pub mod figures;
+pub mod runner;
+pub mod scale;
+pub mod table;
+
+pub use algo::AlgoKind;
+pub use runner::{run_one, RunSummary};
+pub use scale::Scale;

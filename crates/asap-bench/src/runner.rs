@@ -1,0 +1,269 @@
+//! Build worlds, run one (algorithm, overlay) cell, sweep the matrix.
+
+use crate::algo::AlgoKind;
+use crate::scale::Scale;
+use asap_core::Asap;
+use asap_metrics::{LoadRecorder, MsgClass, QueryLedger};
+use asap_overlay::{OverlayConfig, OverlayKind};
+use asap_search::{Flooding, FloodingConfig, Gsa, GsaConfig, RandomWalk, RandomWalkConfig};
+use asap_sim::{SimReport, Simulation};
+use asap_topology::PhysicalNetwork;
+use asap_workload::Workload;
+
+/// Everything the figures need from one run.
+#[derive(Debug)]
+pub struct RunSummary {
+    pub algo: AlgoKind,
+    pub overlay: OverlayKind,
+    pub queries: usize,
+    pub success_rate: f64,
+    pub avg_response_ms: f64,
+    /// Average bytes per search (the paper's Fig. 6 metric).
+    pub per_search_cost_bytes: f64,
+    /// Mean / stddev of bytes per node per second (Figs. 8–9).
+    pub mean_load: f64,
+    pub stddev_load: f64,
+    /// The full per-second series (Fig. 10).
+    pub load_series: Vec<f64>,
+    /// Per-class byte totals (Fig. 7).
+    pub class_totals: [u64; MsgClass::COUNT],
+    /// Per-class per-second series (Fig. 7's time view).
+    pub class_series: Vec<(MsgClass, Vec<f64>)>,
+    pub messages_sent: u64,
+    /// ASAP-only protocol statistics.
+    pub asap_stats: Option<asap_core::protocol::AsapStats>,
+}
+
+impl RunSummary {
+    fn from_parts(
+        algo: AlgoKind,
+        overlay: OverlayKind,
+        load: &LoadRecorder,
+        ledger: &QueryLedger,
+        messages_sent: u64,
+        asap_stats: Option<asap_core::protocol::AsapStats>,
+    ) -> Self {
+        let queries = ledger.num_queries();
+        Self {
+            algo,
+            overlay,
+            queries,
+            success_rate: ledger.success_rate(),
+            avg_response_ms: ledger.avg_response_time_ms(),
+            per_search_cost_bytes: if queries == 0 {
+                0.0
+            } else {
+                load.search_cost_bytes() as f64 / queries as f64
+            },
+            mean_load: load.mean_load(),
+            stddev_load: load.stddev_load(),
+            load_series: load.load_series(),
+            class_totals: load.class_totals(),
+            class_series: MsgClass::ALL
+                .iter()
+                .map(|&c| (c, load.class_series(c)))
+                .collect(),
+            messages_sent,
+            asap_stats,
+        }
+    }
+}
+
+/// A prebuilt world shared by several cells (physical network + workload are
+/// identical across algorithms; the overlay is rebuilt per kind).
+pub struct World {
+    pub phys: PhysicalNetwork,
+    pub workload: Workload,
+    pub scale: Scale,
+    pub seed: u64,
+}
+
+impl World {
+    pub fn build(scale: Scale, seed: u64) -> Self {
+        let phys = PhysicalNetwork::generate(&scale.topology(seed));
+        let workload = asap_workload::generate(&scale.workload(seed));
+        Self {
+            phys,
+            workload,
+            scale,
+            seed,
+        }
+    }
+
+    pub fn overlay(&self, kind: OverlayKind) -> asap_overlay::Overlay {
+        OverlayConfig::new(kind, self.scale.peers(), self.seed).build()
+    }
+}
+
+/// Run one cell of the matrix.
+pub fn run_one(world: &World, algo: AlgoKind, overlay_kind: OverlayKind) -> RunSummary {
+    let overlay = world.overlay(overlay_kind);
+    let scale = world.scale;
+    let seed = world.seed;
+    match algo {
+        AlgoKind::Flooding => summarize(
+            algo,
+            overlay_kind,
+            Simulation::new(
+                &world.phys,
+                &world.workload,
+                overlay,
+                overlay_kind,
+                Flooding::new(FloodingConfig::default()),
+                seed,
+            )
+            .run(),
+        ),
+        AlgoKind::RandomWalk => summarize(
+            algo,
+            overlay_kind,
+            Simulation::new(
+                &world.phys,
+                &world.workload,
+                overlay,
+                overlay_kind,
+                RandomWalk::new(RandomWalkConfig {
+                    walkers: 5,
+                    ttl: scale.rw_ttl(),
+                }),
+                seed,
+            )
+            .run(),
+        ),
+        AlgoKind::Gsa => summarize(
+            algo,
+            overlay_kind,
+            Simulation::new(
+                &world.phys,
+                &world.workload,
+                overlay,
+                overlay_kind,
+                Gsa::new(GsaConfig {
+                    budget: scale.gsa_budget(),
+                    branch: 4,
+                }),
+                seed,
+            )
+            .run(),
+        ),
+        AlgoKind::AsapFld | AlgoKind::AsapRw | AlgoKind::AsapGsa => {
+            let protocol = algo.build_asap(scale, &world.workload.model);
+            let report = Simulation::new(
+                &world.phys,
+                &world.workload,
+                overlay,
+                overlay_kind,
+                protocol,
+                seed,
+            )
+            .run();
+            summarize_asap(algo, overlay_kind, report)
+        }
+    }
+}
+
+fn summarize<P>(algo: AlgoKind, overlay: OverlayKind, report: SimReport<P>) -> RunSummary {
+    RunSummary::from_parts(
+        algo,
+        overlay,
+        &report.load,
+        &report.ledger,
+        report.messages_sent,
+        None,
+    )
+}
+
+fn summarize_asap(algo: AlgoKind, overlay: OverlayKind, report: SimReport<Asap>) -> RunSummary {
+    let stats = report.protocol.stats.clone();
+    RunSummary::from_parts(
+        algo,
+        overlay,
+        &report.load,
+        &report.ledger,
+        report.messages_sent,
+        Some(stats),
+    )
+}
+
+/// Run a set of matrix cells, optionally with a bounded worker pool
+/// (each worker builds its own world: simulations share nothing, the
+/// data-race-free-by-structure grain for a DES).
+pub fn sweep(
+    scale: Scale,
+    seed: u64,
+    cells: &[(AlgoKind, OverlayKind)],
+    workers: usize,
+) -> Vec<RunSummary> {
+    if workers <= 1 {
+        let world = World::build(scale, seed);
+        return cells
+            .iter()
+            .map(|&(a, o)| {
+                eprintln!("[run] {} / {}", a.label(), o.label());
+                run_one(&world, a, o)
+            })
+            .collect();
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Option<RunSummary>>> =
+        cells.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(cells.len()) {
+            scope.spawn(|| {
+                // One world per worker keeps workers independent.
+                let world = World::build(scale, seed);
+                loop {
+                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let (a, o) = cells[i];
+                    eprintln!("[run] {} / {}", a.label(), o.label());
+                    *results[i].lock().expect("poisoned") = Some(run_one(&world, a, o));
+                }
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|m| m.into_inner().expect("poisoned").expect("all cells ran"))
+        .collect()
+}
+
+/// The full 6 × 3 matrix.
+pub fn full_matrix() -> Vec<(AlgoKind, OverlayKind)> {
+    let mut cells = Vec::new();
+    for o in OverlayKind::ALL {
+        for a in AlgoKind::ALL {
+            cells.push((a, o));
+        }
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matrix_is_6_by_3() {
+        assert_eq!(full_matrix().len(), 18);
+    }
+
+    #[test]
+    fn tiny_cell_runs() {
+        let world = World::build(Scale::Tiny, 5);
+        let s = run_one(&world, AlgoKind::RandomWalk, OverlayKind::Random);
+        assert!(s.queries > 0);
+        assert!(s.messages_sent > 0);
+        assert!(s.mean_load > 0.0);
+    }
+
+    #[test]
+    fn tiny_asap_cell_runs_with_stats() {
+        let world = World::build(Scale::Tiny, 6);
+        let s = run_one(&world, AlgoKind::AsapRw, OverlayKind::Crawled);
+        assert!(s.asap_stats.is_some());
+        assert!(s.success_rate > 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Experiment scale: the paper's instance and proportionally reduced ones.
+//!
+//! Parameters that are *population-proportional* (random-walk TTL, GSA
+//! budget, ASAP budget unit M₀, cache capacity) shrink with the peer count
+//! so the algorithms' *coverage fractions* — and therefore the figures'
+//! shapes — are preserved; time constants and flooding TTL stay as
+//! published. EXPERIMENTS.md discusses the fidelity of each scale.
+
+use asap_topology::TransitStubConfig;
+use asap_workload::WorkloadConfig;
+
+/// How big a world to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// 150 peers / 300 queries — smoke-test speed.
+    Tiny,
+    /// 1,500 peers / 4,000 queries — minutes per full matrix; the default.
+    Default,
+    /// The paper's 10,000 peers / 30,000 queries on 51,984 physical nodes.
+    Paper,
+}
+
+impl Scale {
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "tiny" => Some(Self::Tiny),
+            "default" => Some(Self::Default),
+            "paper" => Some(Self::Paper),
+            _ => None,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Tiny => "tiny",
+            Self::Default => "default",
+            Self::Paper => "paper",
+        }
+    }
+
+    pub fn peers(self) -> usize {
+        match self {
+            Self::Tiny => 150,
+            Self::Default => 1_500,
+            Self::Paper => 10_000,
+        }
+    }
+
+    pub fn queries(self) -> usize {
+        match self {
+            Self::Tiny => 300,
+            Self::Default => 4_000,
+            Self::Paper => 30_000,
+        }
+    }
+
+    /// Ratio to the paper's population, used to scale coverage budgets.
+    pub fn ratio(self) -> f64 {
+        self.peers() as f64 / 10_000.0
+    }
+
+    pub fn workload(self, seed: u64) -> WorkloadConfig {
+        match self {
+            Self::Paper => WorkloadConfig::paper_default(seed),
+            _ => WorkloadConfig::reduced(self.peers(), self.queries(), seed),
+        }
+    }
+
+    pub fn topology(self, seed: u64) -> TransitStubConfig {
+        match self {
+            Self::Tiny => TransitStubConfig::reduced(seed),
+            Self::Default => TransitStubConfig::medium(seed),
+            Self::Paper => TransitStubConfig::paper_default(seed),
+        }
+    }
+
+    /// Random-walk TTL (paper: 1,024 at 10,000 peers).
+    pub fn rw_ttl(self) -> u16 {
+        ((1_024.0 * self.ratio()) as u16).max(32)
+    }
+
+    /// GSA message budget (paper: 8,000 at 10,000 peers).
+    pub fn gsa_budget(self) -> u32 {
+        ((8_000.0 * self.ratio()) as u32).max(100)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_published_numbers() {
+        let s = Scale::Paper;
+        assert_eq!(s.peers(), 10_000);
+        assert_eq!(s.queries(), 30_000);
+        assert_eq!(s.rw_ttl(), 1_024);
+        assert_eq!(s.gsa_budget(), 8_000);
+        assert_eq!(s.topology(1).expected_nodes(), 51_984);
+    }
+
+    #[test]
+    fn reduced_scales_proportionally() {
+        let s = Scale::Default;
+        assert_eq!(s.rw_ttl(), (1_024.0 * 0.15) as u16);
+        assert_eq!(s.gsa_budget(), 1_200);
+        assert!(s.topology(1).expected_nodes() >= s.peers());
+    }
+
+    #[test]
+    fn tiny_clamps() {
+        let s = Scale::Tiny;
+        assert!(s.rw_ttl() >= 32);
+        assert!(s.gsa_budget() >= 100);
+        assert!(s.topology(1).expected_nodes() >= s.peers());
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for s in [Scale::Tiny, Scale::Default, Scale::Paper] {
+            assert_eq!(Scale::parse(s.label()), Some(s));
+        }
+        assert_eq!(Scale::parse("bogus"), None);
+    }
+}

@@ -1,0 +1,134 @@
+//! Minimal aligned-column table printer + TSV writer for experiment output.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A simple text table: header row plus data rows.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    pub fn new(header: &[&str]) -> Self {
+        Self {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+            for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:<w$}");
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        fmt_row(&self.header, &widths, &mut out);
+        let rule_len = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            fmt_row(row, &widths, &mut out);
+        }
+        out
+    }
+
+    /// Tab-separated rendering for downstream tooling.
+    pub fn to_tsv(&self) -> String {
+        let mut out = self.header.join("\t");
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Write the TSV next to the other experiment outputs.
+    pub fn write_tsv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(name))?;
+        f.write_all(self.to_tsv().as_bytes())
+    }
+}
+
+/// Format a float tersely (3 significant-ish decimals, stripped zeros).
+pub fn fnum(x: f64) -> String {
+    if x == 0.0 {
+        return "0".into();
+    }
+    if x.abs() >= 1_000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = Table::new(&["algo", "success"]);
+        t.row(vec!["flooding".into(), "0.97".into()]);
+        t.row(vec!["rw".into(), "0.41".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("algo"));
+        assert!(lines[1].starts_with("---"));
+        assert!(lines[2].contains("flooding"));
+    }
+
+    #[test]
+    fn tsv_has_tabs() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.to_tsv(), "a\tb\n1\t2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(12345.6), "12346");
+        assert_eq!(fnum(42.25), "42.2");
+        assert_eq!(fnum(0.1234), "0.123");
+    }
+}

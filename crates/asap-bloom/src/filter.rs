@@ -1,0 +1,320 @@
+//! The counting filter peers maintain locally and the flat snapshot that
+//! travels inside ads.
+
+use crate::hashing::KeyHash;
+use crate::params::BloomParams;
+
+/// Flat Bloom filter: the content synopsis carried by a *full ad* and cached
+/// in remote ad repositories.
+///
+/// Membership tests never return false negatives; false positives occur with
+/// probability governed by [`BloomParams`]. A search request matches an ad
+/// when **all** query terms test positive (paper §III-C).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BloomFilter {
+    params: BloomParams,
+    words: Vec<u64>,
+    ones: u32,
+}
+
+impl BloomFilter {
+    /// An empty filter (what a free-rider would advertise — though free
+    /// riders advertise nothing at all in ASAP).
+    pub fn empty(params: BloomParams) -> Self {
+        Self {
+            words: vec![0; (params.bits as usize).div_ceil(64)],
+            ones: 0,
+            params,
+        }
+    }
+
+    /// Build a filter directly from a keyword set.
+    pub fn from_keys<'a>(params: BloomParams, keys: impl IntoIterator<Item = &'a str>) -> Self {
+        let mut f = Self::empty(params);
+        for k in keys {
+            f.insert_hash(&KeyHash::of(k));
+        }
+        f
+    }
+
+    pub fn params(&self) -> BloomParams {
+        self.params
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.ones
+    }
+
+    /// True when no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.ones == 0
+    }
+
+    /// Fraction of bits set — the filter's load factor.
+    pub fn fill_ratio(&self) -> f64 {
+        f64::from(self.ones) / f64::from(self.params.bits)
+    }
+
+    #[inline]
+    fn insert_hash(&mut self, h: &KeyHash) {
+        for bit in h.bits(self.params.bits, self.params.hashes) {
+            self.set_bit(bit);
+        }
+    }
+
+    #[inline]
+    pub(crate) fn set_bit(&mut self, bit: u32) {
+        let (w, mask) = (bit as usize / 64, 1u64 << (bit % 64));
+        if self.words[w] & mask == 0 {
+            self.words[w] |= mask;
+            self.ones += 1;
+        }
+    }
+
+    #[inline]
+    pub(crate) fn clear_bit(&mut self, bit: u32) {
+        let (w, mask) = (bit as usize / 64, 1u64 << (bit % 64));
+        if self.words[w] & mask != 0 {
+            self.words[w] &= !mask;
+            self.ones -= 1;
+        }
+    }
+
+    #[inline]
+    pub fn get_bit(&self, bit: u32) -> bool {
+        self.words[bit as usize / 64] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// Membership test for one keyword.
+    #[inline]
+    pub fn contains(&self, key: &str) -> bool {
+        self.contains_hash(&KeyHash::of(key))
+    }
+
+    #[inline]
+    pub fn contains_hash(&self, h: &KeyHash) -> bool {
+        h.bits(self.params.bits, self.params.hashes)
+            .all(|b| self.get_bit(b))
+    }
+
+    /// True when **every** term tests positive — the ad-match predicate used
+    /// by the ASAP search loop.
+    pub fn contains_all<'a>(&self, keys: impl IntoIterator<Item = &'a str>) -> bool {
+        keys.into_iter().all(|k| self.contains(k))
+    }
+
+    /// Positions of all set bits, ascending.
+    pub fn one_positions(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.ones as usize);
+        for (wi, &w) in self.words.iter().enumerate() {
+            let mut w = w;
+            while w != 0 {
+                let tz = w.trailing_zeros();
+                out.push(wi as u32 * 64 + tz);
+                w &= w - 1;
+            }
+        }
+        out
+    }
+}
+
+/// Counting Bloom filter a peer keeps for its **own** content so that
+/// document removals can clear bits (paper §III-B: "a collection of 2-tuples
+/// `(i, x)`, which means that the iᵗʰ bit is set for `x` times"; only the
+/// positions travel over the network).
+#[derive(Debug, Clone)]
+pub struct CountingBloom {
+    params: BloomParams,
+    counts: Vec<u16>,
+    snapshot: BloomFilter,
+}
+
+impl CountingBloom {
+    pub fn new(params: BloomParams) -> Self {
+        Self {
+            counts: vec![0; params.bits as usize],
+            snapshot: BloomFilter::empty(params),
+            params,
+        }
+    }
+
+    pub fn params(&self) -> BloomParams {
+        self.params
+    }
+
+    /// Insert one keyword occurrence.
+    pub fn insert(&mut self, key: &str) {
+        self.insert_hash(&KeyHash::of(key));
+    }
+
+    /// Insert by precomputed hash (hot path for interned keyword tables).
+    pub fn insert_hash(&mut self, h: &KeyHash) {
+        for bit in h.bits(self.params.bits, self.params.hashes) {
+            let c = &mut self.counts[bit as usize];
+            *c = c.saturating_add(1);
+            if *c == 1 {
+                self.snapshot.set_bit(bit);
+            }
+        }
+    }
+
+    /// Remove one previously-inserted occurrence. Returns `false` (and leaves
+    /// the filter untouched) if the key was never inserted — removing an
+    /// absent key would corrupt other keys' bits.
+    pub fn remove(&mut self, key: &str) -> bool {
+        self.remove_hash(&KeyHash::of(key))
+    }
+
+    /// Remove by precomputed hash; see [`CountingBloom::remove`].
+    pub fn remove_hash(&mut self, h: &KeyHash) -> bool {
+        let bits: Vec<u32> = h.bits(self.params.bits, self.params.hashes).collect();
+        if bits.iter().any(|&b| self.counts[b as usize] == 0) {
+            return false;
+        }
+        for bit in bits {
+            let c = &mut self.counts[bit as usize];
+            *c -= 1;
+            if *c == 0 {
+                self.snapshot.clear_bit(bit);
+            }
+        }
+        true
+    }
+
+    /// Membership test against the current state.
+    pub fn contains(&self, key: &str) -> bool {
+        self.snapshot.contains(key)
+    }
+
+    /// The flat snapshot to embed in a full ad. Cheap (`Clone` of a bit
+    /// vector), taken whenever an ad is issued.
+    pub fn snapshot(&self) -> BloomFilter {
+        self.snapshot.clone()
+    }
+
+    /// Borrow the live snapshot without cloning.
+    pub fn as_filter(&self) -> &BloomFilter {
+        &self.snapshot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> BloomParams {
+        BloomParams::for_capacity(200, 8)
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let keys: Vec<String> = (0..150).map(|i| format!("kw{i}")).collect();
+        let f = BloomFilter::from_keys(params(), keys.iter().map(String::as_str));
+        for k in &keys {
+            assert!(f.contains(k), "inserted key {k} must test positive");
+        }
+    }
+
+    #[test]
+    fn contains_all_semantics() {
+        let f = BloomFilter::from_keys(params(), ["alpha", "beta", "gamma"]);
+        assert!(f.contains_all(["alpha", "beta"]));
+        assert!(f.contains_all(Vec::<&str>::new()));
+        // Overwhelmingly unlikely to be a false positive at this load.
+        assert!(!f.contains_all(["alpha", "definitely-not-present-zzz"]));
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let f = BloomFilter::empty(params());
+        assert!(f.is_empty());
+        assert!(!f.contains("anything"));
+        assert_eq!(f.fill_ratio(), 0.0);
+    }
+
+    #[test]
+    fn fp_rate_near_prediction() {
+        let p = BloomParams::for_capacity(1_000, 8);
+        let keys: Vec<String> = (0..1_000).map(|i| format!("present-{i}")).collect();
+        let f = BloomFilter::from_keys(p, keys.iter().map(String::as_str));
+        let trials = 20_000;
+        let fps = (0..trials)
+            .filter(|i| f.contains(&format!("absent-{i}")))
+            .count();
+        let rate = fps as f64 / trials as f64;
+        let predicted = p.false_positive_rate(1_000);
+        assert!(
+            rate < predicted * 3.0 + 0.002,
+            "measured {rate}, predicted {predicted}"
+        );
+    }
+
+    #[test]
+    fn one_positions_roundtrip() {
+        let f = BloomFilter::from_keys(params(), ["x", "y", "z"]);
+        let pos = f.one_positions();
+        assert_eq!(pos.len() as u32, f.count_ones());
+        let mut g = BloomFilter::empty(params());
+        for p in pos {
+            g.set_bit(p);
+        }
+        assert_eq!(f, g);
+    }
+
+    #[test]
+    fn counting_remove_restores_exact_state() {
+        let mut c = CountingBloom::new(params());
+        c.insert("stay");
+        let before = c.snapshot();
+        c.insert("gone");
+        assert!(c.contains("gone"));
+        assert!(c.remove("gone"));
+        assert_eq!(c.snapshot(), before, "remove must restore the bit vector");
+        assert!(c.contains("stay"));
+    }
+
+    #[test]
+    fn counting_shared_bits_survive_removal() {
+        // Two occurrences of the same keyword: removing one keeps membership.
+        let mut c = CountingBloom::new(params());
+        c.insert("dup");
+        c.insert("dup");
+        assert!(c.remove("dup"));
+        assert!(c.contains("dup"));
+        assert!(c.remove("dup"));
+        assert!(!c.contains("dup"));
+    }
+
+    #[test]
+    fn counting_remove_absent_is_noop() {
+        let mut c = CountingBloom::new(params());
+        c.insert("real");
+        let snap = c.snapshot();
+        assert!(!c.remove("never-inserted"));
+        assert_eq!(c.snapshot(), snap);
+    }
+
+    #[test]
+    fn snapshot_equals_rebuild() {
+        let mut c = CountingBloom::new(params());
+        let keys: Vec<String> = (0..80).map(|i| format!("k{i}")).collect();
+        for k in &keys {
+            c.insert(k);
+        }
+        let rebuilt = BloomFilter::from_keys(params(), keys.iter().map(String::as_str));
+        assert_eq!(c.snapshot(), rebuilt);
+    }
+
+    #[test]
+    fn set_clear_bit_bookkeeping() {
+        let mut f = BloomFilter::empty(params());
+        f.set_bit(3);
+        f.set_bit(3);
+        assert_eq!(f.count_ones(), 1);
+        f.clear_bit(3);
+        f.clear_bit(3);
+        assert_eq!(f.count_ones(), 0);
+        assert!(f.is_empty());
+    }
+}

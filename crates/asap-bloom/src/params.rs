@@ -1,0 +1,125 @@
+//! Filter sizing and false-positive probability math (paper §III-B).
+
+/// Sizing parameters shared by every filter in the system.
+///
+/// The paper uses **fixed-length** filters: all peers agree on one `m`
+/// (derived from the largest keyword set `K_max`) and one `k`, so a single
+/// set of hash functions works everywhere. With `|K_max| = 1,000` and
+/// `k = 8` the paper arrives at `m = ⌈1,000·8 / ln 2⌉ = 11,542` bits
+/// (≈ 1.43 KB).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BloomParams {
+    /// Filter length in bits (`m`).
+    pub bits: u32,
+    /// Number of hash functions (`k`).
+    pub hashes: u32,
+}
+
+impl BloomParams {
+    /// Parameters sized for `capacity` elements with `k` hash functions at
+    /// the optimal load point: `m = ⌈capacity · k / ln 2⌉`.
+    ///
+    /// # Panics
+    /// Panics if `capacity` or `hashes` is zero.
+    pub fn for_capacity(capacity: usize, hashes: u32) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(hashes > 0, "need at least one hash function");
+        let m = (capacity as f64 * hashes as f64 / std::f64::consts::LN_2).ceil();
+        Self {
+            bits: m as u32,
+            hashes,
+        }
+    }
+
+    /// The paper's default: `|K_max| = 1,000`, `k = 8` ⇒ `m = 11,542` bits.
+    pub fn paper_default() -> Self {
+        Self::for_capacity(1_000, 8)
+    }
+
+    /// Expected false-positive probability once `n` elements are inserted:
+    /// `(1 - e^{-kn/m})^k`.
+    pub fn false_positive_rate(&self, n: usize) -> f64 {
+        let k = self.hashes as f64;
+        let m = self.bits as f64;
+        (1.0 - (-k * n as f64 / m).exp()).powf(k)
+    }
+
+    /// Minimum achievable false-positive probability for this `k`, reached at
+    /// the optimal load point: `(1/2)^k` (≈ 0.39% for `k = 8`).
+    pub fn min_false_positive_rate(&self) -> f64 {
+        0.5f64.powi(self.hashes as i32)
+    }
+
+    /// Bits per element at the optimal load point: `k / ln 2`
+    /// (≈ 11.54 for `k = 8`, as the paper reports).
+    pub fn bits_per_element(&self) -> f64 {
+        self.hashes as f64 / std::f64::consts::LN_2
+    }
+
+    /// Size of the raw (uncompressed) bit vector in bytes.
+    pub fn raw_bytes(&self) -> usize {
+        (self.bits as usize).div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_published_numbers() {
+        let p = BloomParams::paper_default();
+        assert_eq!(p.bits, 11_542);
+        assert_eq!(p.hashes, 8);
+        // "1.43 KB"
+        assert!((p.raw_bytes() as f64 / 1024.0 - 1.41).abs() < 0.05);
+    }
+
+    #[test]
+    fn min_fp_rate_for_k8_is_0_39_percent() {
+        let p = BloomParams::paper_default();
+        assert!((p.min_false_positive_rate() - 0.0039).abs() < 0.0002);
+    }
+
+    #[test]
+    fn bits_per_element_for_k8() {
+        let p = BloomParams::paper_default();
+        assert!((p.bits_per_element() - 11.54).abs() < 0.01);
+    }
+
+    #[test]
+    fn fp_rate_at_capacity_close_to_minimum() {
+        let p = BloomParams::for_capacity(500, 8);
+        let at_cap = p.false_positive_rate(500);
+        assert!((at_cap - p.min_false_positive_rate()).abs() < 0.001);
+    }
+
+    #[test]
+    fn fp_rate_monotone_in_load() {
+        let p = BloomParams::for_capacity(100, 4);
+        let mut last = 0.0;
+        for n in [1, 10, 50, 100, 200, 400] {
+            let r = p.false_positive_rate(n);
+            assert!(r > last, "fp rate must grow with load");
+            last = r;
+        }
+    }
+
+    #[test]
+    fn empty_filter_never_false_positives() {
+        let p = BloomParams::for_capacity(100, 4);
+        assert_eq!(p.false_positive_rate(0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        BloomParams::for_capacity(0, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "hash")]
+    fn zero_hashes_rejected() {
+        BloomParams::for_capacity(10, 0);
+    }
+}

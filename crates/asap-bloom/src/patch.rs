@@ -1,0 +1,152 @@
+//! Incremental filter updates: the payload of a *patch ad*.
+//!
+//! "an ad patch for content filter changes is implemented by a list of
+//! changed bit locations in the filter" (paper §III-B). We keep set and
+//! cleared positions separate so a patch applies unambiguously.
+
+use crate::filter::BloomFilter;
+
+/// The set of bit positions that changed between two filter snapshots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FilterPatch {
+    /// Positions that were 0 in the old snapshot and 1 in the new one.
+    pub set: Vec<u32>,
+    /// Positions that were 1 in the old snapshot and 0 in the new one.
+    pub cleared: Vec<u32>,
+}
+
+impl FilterPatch {
+    /// Compute the patch that transforms `old` into `new`.
+    ///
+    /// # Panics
+    /// Panics if the two filters have different parameters — patches only
+    /// make sense within one filter geometry.
+    pub fn diff(old: &BloomFilter, new: &BloomFilter) -> Self {
+        assert_eq!(
+            old.params(),
+            new.params(),
+            "patch requires identical filter parameters"
+        );
+        let mut patch = Self::default();
+        // Walk the union of set positions of both filters.
+        let (a, b) = (old.one_positions(), new.one_positions());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() || j < b.len() {
+            match (a.get(i), b.get(j)) {
+                (Some(&x), Some(&y)) if x == y => {
+                    i += 1;
+                    j += 1;
+                }
+                (Some(&x), Some(&y)) if x < y => {
+                    patch.cleared.push(x);
+                    i += 1;
+                }
+                (Some(_), Some(&y)) => {
+                    patch.set.push(y);
+                    j += 1;
+                }
+                (Some(&x), None) => {
+                    patch.cleared.push(x);
+                    i += 1;
+                }
+                (None, Some(&y)) => {
+                    patch.set.push(y);
+                    j += 1;
+                }
+                (None, None) => unreachable!(),
+            }
+        }
+        patch
+    }
+
+    /// Apply the patch in place.
+    pub fn apply(&self, filter: &mut BloomFilter) {
+        for &b in &self.set {
+            filter.set_bit(b);
+        }
+        for &b in &self.cleared {
+            filter.clear_bit(b);
+        }
+    }
+
+    /// Total number of changed bit positions.
+    pub fn len(&self) -> usize {
+        self.set.len() + self.cleared.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty() && self.cleared.is_empty()
+    }
+
+    /// Wire size in bytes: each changed position is a 16-bit index (the
+    /// paper's `m = 11,542 < 2¹⁶`) plus a one-byte set/clear tag packed as a
+    /// length-prefixed pair of lists — modelled as 2 bytes per position plus
+    /// 4 bytes of list framing.
+    pub fn encoded_size(&self) -> usize {
+        4 + 2 * self.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::BloomParams;
+
+    fn params() -> BloomParams {
+        BloomParams::for_capacity(100, 8)
+    }
+
+    #[test]
+    fn diff_then_apply_reproduces_target() {
+        let old = BloomFilter::from_keys(params(), ["a", "b", "c"]);
+        let new = BloomFilter::from_keys(params(), ["b", "c", "d", "e"]);
+        let patch = FilterPatch::diff(&old, &new);
+        let mut f = old.clone();
+        patch.apply(&mut f);
+        assert_eq!(f, new);
+    }
+
+    #[test]
+    fn identical_filters_give_empty_patch() {
+        let f = BloomFilter::from_keys(params(), ["same"]);
+        let patch = FilterPatch::diff(&f, &f.clone());
+        assert!(patch.is_empty());
+        assert_eq!(patch.len(), 0);
+        assert_eq!(patch.encoded_size(), 4);
+    }
+
+    #[test]
+    fn patch_from_empty_is_all_sets() {
+        let old = BloomFilter::empty(params());
+        let new = BloomFilter::from_keys(params(), ["x", "y"]);
+        let patch = FilterPatch::diff(&old, &new);
+        assert!(patch.cleared.is_empty());
+        assert_eq!(patch.set.len() as u32, new.count_ones());
+    }
+
+    #[test]
+    fn patch_to_empty_is_all_clears() {
+        let old = BloomFilter::from_keys(params(), ["x", "y"]);
+        let new = BloomFilter::empty(params());
+        let patch = FilterPatch::diff(&old, &new);
+        assert!(patch.set.is_empty());
+        assert_eq!(patch.cleared.len() as u32, old.count_ones());
+    }
+
+    #[test]
+    fn encoded_size_counts_both_lists() {
+        let old = BloomFilter::from_keys(params(), ["a"]);
+        let new = BloomFilter::from_keys(params(), ["b"]);
+        let patch = FilterPatch::diff(&old, &new);
+        assert_eq!(patch.encoded_size(), 4 + 2 * patch.len());
+        assert!(!patch.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "identical filter parameters")]
+    fn mismatched_params_rejected() {
+        let a = BloomFilter::empty(BloomParams::for_capacity(10, 4));
+        let b = BloomFilter::empty(BloomParams::for_capacity(20, 4));
+        FilterPatch::diff(&a, &b);
+    }
+}

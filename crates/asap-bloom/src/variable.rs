@@ -1,0 +1,193 @@
+//! Variable-length filters — the paper's alternative to one global `m`.
+//!
+//! §III-B: "Suppose all nodes agree on a set of universal hash functions
+//! {h₁ … h_k} and a pool of available filter lengths. Each node p chooses a
+//! minimum filter length that is greater than |K_p|·k / ln 2. When mapping
+//! or querying an item on a filter F with length l(F), we can use …
+//! h'ᵢ = hᵢ mod l(F)."
+//!
+//! The upside is space efficiency for small sharers and no global `K_max`
+//! cap; the downside the paper calls out — "a node may have to compute the
+//! filter multiple times using different lengths for a search request" — is
+//! visible in [`VariableFilter::contains`]: the querier derives positions
+//! per filter length instead of reusing one precomputed probe set. The
+//! default configuration uses fixed-length filters exactly as the paper
+//! chose; this module exists for the ablation comparing the two.
+
+use crate::hashing::KeyHash;
+
+/// The pool of allowed filter lengths (bits), ascending. A power-of-two
+/// ladder keeps the pool small while staying within 2× of the optimum.
+pub const LENGTH_POOL: [u32; 9] = [256, 512, 1_024, 2_048, 4_096, 8_192, 16_384, 32_768, 65_536];
+
+/// Pick the smallest pooled length `> |K_p|·k / ln 2` (falls back to the
+/// largest length for huge keyword sets).
+pub fn length_for(keywords: usize, hashes: u32) -> u32 {
+    let need = (keywords.max(1) as f64 * hashes as f64 / std::f64::consts::LN_2).ceil() as u32;
+    LENGTH_POOL
+        .iter()
+        .copied()
+        .find(|&l| l > need)
+        .unwrap_or(LENGTH_POOL[LENGTH_POOL.len() - 1])
+}
+
+/// A Bloom filter whose length comes from the shared pool. Probe positions
+/// are derived from the same universal [`KeyHash`] used by fixed filters,
+/// reduced modulo this filter's length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VariableFilter {
+    bits: u32,
+    hashes: u32,
+    words: Vec<u64>,
+    ones: u32,
+}
+
+impl VariableFilter {
+    /// An empty filter sized for `expected_keywords` entries.
+    pub fn with_capacity(expected_keywords: usize, hashes: u32) -> Self {
+        let bits = length_for(expected_keywords, hashes);
+        Self {
+            bits,
+            hashes,
+            words: vec![0; (bits as usize).div_ceil(64)],
+            ones: 0,
+        }
+    }
+
+    /// Build from a keyword set, sizing automatically.
+    pub fn from_keys(keys: &[&str], hashes: u32) -> Self {
+        let mut f = Self::with_capacity(keys.len(), hashes);
+        for k in keys {
+            f.insert(k);
+        }
+        f
+    }
+
+    pub fn len_bits(&self) -> u32 {
+        self.bits
+    }
+
+    pub fn count_ones(&self) -> u32 {
+        self.ones
+    }
+
+    pub fn insert(&mut self, key: &str) {
+        let h = KeyHash::of(key);
+        for bit in h.bits(self.bits, self.hashes) {
+            let (w, mask) = (bit as usize / 64, 1u64 << (bit % 64));
+            if self.words[w] & mask == 0 {
+                self.words[w] |= mask;
+                self.ones += 1;
+            }
+        }
+    }
+
+    pub fn contains(&self, key: &str) -> bool {
+        self.contains_hash(&KeyHash::of(key))
+    }
+
+    /// Membership by universal hash — positions are reduced modulo *this*
+    /// filter's length, so one `KeyHash` queries filters of any length.
+    pub fn contains_hash(&self, h: &KeyHash) -> bool {
+        h.bits(self.bits, self.hashes)
+            .all(|bit| self.words[bit as usize / 64] & (1u64 << (bit % 64)) != 0)
+    }
+
+    pub fn contains_all<'a>(&self, keys: impl IntoIterator<Item = &'a str>) -> bool {
+        keys.into_iter().all(|k| self.contains(k))
+    }
+
+    /// Wire size: min(raw bits, 2 bytes per set position) plus framing —
+    /// same model as the fixed encoder.
+    pub fn encoded_size(&self) -> usize {
+        let raw = (self.bits as usize).div_ceil(8);
+        let sparse = 2 * self.ones as usize;
+        4 + raw.min(sparse)
+    }
+
+    /// Expected false-positive rate at the current load.
+    pub fn false_positive_rate(&self) -> f64 {
+        let load = f64::from(self.ones) / f64::from(self.bits);
+        load.powi(self.hashes as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_pool_selection() {
+        // 10 keywords × 8 / ln2 ≈ 116 → 256.
+        assert_eq!(length_for(10, 8), 256);
+        // 100 keywords ≈ 1,155 → 2,048.
+        assert_eq!(length_for(100, 8), 2_048);
+        // 1,000 keywords ≈ 11,542 → 16,384.
+        assert_eq!(length_for(1_000, 8), 16_384);
+        // Degenerate and huge inputs stay in the pool.
+        assert_eq!(length_for(0, 8), 256);
+        assert_eq!(length_for(1_000_000, 8), 65_536);
+    }
+
+    #[test]
+    fn no_false_negatives_at_any_length() {
+        for n in [3usize, 40, 300] {
+            let keys: Vec<String> = (0..n).map(|i| format!("kw{i}")).collect();
+            let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+            let f = VariableFilter::from_keys(&refs, 8);
+            for k in &refs {
+                assert!(f.contains(k), "missing {k} at n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn small_sharers_get_small_filters() {
+        let small = VariableFilter::from_keys(&["a", "b", "c"], 8);
+        let keys: Vec<String> = (0..500).map(|i| format!("kw{i}")).collect();
+        let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let big = VariableFilter::from_keys(&refs, 8);
+        assert!(small.len_bits() < big.len_bits());
+        assert!(small.encoded_size() < big.encoded_size());
+    }
+
+    #[test]
+    fn variable_beats_fixed_on_space_for_small_sets() {
+        use crate::{BloomFilter, BloomParams, WireFilter};
+        // A 10-keyword sharer under the paper's global m = 11,542…
+        let keys: Vec<String> = (0..10).map(|i| format!("kw{i}")).collect();
+        let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let fixed = BloomFilter::from_keys(
+            BloomParams::paper_default(),
+            refs.iter().copied(),
+        );
+        let var = VariableFilter::from_keys(&refs, 8);
+        // …is already well-served by sparse encoding, but variable-length
+        // raw is competitive and caps the worst case.
+        assert!(var.encoded_size() <= WireFilter::size_of(&fixed) + 4);
+        assert!(var.len_bits() <= 256);
+    }
+
+    #[test]
+    fn fp_rate_reasonable_at_capacity() {
+        let keys: Vec<String> = (0..100).map(|i| format!("kw{i}")).collect();
+        let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+        let f = VariableFilter::from_keys(&refs, 8);
+        assert!(f.false_positive_rate() < 0.05, "{}", f.false_positive_rate());
+        let fps = (0..5_000)
+            .filter(|i| f.contains(&format!("absent{i}")))
+            .count();
+        assert!(fps < 300, "measured {fps}/5000 false positives");
+    }
+
+    #[test]
+    fn one_keyhash_queries_filters_of_different_lengths() {
+        let h = KeyHash::of("shared-keyword");
+        let mut small = VariableFilter::with_capacity(5, 8);
+        let mut large = VariableFilter::with_capacity(5_000, 8);
+        small.insert("shared-keyword");
+        large.insert("shared-keyword");
+        assert!(small.contains_hash(&h));
+        assert!(large.contains_hash(&h));
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the Bloom-filter substrate.
+
+use asap_bloom::{BloomFilter, BloomParams, CountingBloom, FilterPatch, WireFilter};
+use proptest::prelude::*;
+
+fn params() -> BloomParams {
+    BloomParams::for_capacity(300, 8)
+}
+
+fn keys_strategy() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::vec("[a-z]{1,12}", 0..120)
+}
+
+proptest! {
+    /// The defining Bloom-filter invariant: anything inserted tests positive.
+    #[test]
+    fn no_false_negatives(keys in keys_strategy()) {
+        let f = BloomFilter::from_keys(params(), keys.iter().map(String::as_str));
+        for k in &keys {
+            prop_assert!(f.contains(k));
+        }
+    }
+
+    /// A counting filter that inserts then removes a disjoint batch is
+    /// bit-identical to one that never saw the batch.
+    #[test]
+    fn counting_remove_is_exact_inverse(
+        stay in keys_strategy(),
+        gone in keys_strategy(),
+    ) {
+        let mut with = CountingBloom::new(params());
+        let mut without = CountingBloom::new(params());
+        for k in &stay {
+            with.insert(k);
+            without.insert(k);
+        }
+        for k in &gone {
+            with.insert(k);
+        }
+        for k in &gone {
+            prop_assert!(with.remove(k));
+        }
+        prop_assert_eq!(with.snapshot(), without.snapshot());
+    }
+
+    /// diff → apply reproduces the target filter exactly, from any pair of
+    /// states — the patch-ad consistency invariant.
+    #[test]
+    fn patch_roundtrip(old_keys in keys_strategy(), new_keys in keys_strategy()) {
+        let old = BloomFilter::from_keys(params(), old_keys.iter().map(String::as_str));
+        let new = BloomFilter::from_keys(params(), new_keys.iter().map(String::as_str));
+        let patch = FilterPatch::diff(&old, &new);
+        let mut repaired = old.clone();
+        patch.apply(&mut repaired);
+        prop_assert_eq!(repaired, new);
+    }
+
+    /// Patch size is bounded by the symmetric difference of set bits.
+    #[test]
+    fn patch_len_is_symmetric_difference(a in keys_strategy(), b in keys_strategy()) {
+        let fa = BloomFilter::from_keys(params(), a.iter().map(String::as_str));
+        let fb = BloomFilter::from_keys(params(), b.iter().map(String::as_str));
+        let patch = FilterPatch::diff(&fa, &fb);
+        let sa: std::collections::BTreeSet<u32> = fa.one_positions().into_iter().collect();
+        let sb: std::collections::BTreeSet<u32> = fb.one_positions().into_iter().collect();
+        prop_assert_eq!(patch.len(), sa.symmetric_difference(&sb).count());
+    }
+
+    /// The wire encoder always picks an encoding no larger than raw.
+    #[test]
+    fn wire_encoding_never_exceeds_raw(keys in keys_strategy()) {
+        let f = BloomFilter::from_keys(params(), keys.iter().map(String::as_str));
+        prop_assert!(WireFilter::size_of(&f) <= 4 + params().raw_bytes());
+    }
+
+    /// one_positions is sorted, deduplicated, and counts match.
+    #[test]
+    fn one_positions_invariants(keys in keys_strategy()) {
+        let f = BloomFilter::from_keys(params(), keys.iter().map(String::as_str));
+        let pos = f.one_positions();
+        prop_assert_eq!(pos.len() as u32, f.count_ones());
+        prop_assert!(pos.windows(2).all(|w| w[0] < w[1]));
+        prop_assert!(pos.iter().all(|&p| p < params().bits));
+    }
+}

@@ -1,0 +1,224 @@
+//! Ad representation and the ASAP wire messages.
+//!
+//! An ad is the tuple `(I, C, T, v)` — source identity, content information,
+//! topics, version (paper §III-B). Three content-information shapes exist:
+//! *full* (the whole Bloom filter), *patch* (changed bit positions since the
+//! previous version) and *refresh* (empty).
+//!
+//! Filters are reference-counted: a given `(source, version)` filter is
+//! bit-identical at every cacher, so sharing one allocation is a pure
+//! simulator memory optimization — wire sizes are still charged per message
+//! from the real encodings.
+
+use asap_bloom::{BloomFilter, FilterPatch, WireFilter};
+use asap_overlay::PeerId;
+use asap_sim::{HEADER_BYTES, TOPIC_WIRE_BYTES, VERSION_WIRE_BYTES};
+use asap_workload::{InterestSet, KeywordId};
+use std::rc::Rc;
+
+/// A cached-ad snapshot: everything a remote peer keeps about a source.
+#[derive(Debug, Clone)]
+pub struct AdSnapshot {
+    pub source: PeerId,
+    pub topics: InterestSet,
+    pub version: u16,
+    pub filter: Rc<BloomFilter>,
+}
+
+impl AdSnapshot {
+    /// Wire size of this snapshot inside a full ad or ads reply.
+    pub fn encoded_size(&self) -> usize {
+        WireFilter::size_of(&self.filter)
+            + self.topics.len() * TOPIC_WIRE_BYTES
+            + VERSION_WIRE_BYTES
+            + 4 // source identity
+    }
+}
+
+/// Content information of an ad in flight.
+#[derive(Debug, Clone)]
+pub enum AdPayload {
+    /// Complete content filter.
+    Full(AdSnapshot),
+    /// Incremental changes from `version - 1` to `version`.
+    Patch {
+        source: PeerId,
+        topics: InterestSet,
+        version: u16,
+        patch: Rc<FilterPatch>,
+        /// The resulting filter at `version` (shared allocation; see module
+        /// docs — cachers that apply the patch land exactly here).
+        result: Rc<BloomFilter>,
+    },
+    /// Liveness beacon: no content information.
+    Refresh {
+        source: PeerId,
+        topics: InterestSet,
+        version: u16,
+    },
+}
+
+impl AdPayload {
+    pub fn source(&self) -> PeerId {
+        match self {
+            Self::Full(s) => s.source,
+            Self::Patch { source, .. } | Self::Refresh { source, .. } => *source,
+        }
+    }
+
+    pub fn topics(&self) -> InterestSet {
+        match self {
+            Self::Full(s) => s.topics,
+            Self::Patch { topics, .. } | Self::Refresh { topics, .. } => *topics,
+        }
+    }
+
+    pub fn version(&self) -> u16 {
+        match self {
+            Self::Full(s) => s.version,
+            Self::Patch { version, .. } | Self::Refresh { version, .. } => *version,
+        }
+    }
+
+    /// Bytes of one transmission of this ad.
+    pub fn encoded_size(&self) -> usize {
+        HEADER_BYTES
+            + match self {
+                Self::Full(s) => s.encoded_size(),
+                Self::Patch { topics, patch, .. } => {
+                    patch.encoded_size() + topics.len() * TOPIC_WIRE_BYTES + VERSION_WIRE_BYTES + 4
+                }
+                Self::Refresh { topics, .. } => {
+                    topics.len() * TOPIC_WIRE_BYTES + VERSION_WIRE_BYTES + 4
+                }
+            }
+    }
+}
+
+/// How an ad message continues through the overlay after this hop.
+#[derive(Debug, Clone, Copy)]
+pub enum Forwarding {
+    /// Point-to-point (confirmations, repairs, ads replies).
+    Direct,
+    /// Flood with remaining TTL.
+    Flood { ttl: u8 },
+    /// Random walker with remaining message budget.
+    Walk { budget: u32 },
+    /// GSA dispersal with remaining message budget.
+    Gsa { budget: u32 },
+}
+
+/// ASAP wire message.
+#[derive(Debug, Clone)]
+pub enum AsapMsg {
+    /// An ad being disseminated. `delivery` uniquely identifies one
+    /// dissemination wave (duplicate suppression for flooded ads).
+    Ad {
+        payload: AdPayload,
+        fwd: Forwarding,
+        delivery: u64,
+    },
+    /// Direct request for a full ad (version-gap repair / refresh miss).
+    FullAdFetch,
+    /// Ads request to neighbors within `hops` (paper Table I:
+    /// `requestAdFromNeighbors(i, h, I(p))`). `query` is the search this
+    /// round serves, or `None` for a join-time cache warm-up.
+    AdsRequest {
+        requester: PeerId,
+        interests: InterestSet,
+        hops: u8,
+        query: Option<u32>,
+        /// For a query-driven round, the live search terms: neighbors then
+        /// reply only with cached ads that can actually serve the query,
+        /// which keeps the reply orders of magnitude smaller than shipping
+        /// every interest-overlapping ad. Join-time warm-ups pass `None`
+        /// and get the interest-filtered batch.
+        terms: Option<Rc<[KeywordId]>>,
+    },
+    /// Cached ads whose topics overlap the requester's interests.
+    AdsReply {
+        ads: Vec<AdSnapshot>,
+        query: Option<u32>,
+    },
+    /// Content confirmation sent to a matching ad's source.
+    Confirm {
+        query: u32,
+        requester: PeerId,
+        terms: Rc<[KeywordId]>,
+    },
+    /// Source's verdict after checking its actual content.
+    ConfirmReply { query: u32, results: u32 },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_bloom::BloomParams;
+
+    fn snapshot(keys: &[&str]) -> AdSnapshot {
+        let params = BloomParams::paper_default();
+        AdSnapshot {
+            source: PeerId(7),
+            topics: InterestSet(0b101),
+            version: 3,
+            filter: Rc::new(BloomFilter::from_keys(params, keys.iter().copied())),
+        }
+    }
+
+    #[test]
+    fn refresh_is_tiny_full_is_big() {
+        let full = AdPayload::Full(snapshot(&["a", "b", "c", "d", "e"]));
+        let refresh = AdPayload::Refresh {
+            source: PeerId(7),
+            topics: InterestSet(0b101),
+            version: 3,
+        };
+        assert!(refresh.encoded_size() < 40);
+        assert!(full.encoded_size() > refresh.encoded_size());
+    }
+
+    #[test]
+    fn patch_size_tracks_changed_bits() {
+        let params = BloomParams::paper_default();
+        let old = BloomFilter::from_keys(params, ["a", "b"]);
+        let new = BloomFilter::from_keys(params, ["a", "b", "c"]);
+        let patch = FilterPatch::diff(&old, &new);
+        let p = AdPayload::Patch {
+            source: PeerId(1),
+            topics: InterestSet(0b1),
+            version: 2,
+            patch: Rc::new(patch.clone()),
+            result: Rc::new(new),
+        };
+        assert!(p.encoded_size() >= HEADER_BYTES + patch.encoded_size());
+        // One keyword changes at most `k` bits ⇒ small patch.
+        assert!(p.encoded_size() < HEADER_BYTES + 4 + 2 * 8 + 16);
+    }
+
+    #[test]
+    fn payload_accessors() {
+        let s = snapshot(&["x"]);
+        let p = AdPayload::Full(s.clone());
+        assert_eq!(p.source(), PeerId(7));
+        assert_eq!(p.version(), 3);
+        assert_eq!(p.topics(), InterestSet(0b101));
+    }
+
+    #[test]
+    fn full_ad_of_paper_sized_peer_is_about_kilobytes() {
+        // ~1,000 distinct keywords ⇒ the full filter dominates at ~1.4 KB.
+        let keys: Vec<String> = (0..1_000).map(|i| format!("kw{i}")).collect();
+        let params = BloomParams::paper_default();
+        let snap = AdSnapshot {
+            source: PeerId(1),
+            topics: InterestSet(0b11),
+            version: 1,
+            filter: Rc::new(BloomFilter::from_keys(
+                params,
+                keys.iter().map(String::as_str),
+            )),
+        };
+        let size = AdPayload::Full(snap).encoded_size();
+        assert!(size > 1_000 && size < 1_600, "{size}");
+    }
+}

@@ -1,0 +1,215 @@
+//! Ad dissemination: the three forwarding schemes.
+//!
+//! A delivery's cost envelope follows the paper: flooding is TTL-bounded;
+//! RW/GSA deliveries spend at most `topics × M₀` messages, M₀ = 3,000
+//! ("the total budget for one ad delivery can be determined by the number of
+//! topics in the ad and a budget unit M₀ = 3000").
+
+use crate::ad::{AdPayload, AsapMsg, Forwarding};
+use crate::config::DeliveryKind;
+use asap_metrics::MsgClass;
+use asap_overlay::PeerId;
+use asap_sim::Ctx;
+use rand::Rng;
+
+/// Load-accounting class of an ad payload.
+pub(crate) fn ad_class(payload: &AdPayload) -> MsgClass {
+    match payload {
+        AdPayload::Full(_) => MsgClass::FullAd,
+        AdPayload::Patch { .. } => MsgClass::PatchAd,
+        AdPayload::Refresh { .. } => MsgClass::RefreshAd,
+    }
+}
+
+/// Kick off a fresh delivery of `payload` from `source`. `delivery` is the
+/// unique id used for duplicate suppression of flooded ads.
+pub(crate) fn start_delivery(
+    ctx: &mut Ctx<'_, AsapMsg>,
+    kind: DeliveryKind,
+    budget_unit: u32,
+    budget_factor: f64,
+    source: PeerId,
+    payload: AdPayload,
+    delivery: u64,
+) {
+    let topics = payload.topics().len().max(1) as u32;
+    let budget = ((topics * budget_unit) as f64 * budget_factor).round() as u32;
+    let budget = budget.max(1);
+    match kind {
+        DeliveryKind::Flooding { ttl } => {
+            // Flooding's envelope is its TTL; the budget factor shaves hops
+            // off periodic beacons (factor < 1 drops the TTL by one).
+            let ttl = if budget_factor < 1.0 { ttl.saturating_sub(1).max(1) } else { ttl };
+            fan_to_all(ctx, source, None, payload, delivery, Forwarding::Flood { ttl });
+        }
+        DeliveryKind::RandomWalk { walkers } => {
+            let per_walker = (budget / walkers).max(1);
+            for _ in 0..walkers {
+                walk_step(ctx, source, None, payload.clone(), delivery, per_walker);
+            }
+        }
+        DeliveryKind::Gsa { branch } => {
+            gsa_disperse(ctx, source, None, payload, delivery, budget, branch);
+        }
+    }
+}
+
+/// Continue a delivery after `node` processed the ad.
+pub(crate) fn continue_delivery(
+    ctx: &mut Ctx<'_, AsapMsg>,
+    node: PeerId,
+    came_from: PeerId,
+    payload: AdPayload,
+    delivery: u64,
+    fwd: Forwarding,
+    branch: u32,
+) {
+    match fwd {
+        Forwarding::Direct => {}
+        Forwarding::Flood { ttl } => {
+            if ttl > 1 {
+                fan_to_all(
+                    ctx,
+                    node,
+                    Some(came_from),
+                    payload,
+                    delivery,
+                    Forwarding::Flood { ttl: ttl - 1 },
+                );
+            }
+        }
+        Forwarding::Walk { budget } => {
+            if budget > 0 {
+                walk_step(ctx, node, Some(came_from), payload, delivery, budget);
+            }
+        }
+        Forwarding::Gsa { budget } => {
+            gsa_disperse(ctx, node, Some(came_from), payload, delivery, budget, branch);
+        }
+    }
+}
+
+fn send_ad(
+    ctx: &mut Ctx<'_, AsapMsg>,
+    from: PeerId,
+    to: PeerId,
+    payload: AdPayload,
+    delivery: u64,
+    fwd: Forwarding,
+) {
+    let class = ad_class(&payload);
+    let bytes = payload.encoded_size();
+    ctx.send(
+        from,
+        to,
+        class,
+        bytes,
+        AsapMsg::Ad {
+            payload,
+            fwd,
+            delivery,
+        },
+    );
+}
+
+fn fan_to_all(
+    ctx: &mut Ctx<'_, AsapMsg>,
+    node: PeerId,
+    exclude: Option<PeerId>,
+    payload: AdPayload,
+    delivery: u64,
+    fwd: Forwarding,
+) {
+    let targets: Vec<PeerId> = ctx
+        .neighbors(node)
+        .iter()
+        .copied()
+        .filter(|&n| Some(n) != exclude)
+        .collect();
+    for t in targets {
+        send_ad(ctx, node, t, payload.clone(), delivery, fwd);
+    }
+}
+
+/// One walker hop: uniform random neighbor avoiding immediate backtrack.
+/// The hop itself costs one unit of budget.
+fn walk_step(
+    ctx: &mut Ctx<'_, AsapMsg>,
+    node: PeerId,
+    came_from: Option<PeerId>,
+    payload: AdPayload,
+    delivery: u64,
+    budget: u32,
+) {
+    let degree = ctx.neighbors(node).len();
+    if degree == 0 {
+        return;
+    }
+    let next = if degree == 1 {
+        ctx.neighbors(node)[0]
+    } else {
+        loop {
+            let i = ctx.rng.gen_range(0..degree);
+            let cand = ctx.neighbors(node)[i];
+            if Some(cand) != came_from {
+                break cand;
+            }
+        }
+    };
+    send_ad(
+        ctx,
+        node,
+        next,
+        payload,
+        delivery,
+        Forwarding::Walk { budget: budget - 1 },
+    );
+}
+
+/// GSA-style dispersal: fan to up to `branch` random neighbors while the
+/// budget is plentiful, degenerate to a walk once it is not.
+fn gsa_disperse(
+    ctx: &mut Ctx<'_, AsapMsg>,
+    node: PeerId,
+    exclude: Option<PeerId>,
+    payload: AdPayload,
+    delivery: u64,
+    budget: u32,
+    branch: u32,
+) {
+    if budget == 0 {
+        return;
+    }
+    let mut nbrs: Vec<PeerId> = ctx
+        .neighbors(node)
+        .iter()
+        .copied()
+        .filter(|&n| Some(n) != exclude)
+        .collect();
+    if nbrs.is_empty() {
+        nbrs = ctx.neighbors(node).to_vec();
+        if nbrs.is_empty() {
+            return;
+        }
+    }
+    let fan = if budget < 2 * branch {
+        1
+    } else {
+        (branch as usize).min(nbrs.len())
+    };
+    // Deterministic partial shuffle.
+    for i in 0..fan {
+        let j = ctx.rng.gen_range(i..nbrs.len());
+        nbrs.swap(i, j);
+    }
+    nbrs.truncate(fan);
+    let fan = nbrs.len() as u32;
+    let remaining = budget - fan;
+    let share = remaining / fan;
+    let mut extra = remaining % fan;
+    for n in nbrs {
+        let b = share + u32::from(extra > 0);
+        extra = extra.saturating_sub(1);
+        send_ad(ctx, node, n, payload.clone(), delivery, Forwarding::Gsa { budget: b });
+    }
+}

@@ -1,0 +1,504 @@
+//! The ASAP [`Protocol`] implementation: per-node state, ad lifecycle,
+//! and event dispatch. The search-side handlers live in [`crate::search`].
+
+use crate::ad::{AdPayload, AdSnapshot, AsapMsg, Forwarding};
+use crate::config::{AsapConfig, DeliveryKind};
+use crate::delivery::{ad_class, continue_delivery, start_delivery};
+use crate::repository::{AdRepository, ApplyOutcome};
+use crate::search::{self, PendingSearch};
+use asap_bloom::hashing::KeyHash;
+use asap_bloom::{BloomFilter, CountingBloom, FilterPatch};
+use asap_metrics::MsgClass;
+use asap_overlay::PeerId;
+use asap_sim::util::SeenTracker;
+use asap_sim::{Ctx, Protocol};
+use asap_workload::{ContentModel, DocId, InterestSet, KeywordId, QuerySpec};
+use rand::Rng;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Timer tags.
+pub(crate) const TAG_REFRESH: u64 = 0;
+pub(crate) const TAG_INIT_AD: u64 = 1;
+pub(crate) const TAG_QUERY_BASE: u64 = 2;
+
+/// Per-node ASAP state.
+pub(crate) struct NodeState {
+    /// The node's own content filter (counting, so removals work).
+    pub filter: CountingBloom,
+    /// Current ad version `v` (bumped on every content change).
+    pub version: u16,
+    /// Shared snapshot of `filter` at `version`.
+    pub snapshot: Rc<BloomFilter>,
+    /// Foreign-ads cache ("$" in the paper's pseudo-code).
+    pub repo: AdRepository,
+    /// Sources with an un-answered direct full-ad fetch in flight, so a
+    /// burst of announcements triggers one fetch, not one per walker.
+    pub fetching: std::collections::HashSet<PeerId>,
+}
+
+/// Aggregate protocol statistics, readable after a run.
+#[derive(Debug, Default, Clone)]
+pub struct AsapStats {
+    /// Queries answered from the local ads cache (first lookup had hits).
+    pub local_lookup_hits: u64,
+    /// Queries that needed the neighbor ads-request fallback.
+    pub fallback_rounds: u64,
+    /// Confirmations sent.
+    pub confirms_sent: u64,
+    /// Positive confirmations returned.
+    pub confirms_positive: u64,
+    /// Full-ad repair fetches issued (version gaps / refresh misses).
+    pub repair_fetches: u64,
+    /// Ad deliveries started, by payload kind.
+    pub full_deliveries: u64,
+    pub patch_deliveries: u64,
+    pub refresh_deliveries: u64,
+}
+
+/// The ASAP protocol under simulation.
+pub struct Asap {
+    pub config: AsapConfig,
+    pub(crate) nodes: Vec<NodeState>,
+    /// Precomputed keyword hashes, indexed by `KeywordId`.
+    pub(crate) kw_hashes: Vec<KeyHash>,
+    /// Active searches by query id (requester-side state).
+    pub(crate) pending: HashMap<u32, PendingSearch>,
+    /// Duplicate suppression for flooded deliveries.
+    pub(crate) seen: SeenTracker<u64>,
+    next_delivery: u64,
+    pub stats: AsapStats,
+}
+
+impl Asap {
+    /// Build protocol state for every peer of `model` (filters reflect the
+    /// initial holdings; joiners' content can't change while offline, so
+    /// their filters stay valid until they come online).
+    pub fn new(config: AsapConfig, model: &ContentModel) -> Self {
+        config.validate();
+        let kw_hashes: Vec<KeyHash> = (0..model.vocab.len())
+            .map(|i| KeyHash::of(model.vocab.word(KeywordId(i as u32))))
+            .collect();
+        let nodes = (0..model.num_peers())
+            .map(|p| {
+                let mut filter = CountingBloom::new(config.bloom);
+                for &doc in &model.initial_holdings[p] {
+                    for &kw in &model.doc(doc).keywords {
+                        filter.insert_hash(&kw_hashes[kw.index()]);
+                    }
+                }
+                let snapshot = Rc::new(filter.snapshot());
+                NodeState {
+                    filter,
+                    version: 0,
+                    snapshot,
+                    repo: AdRepository::new(config.cache_capacity),
+                    fetching: std::collections::HashSet::new(),
+                }
+            })
+            .collect();
+        Self {
+            seen: SeenTracker::new(config.seen_window),
+            kw_hashes,
+            nodes,
+            pending: HashMap::new(),
+            next_delivery: 0,
+            stats: AsapStats::default(),
+            config,
+        }
+    }
+
+    pub(crate) fn hash_of(&self, kw: KeywordId) -> KeyHash {
+        self.kw_hashes[kw.index()]
+    }
+
+    /// Inspect a node's ad cache: `(version, stale)` of the entry for
+    /// `source`, if cached. Diagnostic / test API.
+    pub fn cached_version(&self, node: PeerId, source: PeerId) -> Option<(u16, bool)> {
+        self.nodes[node.index()]
+            .repo
+            .get(source)
+            .map(|ad| (ad.version, ad.stale))
+    }
+
+    /// Number of ads currently cached at `node`. Diagnostic / test API.
+    pub fn cache_len(&self, node: PeerId) -> usize {
+        self.nodes[node.index()].repo.len()
+    }
+
+    /// The node's own current ad version. Diagnostic / test API.
+    pub fn own_version(&self, node: PeerId) -> u16 {
+        self.nodes[node.index()].version
+    }
+
+    fn next_delivery_id(&mut self) -> u64 {
+        let id = self.next_delivery;
+        self.next_delivery += 1;
+        id
+    }
+
+    /// The node's current full-ad snapshot.
+    pub(crate) fn snapshot_of(&self, node: PeerId, topics: InterestSet) -> AdSnapshot {
+        let st = &self.nodes[node.index()];
+        AdSnapshot {
+            source: node,
+            topics,
+            version: st.version,
+            filter: Rc::clone(&st.snapshot),
+        }
+    }
+
+    /// Launch one ad delivery from `node`. `budget_factor` scales the
+    /// paper's `topics × M₀` envelope (1.0 for initial/join announcements
+    /// and patches, `refresh_budget_factor` for periodic beacons).
+    fn deliver(
+        &mut self,
+        ctx: &mut Ctx<'_, AsapMsg>,
+        node: PeerId,
+        payload: AdPayload,
+        budget_factor: f64,
+    ) {
+        match payload {
+            AdPayload::Full(_) => self.stats.full_deliveries += 1,
+            AdPayload::Patch { .. } => self.stats.patch_deliveries += 1,
+            AdPayload::Refresh { .. } => self.stats.refresh_deliveries += 1,
+        }
+        let id = self.next_delivery_id();
+        start_delivery(
+            ctx,
+            self.config.delivery,
+            self.config.budget_unit,
+            budget_factor,
+            node,
+            payload,
+            id,
+        );
+    }
+
+    /// Announce the node's current ad `(source, topics, version)` through
+    /// the overlay. The filter itself does NOT ride the announcement wave:
+    /// interested receivers without a current copy fetch it directly
+    /// (one hop, once per interested pair) — shipping kilobyte filters on
+    /// every hop of a thousands-of-messages walk would dwarf every other
+    /// load in the system (see DESIGN.md §6).
+    fn deliver_announce(
+        &mut self,
+        ctx: &mut Ctx<'_, AsapMsg>,
+        node: PeerId,
+        budget_factor: f64,
+    ) {
+        let topics = ctx.content.peer_topics(ctx.model, node);
+        if topics.is_empty() {
+            return; // free riders have "nothing to advertise"
+        }
+        let version = self.nodes[node.index()].version;
+        self.deliver(
+            ctx,
+            node,
+            AdPayload::Refresh {
+                source: node,
+                topics,
+                version,
+            },
+            budget_factor,
+        );
+    }
+
+    /// Oldest acceptable refresh stamp for lookups at `now`.
+    pub(crate) fn expire_before(&self, now_us: u64) -> u64 {
+        now_us.saturating_sub(
+            self.config.refresh_interval_us * u64::from(self.config.expiry_periods),
+        )
+    }
+
+    /// Direct full-ad fetch from `source` to repair a gap or warm a miss.
+    /// At most one fetch per (node, source) is in flight at a time.
+    fn repair_fetch(&mut self, ctx: &mut Ctx<'_, AsapMsg>, node: PeerId, source: PeerId) {
+        if node == source || !self.nodes[node.index()].fetching.insert(source) {
+            return;
+        }
+        self.stats.repair_fetches += 1;
+        ctx.send(
+            node,
+            source,
+            MsgClass::FullAd,
+            asap_sim::HEADER_BYTES,
+            AsapMsg::FullAdFetch,
+        );
+    }
+
+    /// Ad received at `node`: cache if interesting, repair if inconsistent,
+    /// keep the wave moving.
+    fn handle_ad(
+        &mut self,
+        ctx: &mut Ctx<'_, AsapMsg>,
+        node: PeerId,
+        from: PeerId,
+        payload: AdPayload,
+        fwd: Forwarding,
+        delivery: u64,
+    ) {
+        // Duplicate suppression only applies to flood waves; walks and GSA
+        // dispersal rely on their budgets.
+        if matches!(fwd, Forwarding::Flood { .. }) && !self.seen.first_visit(delivery, node.0) {
+            return;
+        }
+
+        let source = payload.source();
+        let interested =
+            source != node && payload.topics().intersects(ctx.model.interests[node.index()]);
+        if interested {
+            let now = ctx.now_us();
+            let st = &mut self.nodes[node.index()];
+            let outcome = match &payload {
+                AdPayload::Full(snap) => {
+                    st.fetching.remove(&source);
+                    st.repo.insert_full(snap, now)
+                }
+                AdPayload::Patch {
+                    version,
+                    topics,
+                    result,
+                    ..
+                } => st.repo.apply_patch(source, *version, *topics, result, now),
+                AdPayload::Refresh { version, .. } => st.repo.apply_refresh(source, *version, now),
+            };
+            let has_room = self.nodes[node.index()].repo.len() < self.config.cache_capacity;
+            match outcome {
+                ApplyOutcome::Applied | ApplyOutcome::Outdated => {}
+                ApplyOutcome::VersionGap => self.repair_fetch(ctx, node, source),
+                ApplyOutcome::Unknown => {
+                    // Interested but uncached: announcements double as
+                    // discovery — fetch the full ad directly, but only while
+                    // the cache has room. Fetching into a full cache would
+                    // evict another useful entry that the next announcement
+                    // round re-discovers, an endless paid loop; a full cache
+                    // is the "selectively store" budget exhausted, and
+                    // query-time fallbacks still pull in what's missing.
+                    if has_room {
+                        self.repair_fetch(ctx, node, source);
+                    }
+                }
+            }
+        }
+
+        let branch = match self.config.delivery {
+            DeliveryKind::Gsa { branch } => branch,
+            _ => 4,
+        };
+        continue_delivery(ctx, node, from, payload, delivery, fwd, branch);
+    }
+}
+
+impl Protocol for Asap {
+    type Msg = AsapMsg;
+
+    fn on_init(&mut self, ctx: &mut Ctx<'_, AsapMsg>) {
+        // Stagger the initial full-ad wave so the event queue (and the
+        // network) isn't hit by every node at t = 0.
+        let stagger = self.config.warmup_stagger_us.max(1);
+        for p in 0..ctx.num_peers() as u32 {
+            let peer = PeerId(p);
+            if !ctx.alive(peer) {
+                continue;
+            }
+            let delay = ctx.rng.gen_range(0..stagger);
+            ctx.set_timer(peer, delay, TAG_INIT_AD);
+        }
+    }
+
+    fn on_query(&mut self, ctx: &mut Ctx<'_, AsapMsg>, query: &QuerySpec) {
+        search::start_query(self, ctx, query);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, AsapMsg>, to: PeerId, from: PeerId, msg: AsapMsg) {
+        match msg {
+            AsapMsg::Ad {
+                payload,
+                fwd,
+                delivery,
+            } => self.handle_ad(ctx, to, from, payload, fwd, delivery),
+            AsapMsg::FullAdFetch => {
+                // Serve our full ad directly to the requester.
+                let topics = ctx.content.peer_topics(ctx.model, to);
+                if topics.is_empty() {
+                    return;
+                }
+                let snap = self.snapshot_of(to, topics);
+                let payload = AdPayload::Full(snap);
+                let bytes = payload.encoded_size();
+                ctx.send(
+                    to,
+                    from,
+                    ad_class(&payload),
+                    bytes,
+                    AsapMsg::Ad {
+                        payload,
+                        fwd: Forwarding::Direct,
+                        delivery: u64::MAX,
+                    },
+                );
+            }
+            AsapMsg::AdsRequest {
+                requester,
+                interests,
+                hops,
+                query,
+                terms,
+            } => search::handle_ads_request(
+                self, ctx, to, from, requester, interests, hops, query, terms,
+            ),
+            AsapMsg::AdsReply { ads, query } => {
+                search::handle_ads_reply(self, ctx, to, ads, query)
+            }
+            AsapMsg::Confirm {
+                query,
+                requester,
+                terms,
+            } => search::handle_confirm(self, ctx, to, requester, query, &terms),
+            AsapMsg::ConfirmReply { query, results } => {
+                search::handle_confirm_reply(self, ctx, to, query, results)
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, AsapMsg>, node: PeerId, tag: u64) {
+        match tag {
+            TAG_INIT_AD => {
+                self.deliver_announce(ctx, node, 1.0);
+                // First refresh lands one period (plus jitter) later.
+                let jitter = ctx.rng.gen_range(0..self.config.refresh_interval_us / 4 + 1);
+                ctx.set_timer(node, self.config.refresh_interval_us + jitter, TAG_REFRESH);
+            }
+            TAG_REFRESH => {
+                let factor = self.config.refresh_budget_factor;
+                self.deliver_announce(ctx, node, factor);
+                // Re-jitter every period (±25 %) so refresh beacons never
+                // phase-lock across the population — synchronized waves
+                // would turn the load series into a square wave.
+                let base = self.config.refresh_interval_us;
+                let next = ctx.rng.gen_range(base - base / 4..=base + base / 4);
+                ctx.set_timer(node, next, TAG_REFRESH);
+            }
+            _ => search::handle_timeout(self, ctx, node, tag),
+        }
+    }
+
+    fn on_join(&mut self, ctx: &mut Ctx<'_, AsapMsg>, node: PeerId) {
+        // Warm the cache: "this is the same ads requesting process as the
+        // one when a brand new node joins."
+        search::send_ads_request(self, ctx, node, None, None);
+        // A rejoining node's content (and hence version) is unchanged, so a
+        // cheap announcement suffices: peers still caching the ad revive it,
+        // and interested peers that lost it fetch the filter directly.
+        self.deliver_announce(ctx, node, 1.0);
+        let jitter = ctx.rng.gen_range(0..self.config.refresh_interval_us / 4 + 1);
+        ctx.set_timer(node, self.config.refresh_interval_us + jitter, TAG_REFRESH);
+    }
+
+    fn on_leave(&mut self, _ctx: &mut Ctx<'_, AsapMsg>, node: PeerId) {
+        // Abandon searches this node was running.
+        self.pending.retain(|_, p| p.requester != node);
+    }
+
+    fn on_content_change(
+        &mut self,
+        ctx: &mut Ctx<'_, AsapMsg>,
+        peer: PeerId,
+        doc: DocId,
+        added: bool,
+    ) {
+        let doc_keywords = ctx.model.doc(doc).keywords.clone();
+        let st = &mut self.nodes[peer.index()];
+        let old_snapshot = Rc::clone(&st.snapshot);
+        for kw in &doc_keywords {
+            let h = self.kw_hashes[kw.index()];
+            if added {
+                st.filter.insert_hash(&h);
+            } else {
+                let removed = st.filter.remove_hash(&h);
+                debug_assert!(removed, "removing keyword that was never inserted");
+            }
+        }
+        st.version = st.version.wrapping_add(1);
+        let new_snapshot = Rc::new(st.filter.snapshot());
+        st.snapshot = Rc::clone(&new_snapshot);
+        let version = st.version;
+
+        // Patch topics: union of old and new, so cachers from a dropped
+        // class still hear about the removal.
+        let new_topics = ctx.content.peer_topics(ctx.model, peer);
+        let old_class = ctx.model.doc(doc).class;
+        let topics = new_topics.union(InterestSet::singleton(old_class));
+
+        let patch = Rc::new(FilterPatch::diff(&old_snapshot, &new_snapshot));
+        if patch.is_empty() && new_snapshot == old_snapshot {
+            return; // duplicate keywords: nothing observable changed
+        }
+        self.deliver(
+            ctx,
+            peer,
+            AdPayload::Patch {
+                source: peer,
+                topics,
+                version,
+                patch,
+                result: new_snapshot,
+            },
+            1.0,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_workload::WorkloadConfig;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn model() -> ContentModel {
+        let cfg = WorkloadConfig::reduced(120, 50, 3);
+        let mut rng = SmallRng::seed_from_u64(3);
+        asap_workload::content::generate_model(&cfg, &mut rng)
+    }
+
+    #[test]
+    fn node_filters_reflect_initial_content() {
+        let m = model();
+        let asap = Asap::new(AsapConfig::rw().scaled_to(120), &m);
+        for p in 0..m.num_peers() {
+            let st = &asap.nodes[p];
+            for &doc in &m.initial_holdings[p] {
+                for &kw in &m.doc(doc).keywords {
+                    assert!(
+                        st.snapshot.contains_hash(&asap.kw_hashes[kw.index()]),
+                        "peer {p}'s filter must cover its keywords"
+                    );
+                }
+            }
+            if m.initial_holdings[p].is_empty() {
+                assert!(st.snapshot.is_empty(), "free riders have null filters");
+            }
+        }
+    }
+
+    #[test]
+    fn keyword_hash_table_matches_direct_hashing() {
+        let m = model();
+        let asap = Asap::new(AsapConfig::rw().scaled_to(120), &m);
+        for i in (0..m.vocab.len()).step_by(37) {
+            let kw = KeywordId(i as u32);
+            assert_eq!(asap.hash_of(kw), KeyHash::of(m.vocab.word(kw)));
+        }
+    }
+
+    #[test]
+    fn delivery_ids_are_unique() {
+        let m = model();
+        let mut asap = Asap::new(AsapConfig::rw().scaled_to(120), &m);
+        let a = asap.next_delivery_id();
+        let b = asap.next_delivery_id();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,376 @@
+//! The ASAP search path (paper Table I / §III-C).
+//!
+//! 1. **Local lookup**: scan the ads cache for filters containing every
+//!    query term; send a content *confirmation* to each matching source
+//!    (bounded fan-out). One positive reply completes the search in one hop.
+//! 2. **Fallback**: if the lookup found nothing — or every confirmation came
+//!    back negative / timed out (source offline, Bloom false positive,
+//!    cross-document term split) — request ads from neighbors within `h`
+//!    hops, merge the replies, and confirm any new matches.
+//!
+//! The same ads-request mechanism warms the cache of a (re)joining node.
+
+use crate::ad::{AdSnapshot, AsapMsg};
+use crate::protocol::{Asap, TAG_QUERY_BASE};
+use asap_bloom::hashing::KeyHash;
+use asap_metrics::MsgClass;
+use asap_overlay::PeerId;
+use asap_sim::{ads_reply_size, ads_request_size, confirm_reply_size, confirm_size, Ctx};
+use asap_workload::{InterestSet, KeywordId, QuerySpec};
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// Search phase of a pending query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Phase {
+    /// Waiting for confirmations from the initial local lookup.
+    Confirming,
+    /// Ads-request round issued; waiting for replies/confirmations.
+    Fallback,
+}
+
+/// Requester-side state of an active search.
+pub(crate) struct PendingSearch {
+    pub requester: PeerId,
+    pub terms: Rc<[KeywordId]>,
+    pub term_hashes: Vec<KeyHash>,
+    pub answered: bool,
+    pub phase: Phase,
+    /// Confirmations in flight.
+    pub outstanding: usize,
+    /// Sources already confirmed this search (no duplicates).
+    pub confirmed: HashSet<PeerId>,
+    /// Matching candidates not yet confirmed (next batches; the paper
+    /// confirms every matching ad, we pace them in fan-out-sized rounds).
+    pub backlog: Vec<PeerId>,
+}
+
+fn timeout_tag(query: u32, phase: Phase) -> u64 {
+    TAG_QUERY_BASE + u64::from(query) * 2 + u64::from(phase == Phase::Fallback)
+}
+
+/// Entry point: a query was issued at its requester.
+pub(crate) fn start_query(asap: &mut Asap, ctx: &mut Ctx<'_, AsapMsg>, q: &QuerySpec) {
+    let terms: Rc<[KeywordId]> = q.terms.clone().into();
+    let term_hashes: Vec<KeyHash> = q.terms.iter().map(|&k| asap.hash_of(k)).collect();
+
+    let expire = asap.expire_before(ctx.now_us());
+    let candidates = asap.nodes[q.requester.index()]
+        .repo
+        .lookup(&term_hashes, ctx.now_us(), expire);
+
+    let mut pending = PendingSearch {
+        requester: q.requester,
+        terms,
+        term_hashes,
+        answered: false,
+        phase: Phase::Confirming,
+        outstanding: 0,
+        confirmed: HashSet::new(),
+        backlog: Vec::new(),
+    };
+
+    if candidates.is_empty() {
+        asap.pending.insert(q.id, pending);
+        begin_fallback(asap, ctx, q.id);
+        return;
+    }
+
+    asap.stats.local_lookup_hits += 1;
+    let sent = send_confirms(asap, ctx, &mut pending, q.id, &candidates);
+    pending.outstanding = sent;
+    asap.pending.insert(q.id, pending);
+    ctx.set_timer(
+        q.requester,
+        asap.config.confirm_timeout_us,
+        timeout_tag(q.id, Phase::Confirming),
+    );
+}
+
+/// Confirm up to `max_confirm_fanout` fresh candidates; the rest queue on
+/// the backlog for the next round. Returns how many confirmations went out.
+fn send_confirms(
+    asap: &mut Asap,
+    ctx: &mut Ctx<'_, AsapMsg>,
+    pending: &mut PendingSearch,
+    query: u32,
+    candidates: &[PeerId],
+) -> usize {
+    let mut sent = 0;
+    for &source in candidates {
+        if sent >= asap.config.max_confirm_fanout {
+            if source != pending.requester && !pending.confirmed.contains(&source) {
+                pending.backlog.push(source);
+            }
+            continue;
+        }
+        if source == pending.requester || !pending.confirmed.insert(source) {
+            continue;
+        }
+        asap.stats.confirms_sent += 1;
+        ctx.send(
+            pending.requester,
+            source,
+            MsgClass::Confirm,
+            confirm_size(pending.terms.len()),
+            AsapMsg::Confirm {
+                query,
+                requester: pending.requester,
+                terms: Rc::clone(&pending.terms),
+            },
+        );
+        sent += 1;
+    }
+    sent
+}
+
+/// Issue the neighbor ads-request round for `node`. Returns requests sent.
+pub(crate) fn send_ads_request(
+    asap: &mut Asap,
+    ctx: &mut Ctx<'_, AsapMsg>,
+    node: PeerId,
+    query: Option<u32>,
+    terms: Option<Rc<[KeywordId]>>,
+) -> usize {
+    let interests = ctx.model.interests[node.index()];
+    let hops = asap.config.ads_request_hops;
+    let targets: Vec<PeerId> = ctx.neighbors(node).to_vec();
+    let bytes = ads_request_size(interests.len())
+        + terms.as_ref().map_or(0, |t| t.len() * asap_sim::KEYWORD_WIRE_BYTES);
+    for &t in &targets {
+        ctx.send(
+            node,
+            t,
+            MsgClass::AdsRequest,
+            bytes,
+            AsapMsg::AdsRequest {
+                requester: node,
+                interests,
+                hops,
+                query,
+                terms: terms.clone(),
+            },
+        );
+    }
+    targets.len()
+}
+
+/// Move a pending search into the fallback round.
+fn begin_fallback(asap: &mut Asap, ctx: &mut Ctx<'_, AsapMsg>, query: u32) {
+    let Some(p) = asap.pending.get_mut(&query) else {
+        return;
+    };
+    let requester = p.requester;
+    let terms = Rc::clone(&p.terms);
+    p.phase = Phase::Fallback;
+    asap.stats.fallback_rounds += 1;
+    let sent = send_ads_request(asap, ctx, requester, Some(query), Some(terms));
+    if sent == 0 {
+        // Isolated node: nothing more to try.
+        asap.pending.remove(&query);
+        return;
+    }
+    ctx.set_timer(
+        requester,
+        asap.config.confirm_timeout_us,
+        timeout_tag(query, Phase::Fallback),
+    );
+}
+
+/// A neighbor asked for interesting ads.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn handle_ads_request(
+    asap: &mut Asap,
+    ctx: &mut Ctx<'_, AsapMsg>,
+    node: PeerId,
+    from: PeerId,
+    requester: PeerId,
+    interests: InterestSet,
+    hops: u8,
+    query: Option<u32>,
+    terms: Option<Rc<[KeywordId]>>,
+) {
+    if node != requester {
+        let now = ctx.now_us();
+        let expire = asap.expire_before(now);
+        let hashes: Option<Vec<KeyHash>> = terms
+            .as_ref()
+            .map(|t| t.iter().map(|&k| asap.hash_of(k)).collect());
+        // A query-driven reply only needs to name a confirm-round's worth of
+        // candidates (each ≈ a full filter!); join warm-ups ship the larger
+        // interest-filtered batch. `max_ads_per_reply = 0` mutes replies
+        // entirely (the no-fallback ablation).
+        let query_cap = asap.config.max_confirm_fanout.min(asap.config.max_ads_per_reply);
+        let warmup_cap = asap.config.max_ads_per_reply;
+        let repo = &mut asap.nodes[node.index()].repo;
+        let ads = match &hashes {
+            Some(hashes) => repo.snapshots_matching(hashes, now, expire, query_cap),
+            None => repo.ads_for_interests(interests, warmup_cap),
+        };
+        let ads: Vec<AdSnapshot> = ads.into_iter().filter(|a| a.source != requester).collect();
+        if !ads.is_empty() {
+            let payload: usize = ads.iter().map(AdSnapshot::encoded_size).sum();
+            ctx.send(
+                node,
+                requester,
+                MsgClass::AdsReply,
+                ads_reply_size(payload),
+                AsapMsg::AdsReply { ads, query },
+            );
+        }
+    }
+    // Propagate within the h-hop scope.
+    if hops > 1 {
+        let targets: Vec<PeerId> = ctx
+            .neighbors(node)
+            .iter()
+            .copied()
+            .filter(|&n| n != from && n != requester)
+            .collect();
+        let bytes = ads_request_size(interests.len());
+        for t in targets {
+            ctx.send(
+                node,
+                t,
+                MsgClass::AdsRequest,
+                bytes,
+                AsapMsg::AdsRequest {
+                    requester,
+                    interests,
+                    hops: hops - 1,
+                    query,
+                    terms: terms.clone(),
+                },
+            );
+        }
+    }
+}
+
+/// Requester received a batch of cached ads.
+pub(crate) fn handle_ads_reply(
+    asap: &mut Asap,
+    ctx: &mut Ctx<'_, AsapMsg>,
+    node: PeerId,
+    ads: Vec<AdSnapshot>,
+    query: Option<u32>,
+) {
+    let now = ctx.now_us();
+    {
+        let st = &mut asap.nodes[node.index()];
+        for snap in &ads {
+            if snap.source != node {
+                st.repo.insert_full(snap, now);
+            }
+        }
+    }
+    // "After this, the search is repeated by looking up the replied ads for
+    // more possible hits."
+    let Some(qid) = query else {
+        return;
+    };
+    let Some(p) = asap.pending.get(&qid) else {
+        return;
+    };
+    if p.answered || p.requester != node {
+        return;
+    }
+    let expire = asap.expire_before(now);
+    let hashes = p.term_hashes.clone();
+    let candidates = asap.nodes[node.index()].repo.lookup(&hashes, now, expire);
+    let mut p = asap.pending.remove(&qid).expect("present above");
+    let sent = send_confirms(asap, ctx, &mut p, qid, &candidates);
+    p.outstanding += sent;
+    asap.pending.insert(qid, p);
+}
+
+/// An ad's source checks its **actual** content ("node p needs to send the
+/// request to node q for content confirmation").
+pub(crate) fn handle_confirm(
+    asap: &mut Asap,
+    ctx: &mut Ctx<'_, AsapMsg>,
+    node: PeerId,
+    requester: PeerId,
+    query: u32,
+    terms: &Rc<[KeywordId]>,
+) {
+    let _ = asap;
+    let results = ctx.content.matching_docs(ctx.model, node, terms).count() as u32;
+    ctx.send(
+        node,
+        requester,
+        MsgClass::ConfirmReply,
+        confirm_reply_size(results as usize),
+        AsapMsg::ConfirmReply { query, results },
+    );
+}
+
+/// Requester received a confirmation verdict.
+pub(crate) fn handle_confirm_reply(
+    asap: &mut Asap,
+    ctx: &mut Ctx<'_, AsapMsg>,
+    node: PeerId,
+    query: u32,
+    results: u32,
+) {
+    if results > 0 {
+        asap.stats.confirms_positive += 1;
+        ctx.report_answer(query);
+    }
+    let Some(p) = asap.pending.get_mut(&query) else {
+        return; // late reply after the search closed — still counted above
+    };
+    if p.requester != node {
+        return;
+    }
+    if results > 0 {
+        p.answered = true;
+    }
+    p.outstanding = p.outstanding.saturating_sub(1);
+    let round_exhausted = p.outstanding == 0 && !p.answered;
+    if !round_exhausted {
+        return;
+    }
+    if p.backlog.is_empty() {
+        if p.phase == Phase::Confirming {
+            // Every local candidate was a false positive or lost its
+            // content: fall back without waiting for the timer.
+            begin_fallback(asap, ctx, query);
+        }
+        return;
+    }
+    // Confirm the next batch of local candidates before falling back.
+    let mut p = asap.pending.remove(&query).expect("present above");
+    let batch = std::mem::take(&mut p.backlog);
+    let sent = send_confirms(asap, ctx, &mut p, query, &batch);
+    p.outstanding += sent;
+    let done = sent == 0;
+    let phase = p.phase;
+    asap.pending.insert(query, p);
+    if done && phase == Phase::Confirming {
+        begin_fallback(asap, ctx, query);
+    }
+}
+
+/// A query timer fired at the requester.
+pub(crate) fn handle_timeout(asap: &mut Asap, ctx: &mut Ctx<'_, AsapMsg>, node: PeerId, tag: u64) {
+    debug_assert!(tag >= TAG_QUERY_BASE);
+    let rel = tag - TAG_QUERY_BASE;
+    let query = (rel / 2) as u32;
+    let fallback_phase = rel % 2 == 1;
+    let Some(p) = asap.pending.get(&query) else {
+        return;
+    };
+    if p.requester != node {
+        return;
+    }
+    if fallback_phase {
+        // The fallback round also ran its course; the search is over either
+        // way (answers, if any, are already in the ledger).
+        asap.pending.remove(&query);
+    } else if p.answered {
+        asap.pending.remove(&query);
+    } else if p.phase == Phase::Confirming {
+        // Confirmations went unanswered (dead sources): fall back.
+        begin_fallback(asap, ctx, query);
+    }
+}

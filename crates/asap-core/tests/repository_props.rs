@@ -1,0 +1,120 @@
+//! Property-based tests for the ad repository: arbitrary interleavings of
+//! full / patch / refresh / lookup operations preserve its invariants.
+
+use asap_bloom::hashing::KeyHash;
+use asap_bloom::{BloomFilter, BloomParams};
+use asap_core::repository::{AdRepository, ApplyOutcome};
+use asap_core::AdSnapshot;
+use asap_overlay::PeerId;
+use asap_workload::InterestSet;
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+const SOURCES: u32 = 8;
+const CAPACITY: usize = 5;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Full ad from `source` at `version` containing keyword `kw`.
+    Full { source: u32, version: u16, kw: u8 },
+    /// Refresh from `source` at `version`.
+    Refresh { source: u32, version: u16 },
+    /// Lookup for keyword `kw`.
+    Lookup { kw: u8 },
+    Remove { source: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..SOURCES, 0u16..6, 0u8..12).prop_map(|(source, version, kw)| Op::Full {
+            source,
+            version,
+            kw
+        }),
+        (0..SOURCES, 0u16..6).prop_map(|(source, version)| Op::Refresh { source, version }),
+        (0u8..12).prop_map(|kw| Op::Lookup { kw }),
+        (0..SOURCES).prop_map(|source| Op::Remove { source }),
+    ]
+}
+
+fn params() -> BloomParams {
+    BloomParams::for_capacity(32, 4)
+}
+
+fn snap(source: u32, version: u16, kw: u8) -> AdSnapshot {
+    AdSnapshot {
+        source: PeerId(source),
+        topics: InterestSet(0b1),
+        version,
+        filter: Rc::new(BloomFilter::from_keys(params(), [format!("kw{kw}").as_str()])),
+    }
+}
+
+proptest! {
+    /// Capacity is never exceeded; lookups never return stale entries; the
+    /// cached version for a source is the max non-outdated version accepted.
+    #[test]
+    fn repository_invariants(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let mut repo = AdRepository::new(CAPACITY);
+        // Reference: highest version accepted per source (while cached).
+        let mut shadow: HashMap<u32, u16> = HashMap::new();
+        let mut clock = 0u64;
+        for op in ops {
+            clock += 1;
+            match op {
+                Op::Full { source, version, kw } => {
+                    let outcome = repo.insert_full(&snap(source, version, kw), clock);
+                    match outcome {
+                        ApplyOutcome::Applied => {
+                            shadow.insert(source, version);
+                        }
+                        ApplyOutcome::Outdated => {
+                            // Must already hold something at least as new.
+                            let held = repo.get(PeerId(source)).expect("outdated implies cached");
+                            prop_assert!(version_not_newer(version, held.version));
+                        }
+                        other => prop_assert!(false, "unexpected {other:?}"),
+                    }
+                }
+                Op::Refresh { source, version } => {
+                    let _ = repo.apply_refresh(PeerId(source), version, clock);
+                }
+                Op::Lookup { kw } => {
+                    let key = format!("kw{kw}");
+                    let h = [KeyHash::of(&key)];
+                    for hit in repo.lookup(&h, clock, 0) {
+                        let ad = repo.get(hit).expect("lookup returns cached sources");
+                        prop_assert!(!ad.stale, "stale entries must not match");
+                        let contains = ad.filter.contains(&key);
+                        prop_assert!(contains, "lookup hit without keyword");
+                    }
+                }
+                Op::Remove { source } => {
+                    repo.remove(PeerId(source));
+                    shadow.remove(&source);
+                }
+            }
+            prop_assert!(repo.len() <= CAPACITY, "capacity breached: {}", repo.len());
+            // Spot-check shadow consistency for still-cached sources.
+            for (&source, &version) in &shadow {
+                if let Some(ad) = repo.get(PeerId(source)) {
+                    if !ad.stale {
+                        prop_assert!(
+                            !version_newer(version, ad.version),
+                            "cached version regressed for {source}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn version_not_newer(candidate: u16, held: u16) -> bool {
+    candidate.wrapping_sub(held) == 0 || candidate.wrapping_sub(held) > u16::MAX / 2
+}
+
+fn version_newer(candidate: u16, held: u16) -> bool {
+    !version_not_newer(candidate, held)
+}

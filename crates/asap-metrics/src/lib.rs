@@ -1,0 +1,23 @@
+//! Metrics for P2P search experiments (paper §V).
+//!
+//! Three ledgers cover everything the paper measures:
+//!
+//! * [`LoadRecorder`] — per-second, per-message-class byte accounting plus an
+//!   alive-peer timeline; yields the *system load* series (bytes per node per
+//!   second), its mean and standard deviation (Figs. 7–10);
+//! * [`QueryLedger`] — per-query issue/answer times; yields success rate and
+//!   average response time (Figs. 4–5);
+//! * [`summary`] — small statistics helpers shared by the harness.
+//!
+//! Search *cost* (Fig. 6) is derived from `LoadRecorder` class totals: the
+//! paper counts only query messages for the baselines, and confirmation +
+//! ads-request traffic for ASAP ("the search cost includes both content
+//! confirmation and ads request messages in ASAP, while in the baselines it
+//! refers to query messages only").
+
+pub mod load;
+pub mod query_ledger;
+pub mod summary;
+
+pub use load::{LoadRecorder, MsgClass};
+pub use query_ledger::{QueryLedger, QueryRecord};

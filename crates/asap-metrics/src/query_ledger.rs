@@ -1,0 +1,152 @@
+//! Per-query outcome ledger: success rate and response time (Figs. 4–5).
+
+/// Outcome record for one query.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryRecord {
+    pub issue_us: u64,
+    /// Time the first confirmed result reached the requester.
+    pub first_answer_us: Option<u64>,
+    /// Total confirmed results.
+    pub answers: u32,
+    registered: bool,
+}
+
+/// Issue/answer bookkeeping for every query in a run.
+#[derive(Debug, Default)]
+pub struct QueryLedger {
+    records: Vec<QueryRecord>,
+}
+
+impl QueryLedger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register query `id` issued at `issue_us`. Ids may arrive in any order
+    /// but must not repeat.
+    pub fn register(&mut self, id: u32, issue_us: u64) {
+        let idx = id as usize;
+        if idx >= self.records.len() {
+            self.records.resize(idx + 1, QueryRecord::default());
+        }
+        assert!(!self.records[idx].registered, "query {id} registered twice");
+        self.records[idx] = QueryRecord {
+            issue_us,
+            first_answer_us: None,
+            answers: 0,
+            registered: true,
+        };
+    }
+
+    /// Record a confirmed result for query `id` at `time_us`.
+    pub fn answer(&mut self, id: u32, time_us: u64) {
+        let rec = &mut self.records[id as usize];
+        assert!(rec.registered, "answer for unregistered query {id}");
+        debug_assert!(time_us >= rec.issue_us, "answer precedes issue");
+        rec.answers += 1;
+        if rec.first_answer_us.is_none() {
+            rec.first_answer_us = Some(time_us);
+        }
+    }
+
+    pub fn num_queries(&self) -> usize {
+        self.records.iter().filter(|r| r.registered).count()
+    }
+
+    pub fn num_succeeded(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.registered && r.first_answer_us.is_some())
+            .count()
+    }
+
+    /// "Percentage of search requests that obtain at least one result."
+    pub fn success_rate(&self) -> f64 {
+        let n = self.num_queries();
+        if n == 0 {
+            return 0.0;
+        }
+        self.num_succeeded() as f64 / n as f64
+    }
+
+    /// "The response time is averaged among all successful search requests."
+    /// Milliseconds.
+    pub fn avg_response_time_ms(&self) -> f64 {
+        let times: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| r.registered)
+            .filter_map(|r| r.first_answer_us.map(|a| (a - r.issue_us) as f64 / 1_000.0))
+            .collect();
+        crate::summary::mean(&times)
+    }
+
+    pub fn records(&self) -> impl Iterator<Item = &QueryRecord> {
+        self.records.iter().filter(|r| r.registered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_and_response_time() {
+        let mut l = QueryLedger::new();
+        l.register(0, 1_000_000);
+        l.register(1, 2_000_000);
+        l.register(2, 3_000_000);
+        l.answer(0, 1_100_000); // 100 ms
+        l.answer(0, 1_900_000); // second answer doesn't change first
+        l.answer(2, 3_300_000); // 300 ms
+        assert_eq!(l.num_queries(), 3);
+        assert_eq!(l.num_succeeded(), 2);
+        assert!((l.success_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert!((l.avg_response_time_ms() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn answers_counted() {
+        let mut l = QueryLedger::new();
+        l.register(0, 0);
+        l.answer(0, 10);
+        l.answer(0, 20);
+        let rec = l.records().next().unwrap();
+        assert_eq!(rec.answers, 2);
+        assert_eq!(rec.first_answer_us, Some(10));
+    }
+
+    #[test]
+    fn out_of_order_registration() {
+        let mut l = QueryLedger::new();
+        l.register(5, 50);
+        l.register(2, 20);
+        assert_eq!(l.num_queries(), 2);
+    }
+
+    #[test]
+    fn empty_ledger() {
+        let l = QueryLedger::new();
+        assert_eq!(l.success_rate(), 0.0);
+        assert_eq!(l.avg_response_time_ms(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_registration_rejected() {
+        let mut l = QueryLedger::new();
+        l.register(1, 0);
+        l.register(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered")]
+    fn answer_requires_registration() {
+        let mut l = QueryLedger::new();
+        l.register(0, 0);
+        l.answer(0, 1); // fine
+        let mut l2 = QueryLedger::new();
+        l2.register(3, 0);
+        l2.answer(1, 1); // unregistered slot
+    }
+}

@@ -1,0 +1,305 @@
+//! The mutable overlay graph.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// Index of an overlay peer. Dense: `0..num_peers`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PeerId(pub u32);
+
+impl PeerId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Undirected overlay graph over a fixed peer-id space, supporting churn.
+///
+/// Departed peers keep their id (the simulator owns liveness); `detach`
+/// removes all their edges, `attach_*` rewires a rejoining peer.
+#[derive(Debug, Clone)]
+pub struct Overlay {
+    adj: Vec<Vec<PeerId>>,
+}
+
+impl Overlay {
+    pub fn with_peers(n: usize) -> Self {
+        Self {
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    pub fn num_peers(&self) -> usize {
+        self.adj.len()
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    #[inline]
+    pub fn degree(&self, p: PeerId) -> usize {
+        self.adj[p.index()].len()
+    }
+
+    #[inline]
+    pub fn neighbors(&self, p: PeerId) -> &[PeerId] {
+        &self.adj[p.index()]
+    }
+
+    pub fn avg_degree(&self) -> f64 {
+        if self.adj.is_empty() {
+            return 0.0;
+        }
+        2.0 * self.num_edges() as f64 / self.num_peers() as f64
+    }
+
+    pub fn has_edge(&self, a: PeerId, b: PeerId) -> bool {
+        self.adj[a.index()].contains(&b)
+    }
+
+    /// Add an undirected edge. Silently ignores self-loops and duplicates so
+    /// generators can sample freely.
+    pub fn add_edge(&mut self, a: PeerId, b: PeerId) -> bool {
+        if a == b || self.has_edge(a, b) {
+            return false;
+        }
+        self.adj[a.index()].push(b);
+        self.adj[b.index()].push(a);
+        true
+    }
+
+    pub fn remove_edge(&mut self, a: PeerId, b: PeerId) -> bool {
+        let Some(i) = self.adj[a.index()].iter().position(|&n| n == b) else {
+            return false;
+        };
+        self.adj[a.index()].swap_remove(i);
+        let j = self.adj[b.index()]
+            .iter()
+            .position(|&n| n == a)
+            .expect("undirected invariant");
+        self.adj[b.index()].swap_remove(j);
+        true
+    }
+
+    /// Remove all of `p`'s edges (a peer departing the network).
+    pub fn detach(&mut self, p: PeerId) {
+        let nbrs = std::mem::take(&mut self.adj[p.index()]);
+        for n in nbrs {
+            let i = self.adj[n.index()]
+                .iter()
+                .position(|&x| x == p)
+                .expect("undirected invariant");
+            self.adj[n.index()].swap_remove(i);
+        }
+    }
+
+    /// Rewire a (re)joining peer to `target_degree` peers chosen uniformly
+    /// among `candidates` (the currently-alive peers).
+    pub fn attach_uniform(
+        &mut self,
+        p: PeerId,
+        candidates: &[PeerId],
+        target_degree: usize,
+        rng: &mut SmallRng,
+    ) {
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < target_degree && attempts < candidates.len() * 4 + 16 {
+            attempts += 1;
+            let q = candidates[rng.gen_range(0..candidates.len())];
+            if q != p && self.add_edge(p, q) {
+                added += 1;
+            }
+        }
+    }
+
+    /// Rewire a (re)joining peer with degree-preferential attachment — new
+    /// links favor high-degree peers, preserving a heavy-tailed shape under
+    /// churn.
+    pub fn attach_preferential(
+        &mut self,
+        p: PeerId,
+        candidates: &[PeerId],
+        target_degree: usize,
+        rng: &mut SmallRng,
+    ) {
+        let total: usize = candidates.iter().map(|&c| self.degree(c) + 1).sum();
+        let mut added = 0;
+        let mut attempts = 0;
+        while added < target_degree && attempts < candidates.len() * 4 + 16 {
+            attempts += 1;
+            let mut ticket = rng.gen_range(0..total.max(1));
+            let mut chosen = candidates[0];
+            for &c in candidates {
+                let w = self.degree(c) + 1;
+                if ticket < w {
+                    chosen = c;
+                    break;
+                }
+                ticket -= w;
+            }
+            if chosen != p && self.add_edge(p, chosen) {
+                added += 1;
+            }
+        }
+    }
+
+    /// Whether the graph is a single connected component (isolated-vertex
+    /// graphs with `n > 1` are disconnected).
+    pub fn is_connected(&self) -> bool {
+        let n = self.num_peers();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![PeerId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for &v in self.neighbors(u) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Connect all components by linking random members to component 0.
+    /// Used by generators after probabilistic wiring.
+    pub fn repair_connectivity(&mut self, rng: &mut SmallRng) {
+        let n = self.num_peers();
+        if n == 0 {
+            return;
+        }
+        loop {
+            let mut seen = vec![false; n];
+            let mut stack = vec![PeerId(0)];
+            seen[0] = true;
+            while let Some(u) = stack.pop() {
+                for &v in self.neighbors(u) {
+                    if !seen[v.index()] {
+                        seen[v.index()] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+            let Some(orphan) = seen.iter().position(|&s| !s) else {
+                return;
+            };
+            // Link the orphan component to a random reached node.
+            let mut anchor = rng.gen_range(0..n);
+            while !seen[anchor] {
+                anchor = rng.gen_range(0..n);
+            }
+            self.add_edge(PeerId(orphan as u32), PeerId(anchor as u32));
+        }
+    }
+
+    /// Degree histogram: `hist[d]` = number of peers with degree `d`.
+    pub fn degree_histogram(&self) -> Vec<usize> {
+        let max = self.adj.iter().map(Vec::len).max().unwrap_or(0);
+        let mut hist = vec![0usize; max + 1];
+        for nbrs in &self.adj {
+            hist[nbrs.len()] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn add_remove_edge_roundtrip() {
+        let mut g = Overlay::with_peers(3);
+        assert!(g.add_edge(PeerId(0), PeerId(1)));
+        assert!(!g.add_edge(PeerId(0), PeerId(1)), "duplicate rejected");
+        assert!(!g.add_edge(PeerId(1), PeerId(0)), "reverse duplicate rejected");
+        assert!(!g.add_edge(PeerId(2), PeerId(2)), "self loop rejected");
+        assert_eq!(g.num_edges(), 1);
+        assert!(g.remove_edge(PeerId(1), PeerId(0)));
+        assert_eq!(g.num_edges(), 0);
+        assert!(!g.remove_edge(PeerId(1), PeerId(0)));
+    }
+
+    #[test]
+    fn detach_clears_both_sides() {
+        let mut g = Overlay::with_peers(4);
+        g.add_edge(PeerId(0), PeerId(1));
+        g.add_edge(PeerId(0), PeerId(2));
+        g.add_edge(PeerId(1), PeerId(2));
+        g.detach(PeerId(0));
+        assert_eq!(g.degree(PeerId(0)), 0);
+        assert_eq!(g.degree(PeerId(1)), 1);
+        assert_eq!(g.degree(PeerId(2)), 1);
+        assert!(!g.has_edge(PeerId(1), PeerId(0)));
+    }
+
+    #[test]
+    fn attach_uniform_reaches_target() {
+        let mut g = Overlay::with_peers(10);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let candidates: Vec<PeerId> = (1..10).map(PeerId).collect();
+        g.attach_uniform(PeerId(0), &candidates, 4, &mut rng);
+        assert_eq!(g.degree(PeerId(0)), 4);
+    }
+
+    #[test]
+    fn attach_preferential_favors_hubs() {
+        let mut g = Overlay::with_peers(22);
+        let mut rng = SmallRng::seed_from_u64(2);
+        // Peer 1 is a hub of degree 20.
+        for i in 2..22 {
+            g.add_edge(PeerId(1), PeerId(i));
+        }
+        let candidates: Vec<PeerId> = (1..22).map(PeerId).collect();
+        let mut hub_hits = 0;
+        for trial in 0..50 {
+            let mut g2 = g.clone();
+            let _ = trial;
+            g2.attach_preferential(PeerId(0), &candidates, 1, &mut rng);
+            if g2.has_edge(PeerId(0), PeerId(1)) {
+                hub_hits += 1;
+            }
+        }
+        // Hub holds 21/61 of the weight; uniform would give ~1/21.
+        assert!(hub_hits > 8, "hub only chosen {hub_hits}/50 times");
+    }
+
+    #[test]
+    fn connectivity_and_repair() {
+        let mut g = Overlay::with_peers(6);
+        g.add_edge(PeerId(0), PeerId(1));
+        g.add_edge(PeerId(2), PeerId(3));
+        assert!(!g.is_connected());
+        let mut rng = SmallRng::seed_from_u64(3);
+        g.repair_connectivity(&mut rng);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let mut g = Overlay::with_peers(5);
+        g.add_edge(PeerId(0), PeerId(1));
+        g.add_edge(PeerId(0), PeerId(2));
+        let hist = g.degree_histogram();
+        assert_eq!(hist.iter().sum::<usize>(), 5);
+        assert_eq!(hist[0], 2); // peers 3, 4
+        assert_eq!(hist[2], 1); // peer 0
+    }
+
+    #[test]
+    fn empty_overlay_edge_cases() {
+        let g = Overlay::with_peers(0);
+        assert!(g.is_connected());
+        assert_eq!(g.avg_degree(), 0.0);
+        assert_eq!(g.degree_histogram(), vec![0usize; 1]);
+    }
+}

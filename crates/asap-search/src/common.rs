@@ -1,0 +1,125 @@
+//! Shared mechanics of the query-based baselines.
+
+use asap_metrics::MsgClass;
+use asap_overlay::PeerId;
+use asap_sim::{query_hit_size, Ctx};
+use asap_workload::KeywordId;
+use std::rc::Rc;
+
+/// Wire message of all three baselines. Terms are reference-counted: a flood
+/// fans one term list out to tens of thousands of messages.
+#[derive(Debug, Clone)]
+pub enum BaselineMsg {
+    /// Flooding probe.
+    Flood {
+        query: u32,
+        requester: PeerId,
+        terms: Rc<[KeywordId]>,
+        ttl: u8,
+    },
+    /// Random-walk walker.
+    Walk {
+        query: u32,
+        requester: PeerId,
+        terms: Rc<[KeywordId]>,
+        ttl: u16,
+    },
+    /// GSA probe carrying its remaining message budget.
+    Gsa {
+        query: u32,
+        requester: PeerId,
+        terms: Rc<[KeywordId]>,
+        budget: u32,
+    },
+    /// Query hit flowing straight back to the requester.
+    Hit { query: u32, results: u32 },
+}
+
+/// If `node` shares a matching document, send a hit to the requester.
+/// Returns `true` on a match.
+pub fn reply_if_match(
+    ctx: &mut Ctx<'_, BaselineMsg>,
+    node: PeerId,
+    requester: PeerId,
+    query: u32,
+    terms: &[KeywordId],
+) -> bool {
+    if node == requester || !ctx.content.peer_matches(ctx.model, node, terms) {
+        return false;
+    }
+    let results = ctx
+        .content
+        .matching_docs(ctx.model, node, terms)
+        .count()
+        .max(1) as u32;
+    ctx.send(
+        node,
+        requester,
+        MsgClass::QueryHit,
+        query_hit_size(results as usize),
+        BaselineMsg::Hit { query, results },
+    );
+    true
+}
+
+/// The requester-side hit handler: record the answer.
+pub fn absorb_hit(ctx: &mut Ctx<'_, BaselineMsg>, query: u32) {
+    ctx.report_answer(query);
+}
+
+/// Per-query duplicate suppression with a bounded window of recent queries,
+/// so memory stays flat over a 30,000-query trace. The window (default 256
+/// queries ≈ 32 s at λ = 8/s) comfortably outlives a TTL-6 flood.
+#[derive(Debug)]
+pub struct SeenTracker {
+    inner: asap_sim::util::SeenTracker<u32>,
+}
+
+impl SeenTracker {
+    pub fn new(window: usize) -> Self {
+        Self {
+            inner: asap_sim::util::SeenTracker::new(window),
+        }
+    }
+
+    /// Returns `true` the first time `(query, node)` is seen; later calls
+    /// return `false`. Queries older than the window are forgotten.
+    pub fn first_visit(&mut self, query: u32, node: PeerId) -> bool {
+        self.inner.first_visit(query, node.0)
+    }
+
+    pub fn tracked_queries(&self) -> usize {
+        self.inner.tracked_keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_visit_dedups() {
+        let mut t = SeenTracker::new(8);
+        assert!(t.first_visit(1, PeerId(5)));
+        assert!(!t.first_visit(1, PeerId(5)));
+        assert!(t.first_visit(1, PeerId(6)));
+        assert!(t.first_visit(2, PeerId(5)));
+    }
+
+    #[test]
+    fn window_evicts_old_queries() {
+        let mut t = SeenTracker::new(4);
+        for q in 0..10 {
+            assert!(t.first_visit(q, PeerId(0)));
+        }
+        assert!(t.tracked_queries() <= 4);
+        // Query 0 was evicted, so it looks fresh again.
+        assert!(t.first_visit(0, PeerId(0)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_window_rejected() {
+        SeenTracker::new(0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Gnutella-style flooding ("The TTL for flooding is set to 6").
+//!
+//! The requester sends the query to every neighbor; each node forwards a
+//! first-seen query to all neighbors but the sender until the TTL expires.
+//! Matching nodes return a hit directly to the requester.
+
+use crate::common::{absorb_hit, reply_if_match, BaselineMsg, SeenTracker};
+use asap_metrics::MsgClass;
+use asap_overlay::PeerId;
+use asap_sim::{query_size, Ctx, Protocol};
+use asap_workload::{KeywordId, QuerySpec};
+use std::rc::Rc;
+
+/// Flooding parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FloodingConfig {
+    /// Hop limit (paper: 6).
+    pub ttl: u8,
+    /// Duplicate-suppression window in queries.
+    pub seen_window: usize,
+}
+
+impl Default for FloodingConfig {
+    fn default() -> Self {
+        Self {
+            ttl: 6,
+            seen_window: 256,
+        }
+    }
+}
+
+/// The flooding baseline protocol.
+#[derive(Debug)]
+pub struct Flooding {
+    config: FloodingConfig,
+    seen: SeenTracker,
+}
+
+impl Flooding {
+    pub fn new(config: FloodingConfig) -> Self {
+        assert!(config.ttl >= 1, "flooding needs a positive TTL");
+        Self {
+            seen: SeenTracker::new(config.seen_window),
+            config,
+        }
+    }
+
+    fn fan_out(
+        ctx: &mut Ctx<'_, BaselineMsg>,
+        node: PeerId,
+        exclude: Option<PeerId>,
+        query: u32,
+        requester: PeerId,
+        terms: &Rc<[KeywordId]>,
+        ttl: u8,
+    ) {
+        let targets: Vec<PeerId> = ctx
+            .neighbors(node)
+            .iter()
+            .copied()
+            .filter(|&n| Some(n) != exclude)
+            .collect();
+        let bytes = query_size(terms.len());
+        for t in targets {
+            ctx.send(
+                node,
+                t,
+                MsgClass::Query,
+                bytes,
+                BaselineMsg::Flood {
+                    query,
+                    requester,
+                    terms: Rc::clone(terms),
+                    ttl,
+                },
+            );
+        }
+    }
+}
+
+impl Protocol for Flooding {
+    type Msg = BaselineMsg;
+
+    fn on_query(&mut self, ctx: &mut Ctx<'_, BaselineMsg>, q: &QuerySpec) {
+        let terms: Rc<[KeywordId]> = q.terms.clone().into();
+        // The requester is marked visited so reflected floods die instantly.
+        self.seen.first_visit(q.id, q.requester);
+        Self::fan_out(ctx, q.requester, None, q.id, q.requester, &terms, self.config.ttl);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, BaselineMsg>, to: PeerId, from: PeerId, msg: BaselineMsg) {
+        match msg {
+            BaselineMsg::Flood {
+                query,
+                requester,
+                terms,
+                ttl,
+            } => {
+                if !self.seen.first_visit(query, to) {
+                    return; // duplicate
+                }
+                reply_if_match(ctx, to, requester, query, &terms);
+                if ttl > 1 {
+                    Self::fan_out(ctx, to, Some(from), query, requester, &terms, ttl - 1);
+                }
+            }
+            BaselineMsg::Hit { query, .. } => absorb_hit(ctx, query),
+            other => unreachable!("flooding got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::world;
+    use asap_overlay::OverlayKind;
+    use asap_sim::Simulation;
+
+    #[test]
+    fn flooding_finds_most_targets() {
+        let (phys, workload, overlay) = world(150, 200, 31);
+        let report = Simulation::new(
+            &phys,
+            &workload,
+            overlay,
+            OverlayKind::Random,
+            Flooding::new(FloodingConfig::default()),
+            31,
+        )
+        .run();
+        // Flooding with TTL 6 over a 150-node degree-5 overlay reaches
+        // essentially everyone: the paper reports a high success rate.
+        assert!(
+            report.ledger.success_rate() > 0.9,
+            "success {}",
+            report.ledger.success_rate()
+        );
+    }
+
+    #[test]
+    fn flooding_message_count_scales_with_network() {
+        let (phys, workload, overlay) = world(150, 50, 32);
+        let report = Simulation::new(
+            &phys,
+            &workload,
+            overlay,
+            OverlayKind::Random,
+            Flooding::new(FloodingConfig::default()),
+            32,
+        )
+        .run();
+        let queries = report.ledger.num_queries() as u64;
+        // Every flood touches on the order of the whole overlay.
+        assert!(
+            report.messages_sent > queries * 100,
+            "{} messages for {queries} queries",
+            report.messages_sent
+        );
+    }
+
+    #[test]
+    fn ttl_one_reaches_only_neighbors() {
+        let (phys, workload, overlay) = world(150, 100, 33);
+        let cfg = FloodingConfig {
+            ttl: 1,
+            ..Default::default()
+        };
+        let report = Simulation::new(
+            &phys,
+            &workload,
+            overlay,
+            OverlayKind::Random,
+            Flooding::new(cfg),
+            33,
+        )
+        .run();
+        // Success collapses: only direct neighbors are probed.
+        assert!(
+            report.ledger.success_rate() < 0.5,
+            "success {}",
+            report.ledger.success_rate()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive TTL")]
+    fn zero_ttl_rejected() {
+        Flooding::new(FloodingConfig {
+            ttl: 0,
+            ..Default::default()
+        });
+    }
+}

@@ -1,0 +1,184 @@
+//! Random walk ("5 walkers are used each running with TTL=1024").
+//!
+//! Walkers step to a uniformly random neighbor (avoiding an immediate
+//! backtrack when possible), checking content at every visited node. Cost is
+//! tightly bounded — walkers × TTL messages — which is why the paper finds
+//! its load lowest but its success rate poor under 1.28-copy replication.
+
+use crate::common::{absorb_hit, reply_if_match, BaselineMsg};
+use asap_metrics::MsgClass;
+use asap_overlay::PeerId;
+use asap_sim::{query_size, Ctx, Protocol};
+use asap_workload::{KeywordId, QuerySpec};
+use rand::Rng;
+use std::rc::Rc;
+
+/// Random-walk parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RandomWalkConfig {
+    /// Parallel walkers per query (paper: 5).
+    pub walkers: usize,
+    /// Steps per walker (paper: 1024).
+    pub ttl: u16,
+}
+
+impl Default for RandomWalkConfig {
+    fn default() -> Self {
+        Self {
+            walkers: 5,
+            ttl: 1024,
+        }
+    }
+}
+
+/// The random-walk baseline protocol.
+#[derive(Debug)]
+pub struct RandomWalk {
+    config: RandomWalkConfig,
+}
+
+impl RandomWalk {
+    pub fn new(config: RandomWalkConfig) -> Self {
+        assert!(config.walkers >= 1, "need at least one walker");
+        assert!(config.ttl >= 1, "walkers need a positive TTL");
+        Self { config }
+    }
+
+    /// Forward a walker one step: uniform neighbor, avoiding the node we
+    /// just came from unless it is the only option.
+    fn step(
+        ctx: &mut Ctx<'_, BaselineMsg>,
+        node: PeerId,
+        came_from: Option<PeerId>,
+        query: u32,
+        requester: PeerId,
+        terms: &Rc<[KeywordId]>,
+        ttl: u16,
+    ) {
+        let degree = ctx.neighbors(node).len();
+        if degree == 0 {
+            return; // walker dies at an isolated node
+        }
+        let next = if degree == 1 {
+            ctx.neighbors(node)[0]
+        } else {
+            loop {
+                let i = ctx.rng.gen_range(0..degree);
+                let cand = ctx.neighbors(node)[i];
+                if Some(cand) != came_from {
+                    break cand;
+                }
+            }
+        };
+        ctx.send(
+            node,
+            next,
+            MsgClass::Query,
+            query_size(terms.len()),
+            BaselineMsg::Walk {
+                query,
+                requester,
+                terms: Rc::clone(terms),
+                ttl,
+            },
+        );
+    }
+}
+
+impl Protocol for RandomWalk {
+    type Msg = BaselineMsg;
+
+    fn on_query(&mut self, ctx: &mut Ctx<'_, BaselineMsg>, q: &QuerySpec) {
+        let terms: Rc<[KeywordId]> = q.terms.clone().into();
+        for _ in 0..self.config.walkers {
+            Self::step(ctx, q.requester, None, q.id, q.requester, &terms, self.config.ttl);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, BaselineMsg>, to: PeerId, from: PeerId, msg: BaselineMsg) {
+        match msg {
+            BaselineMsg::Walk {
+                query,
+                requester,
+                terms,
+                ttl,
+            } => {
+                reply_if_match(ctx, to, requester, query, &terms);
+                if ttl > 1 {
+                    Self::step(ctx, to, Some(from), query, requester, &terms, ttl - 1);
+                }
+            }
+            BaselineMsg::Hit { query, .. } => absorb_hit(ctx, query),
+            other => unreachable!("random walk got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::world;
+    use asap_overlay::OverlayKind;
+    use asap_sim::Simulation;
+
+    fn run(walkers: usize, ttl: u16, seed: u64) -> asap_sim::SimReport<RandomWalk> {
+        let (phys, workload, overlay) = world(150, 100, seed);
+        Simulation::new(
+            &phys,
+            &workload,
+            overlay,
+            OverlayKind::Random,
+            RandomWalk::new(RandomWalkConfig { walkers, ttl }),
+            seed,
+        )
+        .run()
+    }
+
+    #[test]
+    fn cost_is_bounded_by_walkers_times_ttl() {
+        let report = run(5, 64, 41);
+        let queries = report.ledger.num_queries() as u64;
+        // Query messages ≤ walkers × ttl per query (hits come on top).
+        let totals = report.load.class_totals();
+        let query_bytes = totals[asap_metrics::MsgClass::Query.index()];
+        let max_msgs = queries * 5 * 64;
+        // Each query message is ≥ HEADER_BYTES.
+        assert!(
+            query_bytes <= max_msgs * 60,
+            "query bytes {query_bytes} exceed budget"
+        );
+    }
+
+    #[test]
+    fn longer_walks_find_more() {
+        let short = run(5, 8, 42);
+        let long = run(5, 512, 42);
+        assert!(
+            long.ledger.success_rate() > short.ledger.success_rate(),
+            "long {} vs short {}",
+            long.ledger.success_rate(),
+            short.ledger.success_rate()
+        );
+    }
+
+    #[test]
+    fn more_walkers_find_more() {
+        let one = run(1, 64, 43);
+        let five = run(5, 64, 43);
+        assert!(
+            five.ledger.success_rate() >= one.ledger.success_rate(),
+            "five {} vs one {}",
+            five.ledger.success_rate(),
+            one.ledger.success_rate()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "walker")]
+    fn zero_walkers_rejected() {
+        RandomWalk::new(RandomWalkConfig {
+            walkers: 0,
+            ttl: 10,
+        });
+    }
+}

@@ -1,0 +1,510 @@
+//! The simulation engine: world state, protocol trait, event loop.
+
+use crate::event::{EngineEvent, EventQueue};
+use asap_metrics::{LoadRecorder, MsgClass, QueryLedger};
+use asap_overlay::{Overlay, OverlayKind, PeerId};
+use asap_topology::{PhysNodeId, PhysicalNetwork};
+use asap_workload::{ContentModel, ContentState, DocId, QuerySpec, TraceEvent, Workload};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A search algorithm under test. The engine owns the world (overlay,
+/// liveness, content, clock); the protocol owns its own per-node state and
+/// reacts to events through these hooks.
+pub trait Protocol {
+    /// Protocol-specific message payload.
+    type Msg;
+
+    /// Called once at time 0, before any trace event — e.g. ASAP's initial
+    /// ad delivery wave.
+    fn on_init(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// A search request issued at `ctx.now_us()` by `query.requester`.
+    fn on_query(&mut self, ctx: &mut Ctx<'_, Self::Msg>, query: &QuerySpec);
+
+    /// A message delivered to live node `to`.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, to: PeerId, from: PeerId, msg: Self::Msg);
+
+    /// A timer set via [`Ctx::set_timer`] fired at live node `node`.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, node: PeerId, tag: u64) {
+        let _ = (ctx, node, tag);
+    }
+
+    /// `node` joined (overlay already re-attached).
+    fn on_join(&mut self, ctx: &mut Ctx<'_, Self::Msg>, node: PeerId) {
+        let _ = (ctx, node);
+    }
+
+    /// `node` departed (overlay already detached).
+    fn on_leave(&mut self, ctx: &mut Ctx<'_, Self::Msg>, node: PeerId) {
+        let _ = (ctx, node);
+    }
+
+    /// `peer`'s shared content changed (state already updated).
+    fn on_content_change(&mut self, ctx: &mut Ctx<'_, Self::Msg>, peer: PeerId, doc: DocId, added: bool) {
+        let _ = (ctx, peer, doc, added);
+    }
+}
+
+/// The world as seen by a protocol: clock, overlay, liveness, content,
+/// messaging, timers, metrics.
+pub struct Ctx<'a, M> {
+    now_us: u64,
+    queue: EventQueue<M>,
+    /// The mutable overlay graph (read via [`Ctx::neighbors`]).
+    pub overlay: Overlay,
+    overlay_kind: OverlayKind,
+    alive: Vec<bool>,
+    alive_count: usize,
+    /// Evolving shared-content state.
+    pub content: ContentState,
+    /// The static content model (documents, interests, vocabulary).
+    pub model: &'a ContentModel,
+    phys: &'a PhysicalNetwork,
+    assignment: Vec<PhysNodeId>,
+    /// Deterministic per-run RNG for protocol decisions.
+    pub rng: SmallRng,
+    /// Byte/load accounting.
+    pub load: LoadRecorder,
+    /// Query outcome accounting.
+    pub ledger: QueryLedger,
+    messages_sent: u64,
+    horizon_us: u64,
+    trace_end_us: u64,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current simulation time, µs.
+    #[inline]
+    pub fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    #[inline]
+    pub fn alive(&self, p: PeerId) -> bool {
+        self.alive[p.index()]
+    }
+
+    pub fn alive_count(&self) -> usize {
+        self.alive_count
+    }
+
+    pub fn num_peers(&self) -> usize {
+        self.alive.len()
+    }
+
+    /// Currently-alive peers (materialized; used for re-attachment).
+    pub fn alive_peers(&self) -> Vec<PeerId> {
+        (0..self.alive.len() as u32)
+            .map(PeerId)
+            .filter(|&p| self.alive[p.index()])
+            .collect()
+    }
+
+    #[inline]
+    pub fn neighbors(&self, p: PeerId) -> &[PeerId] {
+        self.overlay.neighbors(p)
+    }
+
+    /// One-way network latency between two peers, µs.
+    #[inline]
+    pub fn latency_us(&self, a: PeerId, b: PeerId) -> u64 {
+        self.phys
+            .latency_us(self.assignment[a.index()], self.assignment[b.index()])
+    }
+
+    /// Send a protocol message: bytes are charged to `class` now (the sender
+    /// consumed the bandwidth), delivery is scheduled after the network
+    /// latency, and messages reaching a dead node are dropped there.
+    pub fn send(&mut self, from: PeerId, to: PeerId, class: MsgClass, bytes: usize, msg: M) {
+        debug_assert_ne!(from, to, "no self-messages");
+        self.load.record(self.now_us, class, bytes);
+        self.messages_sent += 1;
+        let at = self.now_us + self.latency_us(from, to);
+        self.queue.push(at, EngineEvent::Deliver { to, from, msg });
+    }
+
+    /// Schedule `on_timer(node, tag)` after `delay_us` (dropped if the node
+    /// is dead when it fires).
+    pub fn set_timer(&mut self, node: PeerId, delay_us: u64, tag: u64) {
+        self.queue
+            .push(self.now_us + delay_us, EngineEvent::Timer { node, tag });
+    }
+
+    /// Record a confirmed result for `query_id` arriving now.
+    pub fn report_answer(&mut self, query_id: u32) {
+        self.ledger.answer(query_id, self.now_us);
+    }
+
+    /// Total messages sent so far (all classes).
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+}
+
+/// Result of a finished run: metrics plus the protocol object (for
+/// protocol-specific statistics such as ad-cache occupancy).
+pub struct SimReport<P> {
+    pub load: LoadRecorder,
+    pub ledger: QueryLedger,
+    pub protocol: P,
+    pub messages_sent: u64,
+    pub end_time_us: u64,
+    /// Final liveness map.
+    pub alive: Vec<bool>,
+    /// Final overlay graph.
+    pub overlay: Overlay,
+}
+
+/// A configured simulation, ready to run.
+pub struct Simulation<'a, P: Protocol> {
+    ctx: Ctx<'a, P::Msg>,
+    protocol: P,
+}
+
+impl<'a, P: Protocol> Simulation<'a, P> {
+    /// Assemble a simulation: peers are mapped onto distinct random physical
+    /// nodes, the trace is preloaded, and initial liveness comes from the
+    /// workload (joiners start offline **and detached**).
+    pub fn new(
+        phys: &'a PhysicalNetwork,
+        workload: &'a Workload,
+        mut overlay: Overlay,
+        overlay_kind: OverlayKind,
+        protocol: P,
+        seed: u64,
+    ) -> Self {
+        let n = workload.model.num_peers();
+        assert_eq!(overlay.num_peers(), n, "overlay/workload size mismatch");
+        assert!(
+            phys.num_nodes() >= n,
+            "need at least as many physical nodes as peers"
+        );
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x51AE_0F5A_1769);
+
+        // Random distinct physical placement (partial Fisher–Yates).
+        let mut ids: Vec<u32> = (0..phys.num_nodes() as u32).collect();
+        for i in 0..n {
+            let j = rng.gen_range(i..ids.len());
+            ids.swap(i, j);
+        }
+        let assignment: Vec<PhysNodeId> = ids[..n].iter().map(|&i| PhysNodeId(i)).collect();
+
+        // Initially-offline joiners are not wired into the overlay yet.
+        let alive = workload.initially_alive.clone();
+        for (i, &a) in alive.iter().enumerate() {
+            if !a {
+                overlay.detach(PeerId(i as u32));
+            }
+        }
+        let alive_count = alive.iter().filter(|&&a| a).count();
+
+        let mut queue = EventQueue::new();
+        for te in &workload.trace.events {
+            queue.push(te.time_us, EngineEvent::Trace(te.event.clone()));
+        }
+
+        let mut load = LoadRecorder::new();
+        load.set_alive(0, alive_count);
+        let trace_end_us = workload.trace.duration_us();
+
+        let ctx = Ctx {
+            trace_end_us,
+            // Default horizon: 30 s of grace after the last trace event, so
+            // in-flight searches settle but periodic timers can't run the
+            // simulation forever.
+            horizon_us: trace_end_us + 30_000_000,
+            now_us: 0,
+            queue,
+            overlay,
+            overlay_kind,
+            alive,
+            alive_count,
+            content: ContentState::from_model(&workload.model),
+            model: &workload.model,
+            phys,
+            assignment,
+            rng,
+            load,
+            ledger: QueryLedger::new(),
+            messages_sent: 0,
+        };
+        Self { ctx, protocol }
+    }
+
+    /// Override the simulation horizon (default: trace end + 30 s). Events
+    /// scheduled past the horizon — periodic protocol timers, stragglers —
+    /// are discarded, which is what terminates a run whose protocol re-arms
+    /// timers forever (ASAP's refresh beacons).
+    pub fn with_horizon_grace(mut self, grace_us: u64) -> Self {
+        self.ctx.horizon_us = self.ctx.trace_end_us + grace_us;
+        self
+    }
+
+    /// Run to the horizon (or queue exhaustion) and return the report.
+    pub fn run(mut self) -> SimReport<P> {
+        self.protocol.on_init(&mut self.ctx);
+        while let Some(sched) = self.ctx.queue.pop() {
+            debug_assert!(sched.time_us >= self.ctx.now_us, "time goes forward");
+            if sched.time_us > self.ctx.horizon_us {
+                break;
+            }
+            self.ctx.now_us = sched.time_us;
+            match sched.event {
+                EngineEvent::Deliver { to, from, msg } => {
+                    if self.ctx.alive[to.index()] {
+                        self.protocol.on_message(&mut self.ctx, to, from, msg);
+                    }
+                }
+                EngineEvent::Timer { node, tag } => {
+                    if self.ctx.alive[node.index()] {
+                        self.protocol.on_timer(&mut self.ctx, node, tag);
+                    }
+                }
+                EngineEvent::Trace(ev) => self.apply_trace(ev),
+            }
+        }
+        SimReport {
+            end_time_us: self.ctx.now_us,
+            messages_sent: self.ctx.messages_sent,
+            load: self.ctx.load,
+            ledger: self.ctx.ledger,
+            alive: self.ctx.alive,
+            overlay: self.ctx.overlay,
+            protocol: self.protocol,
+        }
+    }
+
+    fn apply_trace(&mut self, ev: TraceEvent) {
+        let ctx = &mut self.ctx;
+        match ev {
+            TraceEvent::Query(q) => {
+                debug_assert!(ctx.alive[q.requester.index()], "trace guarantees liveness");
+                ctx.ledger.register(q.id, ctx.now_us);
+                self.protocol.on_query(ctx, &q);
+            }
+            TraceEvent::AddDocument { peer, doc } => {
+                if ctx.content.add(ctx.model, peer, doc) {
+                    self.protocol.on_content_change(ctx, peer, doc, true);
+                }
+            }
+            TraceEvent::RemoveDocument { peer, doc } => {
+                if ctx.content.remove(ctx.model, peer, doc) {
+                    self.protocol.on_content_change(ctx, peer, doc, false);
+                }
+            }
+            TraceEvent::Join(p) => {
+                debug_assert!(!ctx.alive[p.index()]);
+                ctx.alive[p.index()] = true;
+                ctx.alive_count += 1;
+                ctx.load.set_alive(ctx.now_us, ctx.alive_count);
+                let candidates = ctx.alive_peers();
+                let degree = ctx.overlay_kind.avg_degree().round() as usize;
+                // Borrow dance: attach_* needs &mut overlay and &mut rng.
+                let mut rng = SmallRng::seed_from_u64(ctx.rng.gen());
+                match ctx.overlay_kind {
+                    OverlayKind::Random => {
+                        ctx.overlay.attach_uniform(p, &candidates, degree, &mut rng)
+                    }
+                    OverlayKind::PowerLaw | OverlayKind::Crawled => ctx
+                        .overlay
+                        .attach_preferential(p, &candidates, degree, &mut rng),
+                }
+                self.protocol.on_join(ctx, p);
+            }
+            TraceEvent::Leave(p) => {
+                debug_assert!(ctx.alive[p.index()]);
+                ctx.alive[p.index()] = false;
+                ctx.alive_count -= 1;
+                ctx.load.set_alive(ctx.now_us, ctx.alive_count);
+                ctx.overlay.detach(p);
+                self.protocol.on_leave(ctx, p);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_overlay::OverlayConfig;
+    use asap_topology::TransitStubConfig;
+    use asap_workload::WorkloadConfig;
+
+    /// Oracle protocol: on a query, magically contact a live holder of the
+    /// target and get one reply — exercises engine plumbing end to end.
+    struct OracleProtocol;
+
+    #[derive(Debug, Clone)]
+    enum OracleMsg {
+        Ask { query: u32, terms: Vec<asap_workload::KeywordId> },
+        Reply { query: u32 },
+    }
+
+    impl Protocol for OracleProtocol {
+        type Msg = OracleMsg;
+
+        fn on_query(&mut self, ctx: &mut Ctx<'_, OracleMsg>, q: &QuerySpec) {
+            let holder = ctx
+                .content
+                .holders(q.target)
+                .iter()
+                .copied()
+                .find(|&h| ctx.alive(h) && h != q.requester);
+            if let Some(h) = holder {
+                ctx.send(
+                    q.requester,
+                    h,
+                    MsgClass::Query,
+                    crate::message::query_size(q.terms.len()),
+                    OracleMsg::Ask {
+                        query: q.id,
+                        terms: q.terms.clone(),
+                    },
+                );
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, OracleMsg>, to: PeerId, from: PeerId, msg: OracleMsg) {
+            match msg {
+                OracleMsg::Ask { query, terms } => {
+                    if ctx.content.peer_matches(ctx.model, to, &terms) {
+                        ctx.send(
+                            to,
+                            from,
+                            MsgClass::QueryHit,
+                            crate::message::query_hit_size(1),
+                            OracleMsg::Reply { query },
+                        );
+                    }
+                }
+                OracleMsg::Reply { query } => {
+                    ctx.report_answer(query);
+                }
+            }
+        }
+    }
+
+    fn small_world(seed: u64) -> (PhysicalNetwork, Workload, Overlay) {
+        let phys = PhysicalNetwork::generate(&TransitStubConfig::reduced(seed));
+        let workload = asap_workload::generate(&WorkloadConfig::reduced(200, 300, seed));
+        let overlay = OverlayConfig::new(OverlayKind::Random, 200, seed).build();
+        (phys, workload, overlay)
+    }
+
+    #[test]
+    fn oracle_protocol_answers_most_queries() {
+        let (phys, workload, overlay) = small_world(1);
+        let sim = Simulation::new(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, 1);
+        let report = sim.run();
+        // Every query had a live holder at issue; holders can only die
+        // between issue and delivery (rare at this scale).
+        assert!(
+            report.ledger.success_rate() > 0.95,
+            "success {}",
+            report.ledger.success_rate()
+        );
+        // Two messages per answered query.
+        assert!(report.messages_sent >= 2 * report.ledger.num_succeeded() as u64);
+    }
+
+    #[test]
+    fn response_time_is_two_one_way_latencies() {
+        let (phys, workload, overlay) = small_world(2);
+        let sim = Simulation::new(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, 2);
+        let report = sim.run();
+        let rt = report.ledger.avg_response_time_ms();
+        // One-way latencies in the reduced transit-stub span 2–~150 ms, so a
+        // round trip must land within [4, 400] ms.
+        assert!((4.0..=400.0).contains(&rt), "avg response {rt} ms");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = |seed| {
+            let (phys, workload, overlay) = small_world(7);
+            Simulation::new(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, seed)
+                .run()
+        };
+        let (a, b) = (run(42), run(42));
+        assert_eq!(a.messages_sent, b.messages_sent);
+        assert_eq!(a.end_time_us, b.end_time_us);
+        assert_eq!(a.load.total_bytes(), b.load.total_bytes());
+        assert_eq!(a.ledger.success_rate(), b.ledger.success_rate());
+    }
+
+    #[test]
+    fn load_is_accounted() {
+        let (phys, workload, overlay) = small_world(3);
+        let sim = Simulation::new(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, 3);
+        let report = sim.run();
+        assert!(report.load.total_bytes() > 0);
+        assert!(report.load.mean_load() > 0.0);
+        let totals = report.load.class_totals();
+        assert!(totals[MsgClass::Query.index()] > 0);
+        assert!(totals[MsgClass::QueryHit.index()] > 0);
+        assert_eq!(totals[MsgClass::FullAd.index()], 0);
+    }
+
+    #[test]
+    fn churn_detaches_dead_peers_and_wires_joiners() {
+        let (phys, workload, overlay) = small_world(4);
+        let report =
+            Simulation::new(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, 4)
+                .run();
+        let mut dead = 0;
+        let mut isolated_alive = 0;
+        for p in 0..report.alive.len() {
+            let peer = PeerId(p as u32);
+            if report.alive[p] {
+                // A live peer may end up isolated if every neighbor departed,
+                // but that must stay rare.
+                if report.overlay.degree(peer) == 0 {
+                    isolated_alive += 1;
+                }
+            } else {
+                assert_eq!(report.overlay.degree(peer), 0, "dead peer {p} still wired");
+                dead += 1;
+            }
+        }
+        assert!(dead > 0, "trace should leave some peers offline");
+        assert!(
+            isolated_alive * 20 < report.alive.len(),
+            "{isolated_alive} live peers isolated"
+        );
+    }
+
+    #[test]
+    fn timers_fire_in_order_and_respect_death() {
+        struct TimerProto {
+            fired: Vec<u64>,
+        }
+        impl Protocol for TimerProto {
+            type Msg = ();
+            fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(PeerId(0), 1_000, 1);
+                ctx.set_timer(PeerId(0), 3_000, 3);
+                ctx.set_timer(PeerId(0), 2_000, 2);
+            }
+            fn on_query(&mut self, _: &mut Ctx<'_, ()>, _: &QuerySpec) {}
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: PeerId, _: PeerId, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _: PeerId, tag: u64) {
+                self.fired.push(tag);
+                let _ = ctx.now_us();
+            }
+        }
+        let (phys, workload, overlay) = small_world(5);
+        let report = Simulation::new(
+            &phys,
+            &workload,
+            overlay,
+            OverlayKind::Random,
+            TimerProto { fired: vec![] },
+            5,
+        )
+        .run();
+        assert_eq!(report.protocol.fired, vec![1, 2, 3]);
+    }
+}

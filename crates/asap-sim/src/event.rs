@@ -1,0 +1,140 @@
+//! The engine's event queue.
+
+use asap_overlay::PeerId;
+use asap_workload::TraceEvent;
+use std::cmp::Ordering;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// An event awaiting execution.
+#[derive(Debug, Clone)]
+pub enum EngineEvent<M> {
+    /// A message arriving at `to`.
+    Deliver { to: PeerId, from: PeerId, msg: M },
+    /// A protocol timer firing at `node` with an opaque tag.
+    Timer { node: PeerId, tag: u64 },
+    /// A workload trace event (query, churn, content change).
+    Trace(TraceEvent),
+}
+
+/// Heap entry ordered by `(time, seq)` — `seq` makes simultaneous events
+/// FIFO and the whole run deterministic.
+#[derive(Debug)]
+pub struct Scheduled<M> {
+    pub time_us: u64,
+    pub seq: u64,
+    pub event: EngineEvent<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time_us == other.time_us && self.seq == other.seq
+    }
+}
+impl<M> Eq for Scheduled<M> {}
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (self.time_us, self.seq).cmp(&(other.time_us, other.seq))
+    }
+}
+
+/// Min-heap of scheduled events with a monotone sequence counter.
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<Reverse<Scheduled<M>>>,
+    next_seq: u64,
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<M> EventQueue<M> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn push(&mut self, time_us: u64, event: EngineEvent<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled {
+            time_us,
+            seq,
+            event,
+        }));
+    }
+
+    pub fn pop(&mut self) -> Option<Scheduled<M>> {
+        self.heap.pop().map(|Reverse(s)| s)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn timer(node: u32, tag: u64) -> EngineEvent<()> {
+        EngineEvent::Timer {
+            node: PeerId(node),
+            tag,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(300, timer(0, 3));
+        q.push(100, timer(0, 1));
+        q.push(200, timer(0, 2));
+        let tags: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|s| match s.event {
+                EngineEvent::Timer { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_times_are_fifo() {
+        let mut q = EventQueue::new();
+        for tag in 0..10 {
+            q.push(42, timer(0, tag));
+        }
+        let tags: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|s| match s.event {
+                EngineEvent::Timer { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut q: EventQueue<()> = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(1, timer(0, 0));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,25 @@
+//! Deterministic discrete-event P2P simulator.
+//!
+//! The paper's evaluation is a trace-driven simulation (§IV): overlay
+//! messages travel with the physical network's shortest-path latency, every
+//! message's bytes are charged to a per-second, per-class load bucket, and
+//! churn/content events from the trace mutate the world as the clock
+//! advances. Node processing time is ignored ("the processing time at a node
+//! is negligible compared to the network delay").
+//!
+//! Search algorithms implement the [`Protocol`] trait; the engine is
+//! deterministic — a fixed seed yields byte-identical ledgers — which the
+//! integration suite exploits for replay tests.
+
+pub mod engine;
+pub mod event;
+pub mod message;
+pub mod util;
+
+pub use engine::{Ctx, Protocol, SimReport, Simulation};
+pub use event::EngineEvent;
+pub use message::{
+    ads_reply_size, ads_request_size, confirm_reply_size, confirm_size, query_hit_size,
+    query_size, HEADER_BYTES, KEYWORD_WIRE_BYTES, RESULT_WIRE_BYTES, TOPIC_WIRE_BYTES,
+    VERSION_WIRE_BYTES,
+};

@@ -1,0 +1,73 @@
+//! Wire-size model (bytes) for load accounting.
+//!
+//! The paper never states exact message sizes; only *relative* loads matter,
+//! and all algorithms share this model (DESIGN.md §6). A message is a fixed
+//! header plus payload: keywords ride as length-prefixed strings (8 bytes
+//! average), topics as 1-byte class ids, result records (file name + source)
+//! as 50 bytes, versions as 16-bit integers (paper §III-B). Full/patch-ad
+//! filter payloads are sized by `asap-bloom`'s wire encodings.
+
+/// Fixed per-message overhead (addresses, type, ids).
+pub const HEADER_BYTES: usize = 20;
+/// Average on-the-wire size of one keyword.
+pub const KEYWORD_WIRE_BYTES: usize = 8;
+/// One topic (semantic class id).
+pub const TOPIC_WIRE_BYTES: usize = 1;
+/// One search result record in a hit/confirm reply.
+pub const RESULT_WIRE_BYTES: usize = 50;
+/// Ad version number ("a 16-bit integer").
+pub const VERSION_WIRE_BYTES: usize = 2;
+
+/// Baseline query / walker probe carrying `terms` keywords.
+pub fn query_size(terms: usize) -> usize {
+    HEADER_BYTES + terms * KEYWORD_WIRE_BYTES
+}
+
+/// Query hit returning `results` records directly to the requester.
+pub fn query_hit_size(results: usize) -> usize {
+    HEADER_BYTES + results * RESULT_WIRE_BYTES
+}
+
+/// ASAP content confirmation (carries the search terms for re-evaluation).
+pub fn confirm_size(terms: usize) -> usize {
+    HEADER_BYTES + terms * KEYWORD_WIRE_BYTES
+}
+
+/// ASAP confirmation reply with `results` matching records.
+pub fn confirm_reply_size(results: usize) -> usize {
+    HEADER_BYTES + results * RESULT_WIRE_BYTES
+}
+
+/// ASAP ads request advertising the requester's `interests`.
+pub fn ads_request_size(interests: usize) -> usize {
+    HEADER_BYTES + interests * TOPIC_WIRE_BYTES
+}
+
+/// ASAP ads reply: header plus the summed encoded sizes of the shipped ads.
+pub fn ads_reply_size(ads_payload_bytes: usize) -> usize {
+    HEADER_BYTES + ads_payload_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_scale_with_payload() {
+        assert_eq!(query_size(0), HEADER_BYTES);
+        assert_eq!(query_size(3), HEADER_BYTES + 24);
+        assert_eq!(query_hit_size(2), HEADER_BYTES + 100);
+        assert_eq!(confirm_size(4), query_size(4));
+        assert_eq!(confirm_reply_size(1), HEADER_BYTES + 50);
+        assert_eq!(ads_request_size(14), HEADER_BYTES + 14);
+        assert_eq!(ads_reply_size(500), HEADER_BYTES + 500);
+    }
+
+    #[test]
+    fn query_is_much_smaller_than_a_full_filter() {
+        // Sanity: the paper notes "the size of a full ad is larger than a
+        // query message because a full ad contains the Bloom filter".
+        let full_filter_bytes = 11_542 / 8;
+        assert!(query_size(4) * 10 < full_filter_bytes);
+    }
+}

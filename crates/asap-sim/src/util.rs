@@ -1,0 +1,75 @@
+//! Small protocol-side utilities.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::hash::Hash;
+
+/// Per-key visited-set with a bounded window of recent keys, for duplicate
+/// suppression in flood-style dissemination. Memory stays flat over an
+/// arbitrarily long trace: once more than `window` keys are live, the oldest
+/// key's state is forgotten (by then its flood has long died out).
+#[derive(Debug)]
+pub struct SeenTracker<K: Hash + Eq + Copy> {
+    seen: HashMap<K, HashSet<u32>>,
+    order: VecDeque<K>,
+    window: usize,
+}
+
+impl<K: Hash + Eq + Copy> SeenTracker<K> {
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            seen: HashMap::new(),
+            order: VecDeque::new(),
+            window,
+        }
+    }
+
+    /// Returns `true` the first time `(key, visitor)` is observed; `false`
+    /// afterwards (until `key` ages out of the window).
+    pub fn first_visit(&mut self, key: K, visitor: u32) -> bool {
+        let entry = self.seen.entry(key).or_insert_with(|| {
+            self.order.push_back(key);
+            HashSet::new()
+        });
+        let fresh = entry.insert(visitor);
+        while self.order.len() > self.window {
+            let evicted = self.order.pop_front().expect("non-empty");
+            self.seen.remove(&evicted);
+        }
+        fresh
+    }
+
+    pub fn tracked_keys(&self) -> usize {
+        self.seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_per_key() {
+        let mut t: SeenTracker<u64> = SeenTracker::new(8);
+        assert!(t.first_visit(1, 5));
+        assert!(!t.first_visit(1, 5));
+        assert!(t.first_visit(1, 6));
+        assert!(t.first_visit(2, 5));
+    }
+
+    #[test]
+    fn window_bounds_memory() {
+        let mut t: SeenTracker<u64> = SeenTracker::new(4);
+        for k in 0..100u64 {
+            assert!(t.first_visit(k, 0));
+        }
+        assert!(t.tracked_keys() <= 4);
+        assert!(t.first_visit(0, 0), "evicted key looks fresh again");
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        let _: SeenTracker<u32> = SeenTracker::new(0);
+    }
+}

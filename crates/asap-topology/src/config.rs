@@ -1,0 +1,139 @@
+//! Transit-stub generation parameters (paper §IV-A).
+
+/// Parameters of the GT-ITM transit-stub construction.
+///
+/// The paper's instance: 9 transit domains averaging 16 transit nodes each;
+/// every transit node hangs 9 stub domains averaging 40 stub nodes; edge
+/// probabilities 0.6 (intra-transit) and 0.4 (intra-stub); latencies 50 / 20 /
+/// 5 / 2 ms by tier. That yields 144 + 51,840 = 51,984 physical nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitStubConfig {
+    /// Number of transit domains (fully connected at the top level).
+    pub transit_domains: u32,
+    /// Transit nodes per transit domain.
+    pub transit_nodes_per_domain: u32,
+    /// Stub domains attached to each transit node.
+    pub stub_domains_per_transit_node: u32,
+    /// Stub nodes per stub domain.
+    pub stub_nodes_per_domain: u32,
+    /// Probability of an edge between two transit nodes of one domain.
+    pub p_transit_edge: f64,
+    /// Probability of an edge between two stub nodes of one stub domain.
+    pub p_stub_edge: f64,
+    /// Latency of an inter-transit-domain link, µs (paper: 50 ms).
+    pub lat_inter_transit_us: u64,
+    /// Latency of a link between two transit nodes in one domain, µs (20 ms).
+    pub lat_intra_transit_us: u64,
+    /// Latency of a transit-node → stub-node link, µs (5 ms).
+    pub lat_transit_stub_us: u64,
+    /// Latency of a link between two stub nodes in one domain, µs (2 ms).
+    pub lat_intra_stub_us: u64,
+    /// RNG seed for edge sampling.
+    pub seed: u64,
+}
+
+impl TransitStubConfig {
+    /// The paper's exact instance (51,984 physical nodes).
+    pub fn paper_default(seed: u64) -> Self {
+        Self {
+            transit_domains: 9,
+            transit_nodes_per_domain: 16,
+            stub_domains_per_transit_node: 9,
+            stub_nodes_per_domain: 40,
+            p_transit_edge: 0.6,
+            p_stub_edge: 0.4,
+            lat_inter_transit_us: 50_000,
+            lat_intra_transit_us: 20_000,
+            lat_transit_stub_us: 5_000,
+            lat_intra_stub_us: 2_000,
+            seed,
+        }
+    }
+
+    /// A structurally identical but much smaller instance for tests and the
+    /// reduced experiment scale: 3 × 4 transit nodes, 3 stub domains each of
+    /// 8 nodes ⇒ 12 + 288 = 300 physical nodes.
+    pub fn reduced(seed: u64) -> Self {
+        Self {
+            transit_domains: 3,
+            transit_nodes_per_domain: 4,
+            stub_domains_per_transit_node: 3,
+            stub_nodes_per_domain: 8,
+            ..Self::paper_default(seed)
+        }
+    }
+
+    /// A mid-size instance (≈ 5,208 nodes) used by the default experiment
+    /// scale: 6 transit domains × 8 transit nodes, 5 stub domains × 21 nodes.
+    pub fn medium(seed: u64) -> Self {
+        Self {
+            transit_domains: 6,
+            transit_nodes_per_domain: 8,
+            stub_domains_per_transit_node: 5,
+            stub_nodes_per_domain: 21,
+            ..Self::paper_default(seed)
+        }
+    }
+
+    /// Total number of physical nodes this configuration produces.
+    pub fn expected_nodes(&self) -> usize {
+        let transit = self.transit_domains * self.transit_nodes_per_domain;
+        let stubs = transit * self.stub_domains_per_transit_node * self.stub_nodes_per_domain;
+        (transit + stubs) as usize
+    }
+
+    /// Panic with a clear message when a parameter is degenerate.
+    pub fn validate(&self) {
+        assert!(self.transit_domains >= 1, "need at least one transit domain");
+        assert!(
+            self.transit_nodes_per_domain >= 1,
+            "need at least one transit node per domain"
+        );
+        assert!(
+            self.stub_nodes_per_domain >= 1,
+            "need at least one stub node per stub domain"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.p_transit_edge) && (0.0..=1.0).contains(&self.p_stub_edge),
+            "edge probabilities must be in [0, 1]"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_counts() {
+        assert_eq!(TransitStubConfig::reduced(0).expected_nodes(), 300);
+    }
+
+    #[test]
+    fn medium_counts() {
+        assert_eq!(TransitStubConfig::medium(0).expected_nodes(), 48 + 48 * 5 * 21);
+    }
+
+    #[test]
+    fn validate_accepts_defaults() {
+        TransitStubConfig::paper_default(1).validate();
+        TransitStubConfig::reduced(1).validate();
+        TransitStubConfig::medium(1).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "transit domain")]
+    fn validate_rejects_zero_domains() {
+        let mut c = TransitStubConfig::reduced(0);
+        c.transit_domains = 0;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities")]
+    fn validate_rejects_bad_probability() {
+        let mut c = TransitStubConfig::reduced(0);
+        c.p_stub_edge = 1.5;
+        c.validate();
+    }
+}

@@ -1,0 +1,206 @@
+//! The explicit physical graph produced by the generator.
+
+use std::ops::Range;
+
+/// Index of a physical node. Transit nodes occupy the low ids
+/// (domain-major), stub nodes follow (stub-domain-major, contiguous per
+/// domain).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhysNodeId(pub u32);
+
+impl PhysNodeId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What tier a physical node belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Transit (backbone) node inside transit domain `domain`.
+    Transit { domain: u32 },
+    /// Stub node inside stub domain `stub_domain`.
+    Stub { stub_domain: u32 },
+}
+
+/// Hierarchy record for one stub domain.
+#[derive(Debug, Clone)]
+pub struct StubDomainInfo {
+    /// The transit node this stub domain hangs off.
+    pub parent_transit: PhysNodeId,
+    /// The stub node carrying the 5 ms uplink to `parent_transit`.
+    pub gateway: PhysNodeId,
+    /// Contiguous id range of the domain's members.
+    pub members: Range<u32>,
+}
+
+impl StubDomainInfo {
+    #[inline]
+    pub fn len(&self) -> usize {
+        (self.members.end - self.members.start) as usize
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Local (within-domain) index of a member node.
+    #[inline]
+    pub fn local_index(&self, node: PhysNodeId) -> usize {
+        debug_assert!(self.members.contains(&node.0));
+        (node.0 - self.members.start) as usize
+    }
+}
+
+/// Weighted undirected physical graph plus the hierarchy metadata the latency
+/// oracle needs.
+#[derive(Debug)]
+pub struct PhysGraph {
+    kinds: Vec<NodeKind>,
+    adj: Vec<Vec<(PhysNodeId, u64)>>,
+    /// All transit node ids, domain-major. A transit node's position in this
+    /// list is its "core index" used by the oracle's transit APSP.
+    transit_nodes: Vec<PhysNodeId>,
+    stub_domains: Vec<StubDomainInfo>,
+    /// Intra-stub link latency (µs), uniform per the model — lets the oracle
+    /// turn BFS hop counts into time.
+    pub lat_intra_stub_us: u64,
+    /// Transit→stub uplink latency (µs).
+    pub lat_transit_stub_us: u64,
+}
+
+impl PhysGraph {
+    pub(crate) fn new(
+        kinds: Vec<NodeKind>,
+        transit_nodes: Vec<PhysNodeId>,
+        stub_domains: Vec<StubDomainInfo>,
+        lat_intra_stub_us: u64,
+        lat_transit_stub_us: u64,
+    ) -> Self {
+        let n = kinds.len();
+        Self {
+            kinds,
+            adj: vec![Vec::new(); n],
+            transit_nodes,
+            stub_domains,
+            lat_intra_stub_us,
+            lat_transit_stub_us,
+        }
+    }
+
+    pub(crate) fn add_edge(&mut self, a: PhysNodeId, b: PhysNodeId, latency_us: u64) {
+        debug_assert_ne!(a, b, "no self loops");
+        self.adj[a.index()].push((b, latency_us));
+        self.adj[b.index()].push((a, latency_us));
+    }
+
+    /// True if an edge `a—b` already exists (used by the generator to avoid
+    /// duplicating repair edges).
+    pub(crate) fn has_edge(&self, a: PhysNodeId, b: PhysNodeId) -> bool {
+        self.adj[a.index()].iter().any(|&(n, _)| n == b)
+    }
+
+    pub(crate) fn set_gateway(&mut self, stub_domain: u32, gateway: PhysNodeId) {
+        self.stub_domains[stub_domain as usize].gateway = gateway;
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.kinds.len()
+    }
+
+    pub fn num_edges(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    #[inline]
+    pub fn kind(&self, node: PhysNodeId) -> NodeKind {
+        self.kinds[node.index()]
+    }
+
+    #[inline]
+    pub fn neighbors(&self, node: PhysNodeId) -> &[(PhysNodeId, u64)] {
+        &self.adj[node.index()]
+    }
+
+    pub fn transit_nodes(&self) -> &[PhysNodeId] {
+        &self.transit_nodes
+    }
+
+    /// Core index of a transit node (its position in [`Self::transit_nodes`]).
+    /// Transit ids are allocated first and densely, so this is the id itself.
+    #[inline]
+    pub fn transit_core_index(&self, node: PhysNodeId) -> usize {
+        debug_assert!(matches!(self.kind(node), NodeKind::Transit { .. }));
+        node.index()
+    }
+
+    pub fn stub_domains(&self) -> &[StubDomainInfo] {
+        &self.stub_domains
+    }
+
+    #[inline]
+    pub fn stub_domain(&self, id: u32) -> &StubDomainInfo {
+        &self.stub_domains[id as usize]
+    }
+
+    /// Iterate all undirected edges once.
+    pub fn edges(&self) -> impl Iterator<Item = (PhysNodeId, PhysNodeId, u64)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(i, nbrs)| {
+            nbrs.iter()
+                .filter(move |(j, _)| (i as u32) < j.0)
+                .map(move |&(j, w)| (PhysNodeId(i as u32), j, w))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PhysGraph {
+        let kinds = vec![
+            NodeKind::Transit { domain: 0 },
+            NodeKind::Stub { stub_domain: 0 },
+            NodeKind::Stub { stub_domain: 0 },
+        ];
+        let stub = StubDomainInfo {
+            parent_transit: PhysNodeId(0),
+            gateway: PhysNodeId(1),
+            members: 1..3,
+        };
+        let mut g = PhysGraph::new(kinds, vec![PhysNodeId(0)], vec![stub], 2_000, 5_000);
+        g.add_edge(PhysNodeId(0), PhysNodeId(1), 5_000);
+        g.add_edge(PhysNodeId(1), PhysNodeId(2), 2_000);
+        g
+    }
+
+    #[test]
+    fn edge_bookkeeping() {
+        let g = tiny();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(PhysNodeId(0), PhysNodeId(1)));
+        assert!(g.has_edge(PhysNodeId(1), PhysNodeId(0)));
+        assert!(!g.has_edge(PhysNodeId(0), PhysNodeId(2)));
+    }
+
+    #[test]
+    fn edges_iterator_lists_each_edge_once() {
+        let g = tiny();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 2);
+        assert!(edges.contains(&(PhysNodeId(0), PhysNodeId(1), 5_000)));
+        assert!(edges.contains(&(PhysNodeId(1), PhysNodeId(2), 2_000)));
+    }
+
+    #[test]
+    fn stub_domain_local_index() {
+        let g = tiny();
+        let d = g.stub_domain(0);
+        assert_eq!(d.len(), 2);
+        assert_eq!(d.local_index(PhysNodeId(1)), 0);
+        assert_eq!(d.local_index(PhysNodeId(2)), 1);
+    }
+}

@@ -1,0 +1,270 @@
+//! Transit-stub generator (reimplementation of the GT-ITM construction the
+//! paper configures in §IV-A).
+//!
+//! Construction, in id order:
+//! 1. Transit nodes, domain-major. Inside each domain every pair is linked
+//!    with probability `p_transit_edge` at 20 ms; domains left disconnected
+//!    by sampling are repaired with extra intra-domain edges.
+//! 2. The transit domains form a complete graph at the top level: for every
+//!    domain pair one 50 ms edge between a random transit node of each.
+//! 3. Per transit node, `stub_domains_per_transit_node` stub domains. Inside
+//!    each, pairs link with probability `p_stub_edge` at 2 ms (repaired to
+//!    connectivity), and one random member (the *gateway*) gets the 5 ms
+//!    uplink to the parent transit node.
+//!
+//! Single-homed stub domains (exactly one uplink) are what make the
+//! hierarchical latency oracle exact; GT-ITM's optional extra transit-stub
+//! edges are not used by the paper's description.
+
+use crate::config::TransitStubConfig;
+use crate::graph::{NodeKind, PhysGraph, PhysNodeId, StubDomainInfo};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a physical network per `config`. Deterministic in `config.seed`.
+pub fn generate(config: &TransitStubConfig) -> PhysGraph {
+    config.validate();
+    let mut rng = SmallRng::seed_from_u64(config.seed ^ 0x5EED_7090_1061);
+
+    let n_transit = (config.transit_domains * config.transit_nodes_per_domain) as usize;
+    let n_stub_domains = n_transit * config.stub_domains_per_transit_node as usize;
+    let n_total = n_transit + n_stub_domains * config.stub_nodes_per_domain as usize;
+
+    // --- node kinds & hierarchy records ---
+    let mut kinds = Vec::with_capacity(n_total);
+    let mut transit_nodes = Vec::with_capacity(n_transit);
+    for d in 0..config.transit_domains {
+        for _ in 0..config.transit_nodes_per_domain {
+            transit_nodes.push(PhysNodeId(kinds.len() as u32));
+            kinds.push(NodeKind::Transit { domain: d });
+        }
+    }
+    let mut stub_domains = Vec::with_capacity(n_stub_domains);
+    let mut next = n_transit as u32;
+    for t in 0..n_transit {
+        for _ in 0..config.stub_domains_per_transit_node {
+            let sd = stub_domains.len() as u32;
+            let members = next..next + config.stub_nodes_per_domain;
+            for _ in members.clone() {
+                kinds.push(NodeKind::Stub { stub_domain: sd });
+            }
+            stub_domains.push(StubDomainInfo {
+                parent_transit: PhysNodeId(t as u32),
+                gateway: PhysNodeId(members.start), // fixed up below
+                members: members.clone(),
+            });
+            next = members.end;
+        }
+    }
+    debug_assert_eq!(kinds.len(), n_total);
+
+    let mut g = PhysGraph::new(
+        kinds,
+        transit_nodes,
+        stub_domains,
+        config.lat_intra_stub_us,
+        config.lat_transit_stub_us,
+    );
+
+    // --- intra-transit-domain edges ---
+    for d in 0..config.transit_domains {
+        let base = d * config.transit_nodes_per_domain;
+        let ids: Vec<PhysNodeId> = (0..config.transit_nodes_per_domain)
+            .map(|i| PhysNodeId(base + i))
+            .collect();
+        wire_domain(
+            &mut g,
+            &ids,
+            config.p_transit_edge,
+            config.lat_intra_transit_us,
+            &mut rng,
+        );
+    }
+
+    // --- complete graph over transit domains ---
+    for d1 in 0..config.transit_domains {
+        for d2 in (d1 + 1)..config.transit_domains {
+            let a = random_transit_of_domain(config, d1, &mut rng);
+            let b = random_transit_of_domain(config, d2, &mut rng);
+            g.add_edge(a, b, config.lat_inter_transit_us);
+        }
+    }
+
+    // --- stub domains ---
+    for sd in 0..g.stub_domains().len() {
+        let info = g.stub_domain(sd as u32).clone();
+        let ids: Vec<PhysNodeId> = info.members.clone().map(PhysNodeId).collect();
+        wire_domain(&mut g, &ids, config.p_stub_edge, config.lat_intra_stub_us, &mut rng);
+        let gateway = ids[rng.gen_range(0..ids.len())];
+        g.set_gateway(sd as u32, gateway);
+        g.add_edge(info.parent_transit, gateway, config.lat_transit_stub_us);
+    }
+
+    g
+}
+
+fn random_transit_of_domain(config: &TransitStubConfig, domain: u32, rng: &mut SmallRng) -> PhysNodeId {
+    let base = domain * config.transit_nodes_per_domain;
+    PhysNodeId(base + rng.gen_range(0..config.transit_nodes_per_domain))
+}
+
+/// Sample pairwise edges with probability `p` at weight `lat`, then repair
+/// connectivity: components found by union-find are chained together with
+/// extra edges between random representatives.
+fn wire_domain(g: &mut PhysGraph, ids: &[PhysNodeId], p: f64, lat: u64, rng: &mut SmallRng) {
+    let n = ids.len();
+    let mut dsu = Dsu::new(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.gen_bool(p) {
+                g.add_edge(ids[i], ids[j], lat);
+                dsu.union(i, j);
+            }
+        }
+    }
+    // Repair: link every component to component(0).
+    for i in 1..n {
+        if dsu.find(i) != dsu.find(0) {
+            // Attach through a random already-connected member for variety.
+            let mut j = rng.gen_range(0..n);
+            while dsu.find(j) == dsu.find(i) {
+                j = rng.gen_range(0..n);
+            }
+            if !g.has_edge(ids[i], ids[j]) {
+                g.add_edge(ids[i], ids[j], lat);
+            }
+            dsu.union(i, j);
+        }
+    }
+}
+
+struct Dsu {
+    parent: Vec<u32>,
+}
+
+impl Dsu {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    fn find(&mut self, x: usize) -> usize {
+        let p = self.parent[x] as usize;
+        if p == x {
+            return x;
+        }
+        let root = self.find(p);
+        self.parent[x] = root as u32;
+        root
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra;
+
+    #[test]
+    fn reduced_graph_is_fully_connected() {
+        let g = generate(&TransitStubConfig::reduced(11));
+        let dist = dijkstra::sssp(&g, PhysNodeId(0));
+        assert!(
+            dist.iter().all(|&d| d != u64::MAX),
+            "every node must be reachable"
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(&TransitStubConfig::reduced(5));
+        let b = generate(&TransitStubConfig::reduced(5));
+        assert_eq!(a.num_edges(), b.num_edges());
+        assert_eq!(
+            a.edges().collect::<Vec<_>>(),
+            b.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&TransitStubConfig::reduced(5));
+        let b = generate(&TransitStubConfig::reduced(6));
+        assert_ne!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn node_counts_match_config() {
+        let cfg = TransitStubConfig::reduced(3);
+        let g = generate(&cfg);
+        assert_eq!(g.num_nodes(), cfg.expected_nodes());
+        assert_eq!(
+            g.transit_nodes().len(),
+            (cfg.transit_domains * cfg.transit_nodes_per_domain) as usize
+        );
+    }
+
+    #[test]
+    fn stub_gateways_have_uplink() {
+        let g = generate(&TransitStubConfig::reduced(9));
+        for sd in g.stub_domains() {
+            assert!(
+                g.neighbors(sd.gateway)
+                    .iter()
+                    .any(|&(n, w)| n == sd.parent_transit && w == 5_000),
+                "gateway must link to its parent transit node at 5 ms"
+            );
+            assert!(sd.members.contains(&sd.gateway.0));
+        }
+    }
+
+    #[test]
+    fn stub_domains_have_no_external_stub_edges() {
+        let g = generate(&TransitStubConfig::reduced(13));
+        for (a, b, _) in g.edges() {
+            if let (NodeKind::Stub { stub_domain: da }, NodeKind::Stub { stub_domain: db }) =
+                (g.kind(a), g.kind(b))
+            {
+                assert_eq!(da, db, "no edges between different stub domains");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_latencies_match_tiers() {
+        let g = generate(&TransitStubConfig::reduced(17));
+        for (a, b, w) in g.edges() {
+            let expected = match (g.kind(a), g.kind(b)) {
+                (NodeKind::Transit { domain: d1 }, NodeKind::Transit { domain: d2 }) => {
+                    if d1 == d2 {
+                        20_000
+                    } else {
+                        50_000
+                    }
+                }
+                (NodeKind::Stub { .. }, NodeKind::Stub { .. }) => 2_000,
+                _ => 5_000,
+            };
+            assert_eq!(w, expected, "edge {a:?}-{b:?}");
+        }
+    }
+
+    #[test]
+    fn degenerate_single_domain_works() {
+        let mut cfg = TransitStubConfig::reduced(1);
+        cfg.transit_domains = 1;
+        cfg.transit_nodes_per_domain = 1;
+        cfg.stub_domains_per_transit_node = 1;
+        cfg.stub_nodes_per_domain = 1;
+        let g = generate(&cfg);
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.num_edges(), 1); // just the uplink
+    }
+}

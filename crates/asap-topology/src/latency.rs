@@ -1,0 +1,273 @@
+//! Exact O(1) pairwise latency queries over the transit-stub hierarchy.
+//!
+//! The construction is single-homed: each stub domain reaches the rest of the
+//! world only through its gateway's 5 ms uplink to one transit node, and stub
+//! domains never interconnect. Every shortest path between nodes in different
+//! stub domains therefore decomposes as
+//!
+//! ```text
+//! src →(intra-stub hops × 2 ms)→ gateway →(5 ms)→ parent transit
+//!     →(transit-core shortest path)→ parent transit of dst's domain
+//!     →(5 ms)→ gateway →(intra-stub hops × 2 ms)→ dst
+//! ```
+//!
+//! and within one stub domain the direct intra-domain path is optimal by the
+//! triangle inequality (leaving and re-entering costs ≥ 10 ms through the
+//! same gateway). So exact APSP is only needed (a) over the transit core
+//! (144 nodes at paper scale) and (b) inside each ≤ ~40-node stub domain,
+//! where uniform 2 ms edges reduce it to BFS hop counts.
+
+use crate::graph::{NodeKind, PhysGraph, PhysNodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::VecDeque;
+
+const UNREACHED_HOPS: u16 = u16::MAX;
+
+/// Precomputed latency tables; answers any pair query in O(1).
+#[derive(Debug)]
+pub struct LatencyOracle {
+    /// Flattened `n_transit × n_transit` µs distances over the transit core.
+    transit_dist: Vec<u64>,
+    n_transit: usize,
+    /// Per stub domain: flattened `len × len` hop counts.
+    stub_hops: Vec<Vec<u16>>,
+}
+
+impl LatencyOracle {
+    /// Build all tables. Cost: `O(T · E_T log T)` for the core plus
+    /// `O(Σ len·(len+edges))` BFS over stub domains — seconds at paper scale.
+    pub fn build(g: &PhysGraph) -> Self {
+        let n_transit = g.transit_nodes().len();
+        let mut transit_dist = vec![u64::MAX; n_transit * n_transit];
+        for (i, &t) in g.transit_nodes().iter().enumerate() {
+            let row = transit_sssp(g, t, n_transit);
+            transit_dist[i * n_transit..(i + 1) * n_transit].copy_from_slice(&row);
+        }
+        let stub_hops = g
+            .stub_domains()
+            .iter()
+            .map(|sd| {
+                let len = sd.len();
+                let mut hops = vec![UNREACHED_HOPS; len * len];
+                for local in 0..len {
+                    let row = stub_bfs(g, sd.members.start, len, local);
+                    hops[local * len..(local + 1) * len].copy_from_slice(&row);
+                }
+                hops
+            })
+            .collect();
+        Self {
+            transit_dist,
+            n_transit,
+            stub_hops,
+        }
+    }
+
+    #[inline]
+    fn transit_pair(&self, a: usize, b: usize) -> u64 {
+        self.transit_dist[a * self.n_transit + b]
+    }
+
+    fn stub_pair_hops(&self, domain: u32, len: usize, a: usize, b: usize) -> u64 {
+        let h = self.stub_hops[domain as usize][a * len + b];
+        assert_ne!(h, UNREACHED_HOPS, "stub domains are connectivity-repaired");
+        u64::from(h)
+    }
+
+    /// Exact one-way shortest-path latency between two physical nodes, µs.
+    pub fn latency_us(&self, g: &PhysGraph, a: PhysNodeId, b: PhysNodeId) -> u64 {
+        if a == b {
+            return 0;
+        }
+        match (g.kind(a), g.kind(b)) {
+            (NodeKind::Transit { .. }, NodeKind::Transit { .. }) => {
+                self.transit_pair(g.transit_core_index(a), g.transit_core_index(b))
+            }
+            (NodeKind::Transit { .. }, NodeKind::Stub { stub_domain }) => {
+                self.transit_to_stub(g, a, stub_domain, b)
+            }
+            (NodeKind::Stub { stub_domain }, NodeKind::Transit { .. }) => {
+                self.transit_to_stub(g, b, stub_domain, a)
+            }
+            (NodeKind::Stub { stub_domain: da }, NodeKind::Stub { stub_domain: db }) => {
+                if da == db {
+                    let sd = g.stub_domain(da);
+                    let hops =
+                        self.stub_pair_hops(da, sd.len(), sd.local_index(a), sd.local_index(b));
+                    hops * g.lat_intra_stub_us
+                } else {
+                    self.stub_exit(g, da, a)
+                        + self.transit_pair(
+                            g.transit_core_index(g.stub_domain(da).parent_transit),
+                            g.transit_core_index(g.stub_domain(db).parent_transit),
+                        )
+                        + self.stub_exit(g, db, b)
+                }
+            }
+        }
+    }
+
+    /// Latency from a stub node to its domain's parent transit node:
+    /// intra-domain hops to the gateway plus the 5 ms uplink.
+    fn stub_exit(&self, g: &PhysGraph, domain: u32, node: PhysNodeId) -> u64 {
+        let sd = g.stub_domain(domain);
+        let hops = self.stub_pair_hops(
+            domain,
+            sd.len(),
+            sd.local_index(node),
+            sd.local_index(sd.gateway),
+        );
+        hops * g.lat_intra_stub_us + g.lat_transit_stub_us
+    }
+
+    fn transit_to_stub(&self, g: &PhysGraph, t: PhysNodeId, domain: u32, s: PhysNodeId) -> u64 {
+        self.transit_pair(
+            g.transit_core_index(t),
+            g.transit_core_index(g.stub_domain(domain).parent_transit),
+        ) + self.stub_exit(g, domain, s)
+    }
+}
+
+/// Dijkstra from one transit node restricted to the transit core (transit
+/// node ids are dense and low, so the restriction is an id bound).
+fn transit_sssp(g: &PhysGraph, src: PhysNodeId, n_transit: usize) -> Vec<u64> {
+    let mut dist = vec![u64::MAX; n_transit];
+    let mut heap = BinaryHeap::new();
+    dist[src.index()] = 0;
+    heap.push(Reverse((0u64, src)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u.index()] {
+            continue;
+        }
+        for &(v, w) in g.neighbors(u) {
+            if v.index() >= n_transit {
+                continue; // stub neighbor: never on a transit-transit shortest path
+            }
+            let nd = d + w;
+            if nd < dist[v.index()] {
+                dist[v.index()] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    dist
+}
+
+/// BFS hop counts within one stub domain (uniform 2 ms edges).
+fn stub_bfs(g: &PhysGraph, base: u32, len: usize, src_local: usize) -> Vec<u16> {
+    let mut hops = vec![UNREACHED_HOPS; len];
+    let mut q = VecDeque::new();
+    hops[src_local] = 0;
+    q.push_back(src_local);
+    while let Some(u) = q.pop_front() {
+        let hu = hops[u];
+        for &(v, _) in g.neighbors(PhysNodeId(base + u as u32)) {
+            let vi = v.0.wrapping_sub(base) as usize;
+            if vi < len && hops[vi] == UNREACHED_HOPS {
+                hops[vi] = hu + 1;
+                q.push_back(vi);
+            }
+        }
+    }
+    hops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TransitStubConfig;
+    use crate::dijkstra;
+    use crate::gtitm::generate;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn oracle_matches_dijkstra(seed: u64) {
+        let g = generate(&TransitStubConfig::reduced(seed));
+        let oracle = LatencyOracle::build(&g);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for _ in 0..40 {
+            let a = PhysNodeId(rng.gen_range(0..g.num_nodes() as u32));
+            let reference = dijkstra::sssp(&g, a);
+            for _ in 0..10 {
+                let b = PhysNodeId(rng.gen_range(0..g.num_nodes() as u32));
+                assert_eq!(
+                    oracle.latency_us(&g, a, b),
+                    reference[b.index()],
+                    "oracle mismatch for {a:?}->{b:?} (seed {seed})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn oracle_is_exact_seed_1() {
+        oracle_matches_dijkstra(1);
+    }
+
+    #[test]
+    fn oracle_is_exact_seed_2() {
+        oracle_matches_dijkstra(2);
+    }
+
+    #[test]
+    fn oracle_is_exact_seed_3() {
+        oracle_matches_dijkstra(3);
+    }
+
+    #[test]
+    fn self_latency_zero_everywhere() {
+        let g = generate(&TransitStubConfig::reduced(4));
+        let oracle = LatencyOracle::build(&g);
+        for i in (0..g.num_nodes() as u32).step_by(17) {
+            assert_eq!(oracle.latency_us(&g, PhysNodeId(i), PhysNodeId(i)), 0);
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        let g = generate(&TransitStubConfig::reduced(5));
+        let oracle = LatencyOracle::build(&g);
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let a = PhysNodeId(rng.gen_range(0..g.num_nodes() as u32));
+            let b = PhysNodeId(rng.gen_range(0..g.num_nodes() as u32));
+            assert_eq!(oracle.latency_us(&g, a, b), oracle.latency_us(&g, b, a));
+        }
+    }
+
+    #[test]
+    fn same_stub_domain_is_cheap() {
+        let g = generate(&TransitStubConfig::reduced(6));
+        let oracle = LatencyOracle::build(&g);
+        let sd = &g.stub_domains()[0];
+        let a = PhysNodeId(sd.members.start);
+        let b = PhysNodeId(sd.members.start + 1);
+        let lat = oracle.latency_us(&g, a, b);
+        // Intra-stub paths cost 2 ms per hop; the domain has ≤ 8 nodes.
+        assert!((2_000..=2_000 * 8).contains(&lat), "{lat}");
+    }
+
+    #[test]
+    fn cross_domain_pays_backbone() {
+        let g = generate(&TransitStubConfig::reduced(7));
+        let oracle = LatencyOracle::build(&g);
+        // Find stub nodes whose parents live in different transit domains.
+        let sds = g.stub_domains();
+        let (mut a, mut b) = (None, None);
+        for sd in sds {
+            match g.kind(sd.parent_transit) {
+                NodeKind::Transit { domain: 0 } if a.is_none() => {
+                    a = Some(PhysNodeId(sd.members.start))
+                }
+                NodeKind::Transit { domain: 2 } if b.is_none() => {
+                    b = Some(PhysNodeId(sd.members.start))
+                }
+                _ => {}
+            }
+        }
+        let (a, b) = (a.unwrap(), b.unwrap());
+        // Must include two 5 ms uplinks and ≥ one 50 ms inter-domain hop.
+        assert!(oracle.latency_us(&g, a, b) >= 5_000 + 50_000 + 5_000);
+    }
+}

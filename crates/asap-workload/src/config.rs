@@ -1,0 +1,150 @@
+//! Workload generation parameters (paper §IV-B).
+
+/// Parameters of the synthetic eDonkey-like workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of P2P peers (paper: 10,000).
+    pub peers: usize,
+    /// Number of search requests (paper: 30,000).
+    pub queries: usize,
+    /// Fraction of requests followed by a content change (paper: 10 %).
+    pub content_change_fraction: f64,
+    /// Node join events inserted into the trace (paper: 1,000). Joining
+    /// peers start the simulation offline.
+    pub joins: usize,
+    /// Node departure events (paper: 1,000).
+    pub leaves: usize,
+    /// Poisson request arrival rate, requests per second (paper: λ = 8).
+    pub arrival_rate_hz: f64,
+    /// Fraction of peers sharing nothing (free riders). Saroiu et al.'s
+    /// measurements motivate ~¼.
+    pub free_rider_fraction: f64,
+    /// Mean shared documents per sharing peer (eDonkey: 923k files / 37k
+    /// peers ≈ 25).
+    pub mean_docs_per_sharer: f64,
+    /// Probability a placed document replicates an existing one rather than
+    /// being new. 0.22 yields the paper's ≈ 1.28 copies/doc with ≈ 89 %
+    /// singletons (validated in tests).
+    pub replica_prob: f64,
+    /// Number of semantic classes (paper: 14).
+    pub classes: usize,
+    /// Zipf exponent for class popularity (shapes Fig. 2/3's skew).
+    pub class_zipf_s: f64,
+    /// Keywords per document, inclusive range.
+    pub keywords_per_doc: (usize, usize),
+    /// Query terms drawn from the target document, inclusive range.
+    pub query_terms: (usize, usize),
+    /// Distinct keywords in each class's vocabulary.
+    pub vocab_per_class: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// The paper's instance.
+    pub fn paper_default(seed: u64) -> Self {
+        Self {
+            peers: 10_000,
+            queries: 30_000,
+            content_change_fraction: 0.10,
+            joins: 1_000,
+            leaves: 1_000,
+            arrival_rate_hz: 8.0,
+            free_rider_fraction: 0.25,
+            mean_docs_per_sharer: 25.0,
+            replica_prob: 0.22,
+            classes: 14,
+            class_zipf_s: 0.95,
+            keywords_per_doc: (3, 8),
+            query_terms: (2, 4),
+            vocab_per_class: 2_000,
+            seed,
+        }
+    }
+
+    /// Structurally identical instance scaled down to `peers`/`queries`
+    /// (churn and vocabulary scale proportionally).
+    pub fn reduced(peers: usize, queries: usize, seed: u64) -> Self {
+        let scale = peers as f64 / 10_000.0;
+        let base = Self::paper_default(seed);
+        Self {
+            peers,
+            queries,
+            joins: ((1_000.0 * scale) as usize).max(2),
+            leaves: ((1_000.0 * scale) as usize).max(2),
+            vocab_per_class: ((2_000.0 * scale) as usize).clamp(50, 2_000),
+            ..base
+        }
+    }
+
+    pub fn validate(&self) {
+        assert!(self.peers >= 4, "need at least 4 peers");
+        assert!(self.queries >= 1, "need at least one query");
+        assert!(
+            self.joins < self.peers,
+            "joiners are drawn from the peer population"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.content_change_fraction)
+                && (0.0..=1.0).contains(&self.free_rider_fraction)
+                && (0.0..=1.0).contains(&self.replica_prob),
+            "fractions must be in [0, 1]"
+        );
+        assert!(self.arrival_rate_hz > 0.0, "arrival rate must be positive");
+        assert!(
+            self.classes >= 1 && self.classes <= 16,
+            "classes must fit the InterestSet bitmask"
+        );
+        assert!(
+            self.keywords_per_doc.0 >= 1 && self.keywords_per_doc.0 <= self.keywords_per_doc.1,
+            "bad keywords_per_doc range"
+        );
+        assert!(
+            self.query_terms.0 >= 1 && self.query_terms.0 <= self.query_terms.1,
+            "bad query_terms range"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_validates() {
+        WorkloadConfig::paper_default(1).validate();
+    }
+
+    #[test]
+    fn reduced_scales_churn() {
+        let c = WorkloadConfig::reduced(1_000, 3_000, 1);
+        c.validate();
+        assert_eq!(c.joins, 100);
+        assert_eq!(c.leaves, 100);
+        assert_eq!(c.vocab_per_class, 200);
+    }
+
+    #[test]
+    fn reduced_clamps_tiny_scales() {
+        let c = WorkloadConfig::reduced(20, 50, 1);
+        c.validate();
+        assert!(c.joins >= 2);
+        assert!(c.vocab_per_class >= 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "classes")]
+    fn too_many_classes_rejected() {
+        let mut c = WorkloadConfig::paper_default(1);
+        c.classes = 17;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "joiners")]
+    fn joins_bounded_by_peers() {
+        let mut c = WorkloadConfig::reduced(100, 100, 1);
+        c.joins = 100;
+        c.validate();
+    }
+}

@@ -1,0 +1,255 @@
+//! Runtime content state: per-peer holdings evolving under content changes.
+//!
+//! Both the trace generator (to keep queries answerable) and the simulator
+//! (to answer match checks) replay the same state machine. The per-peer
+//! keyword multiset gives an O(terms) prefilter before the exact per-document
+//! scan, which is what makes flooding-scale match checks affordable.
+
+use crate::content::ContentModel;
+use crate::ids::{DocId, InterestSet, KeywordId};
+use asap_overlay::PeerId;
+use std::collections::HashMap;
+
+/// Evolving shared-content state for every peer.
+#[derive(Debug, Clone)]
+pub struct ContentState {
+    /// Sorted docs per peer.
+    holdings: Vec<Vec<DocId>>,
+    /// Holders per doc (unsorted).
+    holders: Vec<Vec<PeerId>>,
+    /// Keyword → occurrence count per peer (across that peer's docs).
+    keyword_counts: Vec<HashMap<KeywordId, u32>>,
+}
+
+impl ContentState {
+    /// Initialize from the model's initial holdings.
+    pub fn from_model(model: &ContentModel) -> Self {
+        let mut s = Self {
+            holdings: vec![Vec::new(); model.num_peers()],
+            holders: vec![Vec::new(); model.num_docs()],
+            keyword_counts: vec![HashMap::new(); model.num_peers()],
+        };
+        for (p, docs) in model.initial_holdings.iter().enumerate() {
+            for &d in docs {
+                s.add(model, PeerId(p as u32), d);
+            }
+        }
+        s
+    }
+
+    /// Peer starts sharing a document. Returns `false` if already held.
+    pub fn add(&mut self, model: &ContentModel, peer: PeerId, doc: DocId) -> bool {
+        let h = &mut self.holdings[peer.index()];
+        let Err(pos) = h.binary_search(&doc) else {
+            return false;
+        };
+        h.insert(pos, doc);
+        self.holders[doc.index()].push(peer);
+        let counts = &mut self.keyword_counts[peer.index()];
+        for &kw in &model.doc(doc).keywords {
+            *counts.entry(kw).or_insert(0) += 1;
+        }
+        true
+    }
+
+    /// Peer stops sharing a document. Returns `false` if it wasn't held.
+    pub fn remove(&mut self, model: &ContentModel, peer: PeerId, doc: DocId) -> bool {
+        let h = &mut self.holdings[peer.index()];
+        let Ok(pos) = h.binary_search(&doc) else {
+            return false;
+        };
+        h.remove(pos);
+        let hs = &mut self.holders[doc.index()];
+        let i = hs.iter().position(|&p| p == peer).expect("holder invariant");
+        hs.swap_remove(i);
+        let counts = &mut self.keyword_counts[peer.index()];
+        for &kw in &model.doc(doc).keywords {
+            match counts.get_mut(&kw) {
+                Some(c) if *c > 1 => *c -= 1,
+                Some(_) => {
+                    counts.remove(&kw);
+                }
+                None => unreachable!("keyword count invariant"),
+            }
+        }
+        true
+    }
+
+    #[inline]
+    pub fn peer_docs(&self, peer: PeerId) -> &[DocId] {
+        &self.holdings[peer.index()]
+    }
+
+    #[inline]
+    pub fn holders(&self, doc: DocId) -> &[PeerId] {
+        &self.holders[doc.index()]
+    }
+
+    pub fn peer_has_doc(&self, peer: PeerId, doc: DocId) -> bool {
+        self.holdings[peer.index()].binary_search(&doc).is_ok()
+    }
+
+    /// Does `peer` share at least one document containing **all** `terms`?
+    /// (The content-confirmation check.)
+    pub fn peer_matches(&self, model: &ContentModel, peer: PeerId, terms: &[KeywordId]) -> bool {
+        let counts = &self.keyword_counts[peer.index()];
+        if !terms.iter().all(|t| counts.contains_key(t)) {
+            return false; // cheap prefilter: some term absent everywhere
+        }
+        self.holdings[peer.index()]
+            .iter()
+            .any(|&d| model.doc(d).matches(terms))
+    }
+
+    /// All of `peer`'s documents matching `terms`.
+    pub fn matching_docs<'a>(
+        &'a self,
+        model: &'a ContentModel,
+        peer: PeerId,
+        terms: &'a [KeywordId],
+    ) -> impl Iterator<Item = DocId> + 'a {
+        self.holdings[peer.index()]
+            .iter()
+            .copied()
+            .filter(move |&d| model.doc(d).matches(terms))
+    }
+
+    /// The classes of the peer's current shared content — the topics `T(a)`
+    /// an ad from this peer carries.
+    pub fn peer_topics(&self, model: &ContentModel, peer: PeerId) -> InterestSet {
+        self.holdings[peer.index()]
+            .iter()
+            .map(|&d| model.doc(d).class)
+            .collect()
+    }
+
+    /// Current distinct keywords of a peer (what its Bloom filter covers).
+    pub fn peer_keywords(&self, peer: PeerId) -> impl Iterator<Item = KeywordId> + '_ {
+        self.keyword_counts[peer.index()].keys().copied()
+    }
+
+    /// Number of distinct keywords a peer currently shares.
+    pub fn peer_keyword_count(&self, peer: PeerId) -> usize {
+        self.keyword_counts[peer.index()].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::WorkloadConfig;
+    use crate::content::generate_model;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (ContentModel, ContentState) {
+        let cfg = WorkloadConfig::reduced(300, 100, 11);
+        let mut rng = SmallRng::seed_from_u64(11);
+        let model = generate_model(&cfg, &mut rng);
+        let state = ContentState::from_model(&model);
+        (model, state)
+    }
+
+    #[test]
+    fn initial_state_mirrors_model() {
+        let (model, state) = setup();
+        for p in 0..model.num_peers() {
+            assert_eq!(
+                state.peer_docs(PeerId(p as u32)),
+                model.initial_holdings[p].as_slice()
+            );
+        }
+    }
+
+    #[test]
+    fn holders_are_consistent() {
+        let (model, state) = setup();
+        for d in 0..model.num_docs() {
+            for &h in state.holders(DocId(d as u32)) {
+                assert!(state.peer_has_doc(h, DocId(d as u32)));
+            }
+        }
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let (model, mut state) = setup();
+        // Find a doc some peer doesn't hold.
+        let peer = PeerId(0);
+        let doc = (0..model.num_docs() as u32)
+            .map(DocId)
+            .find(|&d| !state.peer_has_doc(peer, d))
+            .unwrap();
+        let before_kw = state.peer_keyword_count(peer);
+        assert!(state.add(&model, peer, doc));
+        assert!(!state.add(&model, peer, doc), "double add rejected");
+        assert!(state.peer_has_doc(peer, doc));
+        assert!(state.holders(doc).contains(&peer));
+        assert!(state.remove(&model, peer, doc));
+        assert!(!state.remove(&model, peer, doc), "double remove rejected");
+        assert_eq!(state.peer_keyword_count(peer), before_kw);
+    }
+
+    #[test]
+    fn peer_matches_agrees_with_exhaustive_scan() {
+        let (model, state) = setup();
+        let mut checked = 0;
+        for p in 0..model.num_peers().min(100) {
+            let peer = PeerId(p as u32);
+            for &d in state.peer_docs(peer).iter().take(3) {
+                let doc = model.doc(d);
+                let terms: Vec<KeywordId> =
+                    doc.keywords.iter().copied().take(2).collect();
+                assert!(state.peer_matches(&model, peer, &terms));
+                checked += 1;
+            }
+        }
+        assert!(checked > 0, "test exercised no matches");
+    }
+
+    #[test]
+    fn peer_matches_rejects_cross_document_terms() {
+        // Terms spread across two docs (but no single doc) must not match.
+        let (model, state) = setup();
+        'outer: for p in 0..model.num_peers() {
+            let peer = PeerId(p as u32);
+            let docs = state.peer_docs(peer);
+            if docs.len() < 2 {
+                continue;
+            }
+            for i in 0..docs.len() {
+                for j in (i + 1)..docs.len() {
+                    let (a, b) = (model.doc(docs[i]), model.doc(docs[j]));
+                    let ka = a.keywords.iter().find(|k| !b.keywords.contains(k));
+                    let kb = b.keywords.iter().find(|k| !a.keywords.contains(k));
+                    if let (Some(&ka), Some(&kb)) = (ka, kb) {
+                        let terms = [ka, kb];
+                        let exhaustive = docs
+                            .iter()
+                            .any(|&d| model.doc(d).matches(&terms));
+                        assert_eq!(state.peer_matches(&model, peer, &terms), exhaustive);
+                        if !exhaustive {
+                            break 'outer; // found and verified a negative case
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topics_track_content_changes() {
+        let (model, mut state) = setup();
+        // Pick a sharer and remove all its docs: topics must become empty.
+        let peer = (0..model.num_peers() as u32)
+            .map(PeerId)
+            .find(|&p| !state.peer_docs(p).is_empty())
+            .unwrap();
+        assert!(!state.peer_topics(&model, peer).is_empty());
+        for d in state.peer_docs(peer).to_vec() {
+            state.remove(&model, peer, d);
+        }
+        assert!(state.peer_topics(&model, peer).is_empty());
+        assert_eq!(state.peer_keyword_count(peer), 0);
+    }
+}

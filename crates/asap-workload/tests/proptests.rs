@@ -1,0 +1,85 @@
+//! Property-based tests for the workload generator: structural invariants
+//! that must hold for any seed and (sane) size.
+
+use asap_workload::{ContentState, TraceEvent, WorkloadConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every generated trace is answerable (live non-requester holder with
+    /// a term-matching document at issue time), for arbitrary seeds.
+    #[test]
+    fn every_query_answerable(seed in 0u64..10_000) {
+        let cfg = WorkloadConfig::reduced(200, 250, seed);
+        let w = asap_workload::generate(&cfg);
+        let checked = w.trace.validate(&w.model, &w.initially_alive);
+        prop_assert!(checked > 200, "only {} queries", checked);
+    }
+
+    /// Replaying the trace never corrupts the content state: removals only
+    /// remove held docs, adds only add absent docs, holder lists stay
+    /// consistent.
+    #[test]
+    fn trace_replay_preserves_state_invariants(seed in 0u64..10_000) {
+        let cfg = WorkloadConfig::reduced(150, 200, seed);
+        let w = asap_workload::generate(&cfg);
+        let mut state = ContentState::from_model(&w.model);
+        for ev in &w.trace.events {
+            match &ev.event {
+                TraceEvent::AddDocument { peer, doc } => {
+                    prop_assert!(!state.peer_has_doc(*peer, *doc), "double add");
+                    state.add(&w.model, *peer, *doc);
+                }
+                TraceEvent::RemoveDocument { peer, doc } => {
+                    prop_assert!(state.peer_has_doc(*peer, *doc), "phantom remove");
+                    state.remove(&w.model, *peer, *doc);
+                }
+                _ => {}
+            }
+        }
+        // Holder lists consistent with holdings.
+        for p in 0..w.model.num_peers() {
+            let peer = asap_workload::PeerId(p as u32);
+            for &d in state.peer_docs(peer) {
+                prop_assert!(state.holders(d).contains(&peer));
+            }
+        }
+    }
+
+    /// Copy statistics stay near the eDonkey marginals across seeds.
+    #[test]
+    fn copy_stats_stable_across_seeds(seed in 0u64..10_000) {
+        let cfg = WorkloadConfig::reduced(1_500, 10, seed);
+        let w = asap_workload::generate(&cfg);
+        let (mean, singles) = w.model.copy_stats();
+        prop_assert!((mean - 1.28).abs() < 0.25, "mean copies {}", mean);
+        prop_assert!((singles - 0.89).abs() < 0.08, "singletons {}", singles);
+    }
+
+    /// Churn events keep liveness consistent: no dead peer leaves, no live
+    /// peer joins, and the alive count never drops below a quarter.
+    #[test]
+    fn churn_liveness_consistent(seed in 0u64..10_000) {
+        let cfg = WorkloadConfig::reduced(200, 300, seed);
+        let w = asap_workload::generate(&cfg);
+        let mut alive = w.initially_alive.clone();
+        let mut count = alive.iter().filter(|&&a| a).count();
+        for ev in &w.trace.events {
+            match &ev.event {
+                TraceEvent::Join(p) => {
+                    prop_assert!(!alive[p.index()], "live peer joined");
+                    alive[p.index()] = true;
+                    count += 1;
+                }
+                TraceEvent::Leave(p) => {
+                    prop_assert!(alive[p.index()], "dead peer left");
+                    alive[p.index()] = false;
+                    count -= 1;
+                    prop_assert!(count > cfg.peers / 4, "network drained");
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # asap-p2p
+//!
+//! A full reproduction of **ASAP: An Advertisement-based Search Algorithm for
+//! Unstructured Peer-to-peer Systems** (Gu, Wang, Cai — ICPP 2007), including
+//! every substrate the paper's evaluation depends on:
+//!
+//! * [`bloom`] — Bloom-filter content synopses with compressed/patch encodings,
+//! * [`topology`] — GT-ITM transit-stub physical network and latency oracle,
+//! * [`overlay`] — random / power-law / crawled-like logical overlays,
+//! * [`workload`] — eDonkey-like content model and query/churn traces,
+//! * [`sim`] — deterministic discrete-event simulator,
+//! * [`search`] — the query-based baselines (flooding, random walk, GSA),
+//! * [`asap`] — the ASAP protocol itself (ads, repositories, one-hop search),
+//! * [`metrics`] — load / latency / cost accounting.
+//!
+//! See `examples/quickstart.rs` for a three-minute tour, and the
+//! `asap-bench` crate's `experiments` binary for the paper's figures.
+
+pub use asap_bloom as bloom;
+pub use asap_core as asap;
+pub use asap_metrics as metrics;
+pub use asap_overlay as overlay;
+pub use asap_search as search;
+pub use asap_sim as sim;
+pub use asap_topology as topology;
+pub use asap_workload as workload;

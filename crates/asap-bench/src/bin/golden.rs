@@ -1,0 +1,31 @@
+//! Regenerate the committed replay-digest golden file.
+//!
+//! Run after an intentional behavior change and commit the diff:
+//! `cargo run -p asap-bench --bin golden`
+
+use asap_bench::harness::{golden_lines, golden_world, replay_matrix};
+
+fn main() {
+    let world = golden_world();
+    eprintln!("replaying the golden matrix (12 audited cells)...");
+    let records = replay_matrix(&world);
+    for r in &records {
+        assert_eq!(
+            r.violations, 0,
+            "auditor found violations in {} / {} — fix before pinning",
+            r.algo.label(),
+            r.overlay.label()
+        );
+        eprintln!(
+            "  {} / {}: digest {:016x}, {}/{} queries answered",
+            r.overlay.label(),
+            r.algo.label(),
+            r.digest,
+            r.succeeded,
+            r.queries
+        );
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/replay_tiny.txt");
+    std::fs::write(path, golden_lines(&records)).expect("write golden file");
+    eprintln!("wrote {path}");
+}

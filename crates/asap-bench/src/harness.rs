@@ -1,0 +1,148 @@
+//! Deterministic differential-replay harness.
+//!
+//! Runs the full algorithm set on a small fixed-seed world, with the
+//! engine's invariant auditor attached, and folds each cell into a single
+//! stable digest (see [`asap_sim::audit`]). Three properties hang off it:
+//!
+//! 1. **Determinism** — running a cell twice yields a byte-identical digest.
+//! 2. **Golden stability** — digests match the committed golden file, so
+//!    any change to engine scheduling, RNG consumption, message sizing, or
+//!    protocol logic shows up as a diff in review rather than as silent
+//!    drift in the figures.
+//! 3. **Differential identities** — algorithms sharing a world must agree
+//!    on everything the protocol cannot influence: the set of issued
+//!    queries and the final liveness map.
+//!
+//! Regenerate the golden file after an *intentional* behavior change with
+//! `cargo run -p asap-bench --bin golden` and commit the diff (see
+//! TESTING.md).
+
+use crate::algo::AlgoKind;
+use crate::runner::{run_cell, World};
+use crate::scale::Scale;
+use asap_overlay::OverlayKind;
+use asap_sim::AuditConfig;
+
+/// The pinned replay world: tiny scale so the whole matrix replays in
+/// seconds, one flat and one clustered overlay for structural diversity.
+pub const GOLDEN_SCALE: Scale = Scale::Tiny;
+pub const GOLDEN_SEED: u64 = 11;
+pub const GOLDEN_OVERLAYS: [OverlayKind; 2] = [OverlayKind::Random, OverlayKind::Crawled];
+
+/// One replayed cell, reduced to what the golden file pins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayRecord {
+    pub algo: AlgoKind,
+    pub overlay: OverlayKind,
+    /// The auditor's event-stream + final-metrics digest.
+    pub digest: u64,
+    pub queries: usize,
+    pub succeeded: usize,
+    pub messages_sent: u64,
+    pub issue_fingerprint: u64,
+    pub alive_fingerprint: u64,
+    /// Invariant violations (formatted + suppressed). Must be 0.
+    pub violations: u64,
+}
+
+/// Build the replay world. Separate from [`replay_cell`] so callers amortize
+/// world construction across the matrix.
+pub fn golden_world() -> World {
+    World::build(GOLDEN_SCALE, GOLDEN_SEED)
+}
+
+/// Run one audited cell of the replay matrix.
+pub fn replay_cell(world: &World, algo: AlgoKind, overlay: OverlayKind) -> ReplayRecord {
+    let cell = run_cell(world, algo, overlay, Some(AuditConfig::default()));
+    let audit = cell.audit.expect("replay cells always run audited");
+    ReplayRecord {
+        algo,
+        overlay,
+        digest: audit.digest,
+        queries: cell.queries,
+        succeeded: cell.succeeded,
+        messages_sent: cell.summary.messages_sent,
+        issue_fingerprint: cell.issue_fingerprint,
+        alive_fingerprint: cell.alive_fingerprint,
+        violations: audit.violations.len() as u64 + audit.suppressed,
+    }
+}
+
+/// The whole replay matrix: every algorithm × every golden overlay.
+pub fn replay_matrix(world: &World) -> Vec<ReplayRecord> {
+    let mut records = Vec::new();
+    for overlay in GOLDEN_OVERLAYS {
+        for algo in AlgoKind::ALL {
+            records.push(replay_cell(world, algo, overlay));
+        }
+    }
+    records
+}
+
+/// Serialize records in the golden-file format: one
+/// `overlay algo digest queries succeeded messages` line per cell, digests
+/// in fixed-width hex so diffs align.
+pub fn golden_lines(records: &[ReplayRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# replay digests: scale=tiny seed={GOLDEN_SEED}\n# overlay algo digest queries succeeded messages\n"
+    ));
+    for r in records {
+        out.push_str(&format!(
+            "{} {} {:016x} {} {} {}\n",
+            r.overlay.label(),
+            r.algo.label(),
+            r.digest,
+            r.queries,
+            r.succeeded,
+            r.messages_sent
+        ));
+    }
+    out
+}
+
+/// Parse a golden file back into `(overlay, algo, digest)` triples,
+/// skipping comments and blank lines.
+pub fn parse_golden(text: &str) -> Vec<(String, String, u64)> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let mut parts = l.split_whitespace();
+            let overlay = parts.next().expect("overlay column").to_string();
+            let algo = parts.next().expect("algo column").to_string();
+            let digest = u64::from_str_radix(parts.next().expect("digest column"), 16)
+                .expect("hex digest");
+            (overlay, algo, digest)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_lines_roundtrip_through_parse() {
+        let records = vec![ReplayRecord {
+            algo: AlgoKind::Flooding,
+            overlay: OverlayKind::Random,
+            digest: 0xdead_beef_0123_4567,
+            queries: 300,
+            succeeded: 280,
+            messages_sent: 12345,
+            issue_fingerprint: 1,
+            alive_fingerprint: 2,
+            violations: 0,
+        }];
+        let parsed = parse_golden(&golden_lines(&records));
+        assert_eq!(
+            parsed,
+            vec![(
+                "random".to_string(),
+                "flooding".to_string(),
+                0xdead_beef_0123_4567
+            )]
+        );
+    }
+}

@@ -11,10 +11,12 @@
 
 pub mod algo;
 pub mod figures;
+pub mod harness;
 pub mod runner;
 pub mod scale;
 pub mod table;
 
 pub use algo::AlgoKind;
-pub use runner::{run_one, RunSummary};
+pub use harness::{replay_cell, replay_matrix, ReplayRecord};
+pub use runner::{run_cell, run_one, CellReport, RunSummary};
 pub use scale::Scale;

@@ -2,11 +2,10 @@
 
 use crate::algo::AlgoKind;
 use crate::scale::Scale;
-use asap_core::Asap;
 use asap_metrics::{LoadRecorder, MsgClass, QueryLedger};
 use asap_overlay::{OverlayConfig, OverlayKind};
 use asap_search::{Flooding, FloodingConfig, Gsa, GsaConfig, RandomWalk, RandomWalkConfig};
-use asap_sim::{SimReport, Simulation};
+use asap_sim::{AuditConfig, AuditReport, Fnv64, Protocol, SimReport, Simulation};
 use asap_topology::PhysicalNetwork;
 use asap_workload::Workload;
 
@@ -95,94 +94,163 @@ impl World {
     }
 }
 
-/// Run one cell of the matrix.
+/// One cell's full outcome: the figure-facing summary plus the replay
+/// fingerprints the differential harness compares across algorithms, and the
+/// audit report when the run was audited.
+#[derive(Debug)]
+pub struct CellReport {
+    pub summary: RunSummary,
+    /// `Some` iff the cell ran with an auditor attached.
+    pub audit: Option<AuditReport>,
+    pub end_time_us: u64,
+    pub queries: usize,
+    pub succeeded: usize,
+    /// FNV over `(id, issue_us)` of every registered query. The trace is
+    /// part of the world, so every algorithm sharing a world must produce
+    /// the identical value.
+    pub issue_fingerprint: u64,
+    /// FNV over the final liveness map — churn is also world state, so this
+    /// too is algorithm-independent.
+    pub alive_fingerprint: u64,
+    /// FNV over per-query outcomes `(id, issue, first_answer, answers)`;
+    /// algorithm-*dependent* by design.
+    pub outcome_fingerprint: u64,
+}
+
+/// Run one cell of the matrix (unaudited; figures path).
 pub fn run_one(world: &World, algo: AlgoKind, overlay_kind: OverlayKind) -> RunSummary {
+    run_cell(world, algo, overlay_kind, None).summary
+}
+
+/// Run one cell, optionally with the engine's invariant auditor attached.
+pub fn run_cell(
+    world: &World,
+    algo: AlgoKind,
+    overlay_kind: OverlayKind,
+    audit: Option<AuditConfig>,
+) -> CellReport {
+    fn go<P: Protocol>(sim: Simulation<'_, P>, audit: Option<AuditConfig>) -> SimReport<P> {
+        match audit {
+            Some(cfg) => sim.with_audit(cfg).run(),
+            None => sim.run(),
+        }
+    }
     let overlay = world.overlay(overlay_kind);
     let scale = world.scale;
     let seed = world.seed;
     match algo {
-        AlgoKind::Flooding => summarize(
+        AlgoKind::Flooding => finish(
             algo,
             overlay_kind,
-            Simulation::new(
-                &world.phys,
-                &world.workload,
-                overlay,
-                overlay_kind,
-                Flooding::new(FloodingConfig::default()),
-                seed,
-            )
-            .run(),
+            go(
+                Simulation::new(
+                    &world.phys,
+                    &world.workload,
+                    overlay,
+                    overlay_kind,
+                    Flooding::new(FloodingConfig::default()),
+                    seed,
+                ),
+                audit,
+            ),
+            None,
         ),
-        AlgoKind::RandomWalk => summarize(
+        AlgoKind::RandomWalk => finish(
             algo,
             overlay_kind,
-            Simulation::new(
-                &world.phys,
-                &world.workload,
-                overlay,
-                overlay_kind,
-                RandomWalk::new(RandomWalkConfig {
-                    walkers: 5,
-                    ttl: scale.rw_ttl(),
-                }),
-                seed,
-            )
-            .run(),
+            go(
+                Simulation::new(
+                    &world.phys,
+                    &world.workload,
+                    overlay,
+                    overlay_kind,
+                    RandomWalk::new(RandomWalkConfig {
+                        walkers: 5,
+                        ttl: scale.rw_ttl(),
+                    }),
+                    seed,
+                ),
+                audit,
+            ),
+            None,
         ),
-        AlgoKind::Gsa => summarize(
+        AlgoKind::Gsa => finish(
             algo,
             overlay_kind,
-            Simulation::new(
-                &world.phys,
-                &world.workload,
-                overlay,
-                overlay_kind,
-                Gsa::new(GsaConfig {
-                    budget: scale.gsa_budget(),
-                    branch: 4,
-                }),
-                seed,
-            )
-            .run(),
+            go(
+                Simulation::new(
+                    &world.phys,
+                    &world.workload,
+                    overlay,
+                    overlay_kind,
+                    Gsa::new(GsaConfig {
+                        budget: scale.gsa_budget(),
+                        branch: 4,
+                    }),
+                    seed,
+                ),
+                audit,
+            ),
+            None,
         ),
         AlgoKind::AsapFld | AlgoKind::AsapRw | AlgoKind::AsapGsa => {
             let protocol = algo.build_asap(scale, &world.workload.model);
-            let report = Simulation::new(
-                &world.phys,
-                &world.workload,
-                overlay,
-                overlay_kind,
-                protocol,
-                seed,
-            )
-            .run();
-            summarize_asap(algo, overlay_kind, report)
+            let report = go(
+                Simulation::new(
+                    &world.phys,
+                    &world.workload,
+                    overlay,
+                    overlay_kind,
+                    protocol,
+                    seed,
+                ),
+                audit,
+            );
+            let stats = report.protocol.stats.clone();
+            finish(algo, overlay_kind, report, Some(stats))
         }
     }
 }
 
-fn summarize<P>(algo: AlgoKind, overlay: OverlayKind, report: SimReport<P>) -> RunSummary {
-    RunSummary::from_parts(
+fn finish<P>(
+    algo: AlgoKind,
+    overlay: OverlayKind,
+    report: SimReport<P>,
+    asap_stats: Option<asap_core::protocol::AsapStats>,
+) -> CellReport {
+    let summary = RunSummary::from_parts(
         algo,
         overlay,
         &report.load,
         &report.ledger,
         report.messages_sent,
-        None,
-    )
-}
-
-fn summarize_asap(algo: AlgoKind, overlay: OverlayKind, report: SimReport<Asap>) -> RunSummary {
-    let stats = report.protocol.stats.clone();
-    RunSummary::from_parts(
-        algo,
-        overlay,
-        &report.load,
-        &report.ledger,
-        report.messages_sent,
-        Some(stats),
-    )
+        asap_stats,
+    );
+    let mut issue = Fnv64::new();
+    let mut outcome = Fnv64::new();
+    for (id, rec) in report.ledger.records_with_ids() {
+        issue.write_all(&[id as u64, rec.issue_us]);
+        outcome.write_all(&[
+            id as u64,
+            rec.issue_us,
+            rec.first_answer_us.map_or(u64::MAX, |t| t),
+            rec.answers as u64,
+        ]);
+    }
+    let mut alive = Fnv64::new();
+    for (i, &a) in report.alive.iter().enumerate() {
+        alive.write_all(&[i as u64, a as u64]);
+    }
+    CellReport {
+        summary,
+        end_time_us: report.end_time_us,
+        queries: report.ledger.num_queries(),
+        succeeded: report.ledger.num_succeeded(),
+        issue_fingerprint: issue.finish(),
+        alive_fingerprint: alive.finish(),
+        outcome_fingerprint: outcome.finish(),
+        audit: report.audit,
+    }
 }
 
 /// Run a set of matrix cells, optionally with a bounded worker pool

@@ -1,0 +1,100 @@
+//! Differential-replay regression suite (see `asap_bench::harness`).
+//!
+//! `cargo run -p asap-bench --bin golden` regenerates the golden file after
+//! an intentional behavior change; this suite then pins the new digests.
+
+use asap_bench::harness::{
+    golden_world, parse_golden, replay_cell, replay_matrix, GOLDEN_OVERLAYS,
+};
+use asap_bench::AlgoKind;
+
+const GOLDEN: &str = include_str!("../golden/replay_tiny.txt");
+
+/// The full matrix replays clean, matches the committed digests, and the
+/// world-determined fingerprints agree across algorithms. One test so the
+/// 12-cell matrix runs once.
+#[test]
+fn golden_matrix_replays_clean_stable_and_consistent() {
+    let world = golden_world();
+    let records = replay_matrix(&world);
+
+    // (a) Zero auditor violations anywhere.
+    for r in &records {
+        assert_eq!(
+            r.violations,
+            0,
+            "auditor violations in {} / {}",
+            r.algo.label(),
+            r.overlay.label()
+        );
+        assert!(r.queries > 0, "world issues queries");
+        assert!(r.succeeded > 0, "every algorithm answers something");
+    }
+
+    // (b) Digests match the committed golden values, cell for cell.
+    let golden = parse_golden(GOLDEN);
+    assert_eq!(golden.len(), records.len(), "golden file covers the matrix");
+    for (r, (g_overlay, g_algo, g_digest)) in records.iter().zip(&golden) {
+        assert_eq!(r.overlay.label(), g_overlay, "golden row order");
+        assert_eq!(r.algo.label(), g_algo, "golden row order");
+        assert_eq!(
+            r.digest, *g_digest,
+            "digest drift in {} / {}: got {:016x}, golden {:016x} — if the \
+             behavior change is intentional, regenerate with \
+             `cargo run -p asap-bench --bin golden`",
+            g_algo, g_overlay, r.digest, g_digest
+        );
+    }
+
+    // (c) Pairwise identities: everything the protocol cannot influence is
+    // identical across algorithms sharing an overlay — the issued-query
+    // stream and the churn-driven final liveness map.
+    for overlay in GOLDEN_OVERLAYS {
+        let cells: Vec<_> = records.iter().filter(|r| r.overlay == overlay).collect();
+        assert_eq!(cells.len(), AlgoKind::ALL.len());
+        let first = cells[0];
+        for c in &cells[1..] {
+            assert_eq!(
+                c.issue_fingerprint,
+                first.issue_fingerprint,
+                "{} and {} disagree on issued queries",
+                c.algo.label(),
+                first.algo.label()
+            );
+            assert_eq!(
+                c.alive_fingerprint,
+                first.alive_fingerprint,
+                "{} and {} disagree on final liveness",
+                c.algo.label(),
+                first.algo.label()
+            );
+            assert_eq!(c.queries, first.queries);
+        }
+    }
+
+    // Different overlays are genuinely different worlds for the event
+    // stream, so digests must differ across the overlay axis too.
+    let (a, b) = (&records[0], &records[AlgoKind::ALL.len()]);
+    assert_eq!(a.algo, b.algo);
+    assert_ne!(a.digest, b.digest, "overlay change must move the digest");
+}
+
+/// Running the same cell twice yields the identical record — the engine,
+/// RNG, and auditor are fully deterministic within a process.
+#[test]
+fn replay_is_run_twice_deterministic() {
+    let world = golden_world();
+    for (algo, overlay) in [
+        (AlgoKind::Flooding, GOLDEN_OVERLAYS[0]),
+        (AlgoKind::AsapRw, GOLDEN_OVERLAYS[1]),
+    ] {
+        let a = replay_cell(&world, algo, overlay);
+        let b = replay_cell(&world, algo, overlay);
+        assert_eq!(a, b, "second replay of {} diverged", algo.label());
+    }
+    // A rebuilt world must also reproduce: world construction is seeded.
+    let rebuilt = golden_world();
+    let a = replay_cell(&world, AlgoKind::Gsa, GOLDEN_OVERLAYS[0]);
+    let b = replay_cell(&rebuilt, AlgoKind::Gsa, GOLDEN_OVERLAYS[0]);
+    assert_eq!(a, b, "world rebuild diverged");
+}

@@ -82,4 +82,47 @@ proptest! {
         prop_assert!(pos.windows(2).all(|w| w[0] < w[1]));
         prop_assert!(pos.iter().all(|&p| p < params().bits));
     }
+
+    /// Merging a chain of successive patches into the starting filter is
+    /// bit-identical to rebuilding from the final key set — incremental
+    /// patch ads never drift from a from-scratch full ad, no matter how
+    /// many content changes pile up.
+    #[test]
+    fn patch_chain_merge_equals_rebuild(
+        s0 in keys_strategy(),
+        s1 in keys_strategy(),
+        s2 in keys_strategy(),
+        s3 in keys_strategy(),
+    ) {
+        let filters: Vec<BloomFilter> = [&s0, &s1, &s2, &s3]
+            .iter()
+            .map(|s| BloomFilter::from_keys(params(), s.iter().map(String::as_str)))
+            .collect();
+        let mut merged = filters[0].clone();
+        for w in filters.windows(2) {
+            FilterPatch::diff(&w[0], &w[1]).apply(&mut merged);
+        }
+        prop_assert_eq!(&merged, &filters[3]);
+    }
+
+    /// Deleting one batch from a counting filter can never produce a false
+    /// negative for keys still inserted — even when the batches overlap or
+    /// contain duplicates, because every insert increments its counters.
+    #[test]
+    fn counting_delete_never_false_negative(
+        keep in keys_strategy(),
+        dropped in keys_strategy(),
+    ) {
+        let mut f = CountingBloom::new(params());
+        for k in keep.iter().chain(dropped.iter()) {
+            f.insert(k);
+        }
+        for k in &dropped {
+            prop_assert!(f.remove(k), "removing an inserted key must succeed");
+        }
+        for k in &keep {
+            prop_assert!(f.contains(k), "false negative for kept key {k:?}");
+            prop_assert!(f.snapshot().contains(k), "snapshot lost kept key {k:?}");
+        }
+    }
 }

@@ -448,6 +448,45 @@ impl Protocol for Asap {
             1.0,
         );
     }
+
+    /// Structural invariants of the per-node ASAP state, swept once at the
+    /// end of an audited run:
+    ///
+    /// * every ad cache respects its configured capacity;
+    /// * no node caches its own ad (`handle_ad` filters `source == node`);
+    /// * cached-entry timestamps never run ahead of the clock;
+    /// * a node's own filter snapshot reflects its current version.
+    fn audit_invariants(&self, ctx: &Ctx<'_, AsapMsg>) -> Vec<String> {
+        let mut violations = Vec::new();
+        let now = ctx.now_us();
+        for (i, st) in self.nodes.iter().enumerate() {
+            let node = PeerId(i as u32);
+            if st.repo.len() > st.repo.capacity() {
+                violations.push(format!(
+                    "node {i}: cache holds {} ads over capacity {}",
+                    st.repo.len(),
+                    st.repo.capacity()
+                ));
+            }
+            if st.repo.capacity() != self.config.cache_capacity {
+                violations.push(format!("node {i}: cache capacity drifted from config"));
+            }
+            for (source, ad) in st.repo.iter() {
+                if source == node {
+                    violations.push(format!("node {i} caches its own ad"));
+                }
+                if ad.last_used_us > now || ad.last_refreshed_us > now {
+                    violations.push(format!(
+                        "node {i}: ad from {source:?} stamped in the future"
+                    ));
+                }
+            }
+            if st.snapshot.as_ref() != &st.filter.snapshot() {
+                violations.push(format!("node {i}: published snapshot lags its filter"));
+            }
+        }
+        violations
+    }
 }
 
 #[cfg(test)]

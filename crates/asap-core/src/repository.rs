@@ -66,6 +66,15 @@ impl AdRepository {
         self.ads.is_empty()
     }
 
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// All cached entries, keyed by source, in `PeerId` order.
+    pub fn iter(&self) -> impl Iterator<Item = (PeerId, &CachedAd)> {
+        self.ads.iter().map(|(&p, ad)| (p, ad))
+    }
+
     pub fn get(&self, source: PeerId) -> Option<&CachedAd> {
         self.ads.get(&source)
     }

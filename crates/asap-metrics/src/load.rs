@@ -84,6 +84,9 @@ impl MsgClass {
 pub struct LoadRecorder {
     /// `buckets[second][class] = bytes`.
     buckets: Vec<[u64; MsgClass::COUNT]>,
+    /// Total messages recorded per class (reconciliation view: every
+    /// `record` call increments exactly one slot).
+    msg_totals: [u64; MsgClass::COUNT],
     /// Step function: `(time_us, live_count)`, appended on every change.
     alive_steps: Vec<(u64, usize)>,
 }
@@ -100,6 +103,7 @@ impl LoadRecorder {
             self.buckets.resize(second + 1, [0; MsgClass::COUNT]);
         }
         self.buckets[second][class.index()] += bytes as u64;
+        self.msg_totals[class.index()] += 1;
     }
 
     /// Record a change in the number of live peers.
@@ -125,6 +129,23 @@ impl LoadRecorder {
 
     pub fn total_bytes(&self) -> u64 {
         self.class_totals().iter().sum()
+    }
+
+    /// Total messages recorded per class. Every `record` call increments
+    /// exactly one slot, so these reconcile exactly with per-message
+    /// accounting kept elsewhere (e.g. the simulation auditor).
+    pub fn class_message_totals(&self) -> [u64; MsgClass::COUNT] {
+        self.msg_totals
+    }
+
+    /// Total number of `record` calls across all classes.
+    pub fn messages_recorded(&self) -> u64 {
+        self.msg_totals.iter().sum()
+    }
+
+    /// The raw live-peer step timeline `(time_us, count)`, in append order.
+    pub fn alive_steps(&self) -> &[(u64, usize)] {
+        &self.alive_steps
     }
 
     /// Bytes attributed to per-search cost classes (Fig. 6 numerator).
@@ -276,6 +297,28 @@ mod tests {
         // Hits flow back in both designs but the paper's baseline cost counts
         // query messages only.
         assert!(!MsgClass::QueryHit.is_search_cost());
+    }
+
+    #[test]
+    fn message_totals_reconcile_with_record_calls() {
+        let mut r = LoadRecorder::new();
+        r.record(0, MsgClass::Query, 10);
+        r.record(2_000_000, MsgClass::Query, 20);
+        r.record(0, MsgClass::FullAd, 1_000);
+        let msgs = r.class_message_totals();
+        assert_eq!(msgs[MsgClass::Query.index()], 2);
+        assert_eq!(msgs[MsgClass::FullAd.index()], 1);
+        assert_eq!(r.messages_recorded(), 3);
+        // Bytes and message counts stay in step per class.
+        assert_eq!(r.class_totals()[MsgClass::Query.index()], 30);
+    }
+
+    #[test]
+    fn alive_steps_are_exposed_in_append_order() {
+        let mut r = LoadRecorder::new();
+        r.set_alive(0, 10);
+        r.set_alive(500_000, 9);
+        assert_eq!(r.alive_steps(), &[(0, 10), (500_000, 9)]);
     }
 
     #[test]

@@ -81,8 +81,71 @@ impl QueryLedger {
         crate::summary::mean(&times)
     }
 
+    /// Registered queries that never received an answer.
+    pub fn num_unanswered(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.registered && r.first_answer_us.is_none())
+            .count()
+    }
+
     pub fn records(&self) -> impl Iterator<Item = &QueryRecord> {
         self.records.iter().filter(|r| r.registered)
+    }
+
+    /// Registered records keyed by query id, in ascending id order.
+    pub fn records_with_ids(&self) -> impl Iterator<Item = (u32, &QueryRecord)> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.registered)
+            .map(|(i, r)| (i as u32, r))
+    }
+
+    /// Structural consistency check over every registered record:
+    ///
+    /// * a success implies a recorded response time not before the issue and
+    ///   not after `end_time_us`;
+    /// * the answer count and the first-answer time agree (one implies the
+    ///   other);
+    /// * issued = resolved + unanswered.
+    ///
+    /// Returns the list of violated clauses (empty when consistent).
+    pub fn check_consistency(&self, end_time_us: u64) -> Vec<String> {
+        let mut violations = Vec::new();
+        for (id, rec) in self.records_with_ids() {
+            match rec.first_answer_us {
+                Some(t) => {
+                    if t < rec.issue_us {
+                        violations
+                            .push(format!("query {id}: answered at {t} before issue {}", rec.issue_us));
+                    }
+                    if t > end_time_us {
+                        violations.push(format!("query {id}: answered at {t} after end {end_time_us}"));
+                    }
+                    if rec.answers == 0 {
+                        violations.push(format!("query {id}: first answer set but answer count is 0"));
+                    }
+                }
+                None => {
+                    if rec.answers != 0 {
+                        violations.push(format!(
+                            "query {id}: {} answers but no first-answer time",
+                            rec.answers
+                        ));
+                    }
+                }
+            }
+        }
+        if self.num_queries() != self.num_succeeded() + self.num_unanswered() {
+            violations.push(format!(
+                "ledger split broken: {} issued != {} succeeded + {} unanswered",
+                self.num_queries(),
+                self.num_succeeded(),
+                self.num_unanswered()
+            ));
+        }
+        violations
     }
 }
 
@@ -129,6 +192,45 @@ mod tests {
         let l = QueryLedger::new();
         assert_eq!(l.success_rate(), 0.0);
         assert_eq!(l.avg_response_time_ms(), 0.0);
+    }
+
+    #[test]
+    fn unanswered_completes_the_split() {
+        let mut l = QueryLedger::new();
+        l.register(0, 0);
+        l.register(1, 0);
+        l.register(2, 0);
+        l.answer(1, 5);
+        assert_eq!(l.num_unanswered(), 2);
+        assert_eq!(l.num_queries(), l.num_succeeded() + l.num_unanswered());
+    }
+
+    #[test]
+    fn records_with_ids_skips_unregistered_slots() {
+        let mut l = QueryLedger::new();
+        l.register(3, 30);
+        l.register(1, 10);
+        let ids: Vec<u32> = l.records_with_ids().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![1, 3]);
+    }
+
+    #[test]
+    fn consistency_check_passes_on_sane_ledger() {
+        let mut l = QueryLedger::new();
+        l.register(0, 100);
+        l.register(1, 200);
+        l.answer(0, 150);
+        assert!(l.check_consistency(1_000).is_empty());
+    }
+
+    #[test]
+    fn consistency_check_flags_answer_after_end() {
+        let mut l = QueryLedger::new();
+        l.register(0, 100);
+        l.answer(0, 5_000);
+        let v = l.check_consistency(1_000);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("after end"));
     }
 
     #[test]

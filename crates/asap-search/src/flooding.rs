@@ -108,6 +108,20 @@ impl Protocol for Flooding {
             other => unreachable!("flooding got {other:?}"),
         }
     }
+
+    /// Flooding's only cross-event state is the duplicate-suppression
+    /// tracker, whose live-key count must respect its configured window.
+    fn audit_invariants(&self, _ctx: &Ctx<'_, BaselineMsg>) -> Vec<String> {
+        let mut violations = Vec::new();
+        if self.seen.tracked_queries() > self.config.seen_window {
+            violations.push(format!(
+                "seen tracker holds {} queries, window is {}",
+                self.seen.tracked_queries(),
+                self.config.seen_window
+            ));
+        }
+        violations
+    }
 }
 
 #[cfg(test)]

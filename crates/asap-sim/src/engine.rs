@@ -1,6 +1,7 @@
 //! The simulation engine: world state, protocol trait, event loop.
 
-use crate::event::{EngineEvent, EventQueue};
+use crate::audit::{AuditConfig, AuditReport, SimAuditor};
+use crate::event::{EngineEvent, EventHandle, EventQueue};
 use asap_metrics::{LoadRecorder, MsgClass, QueryLedger};
 use asap_overlay::{Overlay, OverlayKind, PeerId};
 use asap_topology::{PhysNodeId, PhysicalNetwork};
@@ -46,6 +47,15 @@ pub trait Protocol {
     fn on_content_change(&mut self, ctx: &mut Ctx<'_, Self::Msg>, peer: PeerId, doc: DocId, added: bool) {
         let _ = (ctx, peer, doc, added);
     }
+
+    /// Protocol-level invariant sweep, called once at the end of an
+    /// **audited** run (never on unaudited runs). Return one message per
+    /// violated protocol invariant; they land in the
+    /// [`AuditReport`](crate::audit::AuditReport) beside the engine's own.
+    fn audit_invariants(&self, ctx: &Ctx<'_, Self::Msg>) -> Vec<String> {
+        let _ = ctx;
+        Vec::new()
+    }
 }
 
 /// The world as seen by a protocol: clock, overlay, liveness, content,
@@ -73,6 +83,9 @@ pub struct Ctx<'a, M> {
     messages_sent: u64,
     horizon_us: u64,
     trace_end_us: u64,
+    /// Optional invariant auditor (off by default: one pointer test per
+    /// event when disabled).
+    audit: Option<Box<SimAuditor>>,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -122,15 +135,25 @@ impl<'a, M> Ctx<'a, M> {
         debug_assert_ne!(from, to, "no self-messages");
         self.load.record(self.now_us, class, bytes);
         self.messages_sent += 1;
+        if let Some(a) = self.audit.as_deref_mut() {
+            a.on_send(self.now_us, from, to, class, bytes);
+        }
         let at = self.now_us + self.latency_us(from, to);
         self.queue.push(at, EngineEvent::Deliver { to, from, msg });
     }
 
     /// Schedule `on_timer(node, tag)` after `delay_us` (dropped if the node
-    /// is dead when it fires).
-    pub fn set_timer(&mut self, node: PeerId, delay_us: u64, tag: u64) {
+    /// is dead when it fires). The handle can cancel it later.
+    pub fn set_timer(&mut self, node: PeerId, delay_us: u64, tag: u64) -> EventHandle {
         self.queue
-            .push(self.now_us + delay_us, EngineEvent::Timer { node, tag });
+            .push(self.now_us + delay_us, EngineEvent::Timer { node, tag })
+    }
+
+    /// Cancel a pending timer set via [`Ctx::set_timer`]; a cancelled timer
+    /// never reaches `on_timer`. See [`EventQueue::cancel`] for the return
+    /// value's semantics.
+    pub fn cancel_timer(&mut self, handle: EventHandle) -> bool {
+        self.queue.cancel(handle)
     }
 
     /// Record a confirmed result for `query_id` arriving now.
@@ -156,6 +179,9 @@ pub struct SimReport<P> {
     pub alive: Vec<bool>,
     /// Final overlay graph.
     pub overlay: Overlay,
+    /// Invariant-audit outcome; `Some` iff the run was built with
+    /// [`Simulation::with_audit`].
+    pub audit: Option<AuditReport>,
 }
 
 /// A configured simulation, ready to run.
@@ -230,8 +256,17 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             load,
             ledger: QueryLedger::new(),
             messages_sent: 0,
+            audit: None,
         };
         Self { ctx, protocol }
+    }
+
+    /// Enable the invariant auditor for this run; the resulting
+    /// [`SimReport::audit`] carries violations, check counts, and the
+    /// event-stream digest. See [`crate::audit`] for what is checked.
+    pub fn with_audit(mut self, cfg: AuditConfig) -> Self {
+        self.ctx.audit = Some(Box::new(SimAuditor::new(cfg, &self.ctx.alive)));
+        self
     }
 
     /// Override the simulation horizon (default: trace end + 30 s). Events
@@ -252,20 +287,44 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 break;
             }
             self.ctx.now_us = sched.time_us;
+            let (time_us, seq) = (sched.time_us, sched.seq);
             match sched.event {
                 EngineEvent::Deliver { to, from, msg } => {
-                    if self.ctx.alive[to.index()] {
+                    let delivered = self.ctx.alive[to.index()];
+                    if let Some(a) = self.ctx.audit.as_deref_mut() {
+                        a.on_deliver(time_us, seq, to, from, delivered);
+                    }
+                    if delivered {
                         self.protocol.on_message(&mut self.ctx, to, from, msg);
                     }
                 }
                 EngineEvent::Timer { node, tag } => {
-                    if self.ctx.alive[node.index()] {
+                    let fired = self.ctx.alive[node.index()];
+                    if let Some(a) = self.ctx.audit.as_deref_mut() {
+                        a.on_timer(time_us, seq, node, tag, fired);
+                    }
+                    if fired {
                         self.protocol.on_timer(&mut self.ctx, node, tag);
                     }
                 }
-                EngineEvent::Trace(ev) => self.apply_trace(ev),
+                EngineEvent::Trace(ev) => self.apply_trace(time_us, seq, ev),
             }
         }
+        let audit = self.ctx.audit.take().map(|auditor| {
+            let mut auditor = *auditor;
+            for v in self.protocol.audit_invariants(&self.ctx) {
+                auditor.push_violation(format!("protocol: {v}"));
+            }
+            auditor.finish(
+                &self.ctx.load,
+                &self.ctx.ledger,
+                &self.ctx.overlay,
+                &self.ctx.alive,
+                self.ctx.alive_count,
+                self.ctx.messages_sent,
+                self.ctx.now_us,
+            )
+        });
         SimReport {
             end_time_us: self.ctx.now_us,
             messages_sent: self.ctx.messages_sent,
@@ -274,24 +333,36 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             alive: self.ctx.alive,
             overlay: self.ctx.overlay,
             protocol: self.protocol,
+            audit,
         }
     }
 
-    fn apply_trace(&mut self, ev: TraceEvent) {
+    fn apply_trace(&mut self, time_us: u64, seq: u64, ev: TraceEvent) {
         let ctx = &mut self.ctx;
         match ev {
             TraceEvent::Query(q) => {
                 debug_assert!(ctx.alive[q.requester.index()], "trace guarantees liveness");
+                if let Some(a) = ctx.audit.as_deref_mut() {
+                    a.on_trace_query(time_us, seq, q.id, q.requester);
+                }
                 ctx.ledger.register(q.id, ctx.now_us);
                 self.protocol.on_query(ctx, &q);
             }
             TraceEvent::AddDocument { peer, doc } => {
-                if ctx.content.add(ctx.model, peer, doc) {
+                let applied = ctx.content.add(ctx.model, peer, doc);
+                if let Some(a) = ctx.audit.as_deref_mut() {
+                    a.on_content_change(time_us, seq, peer, doc.0, true, applied);
+                }
+                if applied {
                     self.protocol.on_content_change(ctx, peer, doc, true);
                 }
             }
             TraceEvent::RemoveDocument { peer, doc } => {
-                if ctx.content.remove(ctx.model, peer, doc) {
+                let applied = ctx.content.remove(ctx.model, peer, doc);
+                if let Some(a) = ctx.audit.as_deref_mut() {
+                    a.on_content_change(time_us, seq, peer, doc.0, false, applied);
+                }
+                if applied {
                     self.protocol.on_content_change(ctx, peer, doc, false);
                 }
             }
@@ -312,6 +383,10 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                         .overlay
                         .attach_preferential(p, &candidates, degree, &mut rng),
                 }
+                if let Some(a) = ctx.audit.as_deref_mut() {
+                    a.on_join(time_us, seq, p);
+                    a.check_overlay(&ctx.overlay, &ctx.alive, ctx.alive_count);
+                }
                 self.protocol.on_join(ctx, p);
             }
             TraceEvent::Leave(p) => {
@@ -320,6 +395,10 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 ctx.alive_count -= 1;
                 ctx.load.set_alive(ctx.now_us, ctx.alive_count);
                 ctx.overlay.detach(p);
+                if let Some(a) = ctx.audit.as_deref_mut() {
+                    a.on_leave(time_us, seq, p);
+                    a.check_overlay(&ctx.overlay, &ctx.alive, ctx.alive_count);
+                }
                 self.protocol.on_leave(ctx, p);
             }
         }
@@ -474,6 +553,99 @@ mod tests {
             isolated_alive * 20 < report.alive.len(),
             "{isolated_alive} live peers isolated"
         );
+    }
+
+    #[test]
+    fn audited_oracle_run_is_clean_and_digest_is_stable() {
+        let run = || {
+            let (phys, workload, overlay) = small_world(9);
+            Simulation::new(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, 9)
+                .with_audit(AuditConfig::default())
+                .run()
+        };
+        let a = run();
+        let audit = a.audit.as_ref().expect("audited run carries a report");
+        assert!(
+            audit.is_clean(),
+            "violations: {:?} (+{} suppressed)",
+            audit.violations,
+            audit.suppressed
+        );
+        assert!(audit.events > 0);
+        assert!(audit.checks > audit.events, "several checks per event");
+        let b = run();
+        assert_eq!(audit.digest, b.audit.unwrap().digest, "replay digest differs");
+    }
+
+    #[test]
+    fn unaudited_run_reports_no_audit() {
+        let (phys, workload, overlay) = small_world(9);
+        let report =
+            Simulation::new(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, 9)
+                .run();
+        assert!(report.audit.is_none());
+    }
+
+    #[test]
+    fn protocol_audit_hook_lands_in_report() {
+        struct Grumpy;
+        impl Protocol for Grumpy {
+            type Msg = ();
+            fn on_query(&mut self, _: &mut Ctx<'_, ()>, _: &QuerySpec) {}
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: PeerId, _: PeerId, _: ()) {}
+            fn audit_invariants(&self, _: &Ctx<'_, ()>) -> Vec<String> {
+                vec!["cache over capacity".into()]
+            }
+        }
+        let (phys, workload, overlay) = small_world(9);
+        let report = Simulation::new(&phys, &workload, overlay, OverlayKind::Random, Grumpy, 9)
+            .with_audit(AuditConfig::default())
+            .run();
+        let audit = report.audit.unwrap();
+        assert!(audit
+            .violations
+            .iter()
+            .any(|v| v == "protocol: cache over capacity"));
+    }
+
+    #[test]
+    fn cancelled_timer_never_fires() {
+        struct CancelProto {
+            handle: Option<crate::event::EventHandle>,
+            fired: Vec<u64>,
+        }
+        impl Protocol for CancelProto {
+            type Msg = ();
+            fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(PeerId(0), 1_000, 1);
+                self.handle = Some(ctx.set_timer(PeerId(0), 2_000, 2));
+                ctx.set_timer(PeerId(0), 3_000, 3);
+            }
+            fn on_query(&mut self, _: &mut Ctx<'_, ()>, _: &QuerySpec) {}
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: PeerId, _: PeerId, _: ()) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _: PeerId, tag: u64) {
+                if tag == 1 {
+                    assert!(ctx.cancel_timer(self.handle.take().unwrap()));
+                }
+                self.fired.push(tag);
+            }
+        }
+        let (phys, workload, overlay) = small_world(5);
+        let report = Simulation::new(
+            &phys,
+            &workload,
+            overlay,
+            OverlayKind::Random,
+            CancelProto {
+                handle: None,
+                fired: vec![],
+            },
+            5,
+        )
+        .with_audit(AuditConfig::default())
+        .run();
+        assert_eq!(report.protocol.fired, vec![1, 3], "timer 2 was cancelled");
+        assert!(report.audit.unwrap().is_clean());
     }
 
     #[test]

@@ -5,6 +5,11 @@ use asap_workload::TraceEvent;
 use std::cmp::Ordering;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::collections::HashSet;
+
+/// Opaque handle to a scheduled event, usable with [`EventQueue::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventHandle(u64);
 
 /// An event awaiting execution.
 #[derive(Debug, Clone)]
@@ -44,10 +49,16 @@ impl<M> Ord for Scheduled<M> {
 }
 
 /// Min-heap of scheduled events with a monotone sequence counter.
+///
+/// Cancellation is tombstone-based: `cancel` records the handle's sequence
+/// number and `pop` silently discards matching entries when they surface, so
+/// cancelling is O(1) and never disturbs heap order. The `HashSet` is used
+/// for membership only — iteration order never influences the simulation.
 #[derive(Debug)]
 pub struct EventQueue<M> {
     heap: BinaryHeap<Reverse<Scheduled<M>>>,
     next_seq: u64,
+    cancelled: HashSet<u64>,
 }
 
 impl<M> Default for EventQueue<M> {
@@ -55,6 +66,7 @@ impl<M> Default for EventQueue<M> {
         Self {
             heap: BinaryHeap::new(),
             next_seq: 0,
+            cancelled: HashSet::new(),
         }
     }
 }
@@ -64,7 +76,7 @@ impl<M> EventQueue<M> {
         Self::default()
     }
 
-    pub fn push(&mut self, time_us: u64, event: EngineEvent<M>) {
+    pub fn push(&mut self, time_us: u64, event: EngineEvent<M>) -> EventHandle {
         let seq = self.next_seq;
         self.next_seq += 1;
         self.heap.push(Reverse(Scheduled {
@@ -72,12 +84,31 @@ impl<M> EventQueue<M> {
             seq,
             event,
         }));
+        EventHandle(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if a tombstone was
+    /// recorded (i.e. the handle was not already cancelled). Cancelling an
+    /// event that has already fired is benign — its tombstone can never match
+    /// a future pop — but the return value is not a fired/pending oracle;
+    /// callers that need that distinction must track firing themselves.
+    pub fn cancel(&mut self, handle: EventHandle) -> bool {
+        debug_assert!(handle.0 < self.next_seq, "cancel of never-issued handle");
+        self.cancelled.insert(handle.0)
     }
 
     pub fn pop(&mut self) -> Option<Scheduled<M>> {
-        self.heap.pop().map(|Reverse(s)| s)
+        while let Some(Reverse(s)) = self.heap.pop() {
+            if self.cancelled.remove(&s.seq) {
+                continue;
+            }
+            return Some(s);
+        }
+        None
     }
 
+    /// Scheduled entries still in the heap, including cancelled ones whose
+    /// tombstones have not yet been collected by `pop`.
     pub fn len(&self) -> usize {
         self.heap.len()
     }
@@ -136,5 +167,84 @@ mod tests {
         assert_eq!(q.len(), 1);
         q.pop();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn tie_break_is_insertion_order_even_interleaved_with_pops() {
+        let mut q = EventQueue::new();
+        q.push(10, timer(0, 0));
+        q.push(5, timer(0, 100));
+        assert_eq!(q.pop().unwrap().time_us, 5);
+        // Later insertions at the same time as a pending event sort after it.
+        q.push(10, timer(0, 1));
+        q.push(10, timer(0, 2));
+        let tags: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|s| match s.event {
+                EngineEvent::Timer { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn scheduled_ordering_is_time_then_seq() {
+        let a = Scheduled::<()> { time_us: 5, seq: 9, event: timer(0, 0) };
+        let b = Scheduled::<()> { time_us: 5, seq: 10, event: timer(0, 1) };
+        let c = Scheduled::<()> { time_us: 6, seq: 0, event: timer(0, 2) };
+        assert!(a < b, "equal time falls back to seq");
+        assert!(b < c, "time dominates seq");
+        assert_eq!(a, Scheduled::<()> { time_us: 5, seq: 9, event: timer(1, 7) });
+    }
+
+    #[test]
+    fn cancelled_event_never_surfaces() {
+        let mut q = EventQueue::new();
+        q.push(100, timer(0, 0));
+        let h = q.push(200, timer(0, 1));
+        q.push(300, timer(0, 2));
+        assert!(q.cancel(h));
+        let tags: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|s| match s.event {
+                EngineEvent::Timer { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, vec![0, 2]);
+    }
+
+    #[test]
+    fn cancel_is_idempotent() {
+        let mut q = EventQueue::new();
+        let h = q.push(1, timer(0, 0));
+        assert!(q.cancel(h));
+        assert!(!q.cancel(h), "second cancel of the same handle is a no-op");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_benign() {
+        let mut q = EventQueue::new();
+        let h = q.push(1, timer(0, 0));
+        q.pop().unwrap();
+        q.cancel(h); // tombstone for an already-popped seq can never match
+        q.push(2, timer(0, 1));
+        assert!(q.pop().is_some(), "later events are unaffected");
+    }
+
+    #[test]
+    fn cancelling_head_does_not_reorder_survivors() {
+        let mut q = EventQueue::new();
+        let h = q.push(10, timer(0, 0));
+        q.push(10, timer(0, 1));
+        q.push(10, timer(0, 2));
+        q.cancel(h);
+        let tags: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|s| match s.event {
+                EngineEvent::Timer { tag, .. } => tag,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(tags, vec![1, 2]);
     }
 }

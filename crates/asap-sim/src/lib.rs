@@ -11,13 +11,15 @@
 //! deterministic — a fixed seed yields byte-identical ledgers — which the
 //! integration suite exploits for replay tests.
 
+pub mod audit;
 pub mod engine;
 pub mod event;
 pub mod message;
 pub mod util;
 
+pub use audit::{AuditConfig, AuditReport, Fnv64};
 pub use engine::{Ctx, Protocol, SimReport, Simulation};
-pub use event::EngineEvent;
+pub use event::{EngineEvent, EventHandle};
 pub use message::{
     ads_reply_size, ads_request_size, confirm_reply_size, confirm_size, query_hit_size,
     query_size, HEADER_BYTES, KEYWORD_WIRE_BYTES, RESULT_WIRE_BYTES, TOPIC_WIRE_BYTES,

@@ -43,6 +43,48 @@ proptest! {
         }
     }
 
+    /// Exhaustive all-destinations agreement with reference Dijkstra from a
+    /// random source — no sampling stride to hide behind (few cases, since
+    /// each covers every destination).
+    #[test]
+    fn oracle_equals_dijkstra_exhaustively(seed in 0u64..200, src_pick in 0usize..300) {
+        let g = asap_topology::generate(&TransitStubConfig::reduced(seed));
+        let oracle = LatencyOracle::build(&g);
+        let src = PhysNodeId((src_pick % g.num_nodes()) as u32);
+        let reference = dijkstra::sssp(&g, src);
+        for (d, &want) in reference.iter().enumerate() {
+            let dst = PhysNodeId(d as u32);
+            prop_assert_eq!(
+                oracle.latency_us(&g, src, dst),
+                want,
+                "mismatch {:?}->{:?} at seed {}", src, dst, seed
+            );
+        }
+    }
+
+    /// Shortest-path latencies obey the triangle inequality through any
+    /// relay — a structural sanity check on the oracle's decomposition.
+    #[test]
+    fn oracle_respects_triangle_inequality(
+        seed in 0u64..200,
+        a in 0usize..300,
+        b in 0usize..300,
+        c in 0usize..300,
+    ) {
+        let g = asap_topology::generate(&TransitStubConfig::reduced(seed));
+        let oracle = LatencyOracle::build(&g);
+        let n = g.num_nodes();
+        let (pa, pb, pc) = (
+            PhysNodeId((a % n) as u32),
+            PhysNodeId((b % n) as u32),
+            PhysNodeId((c % n) as u32),
+        );
+        let ab = oracle.latency_us(&g, pa, pb);
+        let ac = oracle.latency_us(&g, pa, pc);
+        let cb = oracle.latency_us(&g, pc, pb);
+        prop_assert!(ab <= ac + cb, "{ab} > {ac} + {cb} via {:?}", pc);
+    }
+
     #[test]
     fn generated_graphs_have_sane_shape(seed in 0u64..500) {
         let cfg = TransitStubConfig::reduced(seed);

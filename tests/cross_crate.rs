@@ -187,3 +187,24 @@ fn deterministic_across_full_stack() {
     };
     assert_eq!(run(), run());
 }
+
+#[test]
+fn audited_full_stack_run_is_clean() {
+    // The invariant auditor on the complete ASAP stack: every structural
+    // invariant holds and the accounting reconciles exactly, end to end.
+    let (phys, workload) = world();
+    let overlay = OverlayConfig::new(OverlayKind::Crawled, PEERS, SEED).build();
+    let protocol = Asap::new(asap_config(), &workload.model);
+    let report = Simulation::new(&phys, &workload, overlay, OverlayKind::Crawled, protocol, SEED)
+        .with_audit(asap_p2p::sim::AuditConfig::default())
+        .run();
+    let audit = report.audit.expect("audited run");
+    assert!(
+        audit.is_clean(),
+        "violations: {:?} (+{} suppressed)",
+        audit.violations,
+        audit.suppressed
+    );
+    assert!(audit.events > 0 && audit.checks > 0);
+    assert_ne!(audit.digest, 0);
+}

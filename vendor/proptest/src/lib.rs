@@ -1,0 +1,411 @@
+//! Vendored, API-compatible subset of `proptest`.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the slice of proptest the workspace's property tests use: the
+//! `proptest!` macro, `Strategy` with `prop_map`, integer-range and
+//! `[a-z]{1,12}`-style string strategies, tuples, `prop::collection::vec`,
+//! `prop_oneof!`, `prop_assert*!`, and `ProptestConfig::with_cases`.
+//!
+//! Differences from upstream: cases are generated from a deterministic
+//! per-test RNG (seeded from the test name), and there is **no shrinking** —
+//! a failing case panics with the generated inputs visible in the assert
+//! message instead of a minimized counterexample.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    /// A generator of test values (no shrink tree).
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    pub type BoxedStrategy<V> = Box<dyn Strategy<Value = V>>;
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            (**self).generate(rng)
+        }
+    }
+
+    /// `prop_map` combinator.
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `prop_oneof!` combinator: uniform choice among boxed strategies.
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.inner.gen_range(0..self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.inner.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.inner.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// String pattern strategy: supports `[<class>]{lo,hi}` and `[<class>]{n}`
+    /// where `<class>` is literal characters and `a-z` style ranges — the
+    /// shapes the workspace's tests use (e.g. `"[a-z]{1,12}"`).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (alphabet, lo, hi) = parse_pattern(self);
+            let len = rng.inner.gen_range(lo..=hi);
+            (0..len)
+                .map(|_| alphabet[rng.inner.gen_range(0..alphabet.len())])
+                .collect()
+        }
+    }
+
+    fn bad_pattern(pat: &str) -> ! {
+        panic!("unsupported string pattern {pat:?}: expected \"[class]{{lo,hi}}\"")
+    }
+
+    fn parse_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+        let Some(rest) = pat.strip_prefix('[') else {
+            bad_pattern(pat)
+        };
+        let Some((class, rest)) = rest.split_once(']') else {
+            bad_pattern(pat)
+        };
+        let mut alphabet = Vec::new();
+        let mut chars = class.chars().peekable();
+        while let Some(c) = chars.next() {
+            if chars.peek() == Some(&'-') {
+                chars.next();
+                let Some(end) = chars.next() else {
+                    bad_pattern(pat)
+                };
+                alphabet.extend(c..=end);
+            } else {
+                alphabet.push(c);
+            }
+        }
+        if alphabet.is_empty() {
+            bad_pattern(pat);
+        }
+        let (lo, hi) = match rest.strip_prefix('{').and_then(|r| r.strip_suffix('}')) {
+            None if rest.is_empty() => (1, 1),
+            None => bad_pattern(pat),
+            Some(counts) => match counts.split_once(',') {
+                Some((lo, hi)) => match (lo.parse(), hi.parse()) {
+                    (Ok(lo), Ok(hi)) => (lo, hi),
+                    _ => bad_pattern(pat),
+                },
+                None => match counts.parse() {
+                    Ok(n) => (n, n),
+                    Err(_) => bad_pattern(pat),
+                },
+            },
+        };
+        (alphabet, lo, hi)
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+    }
+
+    /// Full-domain strategy for `any::<T>()`.
+    pub struct Any<T>(core::marker::PhantomData<T>);
+
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    use rand::RngCore;
+                    rng.inner.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.inner.gen_bool(0.5)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// `prop::collection::vec(element, lo..hi)`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.inner.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Per-test deterministic RNG driving all strategies.
+    pub struct TestRng {
+        pub inner: SmallRng,
+    }
+
+    impl TestRng {
+        /// Seed from the test's name and case index: every test gets its own
+        /// reproducible stream, stable across runs and machines.
+        pub fn for_case(test_name: &str, case: u32) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            Self {
+                inner: SmallRng::seed_from_u64(h ^ (u64::from(case) << 32 | u64::from(case))),
+            }
+        }
+    }
+
+    /// Runner knobs (subset of upstream's `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{any, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` namespace (`prop::collection::vec`, ...).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg = $cfg;
+            for __case in 0..cfg.cases {
+                let mut __rng =
+                    $crate::test_runner::TestRng::for_case(stringify!($name), __case);
+                $(let $arg =
+                    $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u32..17, y in 0usize..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        #[test]
+        fn string_patterns_match_class(s in "[a-z]{1,12}") {
+            prop_assert!(!s.is_empty() && s.len() <= 12);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s}");
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies_compose(
+            v in prop::collection::vec((0u8..4, 10u8..20), 0..50),
+        ) {
+            prop_assert!(v.len() < 50);
+            for (a, b) in v {
+                prop_assert!(a < 4 && (10..20).contains(&b));
+            }
+        }
+    }
+
+    #[derive(Debug, PartialEq)]
+    enum Pick {
+        Small(u8),
+        Big(u64),
+    }
+
+    proptest! {
+        #[test]
+        fn oneof_and_map_compose(p in prop_oneof![
+            (0u8..10).prop_map(Pick::Small),
+            (1_000u64..2_000).prop_map(Pick::Big),
+        ]) {
+            match p {
+                Pick::Small(v) => prop_assert!(v < 10),
+                Pick::Big(v) => prop_assert!((1_000..2_000).contains(&v)),
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = crate::collection::vec(0u32..1_000, 5..30);
+        let mut a = crate::test_runner::TestRng::for_case("det", 7);
+        let mut b = crate::test_runner::TestRng::for_case("det", 7);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+}

@@ -10,6 +10,9 @@
 //! several are requested the matrix is computed once. Tables print to
 //! stdout and land as TSV under `--out` (default `results/`).
 
+// This binary IS the CLI; its tables go to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use asap_bench::figures;
 use asap_bench::runner::{sweep, RunSummary};
 use asap_bench::scale::Scale;

@@ -1,11 +1,18 @@
-//! Regenerate the committed replay-digest golden file.
+//! Regenerate or verify the committed replay-digest golden file.
 //!
-//! Run after an intentional behavior change and commit the diff:
-//! `cargo run -p asap-bench --bin golden`
+//! * `cargo run -p asap-bench --bin golden` — replay the golden matrix and
+//!   rewrite `golden/replay_tiny.txt`. Run after an *intentional* behavior
+//!   change and commit the diff.
+//! * `cargo run -p asap-bench --bin golden -- --check` — replay and compare
+//!   against the committed file without writing; exits nonzero on drift.
+//!   CI runs this next to `cargo lint`.
+
+use std::process::ExitCode;
 
 use asap_bench::harness::{golden_lines, golden_world, replay_matrix};
 
-fn main() {
+fn main() -> ExitCode {
+    let check = std::env::args().skip(1).any(|a| a == "--check");
     let world = golden_world();
     eprintln!("replaying the golden matrix (12 audited cells)...");
     let records = replay_matrix(&world);
@@ -26,6 +33,33 @@ fn main() {
         );
     }
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/replay_tiny.txt");
-    std::fs::write(path, golden_lines(&records)).expect("write golden file");
-    eprintln!("wrote {path}");
+    let fresh = golden_lines(&records);
+    if !check {
+        std::fs::write(path, &fresh).expect("write golden file");
+        eprintln!("wrote {path}");
+        return ExitCode::SUCCESS;
+    }
+    let committed = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read committed golden file {path}: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if committed == fresh {
+        eprintln!("golden file matches ({path})");
+        return ExitCode::SUCCESS;
+    }
+    eprintln!("golden drift: recomputed digests differ from {path}");
+    for (got, want) in fresh.lines().zip(committed.lines()) {
+        if got != want {
+            eprintln!("  committed: {want}");
+            eprintln!("  computed:  {got}");
+        }
+    }
+    if fresh.lines().count() != committed.lines().count() {
+        eprintln!("  (line counts differ)");
+    }
+    eprintln!("if the change is intentional, regenerate: cargo run -p asap-bench --bin golden");
+    ExitCode::from(1)
 }

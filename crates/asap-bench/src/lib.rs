@@ -9,6 +9,10 @@
 //! Run `cargo run --release -p asap-bench --bin experiments -- all` (add
 //! `--scale paper` for the full 10,000-peer configuration — hours of CPU).
 
+// This crate IS the CLI: its tables and progress lines go to stdout by
+// design, so the workspace-wide print_stdout deny does not apply here.
+#![allow(clippy::print_stdout)]
+
 pub mod algo;
 pub mod figures;
 pub mod harness;

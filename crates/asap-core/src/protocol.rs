@@ -10,11 +10,11 @@ use asap_bloom::hashing::KeyHash;
 use asap_bloom::{BloomFilter, CountingBloom, FilterPatch};
 use asap_metrics::MsgClass;
 use asap_overlay::PeerId;
+use asap_sim::collections::{DetHashMap, DetHashSet};
 use asap_sim::util::SeenTracker;
 use asap_sim::{Ctx, Protocol};
 use asap_workload::{ContentModel, DocId, InterestSet, KeywordId, QuerySpec};
 use rand::Rng;
-use std::collections::HashMap;
 use std::rc::Rc;
 
 /// Timer tags.
@@ -34,7 +34,7 @@ pub(crate) struct NodeState {
     pub repo: AdRepository,
     /// Sources with an un-answered direct full-ad fetch in flight, so a
     /// burst of announcements triggers one fetch, not one per walker.
-    pub fetching: std::collections::HashSet<PeerId>,
+    pub fetching: DetHashSet<PeerId>,
 }
 
 /// Aggregate protocol statistics, readable after a run.
@@ -63,7 +63,7 @@ pub struct Asap {
     /// Precomputed keyword hashes, indexed by `KeywordId`.
     pub(crate) kw_hashes: Vec<KeyHash>,
     /// Active searches by query id (requester-side state).
-    pub(crate) pending: HashMap<u32, PendingSearch>,
+    pub(crate) pending: DetHashMap<u32, PendingSearch>,
     /// Duplicate suppression for flooded deliveries.
     pub(crate) seen: SeenTracker<u64>,
     next_delivery: u64,
@@ -93,7 +93,7 @@ impl Asap {
                     version: 0,
                     snapshot,
                     repo: AdRepository::new(config.cache_capacity),
-                    fetching: std::collections::HashSet::new(),
+                    fetching: DetHashSet::default(),
                 }
             })
             .collect();
@@ -101,7 +101,7 @@ impl Asap {
             seen: SeenTracker::new(config.seen_window),
             kw_hashes,
             nodes,
-            pending: HashMap::new(),
+            pending: DetHashMap::default(),
             next_delivery: 0,
             stats: AsapStats::default(),
             config,

@@ -15,9 +15,9 @@ use crate::protocol::{Asap, TAG_QUERY_BASE};
 use asap_bloom::hashing::KeyHash;
 use asap_metrics::MsgClass;
 use asap_overlay::PeerId;
+use asap_sim::collections::DetHashSet;
 use asap_sim::{ads_reply_size, ads_request_size, confirm_reply_size, confirm_size, Ctx};
 use asap_workload::{InterestSet, KeywordId, QuerySpec};
-use std::collections::HashSet;
 use std::rc::Rc;
 
 /// Search phase of a pending query.
@@ -39,7 +39,7 @@ pub(crate) struct PendingSearch {
     /// Confirmations in flight.
     pub outstanding: usize,
     /// Sources already confirmed this search (no duplicates).
-    pub confirmed: HashSet<PeerId>,
+    pub confirmed: DetHashSet<PeerId>,
     /// Matching candidates not yet confirmed (next batches; the paper
     /// confirms every matching ad, we pace them in fan-out-sized rounds).
     pub backlog: Vec<PeerId>,
@@ -66,7 +66,7 @@ pub(crate) fn start_query(asap: &mut Asap, ctx: &mut Ctx<'_, AsapMsg>, q: &Query
         answered: false,
         phase: Phase::Confirming,
         outstanding: 0,
-        confirmed: HashSet::new(),
+        confirmed: DetHashSet::default(),
         backlog: Vec::new(),
     };
 
@@ -268,16 +268,17 @@ pub(crate) fn handle_ads_reply(
     let Some(qid) = query else {
         return;
     };
-    let Some(p) = asap.pending.get(&qid) else {
+    // Take the search out of the table while we work on it; every path
+    // below that keeps it alive puts it back.
+    let Some(mut p) = asap.pending.remove(&qid) else {
         return;
     };
     if p.answered || p.requester != node {
+        asap.pending.insert(qid, p);
         return;
     }
     let expire = asap.expire_before(now);
-    let hashes = p.term_hashes.clone();
-    let candidates = asap.nodes[node.index()].repo.lookup(&hashes, now, expire);
-    let mut p = asap.pending.remove(&qid).expect("present above");
+    let candidates = asap.nodes[node.index()].repo.lookup(&p.term_hashes, now, expire);
     let sent = send_confirms(asap, ctx, &mut p, qid, &candidates);
     p.outstanding += sent;
     asap.pending.insert(qid, p);
@@ -316,10 +317,11 @@ pub(crate) fn handle_confirm_reply(
         asap.stats.confirms_positive += 1;
         ctx.report_answer(query);
     }
-    let Some(p) = asap.pending.get_mut(&query) else {
+    let Some(mut p) = asap.pending.remove(&query) else {
         return; // late reply after the search closed — still counted above
     };
     if p.requester != node {
+        asap.pending.insert(query, p);
         return;
     }
     if results > 0 {
@@ -327,19 +329,17 @@ pub(crate) fn handle_confirm_reply(
     }
     p.outstanding = p.outstanding.saturating_sub(1);
     let round_exhausted = p.outstanding == 0 && !p.answered;
-    if !round_exhausted {
-        return;
-    }
-    if p.backlog.is_empty() {
-        if p.phase == Phase::Confirming {
-            // Every local candidate was a false positive or lost its
-            // content: fall back without waiting for the timer.
+    if !round_exhausted || p.backlog.is_empty() {
+        // Every local candidate was a false positive or lost its content:
+        // fall back without waiting for the timer.
+        let fall_back = round_exhausted && p.phase == Phase::Confirming;
+        asap.pending.insert(query, p);
+        if fall_back {
             begin_fallback(asap, ctx, query);
         }
         return;
     }
     // Confirm the next batch of local candidates before falling back.
-    let mut p = asap.pending.remove(&query).expect("present above");
     let batch = std::mem::take(&mut p.backlog);
     let sent = send_confirms(asap, ctx, &mut p, query, &batch);
     p.outstanding += sent;

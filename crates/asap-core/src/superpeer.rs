@@ -268,6 +268,7 @@ impl SuperAsap {
                     .copied()
                     .filter(|&s| is_super[s.index()])
                     .max_by_key(|&s| ctx.overlay.degree(s))
+                    // lint: allow(unwrap, reason=the promotion loop above self-promotes any leaf without a super neighbor)
                     .expect("leaves have super neighbors by construction");
                 self.roles[p] = Role::Leaf { home };
                 self.stats.leaves += 1;

@@ -8,7 +8,7 @@ use asap_core::AdSnapshot;
 use asap_overlay::PeerId;
 use asap_workload::InterestSet;
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 const SOURCES: u32 = 8;
@@ -58,7 +58,7 @@ proptest! {
     fn repository_invariants(ops in prop::collection::vec(op_strategy(), 1..120)) {
         let mut repo = AdRepository::new(CAPACITY);
         // Reference: highest version accepted per source (while cached).
-        let mut shadow: HashMap<u32, u16> = HashMap::new();
+        let mut shadow: BTreeMap<u32, u16> = BTreeMap::new();
         let mut clock = 0u64;
         for op in ops {
             clock += 1;

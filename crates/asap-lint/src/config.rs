@@ -1,0 +1,218 @@
+//! `lint.toml` loading. The build environment has no crates.io access, so
+//! this is a hand-rolled parser for the *subset* of TOML the config uses:
+//! `[rules.<name>]` tables with `crates`/`paths` string arrays, and
+//! `[[allow]]` entries with `rule`/`path`/`reason` strings. Single-line
+//! values only; `#` comments anywhere.
+
+use crate::rules::RuleId;
+use std::collections::BTreeMap;
+
+/// Where a rule applies. A file is in scope when its workspace-relative
+/// path either lives under `crates/<c>/` for a listed crate `c`, or starts
+/// with one of the listed path prefixes. An empty scope means "nowhere".
+#[derive(Debug, Default, Clone)]
+pub struct RuleScope {
+    pub crates: Vec<String>,
+    pub paths: Vec<String>,
+}
+
+impl RuleScope {
+    pub fn covers(&self, rel_path: &str) -> bool {
+        self.crates
+            .iter()
+            .any(|c| rel_path.strip_prefix("crates/").is_some_and(|r| {
+                r.strip_prefix(c.as_str()).is_some_and(|r| r.starts_with('/'))
+            }))
+            || self.paths.iter().any(|p| rel_path.starts_with(p.as_str()))
+    }
+
+    /// Scope matching every file — used by the fixture tests.
+    pub fn everywhere() -> Self {
+        Self {
+            crates: Vec::new(),
+            paths: vec![String::new()],
+        }
+    }
+}
+
+/// A committed file-level suppression.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    pub rule: RuleId,
+    pub path: String,
+    pub reason: String,
+}
+
+#[derive(Debug, Default)]
+pub struct LintConfig {
+    pub scopes: BTreeMap<RuleId, RuleScope>,
+    pub allows: Vec<AllowEntry>,
+}
+
+impl LintConfig {
+    pub fn scope(&self, rule: RuleId) -> Option<&RuleScope> {
+        self.scopes.get(&rule)
+    }
+
+    /// Is `rule` switched off for this whole file by a `[[allow]]` entry?
+    pub fn file_allowed(&self, rule: RuleId, rel_path: &str) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && a.path == rel_path)
+    }
+
+    /// Parse `lint.toml` text. Returns `Err` with a message naming the
+    /// offending line for anything outside the understood subset.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        enum Target {
+            None,
+            Rule(RuleId),
+            Allow,
+        }
+        let mut cfg = LintConfig::default();
+        let mut target = Target::None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = strip_comment(raw).trim();
+            let err = |msg: &str| format!("lint.toml:{}: {msg}", idx + 1);
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+                if header.trim() != "allow" {
+                    return Err(err("only [[allow]] array tables are supported"));
+                }
+                cfg.allows.push(AllowEntry {
+                    rule: RuleId::R1,
+                    path: String::new(),
+                    reason: String::new(),
+                });
+                target = Target::Allow;
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let name = header
+                    .trim()
+                    .strip_prefix("rules.")
+                    .ok_or_else(|| err("expected [rules.<name>]"))?;
+                let id = RuleId::from_alias(name.trim())
+                    .ok_or_else(|| err("unknown rule name"))?;
+                cfg.scopes.entry(id).or_default();
+                target = Target::Rule(id);
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| err("expected key = value"))?;
+            let (key, value) = (key.trim(), value.trim());
+            match &mut target {
+                Target::None => return Err(err("key outside any table")),
+                Target::Rule(id) => {
+                    let scope = cfg.scopes.entry(*id).or_default();
+                    match key {
+                        "crates" => scope.crates = parse_string_array(value).map_err(&err)?,
+                        "paths" => scope.paths = parse_string_array(value).map_err(&err)?,
+                        _ => return Err(err("unknown rule key (want crates/paths)")),
+                    }
+                }
+                Target::Allow => {
+                    let entry = cfg.allows.last_mut().ok_or_else(|| err("internal"))?;
+                    let s = parse_string(value).map_err(&err)?;
+                    match key {
+                        "rule" => {
+                            entry.rule = RuleId::from_alias(&s)
+                                .ok_or_else(|| err("unknown rule name"))?;
+                        }
+                        "path" => entry.path = s,
+                        "reason" => entry.reason = s,
+                        _ => return Err(err("unknown allow key (want rule/path/reason)")),
+                    }
+                }
+            }
+        }
+        for a in &cfg.allows {
+            if a.path.is_empty() || a.reason.is_empty() {
+                return Err("lint.toml: every [[allow]] needs path and a non-empty reason".into());
+            }
+        }
+        Ok(cfg)
+    }
+}
+
+/// Strip a `#` comment, respecting `"…"` quoting.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str) -> Result<String, &'static str> {
+    value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or("expected a double-quoted string")
+}
+
+fn parse_string_array(value: &str) -> Result<Vec<String>, &'static str> {
+    let inner = value
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or("expected a [\"…\", …] array")?;
+    let inner = inner.trim();
+    if inner.is_empty() {
+        return Ok(Vec::new());
+    }
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_real_shape() {
+        let cfg = LintConfig::parse(
+            r#"
+            # comment
+            [rules.det_collections]
+            crates = ["asap-sim", "asap-core"]  # trailing comment
+
+            [rules.float_arith]
+            paths = ["crates/asap-sim/src"]
+
+            [[allow]]
+            rule = "float_arith"
+            path = "crates/asap-metrics/src/summary.rs"
+            reason = "presentation layer"
+            "#,
+        )
+        .expect("parses");
+        let r1 = cfg.scope(RuleId::R1).expect("configured");
+        assert!(r1.covers("crates/asap-sim/src/util.rs"));
+        assert!(!r1.covers("crates/asap-simx/src/util.rs"), "no prefix bleed");
+        assert!(!r1.covers("crates/asap-metrics/src/load.rs"));
+        let r3 = cfg.scope(RuleId::R3).expect("configured");
+        assert!(r3.covers("crates/asap-sim/src/event.rs"));
+        assert!(!r3.covers("crates/asap-sim/tests/x.rs"));
+        assert!(cfg.file_allowed(RuleId::R3, "crates/asap-metrics/src/summary.rs"));
+        assert!(!cfg.file_allowed(RuleId::R1, "crates/asap-metrics/src/summary.rs"));
+    }
+
+    #[test]
+    fn rejects_unknown_rules_and_reasonless_allows() {
+        assert!(LintConfig::parse("[rules.nonsense]\n").is_err());
+        assert!(LintConfig::parse("[[allow]]\nrule = \"unwrap\"\npath = \"x.rs\"\n").is_err());
+        assert!(LintConfig::parse("stray = \"value\"\n").is_err());
+    }
+}

@@ -1,0 +1,203 @@
+//! `asap-lint`: repo-specific determinism & safety static analysis.
+//!
+//! The ASAP evaluation is a deterministic trace-driven simulation whose
+//! replay digests are pinned in `crates/asap-bench/golden/`. Those digests
+//! catch nondeterminism only *after* it ships; this tool rejects it at
+//! analysis time. Run as `cargo lint` (alias in `.cargo/config.toml`);
+//! scoping lives in `lint.toml` at the workspace root. Rules:
+//!
+//! * **R1 `det-collections`** — no `std::collections::HashMap`/`HashSet`
+//!   (RandomState-seeded) in simulation-facing crates; use the fixed-seed
+//!   `DetHashMap`/`DetHashSet` aliases or `BTreeMap`/`BTreeSet`.
+//! * **R2 `ambient-entropy`** — no `SystemTime`/`Instant`/`thread_rng`/
+//!   `from_entropy` outside `asap-bench`.
+//! * **R3 `float-arith`** — no `f32`/`f64` or float literals in digest- or
+//!   event-ordering paths (the metrics summary layer is allowlisted).
+//! * **R4 `unwrap`** — no `unwrap()`/`expect()` in non-test code reachable
+//!   from `Simulation::run`; justify survivors with
+//!   `// lint: allow(unwrap, reason=…)`.
+//!
+//! Everything is deny-by-default: any violation (or broken pragma) makes
+//! the binary exit nonzero.
+
+pub mod config;
+pub mod lexer;
+pub mod rules;
+
+pub use config::{AllowEntry, LintConfig, RuleScope};
+pub use rules::{RuleId, ALL_RULES};
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// A rendered finding with its span and rule metadata.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    pub line: u32,
+    pub col: u32,
+    pub width: usize,
+    /// `R1`…`R4`, or `P0` for pragma problems.
+    pub rule_id: &'static str,
+    pub rule_name: &'static str,
+    pub summary: String,
+    pub help: Option<&'static str>,
+}
+
+impl Diagnostic {
+    /// Render in rustc style, with the offending source line and a caret
+    /// span when `source` is provided.
+    pub fn render(&self, source: Option<&str>) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "error[{}/{}]: {}",
+            self.rule_id, self.rule_name, self.summary
+        );
+        let _ = writeln!(out, "  --> {}:{}:{}", self.path, self.line, self.col);
+        if let Some(text) = source.and_then(|s| s.lines().nth(self.line as usize - 1)) {
+            let gutter = self.line.to_string();
+            let pad = " ".repeat(gutter.len());
+            let _ = writeln!(out, "{pad} |");
+            let _ = writeln!(out, "{gutter} | {text}");
+            let caret_pad = " ".repeat(self.col.saturating_sub(1) as usize);
+            let carets = "^".repeat(self.width.max(1));
+            let _ = writeln!(out, "{pad} | {caret_pad}{carets}");
+        }
+        if let Some(help) = self.help {
+            let _ = writeln!(out, "  = help: {help}");
+        }
+        out
+    }
+}
+
+/// Lint one file's source text against every rule `cfg` puts in scope for
+/// `rel_path`. This is the unit the fixture tests drive directly.
+pub fn lint_source(rel_path: &str, source: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
+    let applicable: Vec<RuleId> = ALL_RULES
+        .iter()
+        .copied()
+        .filter(|&r| cfg.scope(r).is_some_and(|s| s.covers(rel_path)))
+        .filter(|&r| !cfg.file_allowed(r, rel_path))
+        .collect();
+    if applicable.is_empty() {
+        return Vec::new();
+    }
+    let lexed = lexer::lex(source);
+    let in_test = lexer::mark_test_regions(&lexed.tokens);
+    let targets = rules::pragma_targets(&lexed);
+    let mut out = Vec::new();
+    for (line, col, summary) in rules::pragma_problems(&lexed.pragmas) {
+        out.push(Diagnostic {
+            path: rel_path.to_string(),
+            line,
+            col,
+            width: 2,
+            rule_id: "P0",
+            rule_name: "pragma",
+            summary,
+            help: None,
+        });
+    }
+    for rule in applicable {
+        for v in rules::check(rule, &lexed, &in_test) {
+            if rules::suppressed(&v, &lexed, &targets) {
+                continue;
+            }
+            out.push(Diagnostic {
+                path: rel_path.to_string(),
+                line: v.line,
+                col: v.col,
+                width: v.width,
+                rule_id: rule.id(),
+                rule_name: rule.name(),
+                summary: rule.summary(&v.found),
+                help: Some(rule.help()),
+            });
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.col, a.rule_id).cmp(&(b.line, b.col, b.rule_id)));
+    out
+}
+
+/// Outcome of a workspace run.
+#[derive(Debug, Default)]
+pub struct Report {
+    pub files_scanned: usize,
+    pub diagnostics: Vec<Diagnostic>,
+    /// (rel_path, rendered) pairs, ready to print.
+    pub rendered: Vec<String>,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// Directories never descended into: build products, vendored third-party
+/// shims (not ours to lint), VCS metadata, experiment output, and the
+/// linter's own intentionally-violating test fixtures.
+const SKIP_DIRS: [&str; 5] = ["target", "vendor", ".git", "results", "fixtures"];
+
+/// Collect every `.rs` file under `root`, workspace-relative, sorted.
+pub fn collect_rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lint the whole workspace rooted at `root` with `cfg`.
+pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Report> {
+    let mut report = Report::default();
+    for path in collect_rust_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = std::fs::read_to_string(&path)?;
+        let diags = lint_source(&rel, &source, cfg);
+        report.files_scanned += 1;
+        for d in &diags {
+            report.rendered.push(d.render(Some(&source)));
+        }
+        report.diagnostics.extend(diags);
+    }
+    Ok(report)
+}
+
+/// Locate the workspace root: the nearest ancestor of `start` containing
+/// `lint.toml`. Falls back to the compile-time manifest's grandparent so
+/// `cargo run -p asap-lint` works from anywhere inside the repo.
+pub fn find_root(start: &Path) -> PathBuf {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        if d.join("lint.toml").is_file() {
+            return d.to_path_buf();
+        }
+        dir = d.parent();
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap_or_else(|| Path::new("."))
+        .to_path_buf()
+}

@@ -1,0 +1,108 @@
+//! CLI entry point for `cargo lint`.
+//!
+//! Usage: `cargo lint [PATH …]`. With no arguments, lints every `.rs` file
+//! in the workspace (found by ascending from the current directory to the
+//! one containing `lint.toml`). With arguments, lints just those files —
+//! handy for pre-commit hooks.
+//!
+//! Exit codes: 0 clean, 1 violations found, 2 setup error (missing or
+//! invalid `lint.toml`, unreadable file).
+#![allow(clippy::print_stdout)]
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use asap_lint::{lint_source, lint_workspace, LintConfig};
+
+fn main() -> ExitCode {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| Path::new(".").to_path_buf());
+    let root = asap_lint::find_root(&cwd);
+    let cfg_path = root.join("lint.toml");
+    let cfg_text = match std::fs::read_to_string(&cfg_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", cfg_path.display());
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match LintConfig::parse(&cfg_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let files: Vec<String> = std::env::args().skip(1).collect();
+    if files.is_empty() {
+        return run_workspace(&root, &cfg);
+    }
+    run_files(&root, &cfg, &files)
+}
+
+fn run_workspace(root: &Path, cfg: &LintConfig) -> ExitCode {
+    let report = match lint_workspace(root, cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for rendered in &report.rendered {
+        println!("{rendered}");
+    }
+    if report.is_clean() {
+        println!(
+            "asap-lint: {} files clean (rules R1-R4, lint.toml at {})",
+            report.files_scanned,
+            root.join("lint.toml").display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "asap-lint: {} violation(s) in {} files scanned",
+            report.diagnostics.len(),
+            report.files_scanned
+        );
+        ExitCode::from(1)
+    }
+}
+
+fn run_files(root: &Path, cfg: &LintConfig, files: &[String]) -> ExitCode {
+    let mut total = 0usize;
+    for arg in files {
+        let path = Path::new(arg);
+        let abs = if path.is_absolute() {
+            path.to_path_buf()
+        } else {
+            // Resolve relative to the invocation directory, not the root:
+            // `cargo lint src/util.rs` from inside a crate should work.
+            std::env::current_dir()
+                .map(|d| d.join(path))
+                .unwrap_or_else(|_| path.to_path_buf())
+        };
+        let rel = abs
+            .strip_prefix(root)
+            .unwrap_or(&abs)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = match std::fs::read_to_string(&abs) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {}: {e}", abs.display());
+                return ExitCode::from(2);
+            }
+        };
+        for d in lint_source(&rel, &source, cfg) {
+            println!("{}", d.render(Some(&source)));
+            total += 1;
+        }
+    }
+    if total == 0 {
+        println!("asap-lint: {} file(s) clean", files.len());
+        ExitCode::SUCCESS
+    } else {
+        println!("asap-lint: {total} violation(s)");
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,238 @@
+//! The rule set. Each rule is a token-pattern check; scoping (which crates
+//! or paths a rule covers) comes from `lint.toml`, and suppression comes
+//! from `// lint: allow(…)` pragmas or committed `[[allow]]` entries.
+
+use crate::lexer::{LexOutput, Pragma, Tok, TokKind};
+
+/// Stable rule identifiers (the `R<n>` in diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RuleId {
+    /// No RandomState-hashed std collections in simulation-facing crates.
+    R1,
+    /// No ambient clocks or entropy outside the bench harness.
+    R2,
+    /// No floating point in digest- or event-ordering paths.
+    R3,
+    /// No `unwrap()`/`expect()` in code reachable from `Simulation::run`.
+    R4,
+}
+
+pub const ALL_RULES: [RuleId; 4] = [RuleId::R1, RuleId::R2, RuleId::R3, RuleId::R4];
+
+impl RuleId {
+    /// Canonical lower-case name, used in `lint.toml` and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleId::R1 => "det-collections",
+            RuleId::R2 => "ambient-entropy",
+            RuleId::R3 => "float-arith",
+            RuleId::R4 => "unwrap",
+        }
+    }
+
+    pub fn id(self) -> &'static str {
+        match self {
+            RuleId::R1 => "R1",
+            RuleId::R2 => "R2",
+            RuleId::R3 => "R3",
+            RuleId::R4 => "R4",
+        }
+    }
+
+    /// Accepts the id (`R1`), the canonical name, snake_case, and the
+    /// short aliases used in pragmas.
+    pub fn from_alias(s: &str) -> Option<RuleId> {
+        match s {
+            "R1" | "r1" | "det-collections" | "det_collections" | "hashmap" => Some(RuleId::R1),
+            "R2" | "r2" | "ambient-entropy" | "ambient_entropy" | "entropy" => Some(RuleId::R2),
+            "R3" | "r3" | "float-arith" | "float_arith" | "float" => Some(RuleId::R3),
+            "R4" | "r4" | "unwrap" | "expect" => Some(RuleId::R4),
+            _ => None,
+        }
+    }
+
+    /// R3/R4 exempt `#[cfg(test)]` regions: test assertions may compare
+    /// floats and unwrap freely. R1/R2 apply to tests too — a test that
+    /// iterates a RandomState map or reads a wall clock is exactly as
+    /// flaky as a protocol that does.
+    pub fn skips_test_code(self) -> bool {
+        matches!(self, RuleId::R3 | RuleId::R4)
+    }
+
+    pub fn summary(self, found: &str) -> String {
+        match self {
+            RuleId::R1 => format!(
+                "`{found}` hashes with per-process RandomState; iteration order is nondeterministic"
+            ),
+            RuleId::R2 => format!("`{found}` is an ambient clock/entropy source"),
+            RuleId::R3 => format!("floating-point (`{found}`) in a digest/event-ordering path"),
+            RuleId::R4 => format!("`{found}()` can panic in code reachable from Simulation::run"),
+        }
+    }
+
+    pub fn help(self) -> &'static str {
+        match self {
+            RuleId::R1 => {
+                "use DetHashMap/DetHashSet (asap_sim::collections, re-exported from \
+                 asap_overlay::collections) or BTreeMap/BTreeSet"
+            }
+            RuleId::R2 => {
+                "take time from Ctx::now_us() and randomness from the seeded Ctx::rng; \
+                 only asap-bench may touch the host clock"
+            }
+            RuleId::R3 => {
+                "keep digest and event-ordering state in integer µs/bytes; float summaries \
+                 belong to the metrics summary layer (see the lint.toml allowlist)"
+            }
+            RuleId::R4 => {
+                "handle the None/Err arm (the engine must survive any message interleaving), \
+                 or justify with `// lint: allow(unwrap, reason=…)`"
+            }
+        }
+    }
+}
+
+/// One rule violation, before suppression filtering.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: RuleId,
+    pub line: u32,
+    pub col: u32,
+    pub width: usize,
+    pub found: String,
+}
+
+fn violation(rule: RuleId, tok: &Tok, found: &str) -> Violation {
+    Violation {
+        rule,
+        line: tok.line,
+        col: tok.col,
+        width: tok.width(),
+        found: found.to_string(),
+    }
+}
+
+const BANNED_COLLECTIONS: [&str; 2] = ["HashMap", "HashSet"];
+const BANNED_ENTROPY: [&str; 4] = ["thread_rng", "from_entropy", "SystemTime", "Instant"];
+const BANNED_FLOAT_TYPES: [&str; 2] = ["f32", "f64"];
+const BANNED_PANICS: [&str; 2] = ["unwrap", "expect"];
+
+/// Run `rule` over a lexed file. `in_test[i]` marks tokens inside
+/// `#[cfg(test)]` regions (see [`crate::lexer::mark_test_regions`]).
+pub fn check(rule: RuleId, lexed: &LexOutput, in_test: &[bool]) -> Vec<Violation> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    for (i, tok) in toks.iter().enumerate() {
+        if rule.skips_test_code() && in_test.get(i).copied().unwrap_or(false) {
+            continue;
+        }
+        match rule {
+            RuleId::R1 => {
+                if let Some(id) = tok.ident() {
+                    if BANNED_COLLECTIONS.contains(&id) {
+                        out.push(violation(rule, tok, id));
+                    }
+                }
+            }
+            RuleId::R2 => {
+                if let Some(id) = tok.ident() {
+                    if BANNED_ENTROPY.contains(&id) {
+                        out.push(violation(rule, tok, id));
+                    }
+                }
+            }
+            RuleId::R3 => match &tok.kind {
+                TokKind::Ident(id) if BANNED_FLOAT_TYPES.contains(&id.as_str()) => {
+                    out.push(violation(rule, tok, id));
+                }
+                TokKind::Num { float: true } => {
+                    out.push(violation(rule, tok, "float literal"));
+                }
+                _ => {}
+            },
+            RuleId::R4 => {
+                if let Some(id) = tok.ident() {
+                    if BANNED_PANICS.contains(&id)
+                        && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
+                        && i > 0
+                        && (toks[i - 1].is_punct('.') || toks[i - 1].is_punct(':'))
+                    {
+                        out.push(violation(rule, tok, id));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Which source line each own-line pragma suppresses: the first code line
+/// after it. Returns `(pragma_index, suppressed_line)` pairs for all
+/// well-formed pragmas.
+pub fn pragma_targets(lexed: &LexOutput) -> Vec<(usize, u32)> {
+    lexed
+        .pragmas
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| !p.malformed && p.reason.is_some())
+        .map(|(i, p)| {
+            let target = if p.own_line {
+                lexed
+                    .tokens
+                    .iter()
+                    .map(|t| t.line)
+                    .find(|&l| l > p.line)
+                    .unwrap_or(p.line)
+            } else {
+                p.line
+            };
+            (i, target)
+        })
+        .collect()
+}
+
+/// Does some pragma suppress `v`? (Pragma must name the rule and carry a
+/// reason; an own-line pragma covers the next code line.)
+pub fn suppressed(v: &Violation, lexed: &LexOutput, targets: &[(usize, u32)]) -> bool {
+    targets.iter().any(|&(i, line)| {
+        line == v.line
+            && lexed.pragmas[i]
+                .rules
+                .iter()
+                .any(|r| RuleId::from_alias(r) == Some(v.rule))
+    })
+}
+
+/// Diagnostics for the pragmas themselves: malformed syntax, unknown rule
+/// names, and missing `reason=` are hard errors — a suppression that
+/// silently fails to apply (or applies without justification) is worse
+/// than no suppression at all.
+pub fn pragma_problems(pragmas: &[Pragma]) -> Vec<(u32, u32, String)> {
+    let mut out = Vec::new();
+    for p in pragmas {
+        if p.malformed {
+            out.push((
+                p.line,
+                p.col,
+                "malformed lint pragma; expected `// lint: allow(rule, …, reason=…)`".into(),
+            ));
+            continue;
+        }
+        if p.rules.is_empty() {
+            out.push((p.line, p.col, "lint pragma names no rules".into()));
+        }
+        for r in &p.rules {
+            if RuleId::from_alias(r).is_none() {
+                out.push((p.line, p.col, format!("lint pragma names unknown rule `{r}`")));
+            }
+        }
+        if p.reason.as_deref().unwrap_or("").is_empty() {
+            out.push((
+                p.line,
+                p.col,
+                "lint pragma is missing a non-empty `reason=…`".into(),
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,6 @@
+//! Fixture: a reason-less pragma is a hard error AND does not suppress.
+
+pub fn f(x: Option<u32>) -> u32 {
+    // lint: allow(unwrap)
+    x.unwrap()
+}

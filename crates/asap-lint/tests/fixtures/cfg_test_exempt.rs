@@ -1,0 +1,21 @@
+//! Fixture: `#[cfg(test)]` regions are exempt from R3/R4 but not R1.
+
+pub fn live(x: Option<u32>) -> u32 {
+    x.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn float_and_unwrap_ok_here() {
+        let x: f64 = 1.5;
+        assert!(x > 1.0);
+        Some(3).unwrap();
+    }
+
+    #[test]
+    fn hashmap_still_banned() {
+        let mut m = std::collections::HashMap::new();
+        m.insert(1, 2);
+    }
+}

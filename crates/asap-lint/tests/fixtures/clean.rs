@@ -1,0 +1,11 @@
+//! Fixture: entirely clean file. Mentions of HashMap in comments and
+//! "HashSet" in strings must not fire.
+
+use std::collections::BTreeMap;
+
+pub fn build() -> BTreeMap<u32, u32> {
+    let banned = "HashSet";
+    let mut m = BTreeMap::new();
+    m.insert(1, banned.len() as u32);
+    m
+}

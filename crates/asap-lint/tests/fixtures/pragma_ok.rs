@@ -1,0 +1,10 @@
+//! Fixture: pragma-suppressed violations do not fire.
+
+pub fn head(queue: &mut Vec<u32>) -> u32 {
+    // lint: allow(unwrap, reason=fixture demonstrates own-line suppression)
+    queue.pop().unwrap()
+}
+
+pub fn trailing(queue: &mut Vec<u32>) -> u32 {
+    queue.pop().unwrap() // lint: allow(unwrap, reason=same-line form)
+}

@@ -1,0 +1,11 @@
+//! Fixture: R1 det-collections violations.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub fn build() -> HashMap<u32, u32> {
+    let mut m = HashMap::new();
+    let _s: HashSet<u32> = HashSet::new();
+    m.insert(1, 2);
+    m
+}

@@ -1,0 +1,13 @@
+//! Fixture: R2 ambient-entropy violations.
+
+pub fn stamp() -> u64 {
+    let t = std::time::SystemTime::now();
+    let i = std::time::Instant::now();
+    let _ = (t, i);
+    0
+}
+
+pub fn roll() -> u32 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,7 @@
+//! Fixture: R3 float-arith violations.
+
+pub fn mean(xs: &[u64]) -> f64 {
+    let n = xs.len() as f64;
+    let sum: f64 = xs.iter().map(|&x| x as f64).sum();
+    sum / n + 0.5
+}

@@ -1,0 +1,7 @@
+//! Fixture: R4 unwrap violations.
+
+pub fn deliver(queue: &mut Vec<u32>) -> u32 {
+    let head = queue.pop().unwrap();
+    let checked = queue.first().expect("nonempty");
+    head + *checked
+}

@@ -1,0 +1,112 @@
+//! Fixture-driven rule tests: each fixture under `tests/fixtures/` carries
+//! known violations, and we assert the exact rule IDs and line numbers the
+//! linter reports — not just counts — so span regressions fail loudly.
+
+use asap_lint::{lint_source, LintConfig, RuleScope, ALL_RULES};
+
+/// Config with every rule in scope for every path (fixtures bypass
+/// `lint.toml` scoping so they exercise the rules themselves).
+fn everywhere() -> LintConfig {
+    let mut cfg = LintConfig::default();
+    for rule in ALL_RULES {
+        cfg.scopes.insert(rule, RuleScope::everywhere());
+    }
+    cfg
+}
+
+fn fixture(name: &str) -> String {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    std::fs::read_to_string(&path).expect("fixture readable")
+}
+
+/// `(rule_id, line)` pairs for a fixture, in report order.
+fn findings(name: &str) -> Vec<(String, u32)> {
+    lint_source(name, &fixture(name), &everywhere())
+        .into_iter()
+        .map(|d| (d.rule_id.to_string(), d.line))
+        .collect()
+}
+
+fn lines_for(name: &str, rule_id: &str) -> Vec<u32> {
+    findings(name)
+        .into_iter()
+        .filter(|(r, _)| r == rule_id)
+        .map(|(_, l)| l)
+        .collect()
+}
+
+#[test]
+fn r1_flags_every_hashmap_and_hashset_mention() {
+    assert_eq!(lines_for("r1_hashmap.rs", "R1"), vec![3, 4, 6, 7, 8, 8]);
+    // Nothing else fires on this fixture.
+    assert_eq!(findings("r1_hashmap.rs").len(), 6);
+}
+
+#[test]
+fn r2_flags_clocks_and_entropy() {
+    assert_eq!(lines_for("r2_entropy.rs", "R2"), vec![4, 5, 11]);
+}
+
+#[test]
+fn r3_flags_float_types_and_literals() {
+    assert_eq!(lines_for("r3_float.rs", "R3"), vec![3, 4, 5, 5, 6]);
+}
+
+#[test]
+fn r4_flags_unwrap_and_expect_calls() {
+    assert_eq!(lines_for("r4_unwrap.rs", "R4"), vec![4, 5]);
+}
+
+#[test]
+fn pragmas_suppress_in_both_positions() {
+    assert_eq!(
+        findings("pragma_ok.rs"),
+        Vec::<(String, u32)>::new(),
+        "own-line and same-line pragmas with reasons must fully suppress"
+    );
+}
+
+#[test]
+fn reasonless_pragma_errors_and_does_not_suppress() {
+    let got = findings("bad_pragma.rs");
+    assert_eq!(
+        got,
+        vec![("P0".to_string(), 4), ("R4".to_string(), 5)],
+        "the pragma itself is a hard error AND the unwrap still fires"
+    );
+}
+
+#[test]
+fn clean_fixture_is_clean() {
+    assert_eq!(findings("clean.rs"), Vec::<(String, u32)>::new());
+}
+
+#[test]
+fn cfg_test_exempts_r3_r4_but_not_r1() {
+    assert_eq!(lines_for("cfg_test_exempt.rs", "R3"), Vec::<u32>::new());
+    assert_eq!(lines_for("cfg_test_exempt.rs", "R4"), Vec::<u32>::new());
+    assert_eq!(lines_for("cfg_test_exempt.rs", "R1"), vec![18]);
+}
+
+#[test]
+fn scoping_gates_rules_per_file() {
+    // Same source, but a config whose R4 scope does not cover the path.
+    let mut cfg = LintConfig::default();
+    cfg.scopes
+        .insert(asap_lint::RuleId::R4, RuleScope::default());
+    let diags = lint_source("r4_unwrap.rs", &fixture("r4_unwrap.rs"), &cfg);
+    assert!(diags.is_empty(), "out-of-scope files produce no diagnostics");
+}
+
+#[test]
+fn diagnostics_render_with_span_and_caret() {
+    let src = fixture("r4_unwrap.rs");
+    let diags = lint_source("crates/x/src/lib.rs", &src, &everywhere());
+    let rendered = diags[0].render(Some(&src));
+    assert!(rendered.contains("error[R4/unwrap]"), "{rendered}");
+    assert!(rendered.contains("--> crates/x/src/lib.rs:4:"), "{rendered}");
+    assert!(rendered.contains("^^^^^^"), "caret line present: {rendered}");
+    assert!(rendered.contains("= help:"), "{rendered}");
+}

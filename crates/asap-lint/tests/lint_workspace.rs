@@ -1,0 +1,33 @@
+//! The committed `lint.toml` applied to the real workspace must report
+//! zero violations — this is the same invariant CI's `cargo lint` job
+//! enforces, kept here so `cargo test` alone catches regressions.
+
+use std::path::Path;
+
+use asap_lint::{lint_workspace, LintConfig};
+
+#[test]
+fn workspace_is_lint_clean_under_committed_config() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crate lives at <root>/crates/asap-lint");
+    let cfg_text =
+        std::fs::read_to_string(root.join("lint.toml")).expect("lint.toml at workspace root");
+    let cfg = LintConfig::parse(&cfg_text).expect("committed lint.toml parses");
+    let report = lint_workspace(root, &cfg).expect("workspace walk succeeds");
+    assert!(
+        report.files_scanned > 40,
+        "walker found only {} files — skip list too aggressive?",
+        report.files_scanned
+    );
+    if !report.is_clean() {
+        for rendered in &report.rendered {
+            eprintln!("{rendered}");
+        }
+        panic!(
+            "{} lint violation(s) in the workspace (see above)",
+            report.diagnostics.len()
+        );
+    }
+}

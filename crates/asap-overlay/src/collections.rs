@@ -1,0 +1,136 @@
+//! Deterministic hash collections for simulation-facing crates.
+//!
+//! `std::collections::HashMap`'s default `RandomState` seeds itself from
+//! process entropy, so iteration order — and anything downstream of it —
+//! differs between runs. The replay digests pinned in
+//! `crates/asap-bench/golden/` demand bit-identical behavior, so every
+//! simulation-facing crate uses these fixed-seed aliases instead (enforced
+//! by `cargo lint`, rule R1). The hasher is FxHash-style: a rotate-xor-
+//! multiply mix, seedless, not DoS-resistant — fine for a simulator whose
+//! keys come from its own trace, never from an adversary.
+//!
+//! This module lives in `asap-overlay` (the lowest crate in the simulation
+//! stack) and is re-exported as `asap_sim::collections`, the canonical path
+//! for crates that already depend on the simulator.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier from FxHash (the golden-ratio-derived constant used by the
+/// rustc hasher); the exact value only matters for mixing quality.
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Fixed-seed, non-cryptographic hasher: every process, every run, every
+/// platform produces the same hash for the same key.
+#[derive(Debug, Default, Clone)]
+pub struct DetHasher {
+    hash: u64,
+}
+
+impl DetHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for DetHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`DetHasher`]; `Default` yields the same state always.
+pub type DetBuildHasher = BuildHasherDefault<DetHasher>;
+
+/// Drop-in `HashMap` with deterministic, fixed-seed hashing. Construct with
+/// `DetHashMap::default()` (the `new()` constructor is `RandomState`-only).
+pub type DetHashMap<K, V> = HashMap<K, V, DetBuildHasher>;
+
+/// Drop-in `HashSet` with deterministic, fixed-seed hashing.
+pub type DetHashSet<T> = HashSet<T, DetBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    fn hash_of(bytes: &[u8]) -> u64 {
+        let mut h = DetBuildHasher::default().build_hasher();
+        h.write(bytes);
+        h.finish()
+    }
+
+    #[test]
+    fn hashes_are_stable_across_hasher_instances() {
+        assert_eq!(hash_of(b"asap"), hash_of(b"asap"));
+        assert_ne!(hash_of(b"asap"), hash_of(b"asap!"));
+    }
+
+    #[test]
+    fn write_u64_matches_repeated_use() {
+        let mut a = DetHasher::default();
+        a.write_u64(42);
+        let mut b = DetHasher::default();
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+        assert_ne!(a.finish(), DetHasher::default().finish());
+    }
+
+    #[test]
+    fn map_iteration_order_is_reproducible() {
+        let build = || {
+            let mut m: DetHashMap<u64, u64> = DetHashMap::default();
+            for k in 0..1_000u64 {
+                m.insert(k.wrapping_mul(0x9E37_79B9_7F4A_7C15), k);
+            }
+            m.keys().copied().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build(), "same inserts, same order");
+    }
+
+    #[test]
+    fn set_behaves_like_a_set() {
+        let mut s: DetHashSet<u32> = DetHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+        assert!(s.contains(&7));
+        assert!(s.remove(&7));
+        assert!(s.is_empty());
+    }
+}

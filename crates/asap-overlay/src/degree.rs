@@ -44,7 +44,7 @@ impl TruncatedPowerLaw {
         // First index whose cdf ≥ u.
         match self
             .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+            .binary_search_by(|c| c.total_cmp(&u))
         {
             Ok(i) | Err(i) => (i + 1).min(self.cdf.len()),
         }

@@ -78,6 +78,7 @@ impl Overlay {
         let j = self.adj[b.index()]
             .iter()
             .position(|&n| n == a)
+            // lint: allow(unwrap, reason=add_edge always inserts both directions; asymmetry is memory corruption)
             .expect("undirected invariant");
         self.adj[b.index()].swap_remove(j);
         true
@@ -90,6 +91,7 @@ impl Overlay {
             let i = self.adj[n.index()]
                 .iter()
                 .position(|&x| x == p)
+                // lint: allow(unwrap, reason=add_edge always inserts both directions; asymmetry is memory corruption)
                 .expect("undirected invariant");
             self.adj[n.index()].swap_remove(i);
         }

@@ -1,11 +1,11 @@
 //! The engine's event queue.
 
+use crate::collections::DetHashSet;
 use asap_overlay::PeerId;
 use asap_workload::TraceEvent;
 use std::cmp::Ordering;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::collections::HashSet;
 
 /// Opaque handle to a scheduled event, usable with [`EventQueue::cancel`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,13 +52,15 @@ impl<M> Ord for Scheduled<M> {
 ///
 /// Cancellation is tombstone-based: `cancel` records the handle's sequence
 /// number and `pop` silently discards matching entries when they surface, so
-/// cancelling is O(1) and never disturbs heap order. The `HashSet` is used
-/// for membership only — iteration order never influences the simulation.
+/// cancelling is O(1) and never disturbs heap order. The tombstone set is
+/// used for membership only — iteration order never influences the
+/// simulation — but it is a [`DetHashSet`] anyway, per the repo-wide
+/// determinism policy (DESIGN.md §6).
 #[derive(Debug)]
 pub struct EventQueue<M> {
     heap: BinaryHeap<Reverse<Scheduled<M>>>,
     next_seq: u64,
-    cancelled: HashSet<u64>,
+    cancelled: DetHashSet<u64>,
 }
 
 impl<M> Default for EventQueue<M> {
@@ -66,7 +68,7 @@ impl<M> Default for EventQueue<M> {
         Self {
             heap: BinaryHeap::new(),
             next_seq: 0,
-            cancelled: HashSet::new(),
+            cancelled: DetHashSet::default(),
         }
     }
 }

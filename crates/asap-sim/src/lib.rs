@@ -17,6 +17,11 @@ pub mod event;
 pub mod message;
 pub mod util;
 
+/// Deterministic fixed-seed hash collections (see `lint.toml` rule R1).
+/// Defined in `asap-overlay` so that crates below the simulator can share
+/// them; this re-export is the canonical path for everyone else.
+pub use asap_overlay::collections;
+
 pub use audit::{AuditConfig, AuditReport, Fnv64};
 pub use engine::{Ctx, Protocol, SimReport, Simulation};
 pub use event::{EngineEvent, EventHandle};

@@ -1,6 +1,7 @@
 //! Small protocol-side utilities.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use crate::collections::{DetHashMap, DetHashSet};
+use std::collections::VecDeque;
 use std::hash::Hash;
 
 /// Per-key visited-set with a bounded window of recent keys, for duplicate
@@ -9,7 +10,7 @@ use std::hash::Hash;
 /// key's state is forgotten (by then its flood has long died out).
 #[derive(Debug)]
 pub struct SeenTracker<K: Hash + Eq + Copy> {
-    seen: HashMap<K, HashSet<u32>>,
+    seen: DetHashMap<K, DetHashSet<u32>>,
     order: VecDeque<K>,
     window: usize,
 }
@@ -18,7 +19,7 @@ impl<K: Hash + Eq + Copy> SeenTracker<K> {
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "window must be positive");
         Self {
-            seen: HashMap::new(),
+            seen: DetHashMap::default(),
             order: VecDeque::new(),
             window,
         }
@@ -27,16 +28,24 @@ impl<K: Hash + Eq + Copy> SeenTracker<K> {
     /// Returns `true` the first time `(key, visitor)` is observed; `false`
     /// afterwards (until `key` ages out of the window).
     pub fn first_visit(&mut self, key: K, visitor: u32) -> bool {
-        let entry = self.seen.entry(key).or_insert_with(|| {
-            self.order.push_back(key);
-            HashSet::new()
-        });
-        let fresh = entry.insert(visitor);
-        while self.order.len() > self.window {
-            let evicted = self.order.pop_front().expect("non-empty");
-            self.seen.remove(&evicted);
+        if let Some(entry) = self.seen.get_mut(&key) {
+            return entry.insert(visitor);
         }
-        fresh
+        // New key: evict *before* inserting, so the tracker never holds more
+        // than `window` keys (not even transiently) and the key registered by
+        // this very call can never be the one evicted.
+        while self.seen.len() >= self.window {
+            if let Some(evicted) = self.order.pop_front() {
+                self.seen.remove(&evicted);
+            } else {
+                break;
+            }
+        }
+        self.order.push_back(key);
+        let mut visitors = DetHashSet::default();
+        visitors.insert(visitor);
+        self.seen.insert(key, visitors);
+        true
     }
 
     pub fn tracked_keys(&self) -> usize {
@@ -71,5 +80,21 @@ mod tests {
     #[should_panic(expected = "window")]
     fn zero_window_rejected() {
         let _: SeenTracker<u32> = SeenTracker::new(0);
+    }
+
+    #[test]
+    fn never_exceeds_window_and_window_one_revisit_sticks() {
+        let mut t: SeenTracker<u64> = SeenTracker::new(1);
+        assert!(t.first_visit(1, 0));
+        assert_eq!(t.tracked_keys(), 1);
+        // A second key evicts the first — never the key being inserted.
+        assert!(t.first_visit(2, 0));
+        assert_eq!(t.tracked_keys(), 1, "eviction happens before insert");
+        // Re-visits of the surviving key are still deduplicated: the insert
+        // path must not evict the entry it just created.
+        assert!(!t.first_visit(2, 0), "revisit of the live key is not fresh");
+        assert!(t.first_visit(2, 1), "new visitor on the live key is fresh");
+        // The evicted key looks fresh again.
+        assert!(t.first_visit(1, 0));
     }
 }

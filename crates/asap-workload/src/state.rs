@@ -7,8 +7,8 @@
 
 use crate::content::ContentModel;
 use crate::ids::{DocId, InterestSet, KeywordId};
+use asap_overlay::collections::DetHashMap;
 use asap_overlay::PeerId;
-use std::collections::HashMap;
 
 /// Evolving shared-content state for every peer.
 #[derive(Debug, Clone)]
@@ -18,7 +18,7 @@ pub struct ContentState {
     /// Holders per doc (unsorted).
     holders: Vec<Vec<PeerId>>,
     /// Keyword → occurrence count per peer (across that peer's docs).
-    keyword_counts: Vec<HashMap<KeywordId, u32>>,
+    keyword_counts: Vec<DetHashMap<KeywordId, u32>>,
 }
 
 impl ContentState {
@@ -27,7 +27,7 @@ impl ContentState {
         let mut s = Self {
             holdings: vec![Vec::new(); model.num_peers()],
             holders: vec![Vec::new(); model.num_docs()],
-            keyword_counts: vec![HashMap::new(); model.num_peers()],
+            keyword_counts: vec![DetHashMap::default(); model.num_peers()],
         };
         for (p, docs) in model.initial_holdings.iter().enumerate() {
             for &d in docs {
@@ -60,6 +60,7 @@ impl ContentState {
         };
         h.remove(pos);
         let hs = &mut self.holders[doc.index()];
+        // lint: allow(unwrap, reason=holders mirrors holdings by construction; silent repair would hide corruption)
         let i = hs.iter().position(|&p| p == peer).expect("holder invariant");
         hs.swap_remove(i);
         let counts = &mut self.keyword_counts[peer.index()];

@@ -82,7 +82,7 @@ mod tests {
     #[test]
     fn words_are_distinct() {
         let v = Vocabulary::for_classes(14, 100);
-        let set: std::collections::HashSet<&str> =
+        let set: std::collections::BTreeSet<&str> =
             (0..v.len()).map(|i| v.word(KeywordId(i as u32))).collect();
         assert_eq!(set.len(), v.len());
     }

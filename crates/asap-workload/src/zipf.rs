@@ -38,7 +38,7 @@ impl Zipf {
         let u: f64 = rng.gen();
         match self
             .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).expect("finite"))
+            .binary_search_by(|c| c.total_cmp(&u))
         {
             Ok(i) | Err(i) => i.min(self.cdf.len() - 1),
         }

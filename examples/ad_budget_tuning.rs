@@ -9,6 +9,9 @@
 //! Small budgets leave caches cold (queries fall back or fail); past a
 //! point, extra budget only buys redundant deliveries and system load.
 
+// Examples print their results table to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use asap_p2p::asap::{Asap, AsapConfig};
 use asap_p2p::overlay::{OverlayConfig, OverlayKind};
 use asap_p2p::sim::Simulation;

@@ -9,6 +9,9 @@
 //! but burns bandwidth; random walk is cheap but slow and unreliable; the
 //! ASAP variants keep success high at a fraction of the cost.
 
+// Examples print their results to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use asap_p2p::asap::{Asap, AsapConfig};
 use asap_p2p::overlay::{OverlayConfig, OverlayKind};
 use asap_p2p::search::{Flooding, FloodingConfig, Gsa, GsaConfig, RandomWalk, RandomWalkConfig};

@@ -9,6 +9,9 @@
 //! Each run multiplies the baseline churn (joins + departures) and prints
 //! success, repair-fetch volume, and how much of the load is cache upkeep.
 
+// Examples print their results to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use asap_p2p::asap::{Asap, AsapConfig};
 use asap_p2p::metrics::MsgClass;
 use asap_p2p::overlay::{OverlayConfig, OverlayKind};

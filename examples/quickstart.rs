@@ -8,6 +8,9 @@
 //! GT-ITM physical network, an eDonkey-like workload, a random overlay, run
 //! the ASAP(RW) protocol over the trace and read the results.
 
+// Examples print their results to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use asap_p2p::asap::{Asap, AsapConfig};
 use asap_p2p::metrics::MsgClass;
 use asap_p2p::overlay::{OverlayConfig, OverlayKind};

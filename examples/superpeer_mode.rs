@@ -7,6 +7,9 @@
 //! cargo run --release --example superpeer_mode
 //! ```
 
+// Examples print their results to stdout by design.
+#![allow(clippy::print_stdout)]
+
 use asap_p2p::asap::superpeer::{SuperAsap, SuperPeerConfig};
 use asap_p2p::asap::{Asap, AsapConfig};
 use asap_p2p::overlay::{OverlayConfig, OverlayKind};

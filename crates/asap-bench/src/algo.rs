@@ -1,7 +1,7 @@
 //! The six algorithms of the evaluation matrix.
 
 use crate::scale::Scale;
-use asap_core::{Asap, AsapConfig};
+use asap_core::{Asap, AsapConfig, RobustnessConfig};
 
 /// One column of the paper's comparison plots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -82,7 +82,18 @@ impl AlgoKind {
 
     /// Build the ASAP protocol object (ASAP variants only).
     pub fn build_asap(self, scale: Scale, model: &asap_workload::ContentModel) -> Asap {
-        Asap::new(self.asap_config(scale), model)
+        self.build_asap_with(scale, model, RobustnessConfig::default())
+    }
+
+    /// Build the ASAP protocol with explicit retry/backoff budgets (used by
+    /// the lossy fault profiles; the default budgets are inert).
+    pub fn build_asap_with(
+        self,
+        scale: Scale,
+        model: &asap_workload::ContentModel,
+        robustness: RobustnessConfig,
+    ) -> Asap {
+        Asap::new(self.asap_config(scale).with_robustness(robustness), model)
     }
 }
 

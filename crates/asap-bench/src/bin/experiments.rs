@@ -3,7 +3,7 @@
 //! ```text
 //! experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|all|ablate>
 //!             [--scale tiny|default|paper] [--seed N] [--workers N]
-//!             [--out DIR]
+//!             [--out DIR] [--faults none|lossy|chaos]
 //! ```
 //!
 //! Figures 4–6 and 8–10 come from the 6-algorithm × 3-overlay matrix; when
@@ -14,10 +14,10 @@
 #![allow(clippy::print_stdout)]
 
 use asap_bench::figures;
-use asap_bench::runner::{sweep, RunSummary};
+use asap_bench::runner::{sweep_cells, RunSummary};
 use asap_bench::scale::Scale;
 use asap_bench::table::{fnum, Table};
-use asap_bench::AlgoKind;
+use asap_bench::{AlgoKind, FaultProfile};
 use asap_overlay::OverlayKind;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -28,6 +28,7 @@ struct Args {
     seed: u64,
     workers: usize,
     out: PathBuf,
+    faults: FaultProfile,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 42,
         workers: 1,
         out: PathBuf::from("results"),
+        faults: FaultProfile::None,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
@@ -52,6 +54,11 @@ fn parse_args() -> Result<Args, String> {
                 parsed.workers = value()?.parse().map_err(|e| format!("bad workers: {e}"))?
             }
             "--out" => parsed.out = PathBuf::from(value()?),
+            "--faults" => {
+                let v = value()?;
+                parsed.faults =
+                    FaultProfile::parse(&v).ok_or(format!("unknown fault profile '{v}'"))?;
+            }
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
     }
@@ -60,7 +67,7 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: experiments <fig2..fig10|all|ablate> [--scale tiny|default|paper] \
-     [--seed N] [--workers N] [--out DIR]"
+     [--seed N] [--workers N] [--out DIR] [--faults none|lossy|chaos]"
         .to_string()
 }
 
@@ -79,11 +86,12 @@ fn main() -> ExitCode {
     let needs_crawled_only = matches!(args.command.as_str(), "fig7" | "fig10");
 
     println!(
-        "# scale={} peers={} queries={} seed={}",
+        "# scale={} peers={} queries={} seed={} faults={}",
         args.scale.label(),
         args.scale.peers(),
         args.scale.queries(),
-        args.seed
+        args.seed,
+        args.faults.label()
     );
 
     match args.command.as_str() {
@@ -194,7 +202,10 @@ fn main() -> ExitCode {
 }
 
 fn run_matrix(args: &Args, cells: Vec<(AlgoKind, OverlayKind)>) -> Vec<RunSummary> {
-    sweep(args.scale, args.seed, &cells, args.workers)
+    sweep_cells(args.scale, args.seed, &cells, args.workers, None, args.faults)
+        .into_iter()
+        .map(|c| c.summary)
+        .collect()
 }
 
 fn emit_matrix_figures(args: &Args, runs: &[RunSummary]) {

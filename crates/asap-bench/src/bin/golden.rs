@@ -1,27 +1,38 @@
-//! Regenerate or verify the committed replay-digest golden file.
+//! Regenerate or verify the committed replay-digest golden files.
 //!
-//! * `cargo run -p asap-bench --bin golden` — replay the golden matrix and
-//!   rewrite `golden/replay_tiny.txt`. Run after an *intentional* behavior
-//!   change and commit the diff.
+//! Two files are pinned: `golden/replay_tiny.txt` (the fault-free matrix —
+//! the paper's perfect network) and `golden/replay_tiny_lossy.txt` (the same
+//! matrix under the `lossy` fault profile with protocol retries enabled).
+//!
+//! * `cargo run -p asap-bench --bin golden` — replay both golden matrices
+//!   and rewrite the files. Run after an *intentional* behavior change and
+//!   commit the diff.
 //! * `cargo run -p asap-bench --bin golden -- --check` — replay and compare
-//!   against the committed file without writing; exits nonzero on drift.
+//!   against the committed files without writing; exits nonzero on drift.
 //!   CI runs this next to `cargo lint`.
 
 use std::process::ExitCode;
 
-use asap_bench::harness::{golden_lines, golden_world, replay_matrix};
+use asap_bench::faults::FaultProfile;
+use asap_bench::harness::{
+    golden_lines_with, golden_world, replay_matrix_with, ReplayRecord, GOLDEN_LOSSY_PROFILE,
+};
+use asap_bench::runner::World;
 
-fn main() -> ExitCode {
-    let check = std::env::args().skip(1).any(|a| a == "--check");
-    let world = golden_world();
-    eprintln!("replaying the golden matrix (12 audited cells)...");
-    let records = replay_matrix(&world);
+fn replay(world: &World, faults: FaultProfile) -> Vec<ReplayRecord> {
+    eprintln!(
+        "replaying the golden matrix (18 audited cells, faults={})...",
+        faults.label()
+    );
+    let records = replay_matrix_with(world, faults);
     for r in &records {
         assert_eq!(
-            r.violations, 0,
-            "auditor found violations in {} / {} — fix before pinning",
+            r.violations,
+            0,
+            "auditor found violations in {} / {} (faults={}) — fix before pinning",
             r.algo.label(),
-            r.overlay.label()
+            r.overlay.label(),
+            faults.label()
         );
         eprintln!(
             "  {} / {}: digest {:016x}, {}/{} queries answered",
@@ -32,23 +43,26 @@ fn main() -> ExitCode {
             r.queries
         );
     }
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/replay_tiny.txt");
-    let fresh = golden_lines(&records);
+    records
+}
+
+/// Write or check one golden file; returns true on success.
+fn pin(path: &str, fresh: &str, check: bool) -> bool {
     if !check {
-        std::fs::write(path, &fresh).expect("write golden file");
+        std::fs::write(path, fresh).expect("write golden file");
         eprintln!("wrote {path}");
-        return ExitCode::SUCCESS;
+        return true;
     }
     let committed = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("error: cannot read committed golden file {path}: {e}");
-            return ExitCode::from(1);
+            return false;
         }
     };
     if committed == fresh {
         eprintln!("golden file matches ({path})");
-        return ExitCode::SUCCESS;
+        return true;
     }
     eprintln!("golden drift: recomputed digests differ from {path}");
     for (got, want) in fresh.lines().zip(committed.lines()) {
@@ -61,5 +75,30 @@ fn main() -> ExitCode {
         eprintln!("  (line counts differ)");
     }
     eprintln!("if the change is intentional, regenerate: cargo run -p asap-bench --bin golden");
-    ExitCode::from(1)
+    false
+}
+
+fn main() -> ExitCode {
+    let check = std::env::args().skip(1).any(|a| a == "--check");
+    let world = golden_world();
+    let mut ok = true;
+    for (faults, path) in [
+        (
+            FaultProfile::None,
+            concat!(env!("CARGO_MANIFEST_DIR"), "/golden/replay_tiny.txt"),
+        ),
+        (
+            GOLDEN_LOSSY_PROFILE,
+            concat!(env!("CARGO_MANIFEST_DIR"), "/golden/replay_tiny_lossy.txt"),
+        ),
+    ] {
+        let records = replay(&world, faults);
+        let fresh = golden_lines_with(&records, faults);
+        ok &= pin(path, &fresh, check);
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
 }

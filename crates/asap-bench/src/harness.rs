@@ -18,16 +18,20 @@
 //! TESTING.md).
 
 use crate::algo::AlgoKind;
-use crate::runner::{run_cell, World};
+use crate::faults::FaultProfile;
+use crate::runner::{run_cell_with, World};
 use crate::scale::Scale;
 use asap_overlay::OverlayKind;
 use asap_sim::AuditConfig;
 
 /// The pinned replay world: tiny scale so the whole matrix replays in
-/// seconds, one flat and one clustered overlay for structural diversity.
+/// seconds, covering all three overlay families.
 pub const GOLDEN_SCALE: Scale = Scale::Tiny;
 pub const GOLDEN_SEED: u64 = 11;
-pub const GOLDEN_OVERLAYS: [OverlayKind; 2] = [OverlayKind::Random, OverlayKind::Crawled];
+pub const GOLDEN_OVERLAYS: [OverlayKind; 3] = OverlayKind::ALL;
+/// The lossy profile pinned by the second golden file
+/// (`golden/replay_tiny_lossy.txt`).
+pub const GOLDEN_LOSSY_PROFILE: FaultProfile = FaultProfile::Lossy;
 
 /// One replayed cell, reduced to what the golden file pins.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,9 +55,19 @@ pub fn golden_world() -> World {
     World::build(GOLDEN_SCALE, GOLDEN_SEED)
 }
 
-/// Run one audited cell of the replay matrix.
+/// Run one audited, fault-free cell of the replay matrix.
 pub fn replay_cell(world: &World, algo: AlgoKind, overlay: OverlayKind) -> ReplayRecord {
-    let cell = run_cell(world, algo, overlay, Some(AuditConfig::default()));
+    replay_cell_with(world, algo, overlay, FaultProfile::None)
+}
+
+/// Run one audited cell under a fault profile.
+pub fn replay_cell_with(
+    world: &World,
+    algo: AlgoKind,
+    overlay: OverlayKind,
+    faults: FaultProfile,
+) -> ReplayRecord {
+    let cell = run_cell_with(world, algo, overlay, Some(AuditConfig::default()), faults);
     let audit = cell.audit.expect("replay cells always run audited");
     ReplayRecord {
         algo,
@@ -68,25 +82,43 @@ pub fn replay_cell(world: &World, algo: AlgoKind, overlay: OverlayKind) -> Repla
     }
 }
 
-/// The whole replay matrix: every algorithm × every golden overlay.
+/// The whole fault-free replay matrix: every algorithm × every overlay.
 pub fn replay_matrix(world: &World) -> Vec<ReplayRecord> {
+    replay_matrix_with(world, FaultProfile::None)
+}
+
+/// The whole replay matrix under a fault profile.
+pub fn replay_matrix_with(world: &World, faults: FaultProfile) -> Vec<ReplayRecord> {
     let mut records = Vec::new();
     for overlay in GOLDEN_OVERLAYS {
         for algo in AlgoKind::ALL {
-            records.push(replay_cell(world, algo, overlay));
+            records.push(replay_cell_with(world, algo, overlay, faults));
         }
     }
     records
 }
 
-/// Serialize records in the golden-file format: one
+/// Serialize fault-free records in the golden-file format: one
 /// `overlay algo digest queries succeeded messages` line per cell, digests
 /// in fixed-width hex so diffs align.
 pub fn golden_lines(records: &[ReplayRecord]) -> String {
+    golden_lines_with(records, FaultProfile::None)
+}
+
+/// [`golden_lines`] for an arbitrary fault profile (named in the header so
+/// the two golden files can't be confused for one another).
+pub fn golden_lines_with(records: &[ReplayRecord], faults: FaultProfile) -> String {
     let mut out = String::new();
-    out.push_str(&format!(
-        "# replay digests: scale=tiny seed={GOLDEN_SEED}\n# overlay algo digest queries succeeded messages\n"
-    ));
+    if faults.is_none() {
+        out.push_str(&format!(
+            "# replay digests: scale=tiny seed={GOLDEN_SEED}\n# overlay algo digest queries succeeded messages\n"
+        ));
+    } else {
+        out.push_str(&format!(
+            "# replay digests: scale=tiny seed={GOLDEN_SEED} faults={}\n# overlay algo digest queries succeeded messages\n",
+            faults.label()
+        ));
+    }
     for r in records {
         out.push_str(&format!(
             "{} {} {:016x} {} {} {}\n",

@@ -14,6 +14,7 @@
 #![allow(clippy::print_stdout)]
 
 pub mod algo;
+pub mod faults;
 pub mod figures;
 pub mod harness;
 pub mod runner;
@@ -21,6 +22,7 @@ pub mod scale;
 pub mod table;
 
 pub use algo::AlgoKind;
-pub use harness::{replay_cell, replay_matrix, ReplayRecord};
-pub use runner::{run_cell, run_one, CellReport, RunSummary};
+pub use faults::FaultProfile;
+pub use harness::{replay_cell, replay_cell_with, replay_matrix, replay_matrix_with, ReplayRecord};
+pub use runner::{run_cell, run_cell_with, run_one, CellReport, RunSummary};
 pub use scale::Scale;

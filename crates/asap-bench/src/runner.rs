@@ -1,11 +1,12 @@
 //! Build worlds, run one (algorithm, overlay) cell, sweep the matrix.
 
 use crate::algo::AlgoKind;
+use crate::faults::FaultProfile;
 use crate::scale::Scale;
-use asap_metrics::{LoadRecorder, MsgClass, QueryLedger};
+use asap_metrics::{LoadRecorder, MsgClass, QueryLedger, RetryCounters};
 use asap_overlay::{OverlayConfig, OverlayKind};
 use asap_search::{Flooding, FloodingConfig, Gsa, GsaConfig, RandomWalk, RandomWalkConfig};
-use asap_sim::{AuditConfig, AuditReport, Fnv64, Protocol, SimReport, Simulation};
+use asap_sim::{AuditConfig, AuditReport, FaultStats, Fnv64, Protocol, SimReport, Simulation};
 use asap_topology::PhysicalNetwork;
 use asap_workload::Workload;
 
@@ -115,9 +116,13 @@ pub struct CellReport {
     /// FNV over per-query outcomes `(id, issue, first_answer, answers)`;
     /// algorithm-*dependent* by design.
     pub outcome_fingerprint: u64,
+    /// Protocol robustness counters (retries, duplicates suppressed, ...).
+    pub retry: RetryCounters,
+    /// Fault-layer statistics; `Some` iff the cell ran under a fault profile.
+    pub faults: Option<FaultStats>,
 }
 
-/// Run one cell of the matrix (unaudited; figures path).
+/// Run one cell of the matrix (unaudited, fault-free; figures path).
 pub fn run_one(world: &World, algo: AlgoKind, overlay_kind: OverlayKind) -> RunSummary {
     run_cell(world, algo, overlay_kind, None).summary
 }
@@ -129,7 +134,27 @@ pub fn run_cell(
     overlay_kind: OverlayKind,
     audit: Option<AuditConfig>,
 ) -> CellReport {
-    fn go<P: Protocol>(sim: Simulation<'_, P>, audit: Option<AuditConfig>) -> SimReport<P> {
+    run_cell_with(world, algo, overlay_kind, audit, FaultProfile::None)
+}
+
+/// Run one cell under a fault profile: the engine injects the profile's
+/// faults and every protocol runs with the matching retry/backoff budgets.
+pub fn run_cell_with(
+    world: &World,
+    algo: AlgoKind,
+    overlay_kind: OverlayKind,
+    audit: Option<AuditConfig>,
+    faults: FaultProfile,
+) -> CellReport {
+    fn go<P: Protocol>(
+        sim: Simulation<'_, P>,
+        audit: Option<AuditConfig>,
+        plan: Option<asap_sim::FaultPlan>,
+    ) -> SimReport<P> {
+        let sim = match plan {
+            Some(p) => sim.with_faults(p),
+            None => sim,
+        };
         match audit {
             Some(cfg) => sim.with_audit(cfg).run(),
             None => sim.run(),
@@ -138,6 +163,7 @@ pub fn run_cell(
     let overlay = world.overlay(overlay_kind);
     let scale = world.scale;
     let seed = world.seed;
+    let plan = (!faults.is_none()).then(|| faults.plan(scale.peers()));
     match algo {
         AlgoKind::Flooding => finish(
             algo,
@@ -148,10 +174,14 @@ pub fn run_cell(
                     &world.workload,
                     overlay,
                     overlay_kind,
-                    Flooding::new(FloodingConfig::default()),
+                    Flooding::new(FloodingConfig {
+                        retransmit: faults.retransmit(),
+                        ..FloodingConfig::default()
+                    }),
                     seed,
                 ),
                 audit,
+                plan,
             ),
             None,
         ),
@@ -167,10 +197,12 @@ pub fn run_cell(
                     RandomWalk::new(RandomWalkConfig {
                         walkers: 5,
                         ttl: scale.rw_ttl(),
+                        retransmit: faults.retransmit(),
                     }),
                     seed,
                 ),
                 audit,
+                plan,
             ),
             None,
         ),
@@ -190,11 +222,12 @@ pub fn run_cell(
                     seed,
                 ),
                 audit,
+                plan,
             ),
             None,
         ),
         AlgoKind::AsapFld | AlgoKind::AsapRw | AlgoKind::AsapGsa => {
-            let protocol = algo.build_asap(scale, &world.workload.model);
+            let protocol = algo.build_asap_with(scale, &world.workload.model, faults.robustness());
             let report = go(
                 Simulation::new(
                     &world.phys,
@@ -205,6 +238,7 @@ pub fn run_cell(
                     seed,
                 ),
                 audit,
+                plan,
             );
             let stats = report.protocol.stats.clone();
             finish(algo, overlay_kind, report, Some(stats))
@@ -249,6 +283,8 @@ fn finish<P>(
         issue_fingerprint: issue.finish(),
         alive_fingerprint: alive.finish(),
         outcome_fingerprint: outcome.finish(),
+        retry: report.retry,
+        faults: report.faults,
         audit: report.audit,
     }
 }
@@ -262,18 +298,36 @@ pub fn sweep(
     cells: &[(AlgoKind, OverlayKind)],
     workers: usize,
 ) -> Vec<RunSummary> {
+    sweep_cells(scale, seed, cells, workers, None, FaultProfile::None)
+        .into_iter()
+        .map(|c| c.summary)
+        .collect()
+}
+
+/// [`sweep`] with full cell reports, an optional auditor, and a fault
+/// profile. Worker parallelism is observationally pure: every cell result is
+/// identical to a serial run because each worker builds its own seeded world
+/// and simulations share no mutable state.
+pub fn sweep_cells(
+    scale: Scale,
+    seed: u64,
+    cells: &[(AlgoKind, OverlayKind)],
+    workers: usize,
+    audit: Option<AuditConfig>,
+    faults: FaultProfile,
+) -> Vec<CellReport> {
     if workers <= 1 {
         let world = World::build(scale, seed);
         return cells
             .iter()
             .map(|&(a, o)| {
                 eprintln!("[run] {} / {}", a.label(), o.label());
-                run_one(&world, a, o)
+                run_cell_with(&world, a, o, audit.clone(), faults)
             })
             .collect();
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<RunSummary>>> =
+    let results: Vec<std::sync::Mutex<Option<CellReport>>> =
         cells.iter().map(|_| std::sync::Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers.min(cells.len()) {
@@ -287,7 +341,8 @@ pub fn sweep(
                     }
                     let (a, o) = cells[i];
                     eprintln!("[run] {} / {}", a.label(), o.label());
-                    *results[i].lock().expect("poisoned") = Some(run_one(&world, a, o));
+                    *results[i].lock().expect("poisoned") =
+                        Some(run_cell_with(&world, a, o, audit.clone(), faults));
                 }
             });
         }

@@ -4,15 +4,17 @@
 //! an intentional behavior change; this suite then pins the new digests.
 
 use asap_bench::harness::{
-    golden_world, parse_golden, replay_cell, replay_matrix, GOLDEN_OVERLAYS,
+    golden_world, parse_golden, replay_cell, replay_cell_with, replay_matrix, GOLDEN_LOSSY_PROFILE,
+    GOLDEN_OVERLAYS,
 };
 use asap_bench::AlgoKind;
 
 const GOLDEN: &str = include_str!("../golden/replay_tiny.txt");
+const GOLDEN_LOSSY: &str = include_str!("../golden/replay_tiny_lossy.txt");
 
 /// The full matrix replays clean, matches the committed digests, and the
 /// world-determined fingerprints agree across algorithms. One test so the
-/// 12-cell matrix runs once.
+/// 18-cell matrix runs once.
 #[test]
 fn golden_matrix_replays_clean_stable_and_consistent() {
     let world = golden_world();
@@ -97,4 +99,38 @@ fn replay_is_run_twice_deterministic() {
     let a = replay_cell(&world, AlgoKind::Gsa, GOLDEN_OVERLAYS[0]);
     let b = replay_cell(&rebuilt, AlgoKind::Gsa, GOLDEN_OVERLAYS[0]);
     assert_eq!(a, b, "world rebuild diverged");
+}
+
+/// Spot-check the lossy golden file: replay a baseline and an ASAP cell
+/// under the pinned lossy profile and compare against the committed
+/// digests. (The full 18-cell lossy matrix is verified by
+/// `cargo run -p asap-bench --bin golden -- --check`, which CI runs in the
+/// lint job; this keeps the test-tier cost at two cells.)
+#[test]
+fn lossy_golden_spot_check() {
+    let golden = parse_golden(GOLDEN_LOSSY);
+    assert_eq!(
+        golden.len(),
+        GOLDEN_OVERLAYS.len() * AlgoKind::ALL.len(),
+        "lossy golden file covers the matrix"
+    );
+    let world = golden_world();
+    for (algo, overlay) in [
+        (AlgoKind::Flooding, GOLDEN_OVERLAYS[0]),
+        (AlgoKind::AsapRw, GOLDEN_OVERLAYS[2]),
+    ] {
+        let r = replay_cell_with(&world, algo, overlay, GOLDEN_LOSSY_PROFILE);
+        assert_eq!(r.violations, 0, "auditor violations under loss");
+        let (_, _, want) = golden
+            .iter()
+            .find(|(o, a, _)| *o == overlay.label() && *a == algo.label())
+            .expect("cell present in lossy golden");
+        assert_eq!(
+            r.digest, *want,
+            "lossy digest drift in {} / {} — if intentional, regenerate with \
+             `cargo run -p asap-bench --bin golden`",
+            algo.label(),
+            overlay.label()
+        );
+    }
 }

@@ -1,5 +1,6 @@
 //! ASAP protocol parameters.
 
+use crate::retry::RobustnessConfig;
 use asap_bloom::BloomParams;
 
 /// How ads are forwarded through the overlay (paper §IV-A: "By adopting
@@ -65,6 +66,10 @@ pub struct AsapConfig {
     pub refresh_budget_factor: f64,
     /// Duplicate-suppression window for flooded ads (deliveries).
     pub seen_window: usize,
+    /// Retry/backoff budgets for lossy networks. The default is inert —
+    /// no retries, no extra timers — so the paper's behavior (and the
+    /// fault-free golden digests) is unchanged unless explicitly enabled.
+    pub robustness: RobustnessConfig,
 }
 
 impl AsapConfig {
@@ -84,7 +89,14 @@ impl AsapConfig {
             warmup_stagger_us: 60_000_000,
             refresh_budget_factor: 1.0,
             seen_window: 1_024,
+            robustness: RobustnessConfig::default(),
         }
+    }
+
+    /// Enable the given retry/backoff budgets (builder-style).
+    pub fn with_robustness(mut self, robustness: RobustnessConfig) -> Self {
+        self.robustness = robustness;
+        self
     }
 
     /// The paper's three variants with their published knobs.
@@ -122,6 +134,7 @@ impl AsapConfig {
             self.refresh_budget_factor > 0.0 && self.refresh_budget_factor <= 1.0,
             "refresh budget factor must be in (0, 1]"
         );
+        self.robustness.validate();
         match self.delivery {
             DeliveryKind::Flooding { ttl } => assert!(ttl >= 1, "flooding TTL must be positive"),
             DeliveryKind::RandomWalk { walkers } => {

@@ -28,11 +28,13 @@ pub mod config;
 pub mod delivery;
 pub mod protocol;
 pub mod repository;
+pub mod retry;
 pub mod search;
 pub mod superpeer;
 
 pub use ad::{AdPayload, AdSnapshot, AsapMsg, Forwarding};
 pub use config::{AsapConfig, DeliveryKind};
 pub use protocol::Asap;
+pub use retry::{Backoff, RobustnessConfig};
 pub use repository::AdRepository;
 pub use superpeer::{SuperAsap, SuperPeerConfig};

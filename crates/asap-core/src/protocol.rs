@@ -5,10 +5,11 @@ use crate::ad::{AdPayload, AdSnapshot, AsapMsg, Forwarding};
 use crate::config::{AsapConfig, DeliveryKind};
 use crate::delivery::{ad_class, continue_delivery, start_delivery};
 use crate::repository::{AdRepository, ApplyOutcome};
+use crate::retry::Backoff;
 use crate::search::{self, PendingSearch};
 use asap_bloom::hashing::KeyHash;
 use asap_bloom::{BloomFilter, CountingBloom, FilterPatch};
-use asap_metrics::MsgClass;
+use asap_metrics::{MsgClass, RetryStat};
 use asap_overlay::PeerId;
 use asap_sim::collections::{DetHashMap, DetHashSet};
 use asap_sim::util::SeenTracker;
@@ -17,10 +18,25 @@ use asap_workload::{ContentModel, DocId, InterestSet, KeywordId, QuerySpec};
 use rand::Rng;
 use std::rc::Rc;
 
-/// Timer tags.
+/// Timer tags. Query tags grow upward from `TAG_QUERY_BASE` (two per query
+/// id, so they stay far below 2⁶¹); the robustness timers claim the high
+/// bits instead, so the spaces can never collide.
 pub(crate) const TAG_REFRESH: u64 = 0;
 pub(crate) const TAG_INIT_AD: u64 = 1;
 pub(crate) const TAG_QUERY_BASE: u64 = 2;
+/// Re-advertisement check for an unacknowledged initial/join ad wave.
+pub(crate) const TAG_READVERT: u64 = 1 << 61;
+/// Repair-fetch retransmit; the low bits carry the fetch's source peer.
+pub(crate) const TAG_FETCH_BIT: u64 = 1 << 62;
+
+/// Pending re-advertisement state: the ad wave is considered acknowledged
+/// once *any* peer fetches our full ad (delivery demonstrably arrived);
+/// otherwise the announcement is repeated on a backoff schedule.
+pub(crate) struct ReAdvert {
+    /// `fetches_served` level when the (re)announcement went out.
+    baseline_fetches: u64,
+    backoff: Backoff,
+}
 
 /// Per-node ASAP state.
 pub(crate) struct NodeState {
@@ -35,6 +51,15 @@ pub(crate) struct NodeState {
     /// Sources with an un-answered direct full-ad fetch in flight, so a
     /// burst of announcements triggers one fetch, not one per walker.
     pub fetching: DetHashSet<PeerId>,
+    /// Retransmission pacers for in-flight fetches (populated only when
+    /// `robustness.fetch_retries > 0`; without retries a fetch whose request
+    /// or reply is dropped would leave its `fetching` entry stuck forever).
+    pub fetch_backoff: DetHashMap<PeerId, Backoff>,
+    /// Full-ad fetches this node has served — the acknowledgment signal for
+    /// re-advertisement (someone heard the announcement and wanted the ad).
+    pub fetches_served: u64,
+    /// Pending re-advertisement of an unacknowledged announcement.
+    pub readvert: Option<ReAdvert>,
 }
 
 /// Aggregate protocol statistics, readable after a run.
@@ -94,6 +119,9 @@ impl Asap {
                     snapshot,
                     repo: AdRepository::new(config.cache_capacity),
                     fetching: DetHashSet::default(),
+                    fetch_backoff: DetHashMap::default(),
+                    fetches_served: 0,
+                    readvert: None,
                 }
             })
             .collect();
@@ -186,10 +214,10 @@ impl Asap {
         ctx: &mut Ctx<'_, AsapMsg>,
         node: PeerId,
         budget_factor: f64,
-    ) {
+    ) -> bool {
         let topics = ctx.content.peer_topics(ctx.model, node);
         if topics.is_empty() {
-            return; // free riders have "nothing to advertise"
+            return false; // free riders have "nothing to advertise"
         }
         let version = self.nodes[node.index()].version;
         self.deliver(
@@ -202,6 +230,7 @@ impl Asap {
             },
             budget_factor,
         );
+        true
     }
 
     /// Oldest acceptable refresh stamp for lookups at `now`.
@@ -225,6 +254,102 @@ impl Asap {
             asap_sim::HEADER_BYTES,
             AsapMsg::FullAdFetch,
         );
+        let rb = self.config.robustness;
+        if rb.fetch_retries > 0 {
+            self.nodes[node.index()]
+                .fetch_backoff
+                .insert(source, rb.fetch_backoff());
+            ctx.set_timer(node, rb.backoff_base_us, TAG_FETCH_BIT | u64::from(source.0));
+        }
+    }
+
+    /// A repair-fetch retransmit timer fired: if the fetch is still
+    /// unanswered, resend it (within the backoff budget) or give the source
+    /// up — otherwise its `fetching` entry would leak forever under loss.
+    fn handle_fetch_timer(&mut self, ctx: &mut Ctx<'_, AsapMsg>, node: PeerId, source: PeerId) {
+        let next = {
+            let st = &mut self.nodes[node.index()];
+            if !st.fetching.contains(&source) {
+                // Answered in the meantime; retire the pacer.
+                st.fetch_backoff.remove(&source);
+                return;
+            }
+            match st.fetch_backoff.get_mut(&source) {
+                Some(b) => b.next(),
+                None => return,
+            }
+        };
+        match next {
+            Some(delay) => {
+                self.stats.repair_fetches += 1;
+                ctx.count(RetryStat::Retries);
+                ctx.send(
+                    node,
+                    source,
+                    MsgClass::FullAd,
+                    asap_sim::HEADER_BYTES,
+                    AsapMsg::FullAdFetch,
+                );
+                ctx.set_timer(node, delay, TAG_FETCH_BIT | u64::from(source.0));
+            }
+            None => {
+                let st = &mut self.nodes[node.index()];
+                st.fetching.remove(&source);
+                st.fetch_backoff.remove(&source);
+                ctx.count(RetryStat::DeliveriesAbandoned);
+            }
+        }
+    }
+
+    /// Arm the re-advertisement watchdog after an initial/join announcement
+    /// (only when `robustness.readvert_retries > 0` — the inert default arms
+    /// no timer, keeping fault-free digests unchanged).
+    fn arm_readvert(&mut self, ctx: &mut Ctx<'_, AsapMsg>, node: PeerId) {
+        let rb = self.config.robustness;
+        if rb.readvert_retries == 0 {
+            return;
+        }
+        let st = &mut self.nodes[node.index()];
+        st.readvert = Some(ReAdvert {
+            baseline_fetches: st.fetches_served,
+            backoff: rb.readvert_backoff(),
+        });
+        ctx.set_timer(node, rb.backoff_base_us, TAG_READVERT);
+    }
+
+    /// The re-advertisement watchdog fired: if nobody fetched our full ad
+    /// since the last announcement, the wave may have been lost — repeat it
+    /// (within the backoff budget) or record the delivery as abandoned.
+    fn handle_readvert_timer(&mut self, ctx: &mut Ctx<'_, AsapMsg>, node: PeerId) {
+        let (acked, next) = {
+            let st = &mut self.nodes[node.index()];
+            let Some(ra) = st.readvert.as_mut() else {
+                return;
+            };
+            let acked = st.fetches_served > ra.baseline_fetches;
+            let next = if acked { None } else { ra.backoff.next() };
+            (acked, next)
+        };
+        if acked {
+            self.nodes[node.index()].readvert = None;
+            return;
+        }
+        match next {
+            Some(delay) => {
+                ctx.count(RetryStat::Retries);
+                self.deliver_announce(ctx, node, 1.0);
+                let st = &mut self.nodes[node.index()];
+                let served = st.fetches_served;
+                if let Some(ra) = st.readvert.as_mut() {
+                    ra.baseline_fetches = served;
+                }
+                ctx.set_timer(node, delay, TAG_READVERT);
+            }
+            None => {
+                self.nodes[node.index()].readvert = None;
+                ctx.count(RetryStat::DeliveriesAbandoned);
+            }
+        }
     }
 
     /// Ad received at `node`: cache if interesting, repair if inconsistent,
@@ -241,6 +366,7 @@ impl Asap {
         // Duplicate suppression only applies to flood waves; walks and GSA
         // dispersal rely on their budgets.
         if matches!(fwd, Forwarding::Flood { .. }) && !self.seen.first_visit(delivery, node.0) {
+            ctx.count(RetryStat::DuplicatesSuppressed);
             return;
         }
 
@@ -319,7 +445,9 @@ impl Protocol for Asap {
                 delivery,
             } => self.handle_ad(ctx, to, from, payload, fwd, delivery),
             AsapMsg::FullAdFetch => {
-                // Serve our full ad directly to the requester.
+                // Serve our full ad directly to the requester. The fetch also
+                // acknowledges our announcement reached someone interested.
+                self.nodes[to.index()].fetches_served += 1;
                 let topics = ctx.content.peer_topics(ctx.model, to);
                 if topics.is_empty() {
                     return;
@@ -357,15 +485,26 @@ impl Protocol for Asap {
                 terms,
             } => search::handle_confirm(self, ctx, to, requester, query, &terms),
             AsapMsg::ConfirmReply { query, results } => {
-                search::handle_confirm_reply(self, ctx, to, query, results)
+                search::handle_confirm_reply(self, ctx, to, from, query, results)
             }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, AsapMsg>, node: PeerId, tag: u64) {
+        if tag & TAG_FETCH_BIT != 0 {
+            let source = PeerId((tag & !TAG_FETCH_BIT) as u32);
+            self.handle_fetch_timer(ctx, node, source);
+            return;
+        }
+        if tag == TAG_READVERT {
+            self.handle_readvert_timer(ctx, node);
+            return;
+        }
         match tag {
             TAG_INIT_AD => {
-                self.deliver_announce(ctx, node, 1.0);
+                if self.deliver_announce(ctx, node, 1.0) {
+                    self.arm_readvert(ctx, node);
+                }
                 // First refresh lands one period (plus jitter) later.
                 let jitter = ctx.rng.gen_range(0..self.config.refresh_interval_us / 4 + 1);
                 ctx.set_timer(node, self.config.refresh_interval_us + jitter, TAG_REFRESH);
@@ -391,7 +530,9 @@ impl Protocol for Asap {
         // A rejoining node's content (and hence version) is unchanged, so a
         // cheap announcement suffices: peers still caching the ad revive it,
         // and interested peers that lost it fetch the filter directly.
-        self.deliver_announce(ctx, node, 1.0);
+        if self.deliver_announce(ctx, node, 1.0) {
+            self.arm_readvert(ctx, node);
+        }
         let jitter = ctx.rng.gen_range(0..self.config.refresh_interval_us / 4 + 1);
         ctx.set_timer(node, self.config.refresh_interval_us + jitter, TAG_REFRESH);
     }

@@ -12,8 +12,9 @@
 
 use crate::ad::{AdSnapshot, AsapMsg};
 use crate::protocol::{Asap, TAG_QUERY_BASE};
+use crate::retry::Backoff;
 use asap_bloom::hashing::KeyHash;
-use asap_metrics::MsgClass;
+use asap_metrics::{MsgClass, RetryStat};
 use asap_overlay::PeerId;
 use asap_sim::collections::DetHashSet;
 use asap_sim::{ads_reply_size, ads_request_size, confirm_reply_size, confirm_size, Ctx};
@@ -36,13 +37,18 @@ pub(crate) struct PendingSearch {
     pub term_hashes: Vec<KeyHash>,
     pub answered: bool,
     pub phase: Phase,
-    /// Confirmations in flight.
-    pub outstanding: usize,
+    /// Sources with an unacknowledged confirmation in flight (one entry per
+    /// source; a duplicated reply finds its source absent and is suppressed
+    /// instead of corrupting the round accounting).
+    pub in_flight: Vec<PeerId>,
     /// Sources already confirmed this search (no duplicates).
     pub confirmed: DetHashSet<PeerId>,
     /// Matching candidates not yet confirmed (next batches; the paper
     /// confirms every matching ad, we pace them in fan-out-sized rounds).
     pub backlog: Vec<PeerId>,
+    /// Confirm-retransmission budget (inert unless
+    /// `config.robustness.confirm_retries > 0`).
+    pub backoff: Backoff,
 }
 
 fn timeout_tag(query: u32, phase: Phase) -> u64 {
@@ -65,9 +71,13 @@ pub(crate) fn start_query(asap: &mut Asap, ctx: &mut Ctx<'_, AsapMsg>, q: &Query
         term_hashes,
         answered: false,
         phase: Phase::Confirming,
-        outstanding: 0,
+        in_flight: Vec::new(),
         confirmed: DetHashSet::default(),
         backlog: Vec::new(),
+        backoff: asap
+            .config
+            .robustness
+            .confirm_backoff(asap.config.confirm_timeout_us),
     };
 
     if candidates.is_empty() {
@@ -77,8 +87,7 @@ pub(crate) fn start_query(asap: &mut Asap, ctx: &mut Ctx<'_, AsapMsg>, q: &Query
     }
 
     asap.stats.local_lookup_hits += 1;
-    let sent = send_confirms(asap, ctx, &mut pending, q.id, &candidates);
-    pending.outstanding = sent;
+    send_confirms(asap, ctx, &mut pending, q.id, &candidates);
     asap.pending.insert(q.id, pending);
     ctx.set_timer(
         q.requester,
@@ -119,6 +128,7 @@ fn send_confirms(
                 terms: Rc::clone(&pending.terms),
             },
         );
+        pending.in_flight.push(source);
         sent += 1;
     }
     sent
@@ -167,7 +177,7 @@ fn begin_fallback(asap: &mut Asap, ctx: &mut Ctx<'_, AsapMsg>, query: u32) {
     let sent = send_ads_request(asap, ctx, requester, Some(query), Some(terms));
     if sent == 0 {
         // Isolated node: nothing more to try.
-        asap.pending.remove(&query);
+        close_search(asap, ctx, query);
         return;
     }
     ctx.set_timer(
@@ -279,8 +289,7 @@ pub(crate) fn handle_ads_reply(
     }
     let expire = asap.expire_before(now);
     let candidates = asap.nodes[node.index()].repo.lookup(&p.term_hashes, now, expire);
-    let sent = send_confirms(asap, ctx, &mut p, qid, &candidates);
-    p.outstanding += sent;
+    send_confirms(asap, ctx, &mut p, qid, &candidates);
     asap.pending.insert(qid, p);
 }
 
@@ -310,6 +319,7 @@ pub(crate) fn handle_confirm_reply(
     asap: &mut Asap,
     ctx: &mut Ctx<'_, AsapMsg>,
     node: PeerId,
+    from: PeerId,
     query: u32,
     results: u32,
 ) {
@@ -327,8 +337,17 @@ pub(crate) fn handle_confirm_reply(
     if results > 0 {
         p.answered = true;
     }
-    p.outstanding = p.outstanding.saturating_sub(1);
-    let round_exhausted = p.outstanding == 0 && !p.answered;
+    match p.in_flight.iter().position(|&s| s == from) {
+        Some(i) => {
+            p.in_flight.remove(i);
+        }
+        None => {
+            // A fault-layer duplicate or a retransmit's second answer: this
+            // source is already acknowledged, don't unbalance the round.
+            ctx.count(RetryStat::DuplicatesSuppressed);
+        }
+    }
+    let round_exhausted = p.in_flight.is_empty() && !p.answered;
     if !round_exhausted || p.backlog.is_empty() {
         // Every local candidate was a false positive or lost its content:
         // fall back without waiting for the timer.
@@ -342,7 +361,6 @@ pub(crate) fn handle_confirm_reply(
     // Confirm the next batch of local candidates before falling back.
     let batch = std::mem::take(&mut p.backlog);
     let sent = send_confirms(asap, ctx, &mut p, query, &batch);
-    p.outstanding += sent;
     let done = sent == 0;
     let phase = p.phase;
     asap.pending.insert(query, p);
@@ -363,14 +381,52 @@ pub(crate) fn handle_timeout(asap: &mut Asap, ctx: &mut Ctx<'_, AsapMsg>, node: 
     if p.requester != node {
         return;
     }
-    if fallback_phase {
-        // The fallback round also ran its course; the search is over either
-        // way (answers, if any, are already in the ledger).
-        asap.pending.remove(&query);
-    } else if p.answered {
-        asap.pending.remove(&query);
+    if fallback_phase || p.answered {
+        // The round ran its course; the search is over either way (answers,
+        // if any, are already in the ledger).
+        close_search(asap, ctx, query);
     } else if p.phase == Phase::Confirming {
-        // Confirmations went unanswered (dead sources): fall back.
+        // Confirmations went unanswered. With a retry budget, retransmit the
+        // confirm to every unacknowledged source before giving up on them
+        // (the inert default yields no budget and falls back immediately,
+        // preserving the paper's behavior and the fault-free digests).
+        let Some(mut p) = asap.pending.remove(&query) else {
+            return;
+        };
+        if !p.in_flight.is_empty() {
+            if let Some(delay) = p.backoff.next() {
+                for &source in &p.in_flight {
+                    asap.stats.confirms_sent += 1;
+                    ctx.count(RetryStat::Retries);
+                    ctx.send(
+                        p.requester,
+                        source,
+                        MsgClass::Confirm,
+                        confirm_size(p.terms.len()),
+                        AsapMsg::Confirm {
+                            query,
+                            requester: p.requester,
+                            terms: Rc::clone(&p.terms),
+                        },
+                    );
+                }
+                ctx.set_timer(p.requester, delay, timeout_tag(query, Phase::Confirming));
+                asap.pending.insert(query, p);
+                return;
+            }
+        }
+        asap.pending.insert(query, p);
         begin_fallback(asap, ctx, query);
+    }
+}
+
+/// Close a search: drop its state and account every confirmation still in
+/// flight as lost (its reply never arrived while the search was open —
+/// a dead source fault-free, possibly a dropped message under faults).
+fn close_search(asap: &mut Asap, ctx: &mut Ctx<'_, AsapMsg>, query: u32) {
+    if let Some(p) = asap.pending.remove(&query) {
+        for _ in &p.in_flight {
+            ctx.count(RetryStat::ConfirmationsLost);
+        }
     }
 }

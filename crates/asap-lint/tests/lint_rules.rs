@@ -101,6 +101,29 @@ fn scoping_gates_rules_per_file() {
 }
 
 #[test]
+fn workspace_config_keeps_fault_layer_in_scope() {
+    // The fault-injection layer is replay state: its decisions feed the
+    // pinned golden digests, so it must stay inside R2 (no ambient
+    // entropy — all randomness from the dedicated seeded stream) and R3
+    // (integer-only ppm probabilities and µs jitter), with no [[allow]]
+    // escape hatch.
+    let toml = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../lint.toml"),
+    )
+    .expect("workspace lint.toml readable");
+    let cfg = LintConfig::parse(&toml).expect("workspace lint.toml parses");
+    let fault = "crates/asap-sim/src/fault.rs";
+    for rule in [asap_lint::RuleId::R2, asap_lint::RuleId::R3] {
+        let scope = cfg.scope(rule).expect("rule configured");
+        assert!(scope.covers(fault), "{rule:?} must cover {fault}");
+        assert!(
+            !cfg.file_allowed(rule, fault),
+            "{rule:?} must not be allowed-off for {fault}"
+        );
+    }
+}
+
+#[test]
 fn diagnostics_render_with_span_and_caret() {
     let src = fixture("r4_unwrap.rs");
     let diags = lint_source("crates/x/src/lib.rs", &src, &everywhere());

@@ -7,6 +7,9 @@
 //!   second), its mean and standard deviation (Figs. 7–10);
 //! * [`QueryLedger`] — per-query issue/answer times; yields success rate and
 //!   average response time (Figs. 4–5);
+//! * [`RetryCounters`] — protocol-robustness events (retries, duplicate
+//!   suppression, lost confirmations, abandoned deliveries) observed under
+//!   an unreliable network;
 //! * [`summary`] — small statistics helpers shared by the harness.
 //!
 //! Search *cost* (Fig. 6) is derived from `LoadRecorder` class totals: the
@@ -17,7 +20,9 @@
 
 pub mod load;
 pub mod query_ledger;
+pub mod robustness;
 pub mod summary;
 
 pub use load::{LoadRecorder, MsgClass};
 pub use query_ledger::{QueryLedger, QueryRecord};
+pub use robustness::{RetryCounters, RetryStat};

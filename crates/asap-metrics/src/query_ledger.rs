@@ -49,6 +49,14 @@ impl QueryLedger {
         }
     }
 
+    /// True iff query `id` is registered and already has an answer — the
+    /// protocol-side signal that a retransmission is no longer needed.
+    pub fn is_answered(&self, id: u32) -> bool {
+        self.records
+            .get(id as usize)
+            .is_some_and(|r| r.registered && r.first_answer_us.is_some())
+    }
+
     pub fn num_queries(&self) -> usize {
         self.records.iter().filter(|r| r.registered).count()
     }

@@ -1,0 +1,133 @@
+//! Protocol-robustness counters: retries, duplicate suppression, lost
+//! confirmations, abandoned deliveries.
+//!
+//! These are *protocol-side* observations of an unreliable network — the
+//! fault layer itself keeps separate drop/duplicate statistics in
+//! `asap_sim::fault`. Counters are incremented through `Ctx` so the
+//! simulation auditor can keep an independent mirror and reconcile the two
+//! exactly at the end of a run (the same double-entry discipline as the
+//! per-class byte accounting in [`crate::LoadRecorder`]).
+//!
+//! Everything here is integer arithmetic: counter values may be folded into
+//! replay digests, so the module stays inside lint rule R3's no-float scope.
+
+/// One countable robustness event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RetryStat {
+    /// A protocol retransmission: confirm resend, repair-fetch resend,
+    /// ad re-advertisement, or a baseline query retransmit.
+    Retries,
+    /// A delivered message discarded as a duplicate by protocol-level
+    /// suppression (flood seen-trackers).
+    DuplicatesSuppressed,
+    /// A confirmation that was given up on: the requester stopped waiting
+    /// for a reply from that source (loss, or a dead source).
+    ConfirmationsLost,
+    /// A delivery abandoned after its retry budget ran out (e.g. a repair
+    /// fetch whose replies never arrived).
+    DeliveriesAbandoned,
+}
+
+impl RetryStat {
+    pub const COUNT: usize = 4;
+
+    pub const ALL: [RetryStat; Self::COUNT] = [
+        Self::Retries,
+        Self::DuplicatesSuppressed,
+        Self::ConfirmationsLost,
+        Self::DeliveriesAbandoned,
+    ];
+
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            Self::Retries => 0,
+            Self::DuplicatesSuppressed => 1,
+            Self::ConfirmationsLost => 2,
+            Self::DeliveriesAbandoned => 3,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Retries => "retries",
+            Self::DuplicatesSuppressed => "duplicates-suppressed",
+            Self::ConfirmationsLost => "confirmations-lost",
+            Self::DeliveriesAbandoned => "deliveries-abandoned",
+        }
+    }
+}
+
+/// Aggregate robustness counters for one run.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct RetryCounters {
+    counts: [u64; RetryStat::COUNT],
+}
+
+impl RetryCounters {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one event.
+    #[inline]
+    pub fn record(&mut self, stat: RetryStat) {
+        self.counts[stat.index()] += 1;
+    }
+
+    #[inline]
+    pub fn get(&self, stat: RetryStat) -> u64 {
+        self.counts[stat.index()]
+    }
+
+    /// All four counters, indexed by [`RetryStat::index`].
+    pub fn counts(&self) -> [u64; RetryStat::COUNT] {
+        self.counts
+    }
+
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_are_a_permutation() {
+        let mut seen = [false; RetryStat::COUNT];
+        for s in RetryStat::ALL {
+            assert!(!seen[s.index()], "duplicate index for {s:?}");
+            seen[s.index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn record_and_total() {
+        let mut c = RetryCounters::new();
+        assert!(c.is_zero());
+        c.record(RetryStat::Retries);
+        c.record(RetryStat::Retries);
+        c.record(RetryStat::ConfirmationsLost);
+        assert_eq!(c.get(RetryStat::Retries), 2);
+        assert_eq!(c.get(RetryStat::ConfirmationsLost), 1);
+        assert_eq!(c.get(RetryStat::DuplicatesSuppressed), 0);
+        assert_eq!(c.total(), 3);
+        assert!(!c.is_zero());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<&str> = RetryStat::ALL.iter().map(|s| s.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

@@ -2,6 +2,7 @@
 
 use asap_metrics::MsgClass;
 use asap_overlay::PeerId;
+use asap_sim::util::Backoff;
 use asap_sim::{query_hit_size, Ctx};
 use asap_workload::KeywordId;
 use std::rc::Rc;
@@ -65,6 +66,52 @@ pub fn reply_if_match(
 /// The requester-side hit handler: record the answer.
 pub fn absorb_hit(ctx: &mut Ctx<'_, BaselineMsg>, query: u32) {
     ctx.report_answer(query);
+}
+
+/// TTL-respecting retransmission policy for the walk/flood baselines: if a
+/// query is still unanswered when the timer fires, the requester re-launches
+/// the probe wave (with the configured TTL, never more) on a capped
+/// exponential backoff. `None` on the protocol config (the default) arms no
+/// timer at all, so fault-free replay digests are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Retransmit {
+    /// Delay before the first retransmission, µs.
+    pub timeout_us: u64,
+    /// Retransmissions per query (total probes ≤ 1 + retries).
+    pub retries: u32,
+    /// Ceiling for the doubled backoff delays, µs.
+    pub backoff_cap_us: u64,
+}
+
+impl Retransmit {
+    /// The preset used by the lossy bench profiles.
+    pub fn lossy() -> Self {
+        Self {
+            timeout_us: 4_000_000,
+            retries: 2,
+            backoff_cap_us: 16_000_000,
+        }
+    }
+
+    pub fn backoff(&self) -> Backoff {
+        Backoff::new(self.timeout_us, self.backoff_cap_us, self.retries)
+    }
+
+    pub fn validate(&self) {
+        assert!(self.timeout_us > 0, "retransmit timeout must be positive");
+        assert!(
+            self.backoff_cap_us >= self.timeout_us,
+            "retransmit backoff cap below timeout"
+        );
+    }
+}
+
+/// Requester-side state of a query awaiting possible retransmission.
+#[derive(Debug)]
+pub struct RetransmitState {
+    pub requester: PeerId,
+    pub terms: Rc<[KeywordId]>,
+    pub backoff: Backoff,
 }
 
 /// Per-query duplicate suppression with a bounded window of recent queries,

@@ -4,9 +4,10 @@
 //! first-seen query to all neighbors but the sender until the TTL expires.
 //! Matching nodes return a hit directly to the requester.
 
-use crate::common::{absorb_hit, reply_if_match, BaselineMsg, SeenTracker};
-use asap_metrics::MsgClass;
+use crate::common::{absorb_hit, reply_if_match, BaselineMsg, Retransmit, RetransmitState, SeenTracker};
+use asap_metrics::{MsgClass, RetryStat};
 use asap_overlay::PeerId;
+use asap_sim::collections::DetHashMap;
 use asap_sim::{query_size, Ctx, Protocol};
 use asap_workload::{KeywordId, QuerySpec};
 use std::rc::Rc;
@@ -18,6 +19,9 @@ pub struct FloodingConfig {
     pub ttl: u8,
     /// Duplicate-suppression window in queries.
     pub seen_window: usize,
+    /// Optional TTL-respecting retransmission of unanswered queries
+    /// (`None`, the default, arms no timers — the paper's behavior).
+    pub retransmit: Option<Retransmit>,
 }
 
 impl Default for FloodingConfig {
@@ -25,6 +29,7 @@ impl Default for FloodingConfig {
         Self {
             ttl: 6,
             seen_window: 256,
+            retransmit: None,
         }
     }
 }
@@ -34,13 +39,20 @@ impl Default for FloodingConfig {
 pub struct Flooding {
     config: FloodingConfig,
     seen: SeenTracker,
+    /// Queries awaiting possible retransmission, by query id (which doubles
+    /// as the timer tag — the baselines use no other timers).
+    retrans: DetHashMap<u32, RetransmitState>,
 }
 
 impl Flooding {
     pub fn new(config: FloodingConfig) -> Self {
         assert!(config.ttl >= 1, "flooding needs a positive TTL");
+        if let Some(rt) = &config.retransmit {
+            rt.validate();
+        }
         Self {
             seen: SeenTracker::new(config.seen_window),
+            retrans: DetHashMap::default(),
             config,
         }
     }
@@ -86,6 +98,17 @@ impl Protocol for Flooding {
         // The requester is marked visited so reflected floods die instantly.
         self.seen.first_visit(q.id, q.requester);
         Self::fan_out(ctx, q.requester, None, q.id, q.requester, &terms, self.config.ttl);
+        if let Some(rt) = self.config.retransmit {
+            self.retrans.insert(
+                q.id,
+                RetransmitState {
+                    requester: q.requester,
+                    terms,
+                    backoff: rt.backoff(),
+                },
+            );
+            ctx.set_timer(q.requester, rt.timeout_us, u64::from(q.id));
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, BaselineMsg>, to: PeerId, from: PeerId, msg: BaselineMsg) {
@@ -97,6 +120,7 @@ impl Protocol for Flooding {
                 ttl,
             } => {
                 if !self.seen.first_visit(query, to) {
+                    ctx.count(RetryStat::DuplicatesSuppressed);
                     return; // duplicate
                 }
                 reply_if_match(ctx, to, requester, query, &terms);
@@ -107,6 +131,41 @@ impl Protocol for Flooding {
             BaselineMsg::Hit { query, .. } => absorb_hit(ctx, query),
             other => unreachable!("flooding got {other:?}"),
         }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, BaselineMsg>, node: PeerId, tag: u64) {
+        let query = tag as u32;
+        let Some(state) = self.retrans.get_mut(&query) else {
+            return;
+        };
+        if state.requester != node {
+            return;
+        }
+        if ctx.ledger.is_answered(query) {
+            self.retrans.remove(&query);
+            return;
+        }
+        let next = state.backoff.next();
+        let terms = Rc::clone(&state.terms);
+        match next {
+            Some(delay) => {
+                // The seen tracker still remembers everyone the first wave
+                // reached, so the re-flood only probes the subtrees the lost
+                // copies never covered.
+                ctx.count(RetryStat::Retries);
+                Self::fan_out(ctx, node, None, query, node, &terms, self.config.ttl);
+                ctx.set_timer(node, delay, tag);
+            }
+            None => {
+                self.retrans.remove(&query);
+                ctx.count(RetryStat::DeliveriesAbandoned);
+            }
+        }
+    }
+
+    fn on_leave(&mut self, _ctx: &mut Ctx<'_, BaselineMsg>, node: PeerId) {
+        // Abandon retransmission of searches the leaving node was running.
+        self.retrans.retain(|_, s| s.requester != node);
     }
 
     /// Flooding's only cross-event state is the duplicate-suppression

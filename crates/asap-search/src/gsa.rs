@@ -196,6 +196,7 @@ mod tests {
             crate::random_walk::RandomWalk::new(crate::random_walk::RandomWalkConfig {
                 walkers: 1,
                 ttl: 1_000,
+                retransmit: None,
             }),
             53,
         )

@@ -5,9 +5,10 @@
 //! tightly bounded — walkers × TTL messages — which is why the paper finds
 //! its load lowest but its success rate poor under 1.28-copy replication.
 
-use crate::common::{absorb_hit, reply_if_match, BaselineMsg};
-use asap_metrics::MsgClass;
+use crate::common::{absorb_hit, reply_if_match, BaselineMsg, Retransmit, RetransmitState};
+use asap_metrics::{MsgClass, RetryStat};
 use asap_overlay::PeerId;
+use asap_sim::collections::DetHashMap;
 use asap_sim::{query_size, Ctx, Protocol};
 use asap_workload::{KeywordId, QuerySpec};
 use rand::Rng;
@@ -20,6 +21,9 @@ pub struct RandomWalkConfig {
     pub walkers: usize,
     /// Steps per walker (paper: 1024).
     pub ttl: u16,
+    /// Optional relaunch of the walker set for unanswered queries
+    /// (`None`, the default, arms no timers — the paper's behavior).
+    pub retransmit: Option<Retransmit>,
 }
 
 impl Default for RandomWalkConfig {
@@ -27,6 +31,7 @@ impl Default for RandomWalkConfig {
         Self {
             walkers: 5,
             ttl: 1024,
+            retransmit: None,
         }
     }
 }
@@ -35,13 +40,22 @@ impl Default for RandomWalkConfig {
 #[derive(Debug)]
 pub struct RandomWalk {
     config: RandomWalkConfig,
+    /// Queries awaiting possible walker relaunch, by query id (which doubles
+    /// as the timer tag — the baselines use no other timers).
+    retrans: DetHashMap<u32, RetransmitState>,
 }
 
 impl RandomWalk {
     pub fn new(config: RandomWalkConfig) -> Self {
         assert!(config.walkers >= 1, "need at least one walker");
         assert!(config.ttl >= 1, "walkers need a positive TTL");
-        Self { config }
+        if let Some(rt) = &config.retransmit {
+            rt.validate();
+        }
+        Self {
+            config,
+            retrans: DetHashMap::default(),
+        }
     }
 
     /// Forward a walker one step: uniform neighbor, avoiding the node we
@@ -93,6 +107,17 @@ impl Protocol for RandomWalk {
         for _ in 0..self.config.walkers {
             Self::step(ctx, q.requester, None, q.id, q.requester, &terms, self.config.ttl);
         }
+        if let Some(rt) = self.config.retransmit {
+            self.retrans.insert(
+                q.id,
+                RetransmitState {
+                    requester: q.requester,
+                    terms,
+                    backoff: rt.backoff(),
+                },
+            );
+            ctx.set_timer(q.requester, rt.timeout_us, u64::from(q.id));
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, BaselineMsg>, to: PeerId, from: PeerId, msg: BaselineMsg) {
@@ -112,6 +137,42 @@ impl Protocol for RandomWalk {
             other => unreachable!("random walk got {other:?}"),
         }
     }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, BaselineMsg>, node: PeerId, tag: u64) {
+        let query = tag as u32;
+        let Some(state) = self.retrans.get_mut(&query) else {
+            return;
+        };
+        if state.requester != node {
+            return;
+        }
+        if ctx.ledger.is_answered(query) {
+            self.retrans.remove(&query);
+            return;
+        }
+        let next = state.backoff.next();
+        let terms = Rc::clone(&state.terms);
+        match next {
+            Some(delay) => {
+                // Relaunch the full walker set with fresh TTLs: walkers are
+                // memoryless, so a new cohort explores independently.
+                ctx.count(RetryStat::Retries);
+                for _ in 0..self.config.walkers {
+                    Self::step(ctx, node, None, query, node, &terms, self.config.ttl);
+                }
+                ctx.set_timer(node, delay, tag);
+            }
+            None => {
+                self.retrans.remove(&query);
+                ctx.count(RetryStat::DeliveriesAbandoned);
+            }
+        }
+    }
+
+    fn on_leave(&mut self, _ctx: &mut Ctx<'_, BaselineMsg>, node: PeerId) {
+        // Abandon retransmission of searches the leaving node was running.
+        self.retrans.retain(|_, s| s.requester != node);
+    }
 }
 
 #[cfg(test)]
@@ -128,7 +189,7 @@ mod tests {
             &workload,
             overlay,
             OverlayKind::Random,
-            RandomWalk::new(RandomWalkConfig { walkers, ttl }),
+            RandomWalk::new(RandomWalkConfig { walkers, ttl, retransmit: None }),
             seed,
         )
         .run()
@@ -179,6 +240,7 @@ mod tests {
         RandomWalk::new(RandomWalkConfig {
             walkers: 0,
             ttl: 10,
+            retransmit: None,
         });
     }
 }

@@ -27,7 +27,8 @@
 //! [`with_audit`](crate::Simulation::with_audit) carries `None` and pays one
 //! pointer test per event.
 
-use asap_metrics::{LoadRecorder, MsgClass, QueryLedger};
+use crate::fault::FaultStats;
+use asap_metrics::{LoadRecorder, MsgClass, QueryLedger, RetryCounters, RetryStat};
 use asap_overlay::{Overlay, PeerId};
 
 /// Streaming FNV-1a 64-bit hash. Stable, dependency-free, and fast enough
@@ -127,6 +128,11 @@ const TAG_CONTENT: u64 = 5;
 const TAG_JOIN: u64 = 6;
 const TAG_LEAVE: u64 = 7;
 const TAG_FINAL: u64 = 8;
+// Fault-layer records. These tags are folded only when a fault actually
+// fires, so a fault-free (or inert-plan) run's digest is bit-for-bit
+// identical to a run without a fault layer at all.
+const TAG_FAULT_DROP: u64 = 9;
+const TAG_FAULT_DUP: u64 = 10;
 
 /// The audit hook object owned by the engine context. See the module docs
 /// for the invariant list.
@@ -146,6 +152,16 @@ pub struct SimAuditor {
     /// Independent per-class accounting, driven only by observed sends.
     sent_bytes: [u64; MsgClass::COUNT],
     sent_msgs: [u64; MsgClass::COUNT],
+    /// Independent robustness-counter mirror, driven only by [`Self::on_counter`].
+    retry_mirror: RetryCounters,
+    /// Fault-event mirrors, driven only by the `on_fault_*` hooks.
+    fault_drops: u64,
+    fault_partition_drops: u64,
+    fault_dups_announced: u64,
+    /// Duplicate deliveries observed at dispatch; may never exceed the
+    /// announced count (the tripwire), and stragglers past the horizon make
+    /// "fewer seen than announced" legal.
+    fault_dups_seen: u64,
 }
 
 impl SimAuditor {
@@ -164,6 +180,11 @@ impl SimAuditor {
             alive: alive.to_vec(),
             sent_bytes: [0; MsgClass::COUNT],
             sent_msgs: [0; MsgClass::COUNT],
+            retry_mirror: RetryCounters::new(),
+            fault_drops: 0,
+            fault_partition_drops: 0,
+            fault_dups_announced: 0,
+            fault_dups_seen: 0,
         }
     }
 
@@ -223,9 +244,27 @@ impl SimAuditor {
     }
 
     /// A `Deliver` event reached dispatch. `delivered` is the engine's
-    /// decision (false = dropped because `to` is dead).
-    pub fn on_deliver(&mut self, time_us: u64, seq: u64, to: PeerId, from: PeerId, delivered: bool) {
+    /// decision (false = dropped because `to` is dead); `dup` marks a
+    /// fault-injected duplicate copy, which must have been announced via
+    /// [`Self::on_fault_duplicate`] — a double delivery without a matching
+    /// duplication event is a violation.
+    ///
+    /// The `dup` flag is deliberately **not** folded into the digest record:
+    /// fault-free records keep their exact historical shape, and a duplicate
+    /// is already visible in the stream as an extra record.
+    pub fn on_deliver(
+        &mut self,
+        time_us: u64,
+        seq: u64,
+        to: PeerId,
+        from: PeerId,
+        delivered: bool,
+        dup: bool,
+    ) {
         self.observe_key(time_us, seq);
+        if dup {
+            self.fault_dups_seen += 1;
+        }
         if self.cfg.check_invariants {
             let mirror = self.alive[to.index()];
             self.check(delivered == mirror, || {
@@ -235,6 +274,14 @@ impl SimAuditor {
                     format!("message from {from:?} dropped at live node {to:?} at {time_us}")
                 }
             });
+            if dup {
+                self.check(self.fault_dups_seen <= self.fault_dups_announced, || {
+                    format!(
+                        "duplicate delivery from {from:?} to {to:?} at {time_us} \
+                         without a matching fault-layer duplication event"
+                    )
+                });
+            }
         }
         if self.cfg.digest_events {
             self.digest.write_all(&[
@@ -246,6 +293,40 @@ impl SimAuditor {
                 delivered as u64,
             ]);
         }
+    }
+
+    /// The fault layer dropped a send (random loss or a partition cut).
+    pub fn on_fault_drop(&mut self, now_us: u64, from: PeerId, to: PeerId, partition: bool) {
+        if partition {
+            self.fault_partition_drops += 1;
+        } else {
+            self.fault_drops += 1;
+        }
+        if self.cfg.digest_events {
+            self.digest.write_all(&[
+                TAG_FAULT_DROP,
+                now_us,
+                from.0 as u64,
+                to.0 as u64,
+                partition as u64,
+            ]);
+        }
+    }
+
+    /// The fault layer scheduled a duplicate copy of a send.
+    pub fn on_fault_duplicate(&mut self, now_us: u64, from: PeerId, to: PeerId) {
+        self.fault_dups_announced += 1;
+        if self.cfg.digest_events {
+            self.digest
+                .write_all(&[TAG_FAULT_DUP, now_us, from.0 as u64, to.0 as u64]);
+        }
+    }
+
+    /// The protocol counted a robustness event via `Ctx::count`; mirror it.
+    /// Counters are reconciled exactly at [`Self::finish`] but never folded
+    /// into the digest (fault-free digests keep their historical values).
+    pub fn on_counter(&mut self, stat: RetryStat) {
+        self.retry_mirror.record(stat);
     }
 
     /// A `Timer` event reached dispatch. `fired` mirrors the liveness gate.
@@ -368,6 +449,10 @@ impl SimAuditor {
 
     /// Final reconciliation against the engine's metrics, then fold the
     /// final world state into the digest and produce the report.
+    ///
+    /// `retry` is the engine's robustness-counter ledger and `faults` the
+    /// fault layer's own statistics (`None` when no plan was attached);
+    /// both must reconcile exactly with this auditor's independent mirrors.
     #[allow(clippy::too_many_arguments)]
     pub fn finish(
         mut self,
@@ -378,8 +463,44 @@ impl SimAuditor {
         engine_count: usize,
         messages_sent: u64,
         end_time_us: u64,
+        retry: &RetryCounters,
+        faults: Option<&FaultStats>,
     ) -> AuditReport {
         if self.cfg.check_invariants {
+            // Robustness counters: the engine's ledger and the mirror saw
+            // the same `Ctx::count` calls and nothing else.
+            for s in RetryStat::ALL {
+                let (eng, mir) = (retry.get(s), self.retry_mirror.get(s));
+                self.check(eng == mir, || {
+                    format!("{} counter: engine {eng} != audit mirror {mir}", s.label())
+                });
+            }
+
+            // Fault statistics: every drop and duplication the layer counted
+            // must have been announced to the auditor, and none invented.
+            let (drops, partitioned, duplicated) = match faults {
+                Some(f) => (f.dropped, f.partitioned, f.duplicated),
+                None => (0, 0, 0),
+            };
+            let (md, mp, ma) = (
+                self.fault_drops,
+                self.fault_partition_drops,
+                self.fault_dups_announced,
+            );
+            self.check(drops == md, || {
+                format!("fault drops: layer {drops} != audit mirror {md}")
+            });
+            self.check(partitioned == mp, || {
+                format!("partition drops: layer {partitioned} != audit mirror {mp}")
+            });
+            self.check(duplicated == ma, || {
+                format!("duplications: layer {duplicated} != audit mirror {ma}")
+            });
+            // Stragglers past the horizon make "fewer seen" legal, never more.
+            let seen = self.fault_dups_seen;
+            self.check(seen <= ma, || {
+                format!("duplicate deliveries seen {seen} > announced {ma}")
+            });
             // Per-class bytes and message counts must reconcile *exactly*:
             // both sides saw the same `send` calls and nothing else.
             let bytes = load.class_totals();
@@ -486,7 +607,7 @@ mod tests {
     #[test]
     fn delivery_to_dead_node_is_flagged() {
         let mut a = SimAuditor::new(AuditConfig::default(), &[true, false]);
-        a.on_deliver(10, 0, PeerId(1), PeerId(0), true);
+        a.on_deliver(10, 0, PeerId(1), PeerId(0), true, false);
         assert_eq!(a.violations.len(), 1);
         assert!(a.violations[0].contains("dead node"));
     }
@@ -494,7 +615,7 @@ mod tests {
     #[test]
     fn drop_at_live_node_is_flagged() {
         let mut a = SimAuditor::new(AuditConfig::default(), &[true, true]);
-        a.on_deliver(10, 0, PeerId(1), PeerId(0), false);
+        a.on_deliver(10, 0, PeerId(1), PeerId(0), false, false);
         assert_eq!(a.violations.len(), 1);
         assert!(a.violations[0].contains("dropped at live node"));
     }
@@ -502,14 +623,14 @@ mod tests {
     #[test]
     fn non_monotone_keys_are_flagged() {
         let mut a = SimAuditor::new(AuditConfig::default(), &[true, true]);
-        a.on_deliver(10, 5, PeerId(1), PeerId(0), true);
-        a.on_deliver(10, 4, PeerId(0), PeerId(1), true); // same time, seq back
+        a.on_deliver(10, 5, PeerId(1), PeerId(0), true, false);
+        a.on_deliver(10, 4, PeerId(0), PeerId(1), true, false); // same time, seq back
         assert_eq!(a.violations.len(), 1);
         assert!(a.violations[0].contains("not after"));
         // Equal times with increasing seq are fine.
         let mut b = SimAuditor::new(AuditConfig::default(), &[true, true]);
-        b.on_deliver(10, 5, PeerId(1), PeerId(0), true);
-        b.on_deliver(10, 6, PeerId(0), PeerId(1), true);
+        b.on_deliver(10, 5, PeerId(1), PeerId(0), true, false);
+        b.on_deliver(10, 6, PeerId(0), PeerId(1), true, false);
         assert!(b.violations.is_empty());
     }
 
@@ -534,7 +655,7 @@ mod tests {
         };
         let mut a = SimAuditor::new(cfg, &[false]);
         for i in 0..5 {
-            a.on_deliver(i, i, PeerId(0), PeerId(0), true);
+            a.on_deliver(i, i, PeerId(0), PeerId(0), true, false);
         }
         assert_eq!(a.violations.len(), 2);
         assert_eq!(a.suppressed, 3);
@@ -547,8 +668,113 @@ mod tests {
             ..AuditConfig::default()
         };
         let mut a = SimAuditor::new(cfg, &[false]);
-        a.on_deliver(1, 0, PeerId(0), PeerId(0), true); // would violate
+        a.on_deliver(1, 0, PeerId(0), PeerId(0), true, false); // would violate
         assert!(a.violations.is_empty());
         assert_eq!(a.events, 1);
+    }
+
+    #[test]
+    fn unannounced_duplicate_delivery_is_flagged() {
+        let mut a = SimAuditor::new(AuditConfig::default(), &[true, true]);
+        a.on_deliver(10, 0, PeerId(1), PeerId(0), true, true);
+        assert_eq!(a.violations.len(), 1);
+        assert!(a.violations[0].contains("without a matching fault-layer duplication event"));
+    }
+
+    #[test]
+    fn announced_duplicate_delivery_is_clean() {
+        let mut a = SimAuditor::new(AuditConfig::default(), &[true, true]);
+        a.on_fault_duplicate(5, PeerId(0), PeerId(1));
+        a.on_deliver(10, 0, PeerId(1), PeerId(0), true, false);
+        a.on_deliver(11, 1, PeerId(1), PeerId(0), true, true);
+        assert!(a.violations.is_empty(), "{:?}", a.violations);
+        // A second duplicate without a second announcement trips.
+        a.on_deliver(12, 2, PeerId(1), PeerId(0), true, true);
+        assert_eq!(a.violations.len(), 1);
+    }
+
+    #[test]
+    fn fault_records_change_the_digest_only_when_faults_fire() {
+        let stream = |fault: bool| {
+            let mut a = SimAuditor::new(AuditConfig::default(), &[true, true]);
+            a.on_send(5, PeerId(0), PeerId(1), MsgClass::Query, 40);
+            if fault {
+                a.on_fault_drop(5, PeerId(0), PeerId(1), false);
+            } else {
+                a.on_deliver(9, 0, PeerId(1), PeerId(0), true, false);
+            }
+            a
+        };
+        // Same sends, different fate ⇒ different digests (drop vs deliver).
+        assert_ne!(
+            stream(true).digest.finish(),
+            stream(false).digest.finish()
+        );
+    }
+
+    #[test]
+    fn counter_mirror_reconciles_in_finish() {
+        use asap_overlay::{Overlay, OverlayConfig, OverlayKind};
+        let finish_with = |mirror_hits: u32, engine_hits: u32| {
+            let alive = vec![true; 4];
+            let mut a = SimAuditor::new(AuditConfig::default(), &alive);
+            for _ in 0..mirror_hits {
+                a.on_counter(RetryStat::Retries);
+            }
+            let mut retry = RetryCounters::new();
+            for _ in 0..engine_hits {
+                retry.record(RetryStat::Retries);
+            }
+            let overlay: Overlay = OverlayConfig::new(OverlayKind::Random, 4, 1).build();
+            a.finish(
+                &LoadRecorder::new(),
+                &QueryLedger::new(),
+                &overlay,
+                &alive,
+                4,
+                0,
+                0,
+                &retry,
+                None,
+            )
+        };
+        assert!(finish_with(3, 3).is_clean());
+        let bad = finish_with(3, 2);
+        assert!(!bad.is_clean());
+        assert!(bad.violations.iter().any(|v| v.contains("retries counter")));
+    }
+
+    #[test]
+    fn fault_stats_mirror_reconciles_in_finish() {
+        use asap_overlay::{Overlay, OverlayConfig, OverlayKind};
+        let finish_with = |announce: bool| {
+            let alive = vec![true; 4];
+            let mut a = SimAuditor::new(AuditConfig::default(), &alive);
+            if announce {
+                a.on_fault_drop(5, PeerId(0), PeerId(1), false);
+            }
+            let stats = FaultStats {
+                dropped: 1,
+                ..FaultStats::default()
+            };
+            let overlay: Overlay = OverlayConfig::new(OverlayKind::Random, 4, 1).build();
+            a.finish(
+                &LoadRecorder::new(),
+                &QueryLedger::new(),
+                &overlay,
+                &alive,
+                4,
+                0,
+                0,
+                &RetryCounters::new(),
+                Some(&stats),
+            )
+        };
+        assert!(finish_with(true).is_clean());
+        let bad = finish_with(false);
+        assert!(bad
+            .violations
+            .iter()
+            .any(|v| v.contains("fault drops")));
     }
 }

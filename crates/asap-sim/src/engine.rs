@@ -2,7 +2,8 @@
 
 use crate::audit::{AuditConfig, AuditReport, SimAuditor};
 use crate::event::{EngineEvent, EventHandle, EventQueue};
-use asap_metrics::{LoadRecorder, MsgClass, QueryLedger};
+use crate::fault::{FaultDecision, FaultPlan, FaultState, FaultStats};
+use asap_metrics::{LoadRecorder, MsgClass, QueryLedger, RetryCounters, RetryStat};
 use asap_overlay::{Overlay, OverlayKind, PeerId};
 use asap_topology::{PhysNodeId, PhysicalNetwork};
 use asap_workload::{ContentModel, ContentState, DocId, QuerySpec, TraceEvent, Workload};
@@ -80,12 +81,17 @@ pub struct Ctx<'a, M> {
     pub load: LoadRecorder,
     /// Query outcome accounting.
     pub ledger: QueryLedger,
+    /// Robustness-event accounting (see [`Ctx::count`]).
+    retry: RetryCounters,
     messages_sent: u64,
     horizon_us: u64,
     trace_end_us: u64,
+    run_seed: u64,
     /// Optional invariant auditor (off by default: one pointer test per
     /// event when disabled).
     audit: Option<Box<SimAuditor>>,
+    /// Optional fault-injection layer (off by default, like the auditor).
+    faults: Option<Box<FaultState>>,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -131,15 +137,85 @@ impl<'a, M> Ctx<'a, M> {
     /// Send a protocol message: bytes are charged to `class` now (the sender
     /// consumed the bandwidth), delivery is scheduled after the network
     /// latency, and messages reaching a dead node are dropped there.
-    pub fn send(&mut self, from: PeerId, to: PeerId, class: MsgClass, bytes: usize, msg: M) {
+    ///
+    /// With a fault layer attached ([`Simulation::with_faults`]) the message
+    /// may additionally be dropped, jittered, or duplicated *after* the
+    /// bytes are charged — the sender paid for the transmission either way,
+    /// so the byte-reconciliation invariant is untouched by faults.
+    pub fn send(&mut self, from: PeerId, to: PeerId, class: MsgClass, bytes: usize, msg: M)
+    where
+        M: Clone,
+    {
         debug_assert_ne!(from, to, "no self-messages");
         self.load.record(self.now_us, class, bytes);
         self.messages_sent += 1;
         if let Some(a) = self.audit.as_deref_mut() {
             a.on_send(self.now_us, from, to, class, bytes);
         }
-        let at = self.now_us + self.latency_us(from, to);
-        self.queue.push(at, EngineEvent::Deliver { to, from, msg });
+        let decision = match self.faults.as_deref_mut() {
+            Some(f) => f.decide(self.now_us, from, to),
+            None => FaultDecision::CLEAN,
+        };
+        let base = self.now_us + self.latency_us(from, to);
+        match decision {
+            FaultDecision::Drop { partition } => {
+                if let Some(a) = self.audit.as_deref_mut() {
+                    a.on_fault_drop(self.now_us, from, to, partition);
+                }
+            }
+            FaultDecision::Deliver {
+                jitter_us,
+                duplicate_jitter_us,
+            } => {
+                let copy = duplicate_jitter_us.map(|dj| {
+                    if let Some(a) = self.audit.as_deref_mut() {
+                        a.on_fault_duplicate(self.now_us, from, to);
+                    }
+                    (dj, msg.clone())
+                });
+                self.queue.push(
+                    base + jitter_us,
+                    EngineEvent::Deliver {
+                        to,
+                        from,
+                        msg,
+                        dup: false,
+                    },
+                );
+                if let Some((dj, msg)) = copy {
+                    self.queue.push(
+                        base + dj,
+                        EngineEvent::Deliver {
+                            to,
+                            from,
+                            msg,
+                            dup: true,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// Count one protocol-robustness event (retry, duplicate suppressed,
+    /// confirmation lost, delivery abandoned). The auditor keeps an
+    /// independent mirror and reconciles it exactly at the end of the run —
+    /// the same double-entry discipline as [`Ctx::send`]'s byte accounting.
+    pub fn count(&mut self, stat: RetryStat) {
+        self.retry.record(stat);
+        if let Some(a) = self.audit.as_deref_mut() {
+            a.on_counter(stat);
+        }
+    }
+
+    /// Robustness counters accumulated so far.
+    pub fn retry_counters(&self) -> &RetryCounters {
+        &self.retry
+    }
+
+    /// Fault-layer statistics so far; `None` when no fault plan is attached.
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_deref().map(FaultState::stats)
     }
 
     /// Schedule `on_timer(node, tag)` after `delay_us` (dropped if the node
@@ -179,6 +255,11 @@ pub struct SimReport<P> {
     pub alive: Vec<bool>,
     /// Final overlay graph.
     pub overlay: Overlay,
+    /// Robustness counters accumulated via [`Ctx::count`].
+    pub retry: RetryCounters,
+    /// Fault-layer statistics; `Some` iff the run was built with
+    /// [`Simulation::with_faults`].
+    pub faults: Option<FaultStats>,
     /// Invariant-audit outcome; `Some` iff the run was built with
     /// [`Simulation::with_audit`].
     pub audit: Option<AuditReport>,
@@ -255,8 +336,11 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             rng,
             load,
             ledger: QueryLedger::new(),
+            retry: RetryCounters::new(),
             messages_sent: 0,
+            run_seed: seed,
             audit: None,
+            faults: None,
         };
         Self { ctx, protocol }
     }
@@ -266,6 +350,23 @@ impl<'a, P: Protocol> Simulation<'a, P> {
     /// event-stream digest. See [`crate::audit`] for what is checked.
     pub fn with_audit(mut self, cfg: AuditConfig) -> Self {
         self.ctx.audit = Some(Box::new(SimAuditor::new(cfg, &self.ctx.alive)));
+        self
+    }
+
+    /// Attach a fault-injection plan for this run (off by default — an
+    /// un-faulted run pays one pointer test per send). The fault layer uses
+    /// a dedicated RNG stream derived from the run seed, so attaching an
+    /// inert plan reproduces a fault-free run bit-for-bit; see
+    /// [`crate::fault`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        if let Err(e) = plan.validate() {
+            panic!("invalid fault plan: {e}");
+        }
+        self.ctx.faults = Some(Box::new(FaultState::new(plan, self.ctx.run_seed)));
         self
     }
 
@@ -289,10 +390,10 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             self.ctx.now_us = sched.time_us;
             let (time_us, seq) = (sched.time_us, sched.seq);
             match sched.event {
-                EngineEvent::Deliver { to, from, msg } => {
+                EngineEvent::Deliver { to, from, msg, dup } => {
                     let delivered = self.ctx.alive[to.index()];
                     if let Some(a) = self.ctx.audit.as_deref_mut() {
-                        a.on_deliver(time_us, seq, to, from, delivered);
+                        a.on_deliver(time_us, seq, to, from, delivered, dup);
                     }
                     if delivered {
                         self.protocol.on_message(&mut self.ctx, to, from, msg);
@@ -310,6 +411,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 EngineEvent::Trace(ev) => self.apply_trace(time_us, seq, ev),
             }
         }
+        let faults = self.ctx.faults.take().map(|f| f.into_stats());
         let audit = self.ctx.audit.take().map(|auditor| {
             let mut auditor = *auditor;
             for v in self.protocol.audit_invariants(&self.ctx) {
@@ -323,6 +425,8 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 self.ctx.alive_count,
                 self.ctx.messages_sent,
                 self.ctx.now_us,
+                &self.ctx.retry,
+                faults.as_ref(),
             )
         });
         SimReport {
@@ -332,6 +436,8 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             ledger: self.ctx.ledger,
             alive: self.ctx.alive,
             overlay: self.ctx.overlay,
+            retry: self.ctx.retry,
+            faults,
             protocol: self.protocol,
             audit,
         }

@@ -14,8 +14,15 @@ pub struct EventHandle(u64);
 /// An event awaiting execution.
 #[derive(Debug, Clone)]
 pub enum EngineEvent<M> {
-    /// A message arriving at `to`.
-    Deliver { to: PeerId, from: PeerId, msg: M },
+    /// A message arriving at `to`. `dup` marks a fault-injected duplicate
+    /// copy; the auditor requires every `dup` delivery to have been
+    /// announced by the fault layer.
+    Deliver {
+        to: PeerId,
+        from: PeerId,
+        msg: M,
+        dup: bool,
+    },
     /// A protocol timer firing at `node` with an opaque tag.
     Timer { node: PeerId, tag: u64 },
     /// A workload trace event (query, churn, content change).

@@ -14,6 +14,7 @@
 pub mod audit;
 pub mod engine;
 pub mod event;
+pub mod fault;
 pub mod message;
 pub mod util;
 
@@ -25,6 +26,7 @@ pub use asap_overlay::collections;
 pub use audit::{AuditConfig, AuditReport, Fnv64};
 pub use engine::{Ctx, Protocol, SimReport, Simulation};
 pub use event::{EngineEvent, EventHandle};
+pub use fault::{FaultDecision, FaultPlan, FaultState, FaultStats, PartitionWindow};
 pub use message::{
     ads_reply_size, ads_request_size, confirm_reply_size, confirm_size, query_hit_size,
     query_size, HEADER_BYTES, KEYWORD_WIRE_BYTES, RESULT_WIRE_BYTES, TOPIC_WIRE_BYTES,

@@ -53,6 +53,58 @@ impl<K: Hash + Eq + Copy> SeenTracker<K> {
     }
 }
 
+/// Capped exponential backoff with a bounded retry budget: the universal
+/// retransmission pacer for protocol robustness under loss. Pure integer
+/// arithmetic (this module is inside lint rule R3's no-float scope).
+///
+/// Each successful [`Backoff::next`] yields the delay to wait before the
+/// next attempt and doubles it for the one after, saturating at `cap_us`;
+/// once the budget is spent it yields `None` forever (give up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Backoff {
+    delay_us: u64,
+    cap_us: u64,
+    remaining: u32,
+}
+
+impl Backoff {
+    /// A backoff starting at `base_us`, doubling up to `cap_us`, allowing
+    /// `retries` attempts in total. `retries = 0` is the inert backoff:
+    /// `next` immediately yields `None`.
+    pub fn new(base_us: u64, cap_us: u64, retries: u32) -> Self {
+        Self {
+            delay_us: base_us.min(cap_us).max(1),
+            cap_us: cap_us.max(1),
+            remaining: retries,
+        }
+    }
+
+    /// Retries still available.
+    pub fn remaining(&self) -> u32 {
+        self.remaining
+    }
+
+    /// True iff `next` would yield `None`.
+    pub fn exhausted(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+/// The delay before each retry, one item per attempt in the budget.
+impl Iterator for Backoff {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let d = self.delay_us;
+        self.delay_us = self.delay_us.saturating_mul(2).min(self.cap_us);
+        Some(d)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -80,6 +132,35 @@ mod tests {
     #[should_panic(expected = "window")]
     fn zero_window_rejected() {
         let _: SeenTracker<u32> = SeenTracker::new(0);
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let mut b = Backoff::new(100, 350, 5);
+        assert_eq!(b.next(), Some(100));
+        assert_eq!(b.next(), Some(200));
+        assert_eq!(b.next(), Some(350), "doubling saturates at the cap");
+        assert_eq!(b.next(), Some(350));
+        assert_eq!(b.remaining(), 1);
+        assert_eq!(b.next(), Some(350));
+        assert!(b.exhausted());
+        assert_eq!(b.next(), None);
+        assert_eq!(b.next(), None, "exhaustion is permanent");
+    }
+
+    #[test]
+    fn zero_retries_is_inert() {
+        let mut b = Backoff::new(1_000, 10_000, 0);
+        assert!(b.exhausted());
+        assert_eq!(b.next(), None);
+    }
+
+    #[test]
+    fn backoff_base_above_cap_is_clamped() {
+        let mut b = Backoff::new(5_000, 1_000, 2);
+        assert_eq!(b.next(), Some(1_000));
+        assert_eq!(b.next(), Some(1_000));
+        assert_eq!(b.next(), None);
     }
 
     #[test]

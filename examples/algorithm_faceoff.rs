@@ -94,6 +94,7 @@ fn main() {
             RandomWalk::new(RandomWalkConfig {
                 walkers: 5,
                 ttl: 41, // 1,024 × (400 / 10,000)
+                retransmit: None,
             }),
         ),
         run(

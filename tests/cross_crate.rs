@@ -107,7 +107,7 @@ fn all_baselines_complete_and_account_load() {
         &workload,
         mk_overlay(),
         OverlayKind::Crawled,
-        RandomWalk::new(RandomWalkConfig { walkers: 5, ttl: 64 }),
+        RandomWalk::new(RandomWalkConfig { walkers: 5, ttl: 64, retransmit: None }),
         SEED,
     )
     .run();

@@ -58,6 +58,20 @@ impl AlgoKind {
         matches!(self, Self::AsapFld | Self::AsapRw | Self::AsapGsa)
     }
 
+    /// Clamp notes for the population-proportional knobs *this* algorithm
+    /// consumes at `scale` — empty when the cell runs exactly on the
+    /// EXPERIMENTS.md scale table. Flooding's TTL of 6 is a published
+    /// constant, never scaled, so flooding cells are always on-table.
+    pub fn clamp_notes(self, scale: Scale) -> Vec<String> {
+        let knobs = scale.knobs();
+        match self {
+            Self::Flooding => Vec::new(),
+            Self::RandomWalk => knobs.rw_ttl_clamp_note().into_iter().collect(),
+            Self::Gsa => knobs.gsa_budget_clamp_note().into_iter().collect(),
+            Self::AsapFld | Self::AsapRw | Self::AsapGsa => knobs.asap_clamp_notes(),
+        }
+    }
+
     /// ASAP configuration for this variant at `scale` (panics for
     /// baselines).
     ///
@@ -124,5 +138,24 @@ mod tests {
     #[should_panic(expected = "not an ASAP variant")]
     fn baseline_has_no_asap_config() {
         AlgoKind::Flooding.asap_config(Scale::Tiny);
+    }
+
+    #[test]
+    fn clamp_notes_are_per_algorithm() {
+        // At tiny scale the TTL floor (32) and the ASAP cache floor (64)
+        // bind; the GSA budget (120 ≥ floor 100) does not.
+        assert!(AlgoKind::Flooding.clamp_notes(Scale::Tiny).is_empty());
+        let rw = AlgoKind::RandomWalk.clamp_notes(Scale::Tiny);
+        assert_eq!(rw.len(), 1);
+        assert!(rw[0].contains("random-walk TTL"));
+        assert!(AlgoKind::Gsa.clamp_notes(Scale::Tiny).is_empty());
+        let asap = AlgoKind::AsapRw.clamp_notes(Scale::Tiny);
+        assert_eq!(asap.len(), 1);
+        assert!(asap[0].contains("cache capacity"));
+        // Default and paper scale run every algorithm on-table.
+        for a in AlgoKind::ALL {
+            assert!(a.clamp_notes(Scale::Default).is_empty());
+            assert!(a.clamp_notes(Scale::Paper).is_empty());
+        }
     }
 }

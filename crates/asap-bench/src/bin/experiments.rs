@@ -38,7 +38,7 @@ fn parse_args() -> Result<Args, String> {
         command,
         scale: Scale::Default,
         seed: 42,
-        workers: 1,
+        workers: rayon::current_num_threads(),
         out: PathBuf::from("results"),
         faults: FaultProfile::None,
     };
@@ -67,7 +67,8 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: experiments <fig2..fig10|all|ablate> [--scale tiny|default|paper] \
-     [--seed N] [--workers N] [--out DIR] [--faults none|lossy|chaos]"
+     [--seed N] [--workers N (default: all cores)] [--out DIR] \
+     [--faults none|lossy|chaos]"
         .to_string()
 }
 

@@ -15,16 +15,19 @@ use std::process::ExitCode;
 
 use asap_bench::faults::FaultProfile;
 use asap_bench::harness::{
-    golden_lines_with, golden_world, replay_matrix_with, ReplayRecord, GOLDEN_LOSSY_PROFILE,
+    golden_lines_with, golden_world, replay_matrix_parallel, ReplayRecord, GOLDEN_LOSSY_PROFILE,
 };
 use asap_bench::runner::World;
 
 fn replay(world: &World, faults: FaultProfile) -> Vec<ReplayRecord> {
+    // Fan across every core: `--check` passing from here *is* the proof that
+    // the parallel sweep reproduces the pinned digests bit-for-bit.
+    let workers = rayon::current_num_threads();
     eprintln!(
-        "replaying the golden matrix (18 audited cells, faults={})...",
+        "replaying the golden matrix (18 audited cells, faults={}, workers={workers})...",
         faults.label()
     );
-    let records = replay_matrix_with(world, faults);
+    let records = replay_matrix_parallel(world, faults, workers);
     for r in &records {
         assert_eq!(
             r.violations,

@@ -1,0 +1,307 @@
+//! Pinned performance trajectory: a fixed micro + macro suite whose results
+//! are committed as `BENCH_pr4.json` at the workspace root.
+//!
+//! * `cargo run --release -p asap-bench --bin perf` — run the suite at tiny
+//!   scale and write `BENCH_pr4.json` (pass `--out FILE` to redirect,
+//!   `--scale default` for the bigger instance).
+//! * `cargo run --release -p asap-bench --bin perf -- --check BENCH_pr4.json`
+//!   — run the suite and exit nonzero if any timed metric regressed more
+//!   than the tolerance (default 25 %, `--tolerance 0.4` to loosen) against
+//!   the committed baseline. CI's bench-smoke job runs this at tiny scale.
+//!
+//! The suite pins the costs this repo's hot-path work targets: Bloom filter
+//! probe, O(1) latency-oracle pair lookup, copy-on-write filter snapshot
+//! handles, one end-to-end tiny cell, and the serial-vs-parallel sweep wall
+//! clock (`threads` records how many workers the parallel leg had — the
+//! speedup is only meaningful on multi-core machines).
+
+#![allow(clippy::print_stdout)]
+
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use asap_bench::faults::FaultProfile;
+use asap_bench::runner::{run_cell_with, sweep_cells_in, World};
+use asap_bench::{AlgoKind, Scale};
+use asap_bloom::{BloomParams, CountingBloom};
+use asap_overlay::OverlayKind;
+use asap_topology::{PhysNodeId, PhysicalNetwork, TransitStubConfig};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const SCHEMA: &str = "asap-bench-perf/v1";
+const SEED: u64 = 42;
+
+struct Results {
+    scale: Scale,
+    threads: usize,
+    /// `(key, value)` in TIMED_KEYS order, plus derived `sweep_speedup`.
+    timed: Vec<(&'static str, f64)>,
+    sweep_speedup: f64,
+}
+
+/// Best-of-3 wall clock for `iters` calls of `f`, in ns per call. The min
+/// over repeats discards scheduler noise without averaging it in.
+fn time_ns<T>(iters: u32, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = start.elapsed().as_nanos() as f64 / f64::from(iters);
+        best = best.min(total);
+    }
+    best
+}
+
+fn micro_bloom_query() -> f64 {
+    let params = BloomParams::paper_default();
+    let mut cb = CountingBloom::new(params);
+    let keys: Vec<String> = (0..64).map(|i| format!("keyword-{i}")).collect();
+    for k in &keys {
+        cb.insert(k);
+    }
+    let filter = cb.snapshot();
+    let probes: Vec<&str> = keys.iter().map(String::as_str).cycle().take(256).collect();
+    let mut i = 0;
+    time_ns(20_000, || {
+        i = (i + 1) % probes.len();
+        filter.contains(probes[i])
+    })
+}
+
+fn micro_oracle_pair() -> f64 {
+    let net = PhysicalNetwork::generate(&TransitStubConfig::reduced(SEED));
+    let n = net.num_nodes() as u32;
+    let mut rng = SmallRng::seed_from_u64(SEED);
+    let pairs: Vec<(PhysNodeId, PhysNodeId)> = (0..256)
+        .map(|_| (PhysNodeId(rng.gen_range(0..n)), PhysNodeId(rng.gen_range(0..n))))
+        .collect();
+    let mut i = 0;
+    time_ns(20_000, || {
+        i = (i + 1) % pairs.len();
+        let (a, b) = pairs[i];
+        net.latency_us(a, b)
+    })
+}
+
+fn micro_snapshot_rc() -> f64 {
+    let mut cb = CountingBloom::new(BloomParams::paper_default());
+    for i in 0..64 {
+        cb.insert(&format!("keyword-{i}"));
+    }
+    time_ns(100_000, || cb.snapshot_rc())
+}
+
+/// The reduced sweep the macro legs time: two algorithms × two overlays,
+/// mixing an allocation-heavy baseline with the ASAP hot path.
+fn sweep_cells() -> [(AlgoKind, OverlayKind); 4] {
+    [
+        (AlgoKind::Flooding, OverlayKind::Random),
+        (AlgoKind::Flooding, OverlayKind::PowerLaw),
+        (AlgoKind::AsapRw, OverlayKind::Random),
+        (AlgoKind::AsapRw, OverlayKind::PowerLaw),
+    ]
+}
+
+fn run_suite(scale: Scale) -> Results {
+    let threads = rayon::current_num_threads();
+    eprintln!("perf: micro benches...");
+    let bloom = micro_bloom_query();
+    let oracle = micro_oracle_pair();
+    let snapshot = micro_snapshot_rc();
+
+    eprintln!("perf: building the {} world...", scale.label());
+    let world = World::build(scale, SEED);
+
+    eprintln!("perf: end-to-end cell...");
+    let start = Instant::now();
+    let cell = run_cell_with(
+        &world,
+        AlgoKind::AsapRw,
+        OverlayKind::Random,
+        None,
+        FaultProfile::None,
+    );
+    let e2e_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert!(cell.queries > 0, "perf cell must actually run queries");
+
+    eprintln!("perf: serial sweep (4 cells)...");
+    let cells = sweep_cells();
+    let start = Instant::now();
+    let serial = sweep_cells_in(&world, &cells, 1, None, FaultProfile::None);
+    let sweep_serial_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    eprintln!("perf: parallel sweep ({threads} workers)...");
+    let start = Instant::now();
+    let parallel = sweep_cells_in(&world, &cells, threads, None, FaultProfile::None);
+    let sweep_parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(
+            s.outcome_fingerprint, p.outcome_fingerprint,
+            "parallel sweep diverged from serial — determinism bug"
+        );
+    }
+
+    Results {
+        scale,
+        threads,
+        timed: vec![
+            ("bloom_query_ns", bloom),
+            ("oracle_pair_ns", oracle),
+            ("snapshot_rc_ns", snapshot),
+            ("e2e_cell_ms", e2e_ms),
+            ("sweep_serial_ms", sweep_serial_ms),
+            ("sweep_parallel_ms", sweep_parallel_ms),
+        ],
+        sweep_speedup: sweep_serial_ms / sweep_parallel_ms,
+    }
+}
+
+fn render_json(r: &Results) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    out.push_str(&format!("  \"scale\": \"{}\",\n", r.scale.label()));
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str(&format!("  \"threads\": {},\n", r.threads));
+    for (key, value) in &r.timed {
+        out.push_str(&format!("  \"{key}\": {value:.3},\n"));
+    }
+    out.push_str(&format!("  \"sweep_speedup\": {:.3}\n", r.sweep_speedup));
+    out.push_str("}\n");
+    out
+}
+
+/// Minimal extraction of `"key": <number>` from the baseline JSON (the file
+/// is machine-written by this binary; no external JSON crate is available).
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\"");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start().strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn json_string(doc: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    let at = doc.find(&needle)? + needle.len();
+    let rest = doc[at..].trim_start().strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix('"')?;
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+fn check(results: &Results, baseline_path: &str, tolerance: f64) -> bool {
+    let doc = match std::fs::read_to_string(baseline_path) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("perf: cannot read baseline {baseline_path}: {e}");
+            return false;
+        }
+    };
+    match json_string(&doc, "schema") {
+        Some(s) if s == SCHEMA => {}
+        other => {
+            eprintln!("perf: baseline schema {other:?}, want {SCHEMA:?}");
+            return false;
+        }
+    }
+    if json_string(&doc, "scale").as_deref() != Some(results.scale.label()) {
+        eprintln!(
+            "perf: baseline scale {:?} but this run is {:?} — compare like with like",
+            json_string(&doc, "scale"),
+            results.scale.label()
+        );
+        return false;
+    }
+    let mut ok = true;
+    for &(key, current) in &results.timed {
+        let Some(base) = json_number(&doc, key) else {
+            eprintln!("perf: baseline is missing {key}");
+            ok = false;
+            continue;
+        };
+        let limit = base * (1.0 + tolerance);
+        let verdict = if current <= limit { "ok" } else { "REGRESSED" };
+        println!(
+            "{key:>18}: {current:>12.1} (baseline {base:.1}, limit {limit:.1}) {verdict}"
+        );
+        if current > limit {
+            ok = false;
+        }
+    }
+    ok
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: perf [--scale tiny|default|paper] [--out FILE] \
+         [--check BASELINE [--tolerance F]]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = Scale::Tiny;
+    let mut out: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut tolerance = 0.25;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => match it.next().map(|s| Scale::parse(s)) {
+                Some(Some(s)) => scale = s,
+                _ => return usage(),
+            },
+            "--out" => match it.next() {
+                Some(f) => out = Some(f.clone()),
+                None => return usage(),
+            },
+            "--check" => match it.next() {
+                Some(f) => baseline = Some(f.clone()),
+                None => return usage(),
+            },
+            "--tolerance" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(t) => tolerance = t,
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+
+    let results = run_suite(scale);
+    println!(
+        "perf suite @ {} scale, {} thread(s):",
+        results.scale.label(),
+        results.threads
+    );
+    for (key, value) in &results.timed {
+        println!("{key:>18}: {value:12.1}");
+    }
+    println!("{:>18}: {:12.3}", "sweep_speedup", results.sweep_speedup);
+
+    if let Some(path) = baseline {
+        println!("checking against {path} (tolerance {:.0}%):", tolerance * 100.0);
+        if !check(&results, &path, tolerance) {
+            eprintln!("perf: REGRESSION — some metric exceeded baseline + tolerance");
+            return ExitCode::FAILURE;
+        }
+        println!("perf: within tolerance of the committed baseline");
+        if let Some(path) = out {
+            std::fs::write(&path, render_json(&results)).expect("write perf JSON");
+            eprintln!("wrote {path}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let path = out.unwrap_or_else(|| "BENCH_pr4.json".to_string());
+    std::fs::write(&path, render_json(&results)).expect("write perf JSON");
+    eprintln!("wrote {path}");
+    ExitCode::SUCCESS
+}

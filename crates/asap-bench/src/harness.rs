@@ -19,7 +19,7 @@
 
 use crate::algo::AlgoKind;
 use crate::faults::FaultProfile;
-use crate::runner::{run_cell_with, World};
+use crate::runner::{run_cell_with, sweep_cells_in, CellReport, World};
 use crate::scale::Scale;
 use asap_overlay::OverlayKind;
 use asap_sim::AuditConfig;
@@ -67,11 +67,21 @@ pub fn replay_cell_with(
     overlay: OverlayKind,
     faults: FaultProfile,
 ) -> ReplayRecord {
-    let cell = run_cell_with(world, algo, overlay, Some(AuditConfig::default()), faults);
-    let audit = cell.audit.expect("replay cells always run audited");
-    ReplayRecord {
+    cell_to_record(run_cell_with(
+        world,
         algo,
         overlay,
+        Some(AuditConfig::default()),
+        faults,
+    ))
+}
+
+/// Reduce an audited [`CellReport`] to the fields the golden file pins.
+pub fn cell_to_record(cell: CellReport) -> ReplayRecord {
+    let audit = cell.audit.expect("replay cells always run audited");
+    ReplayRecord {
+        algo: cell.summary.algo,
+        overlay: cell.summary.overlay,
         digest: audit.digest,
         queries: cell.queries,
         succeeded: cell.succeeded,
@@ -82,20 +92,46 @@ pub fn replay_cell_with(
     }
 }
 
+/// The cells of the replay matrix in golden-file order (overlay-major).
+pub fn replay_matrix_cells() -> Vec<(AlgoKind, OverlayKind)> {
+    let mut cells = Vec::new();
+    for overlay in GOLDEN_OVERLAYS {
+        for algo in AlgoKind::ALL {
+            cells.push((algo, overlay));
+        }
+    }
+    cells
+}
+
 /// The whole fault-free replay matrix: every algorithm × every overlay.
 pub fn replay_matrix(world: &World) -> Vec<ReplayRecord> {
     replay_matrix_with(world, FaultProfile::None)
 }
 
-/// The whole replay matrix under a fault profile.
+/// The whole replay matrix under a fault profile, serially.
 pub fn replay_matrix_with(world: &World, faults: FaultProfile) -> Vec<ReplayRecord> {
-    let mut records = Vec::new();
-    for overlay in GOLDEN_OVERLAYS {
-        for algo in AlgoKind::ALL {
-            records.push(replay_cell_with(world, algo, overlay, faults));
-        }
-    }
-    records
+    replay_matrix_parallel(world, faults, 1)
+}
+
+/// The whole replay matrix under a fault profile, fanned across `workers`
+/// rayon workers. Records come back in golden-file order regardless of the
+/// worker count; the golden `--check` runs this with parallelism on to prove
+/// the parallel sweep reproduces the pinned digests bit-for-bit.
+pub fn replay_matrix_parallel(
+    world: &World,
+    faults: FaultProfile,
+    workers: usize,
+) -> Vec<ReplayRecord> {
+    sweep_cells_in(
+        world,
+        &replay_matrix_cells(),
+        workers,
+        Some(AuditConfig::default()),
+        faults,
+    )
+    .into_iter()
+    .map(cell_to_record)
+    .collect()
 }
 
 /// Serialize fault-free records in the golden-file format: one

@@ -3,6 +3,7 @@
 use crate::algo::AlgoKind;
 use crate::faults::FaultProfile;
 use crate::scale::Scale;
+use rayon::prelude::*;
 use asap_metrics::{LoadRecorder, MsgClass, QueryLedger, RetryCounters};
 use asap_overlay::{OverlayConfig, OverlayKind};
 use asap_search::{Flooding, FloodingConfig, Gsa, GsaConfig, RandomWalk, RandomWalkConfig};
@@ -32,6 +33,9 @@ pub struct RunSummary {
     pub messages_sent: u64,
     /// ASAP-only protocol statistics.
     pub asap_stats: Option<asap_core::protocol::AsapStats>,
+    /// Run metadata (e.g. clamped scale knobs); empty when the cell ran
+    /// exactly on the EXPERIMENTS.md scale table.
+    pub notes: Vec<String>,
 }
 
 impl RunSummary {
@@ -65,6 +69,7 @@ impl RunSummary {
                 .collect(),
             messages_sent,
             asap_stats,
+            notes: load.notes().to_vec(),
         }
     }
 }
@@ -168,6 +173,7 @@ pub fn run_cell_with(
         AlgoKind::Flooding => finish(
             algo,
             overlay_kind,
+            scale,
             go(
                 Simulation::new(
                     &world.phys,
@@ -188,6 +194,7 @@ pub fn run_cell_with(
         AlgoKind::RandomWalk => finish(
             algo,
             overlay_kind,
+            scale,
             go(
                 Simulation::new(
                     &world.phys,
@@ -209,6 +216,7 @@ pub fn run_cell_with(
         AlgoKind::Gsa => finish(
             algo,
             overlay_kind,
+            scale,
             go(
                 Simulation::new(
                     &world.phys,
@@ -241,7 +249,7 @@ pub fn run_cell_with(
                 plan,
             );
             let stats = report.protocol.stats.clone();
-            finish(algo, overlay_kind, report, Some(stats))
+            finish(algo, overlay_kind, scale, report, Some(stats))
         }
     }
 }
@@ -249,9 +257,15 @@ pub fn run_cell_with(
 fn finish<P>(
     algo: AlgoKind,
     overlay: OverlayKind,
-    report: SimReport<P>,
+    scale: Scale,
+    mut report: SimReport<P>,
     asap_stats: Option<asap_core::protocol::AsapStats>,
 ) -> CellReport {
+    // Surface clamped scale knobs as run metadata so the summary (and any
+    // sweep log printing it) states when this cell ran off the scale table.
+    for note in algo.clamp_notes(scale) {
+        report.load.note(note);
+    }
     let summary = RunSummary::from_parts(
         algo,
         overlay,
@@ -289,9 +303,8 @@ fn finish<P>(
     }
 }
 
-/// Run a set of matrix cells, optionally with a bounded worker pool
-/// (each worker builds its own world: simulations share nothing, the
-/// data-race-free-by-structure grain for a DES).
+/// Run a set of matrix cells with up to `workers` rayon workers (one
+/// simulation per cell — the data-race-free-by-structure grain for a DES).
 pub fn sweep(
     scale: Scale,
     seed: u64,
@@ -305,9 +318,7 @@ pub fn sweep(
 }
 
 /// [`sweep`] with full cell reports, an optional auditor, and a fault
-/// profile. Worker parallelism is observationally pure: every cell result is
-/// identical to a serial run because each worker builds its own seeded world
-/// and simulations share no mutable state.
+/// profile. Builds one world and delegates to [`sweep_cells_in`].
 pub fn sweep_cells(
     scale: Scale,
     seed: u64,
@@ -316,41 +327,57 @@ pub fn sweep_cells(
     audit: Option<AuditConfig>,
     faults: FaultProfile,
 ) -> Vec<CellReport> {
-    if workers <= 1 {
-        let world = World::build(scale, seed);
+    let world = World::build(scale, seed);
+    sweep_cells_in(&world, cells, workers, audit, faults)
+}
+
+/// Sweep matrix cells over a prebuilt world, fanning across a rayon pool of
+/// `workers` threads (`<= 1` runs serially on the caller's thread).
+///
+/// Parallelism is observationally pure: the world is immutable during the
+/// sweep, every simulation derives all randomness from `(scale, seed, algo,
+/// overlay)`, and results come back in cell order — so the per-cell digests
+/// are bit-identical to a serial sweep, which the golden `--check` harness
+/// exercises with parallelism on.
+pub fn sweep_cells_in(
+    world: &World,
+    cells: &[(AlgoKind, OverlayKind)],
+    workers: usize,
+    audit: Option<AuditConfig>,
+    faults: FaultProfile,
+) -> Vec<CellReport> {
+    let total = cells.len();
+    let run = |i: usize, a: AlgoKind, o: OverlayKind| {
+        let off_table = if a.clamp_notes(world.scale).is_empty() {
+            ""
+        } else {
+            " [off-table: clamped knobs]"
+        };
+        eprintln!("[run {}/{}] {} / {}{}", i + 1, total, a.label(), o.label(), off_table);
+        run_cell_with(world, a, o, audit.clone(), faults)
+    };
+    if workers <= 1 || total <= 1 {
         return cells
             .iter()
-            .map(|&(a, o)| {
-                eprintln!("[run] {} / {}", a.label(), o.label());
-                run_cell_with(&world, a, o, audit.clone(), faults)
-            })
+            .enumerate()
+            .map(|(i, &(a, o))| run(i, a, o))
             .collect();
     }
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Option<CellReport>>> =
-        cells.iter().map(|_| std::sync::Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..workers.min(cells.len()) {
-            scope.spawn(|| {
-                // One world per worker keeps workers independent.
-                let world = World::build(scale, seed);
-                loop {
-                    let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if i >= cells.len() {
-                        break;
-                    }
-                    let (a, o) = cells[i];
-                    eprintln!("[run] {} / {}", a.label(), o.label());
-                    *results[i].lock().expect("poisoned") =
-                        Some(run_cell_with(&world, a, o, audit.clone(), faults));
-                }
-            });
-        }
-    });
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("poisoned").expect("all cells ran"))
-        .collect()
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(workers.min(total))
+        .build()
+        .unwrap_or_else(|e| panic!("building the sweep thread pool failed: {e}"));
+    let indexed: Vec<(usize, AlgoKind, OverlayKind)> = cells
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, o))| (i, a, o))
+        .collect();
+    pool.install(|| {
+        indexed
+            .into_par_iter()
+            .map(|(i, a, o)| run(i, a, o))
+            .collect()
+    })
 }
 
 /// The full 6 × 3 matrix.
@@ -388,5 +415,15 @@ mod tests {
         let s = run_one(&world, AlgoKind::AsapRw, OverlayKind::Crawled);
         assert!(s.asap_stats.is_some());
         assert!(s.success_rate > 0.0);
+    }
+
+    #[test]
+    fn off_table_cells_carry_clamp_notes() {
+        let world = World::build(Scale::Tiny, 5);
+        let rw = run_one(&world, AlgoKind::RandomWalk, OverlayKind::Random);
+        assert_eq!(rw.notes.len(), 1);
+        assert!(rw.notes[0].contains("random-walk TTL clamped 15 -> 32"));
+        let fld = run_one(&world, AlgoKind::Flooding, OverlayKind::Random);
+        assert!(fld.notes.is_empty(), "flooding never scales its TTL");
     }
 }

@@ -76,12 +76,112 @@ impl Scale {
 
     /// Random-walk TTL (paper: 1,024 at 10,000 peers).
     pub fn rw_ttl(self) -> u16 {
-        ((1_024.0 * self.ratio()) as u16).max(32)
+        self.knobs().rw_ttl
     }
 
     /// GSA message budget (paper: 8,000 at 10,000 peers).
     pub fn gsa_budget(self) -> u32 {
-        ((8_000.0 * self.ratio()) as u32).max(100)
+        self.knobs().gsa_budget
+    }
+
+    /// Every population-proportional knob, with its pre-clamp value kept
+    /// alongside so callers can report when a cell ran off-table.
+    pub fn knobs(self) -> ScaleKnobs {
+        ScaleKnobs::for_ratio(self.ratio())
+    }
+}
+
+/// Population-proportional knobs at one scale: the rounded proportional
+/// value (`*_raw`) and the floored value actually used. A knob is
+/// *clamped* when the floor overrode the proportional derivation — the
+/// cell then runs off the EXPERIMENTS.md scale table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleKnobs {
+    /// Proportional random-walk TTL before the floor of 32.
+    pub rw_ttl_raw: u16,
+    /// Random-walk TTL in effect.
+    pub rw_ttl: u16,
+    /// Proportional GSA budget before the floor of 100.
+    pub gsa_budget_raw: u32,
+    /// GSA budget in effect.
+    pub gsa_budget: u32,
+    /// Proportional ASAP budget unit M₀ before the floor of 16.
+    pub budget_unit_raw: u32,
+    /// ASAP budget unit M₀ in effect.
+    pub budget_unit: u32,
+    /// Proportional ASAP cache capacity before the floor of 64.
+    pub cache_capacity_raw: usize,
+    /// ASAP cache capacity in effect.
+    pub cache_capacity: usize,
+}
+
+impl ScaleKnobs {
+    /// Paper values at ratio 1.0; reduced scales round (not truncate) the
+    /// proportional value, then apply the floor. Mirrors
+    /// `AsapConfig::scaled_to` for the ASAP knobs.
+    pub fn for_ratio(ratio: f64) -> Self {
+        let rw_ttl_raw = (1_024.0 * ratio).round() as u16;
+        let gsa_budget_raw = (8_000.0 * ratio).round() as u32;
+        let budget_unit_raw = (3_000.0 * ratio).round() as u32;
+        let cache_capacity_raw = (4_096.0 * ratio).round() as usize;
+        Self {
+            rw_ttl_raw,
+            rw_ttl: rw_ttl_raw.max(32),
+            gsa_budget_raw,
+            gsa_budget: gsa_budget_raw.max(100),
+            budget_unit_raw,
+            budget_unit: budget_unit_raw.max(16),
+            cache_capacity_raw,
+            cache_capacity: cache_capacity_raw.max(64),
+        }
+    }
+
+    /// Note when the random-walk TTL floor bound (random-walk cells).
+    pub fn rw_ttl_clamp_note(&self) -> Option<String> {
+        (self.rw_ttl != self.rw_ttl_raw).then(|| {
+            format!(
+                "random-walk TTL clamped {} -> {} (floor 32)",
+                self.rw_ttl_raw, self.rw_ttl
+            )
+        })
+    }
+
+    /// Note when the GSA budget floor bound (GSA cells).
+    pub fn gsa_budget_clamp_note(&self) -> Option<String> {
+        (self.gsa_budget != self.gsa_budget_raw).then(|| {
+            format!(
+                "GSA budget clamped {} -> {} (floor 100)",
+                self.gsa_budget_raw, self.gsa_budget
+            )
+        })
+    }
+
+    /// Notes for the ASAP-only knobs whose floors bound (ASAP cells).
+    pub fn asap_clamp_notes(&self) -> Vec<String> {
+        let mut notes = Vec::new();
+        if self.budget_unit != self.budget_unit_raw {
+            notes.push(format!(
+                "ASAP budget unit M0 clamped {} -> {} (floor 16)",
+                self.budget_unit_raw, self.budget_unit
+            ));
+        }
+        if self.cache_capacity != self.cache_capacity_raw {
+            notes.push(format!(
+                "ASAP cache capacity clamped {} -> {} (floor 64)",
+                self.cache_capacity_raw, self.cache_capacity
+            ));
+        }
+        notes
+    }
+
+    /// Human-readable line per clamped knob (empty when the cell is
+    /// exactly on the scale table).
+    pub fn clamp_notes(&self) -> Vec<String> {
+        self.rw_ttl_clamp_note()
+            .into_iter()
+            .chain(self.gsa_budget_clamp_note())
+            .chain(self.asap_clamp_notes())
+            .collect()
     }
 }
 
@@ -102,7 +202,7 @@ mod tests {
     #[test]
     fn reduced_scales_proportionally() {
         let s = Scale::Default;
-        assert_eq!(s.rw_ttl(), (1_024.0 * 0.15) as u16);
+        assert_eq!(s.rw_ttl(), (1_024.0 * 0.15_f64).round() as u16);
         assert_eq!(s.gsa_budget(), 1_200);
         assert!(s.topology(1).expected_nodes() >= s.peers());
     }
@@ -113,6 +213,46 @@ mod tests {
         assert!(s.rw_ttl() >= 32);
         assert!(s.gsa_budget() >= 100);
         assert!(s.topology(1).expected_nodes() >= s.peers());
+    }
+
+    /// Pins the EXPERIMENTS.md scale-table values: derivation rounds the
+    /// proportional value (1,024 × 0.15 = 153.6 → 154, not the truncated
+    /// 153), then applies the floor.
+    #[test]
+    fn knob_derivation_rounds_then_floors() {
+        let tiny = Scale::Tiny.knobs();
+        assert_eq!((tiny.rw_ttl_raw, tiny.rw_ttl), (15, 32));
+        assert_eq!((tiny.gsa_budget_raw, tiny.gsa_budget), (120, 120));
+        assert_eq!((tiny.budget_unit_raw, tiny.budget_unit), (45, 45));
+        assert_eq!((tiny.cache_capacity_raw, tiny.cache_capacity), (61, 64));
+
+        let default = Scale::Default.knobs();
+        assert_eq!((default.rw_ttl_raw, default.rw_ttl), (154, 154));
+        assert_eq!((default.gsa_budget_raw, default.gsa_budget), (1_200, 1_200));
+        assert_eq!((default.budget_unit_raw, default.budget_unit), (450, 450));
+        assert_eq!(
+            (default.cache_capacity_raw, default.cache_capacity),
+            (614, 614)
+        );
+
+        let paper = Scale::Paper.knobs();
+        assert_eq!((paper.rw_ttl_raw, paper.rw_ttl), (1_024, 1_024));
+        assert_eq!((paper.gsa_budget_raw, paper.gsa_budget), (8_000, 8_000));
+        assert_eq!((paper.budget_unit_raw, paper.budget_unit), (3_000, 3_000));
+        assert_eq!((paper.cache_capacity_raw, paper.cache_capacity), (4_096, 4_096));
+    }
+
+    /// Only tiny runs off-table, and only on the two knobs whose floors
+    /// actually bind (TTL and cache). The GSA budget at tiny is 120 — above
+    /// its floor of 100 — so it is *not* clamped.
+    #[test]
+    fn clamp_notes_name_exactly_the_floored_knobs() {
+        let tiny = Scale::Tiny.knobs().clamp_notes();
+        assert_eq!(tiny.len(), 2);
+        assert!(tiny[0].contains("random-walk TTL clamped 15 -> 32"));
+        assert!(tiny[1].contains("ASAP cache capacity clamped 61 -> 64"));
+        assert!(Scale::Default.knobs().clamp_notes().is_empty());
+        assert!(Scale::Paper.knobs().clamp_notes().is_empty());
     }
 
     #[test]

@@ -3,8 +3,8 @@
 //! every cell derives all randomness from (scale, seed, algo, overlay).
 //!
 //! Runs a reduced matrix (2 algorithms × 2 overlays) audited, serial vs 4
-//! workers, both fault-free and under the lossy profile, and compares the
-//! full per-cell digests.
+//! workers, under every fault profile, and compares the full per-cell
+//! digests.
 
 use asap_bench::faults::FaultProfile;
 use asap_bench::runner::sweep_cells;
@@ -66,4 +66,33 @@ fn parallel_sweep_matches_serial_lossy() {
     // Sanity: the lossy digests differ from the fault-free ones, so this
     // test cannot silently compare the same thing twice.
     assert_ne!(serial, digests(1, FaultProfile::None));
+}
+
+#[test]
+fn parallel_sweep_matches_serial_chaos() {
+    let serial = digests(1, FaultProfile::Chaos);
+    assert_eq!(
+        serial,
+        digests(4, FaultProfile::Chaos),
+        "chaos-profile sweeps must stay deterministic across worker counts"
+    );
+    // Chaos adds partitions/duplication on top of loss, so its digests must
+    // differ from both other profiles.
+    assert_ne!(serial, digests(1, FaultProfile::None));
+    assert_ne!(serial, digests(1, FaultProfile::Lossy));
+}
+
+/// The per-profile tests above pin the interesting pairs; this sweep keeps
+/// the guarantee exhaustive if more profiles are ever added, and exercises
+/// an oversubscribed pool (more workers than cells).
+#[test]
+fn every_profile_is_worker_count_invariant() {
+    for profile in FaultProfile::ALL {
+        assert_eq!(
+            digests(1, profile),
+            digests(8, profile),
+            "profile {} must not vary with worker count",
+            profile.label()
+        );
+    }
 }

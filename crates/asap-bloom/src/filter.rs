@@ -3,6 +3,7 @@
 
 use crate::hashing::KeyHash;
 use crate::params::BloomParams;
+use std::rc::Rc;
 
 /// Flat Bloom filter: the content synopsis carried by a *full ad* and cached
 /// in remote ad repositories.
@@ -127,14 +128,18 @@ impl BloomFilter {
 pub struct CountingBloom {
     params: BloomParams,
     counts: Vec<u16>,
-    snapshot: BloomFilter,
+    /// Copy-on-write flat view: [`CountingBloom::snapshot_rc`] hands out the
+    /// `Rc` for free, and the *next* mutation after a handout clones the bit
+    /// vector exactly once (`Rc::make_mut`). Stable content ⇒ repeated ad
+    /// emissions share one allocation.
+    snapshot: Rc<BloomFilter>,
 }
 
 impl CountingBloom {
     pub fn new(params: BloomParams) -> Self {
         Self {
             counts: vec![0; params.bits as usize],
-            snapshot: BloomFilter::empty(params),
+            snapshot: Rc::new(BloomFilter::empty(params)),
             params,
         }
     }
@@ -154,7 +159,7 @@ impl CountingBloom {
             let c = &mut self.counts[bit as usize];
             *c = c.saturating_add(1);
             if *c == 1 {
-                self.snapshot.set_bit(bit);
+                Rc::make_mut(&mut self.snapshot).set_bit(bit);
             }
         }
     }
@@ -166,17 +171,19 @@ impl CountingBloom {
         self.remove_hash(&KeyHash::of(key))
     }
 
-    /// Remove by precomputed hash; see [`CountingBloom::remove`].
+    /// Remove by precomputed hash; see [`CountingBloom::remove`]. Two passes
+    /// over the (deterministic) bit sequence instead of materializing it.
     pub fn remove_hash(&mut self, h: &KeyHash) -> bool {
-        let bits: Vec<u32> = h.bits(self.params.bits, self.params.hashes).collect();
-        if bits.iter().any(|&b| self.counts[b as usize] == 0) {
+        if h.bits(self.params.bits, self.params.hashes)
+            .any(|b| self.counts[b as usize] == 0)
+        {
             return false;
         }
-        for bit in bits {
+        for bit in h.bits(self.params.bits, self.params.hashes) {
             let c = &mut self.counts[bit as usize];
             *c -= 1;
             if *c == 0 {
-                self.snapshot.clear_bit(bit);
+                Rc::make_mut(&mut self.snapshot).clear_bit(bit);
             }
         }
         true
@@ -187,10 +194,17 @@ impl CountingBloom {
         self.snapshot.contains(key)
     }
 
-    /// The flat snapshot to embed in a full ad. Cheap (`Clone` of a bit
-    /// vector), taken whenever an ad is issued.
+    /// The flat snapshot to embed in a full ad, as an owned filter (clones
+    /// the bit vector; prefer [`CountingBloom::snapshot_rc`] on hot paths).
     pub fn snapshot(&self) -> BloomFilter {
-        self.snapshot.clone()
+        (*self.snapshot).clone()
+    }
+
+    /// The flat snapshot as a shared handle — O(1), no bit-vector copy. The
+    /// handle stays valid forever; the filter's next mutation diverges from
+    /// it via copy-on-write rather than changing it in place.
+    pub fn snapshot_rc(&self) -> Rc<BloomFilter> {
+        Rc::clone(&self.snapshot)
     }
 
     /// Borrow the live snapshot without cloning.
@@ -304,6 +318,22 @@ mod tests {
         }
         let rebuilt = BloomFilter::from_keys(params(), keys.iter().map(String::as_str));
         assert_eq!(c.snapshot(), rebuilt);
+    }
+
+    #[test]
+    fn snapshot_rc_is_stable_under_copy_on_write() {
+        let mut c = CountingBloom::new(params());
+        c.insert("first");
+        let held = c.snapshot_rc();
+        let held_ones = held.count_ones();
+        // Repeated handouts without intervening mutation share the allocation.
+        assert!(Rc::ptr_eq(&held, &c.snapshot_rc()));
+        // A mutation diverges the live filter without touching the handle.
+        c.insert("second");
+        assert_eq!(held.count_ones(), held_ones, "handed-out snapshot frozen");
+        assert!(c.as_filter().count_ones() > held_ones);
+        assert!(!Rc::ptr_eq(&held, &c.snapshot_rc()));
+        assert_eq!(c.snapshot(), *c.snapshot_rc());
     }
 
     #[test]

@@ -115,11 +115,13 @@ impl AsapConfig {
     /// Scale population-proportional knobs for a reduced experiment of
     /// `peers` peers (the paper's values assume 10,000): the delivery budget
     /// unit and cache capacity shrink proportionally, time constants stay.
+    /// The proportional value is rounded (not truncated) before the floor,
+    /// matching the scale table in EXPERIMENTS.md.
     pub fn scaled_to(mut self, peers: usize) -> Self {
         let ratio = peers as f64 / 10_000.0;
         if ratio < 1.0 {
-            self.budget_unit = ((self.budget_unit as f64 * ratio) as u32).max(16);
-            self.cache_capacity = ((self.cache_capacity as f64 * ratio) as usize).max(64);
+            self.budget_unit = ((self.budget_unit as f64 * ratio).round() as u32).max(16);
+            self.cache_capacity = ((self.cache_capacity as f64 * ratio).round() as usize).max(64);
         }
         self
     }

@@ -120,14 +120,20 @@ fn fan_to_all(
     delivery: u64,
     fwd: Forwarding,
 ) {
-    let targets: Vec<PeerId> = ctx
-        .neighbors(node)
-        .iter()
-        .copied()
-        .filter(|&n| Some(n) != exclude)
-        .collect();
-    for t in targets {
-        send_ad(ctx, node, t, payload.clone(), delivery, fwd);
+    // Index loop re-borrowing the neighbor slice each iteration: sends only
+    // enqueue events, the overlay cannot change mid-event, so no target list
+    // needs materializing.
+    let mut i = 0;
+    loop {
+        let nbrs = ctx.neighbors(node);
+        if i >= nbrs.len() {
+            break;
+        }
+        let t = nbrs[i];
+        i += 1;
+        if Some(t) != exclude {
+            send_ad(ctx, node, t, payload.clone(), delivery, fwd);
+        }
     }
 }
 
@@ -180,15 +186,19 @@ fn gsa_disperse(
     if budget == 0 {
         return;
     }
-    let mut nbrs: Vec<PeerId> = ctx
-        .neighbors(node)
-        .iter()
-        .copied()
-        .filter(|&n| Some(n) != exclude)
-        .collect();
+    // Candidate staging uses the engine's scratch buffer — zero allocation
+    // once its capacity has grown to the overlay's max degree.
+    let mut nbrs = ctx.take_scratch();
+    nbrs.extend(
+        ctx.neighbors(node)
+            .iter()
+            .copied()
+            .filter(|&n| Some(n) != exclude),
+    );
     if nbrs.is_empty() {
-        nbrs = ctx.neighbors(node).to_vec();
+        nbrs.extend_from_slice(ctx.neighbors(node));
         if nbrs.is_empty() {
+            ctx.put_scratch(nbrs);
             return;
         }
     }
@@ -207,9 +217,10 @@ fn gsa_disperse(
     let remaining = budget - fan;
     let share = remaining / fan;
     let mut extra = remaining % fan;
-    for n in nbrs {
+    for &n in &nbrs {
         let b = share + u32::from(extra > 0);
         extra = extra.saturating_sub(1);
         send_ad(ctx, node, n, payload.clone(), delivery, Forwarding::Gsa { budget: b });
     }
+    ctx.put_scratch(nbrs);
 }

@@ -112,7 +112,7 @@ impl Asap {
                         filter.insert_hash(&kw_hashes[kw.index()]);
                     }
                 }
-                let snapshot = Rc::new(filter.snapshot());
+                let snapshot = filter.snapshot_rc();
                 NodeState {
                     filter,
                     version: 0,
@@ -549,10 +549,12 @@ impl Protocol for Asap {
         doc: DocId,
         added: bool,
     ) {
-        let doc_keywords = ctx.model.doc(doc).keywords.clone();
+        // Copy the `&ContentModel` out of `ctx` so the keyword list needn't
+        // be cloned while `self.nodes` is mutably borrowed.
+        let model = ctx.model;
         let st = &mut self.nodes[peer.index()];
         let old_snapshot = Rc::clone(&st.snapshot);
-        for kw in &doc_keywords {
+        for kw in &model.doc(doc).keywords {
             let h = self.kw_hashes[kw.index()];
             if added {
                 st.filter.insert_hash(&h);
@@ -562,7 +564,10 @@ impl Protocol for Asap {
             }
         }
         st.version = st.version.wrapping_add(1);
-        let new_snapshot = Rc::new(st.filter.snapshot());
+        // Copy-on-write: this is O(1); the filter already diverged from
+        // `old_snapshot` at the first bit flip above (or didn't change at
+        // all, in which case the two handles still alias).
+        let new_snapshot = st.filter.snapshot_rc();
         st.snapshot = Rc::clone(&new_snapshot);
         let version = st.version;
 
@@ -622,7 +627,7 @@ impl Protocol for Asap {
                     ));
                 }
             }
-            if st.snapshot.as_ref() != &st.filter.snapshot() {
+            if st.snapshot.as_ref() != st.filter.as_filter() {
                 violations.push(format!("node {i}: published snapshot lags its filter"));
             }
         }

@@ -170,7 +170,7 @@ impl SuperAsap {
                         filter.insert_hash(&kw_hashes[kw.index()]);
                     }
                 }
-                let snapshot = Rc::new(filter.snapshot());
+                let snapshot = filter.snapshot_rc();
                 NodeState {
                     filter,
                     version: 0,
@@ -692,9 +692,9 @@ impl Protocol for SuperAsap {
         doc: DocId,
         added: bool,
     ) {
-        let keywords = ctx.model.doc(doc).keywords.clone();
+        let model = ctx.model;
         let st = &mut self.nodes[peer.index()];
-        for kw in &keywords {
+        for kw in &model.doc(doc).keywords {
             let h = self.kw_hashes[kw.index()];
             if added {
                 st.filter.insert_hash(&h);
@@ -703,7 +703,7 @@ impl Protocol for SuperAsap {
             }
         }
         st.version = st.version.wrapping_add(1);
-        st.snapshot = Rc::new(st.filter.snapshot());
+        st.snapshot = st.filter.snapshot_rc();
         self.register_with_home(ctx, peer);
     }
 }

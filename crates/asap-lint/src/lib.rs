@@ -16,6 +16,11 @@
 //! * **R4 `unwrap`** — no `unwrap()`/`expect()` in non-test code reachable
 //!   from `Simulation::run`; justify survivors with
 //!   `// lint: allow(unwrap, reason=…)`.
+//! * **R5 `release-assert`** — no release-mode `assert!`/`assert_eq!`/
+//!   `assert_ne!`/`panic!`/`unreachable!` in the per-event dispatch files;
+//!   prove invariants at construction time and keep hot-path checks as
+//!   `debug_assert!` (exempt by construction), or justify with
+//!   `// lint: allow(release-assert, reason=…)`.
 //!
 //! Everything is deny-by-default: any violation (or broken pragma) makes
 //! the binary exit nonzero.
@@ -38,7 +43,7 @@ pub struct Diagnostic {
     pub line: u32,
     pub col: u32,
     pub width: usize,
-    /// `R1`…`R4`, or `P0` for pragma problems.
+    /// `R1`…`R5`, or `P0` for pragma problems.
     pub rule_id: &'static str,
     pub rule_name: &'static str,
     pub summary: String,

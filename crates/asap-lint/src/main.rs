@@ -53,7 +53,7 @@ fn run_workspace(root: &Path, cfg: &LintConfig) -> ExitCode {
     }
     if report.is_clean() {
         println!(
-            "asap-lint: {} files clean (rules R1-R4, lint.toml at {})",
+            "asap-lint: {} files clean (rules R1-R5, lint.toml at {})",
             report.files_scanned,
             root.join("lint.toml").display()
         );

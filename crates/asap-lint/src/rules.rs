@@ -15,9 +15,13 @@ pub enum RuleId {
     R3,
     /// No `unwrap()`/`expect()` in code reachable from `Simulation::run`.
     R4,
+    /// No release-mode `assert!`/`panic!` family macros on simulation hot
+    /// paths; invariants belong at construction time plus `debug_assert!`.
+    R5,
 }
 
-pub const ALL_RULES: [RuleId; 4] = [RuleId::R1, RuleId::R2, RuleId::R3, RuleId::R4];
+pub const ALL_RULES: [RuleId; 5] =
+    [RuleId::R1, RuleId::R2, RuleId::R3, RuleId::R4, RuleId::R5];
 
 impl RuleId {
     /// Canonical lower-case name, used in `lint.toml` and diagnostics.
@@ -27,6 +31,7 @@ impl RuleId {
             RuleId::R2 => "ambient-entropy",
             RuleId::R3 => "float-arith",
             RuleId::R4 => "unwrap",
+            RuleId::R5 => "release-assert",
         }
     }
 
@@ -36,6 +41,7 @@ impl RuleId {
             RuleId::R2 => "R2",
             RuleId::R3 => "R3",
             RuleId::R4 => "R4",
+            RuleId::R5 => "R5",
         }
     }
 
@@ -47,16 +53,17 @@ impl RuleId {
             "R2" | "r2" | "ambient-entropy" | "ambient_entropy" | "entropy" => Some(RuleId::R2),
             "R3" | "r3" | "float-arith" | "float_arith" | "float" => Some(RuleId::R3),
             "R4" | "r4" | "unwrap" | "expect" => Some(RuleId::R4),
+            "R5" | "r5" | "release-assert" | "release_assert" => Some(RuleId::R5),
             _ => None,
         }
     }
 
-    /// R3/R4 exempt `#[cfg(test)]` regions: test assertions may compare
-    /// floats and unwrap freely. R1/R2 apply to tests too — a test that
-    /// iterates a RandomState map or reads a wall clock is exactly as
+    /// R3/R4/R5 exempt `#[cfg(test)]` regions: test assertions may compare
+    /// floats, unwrap, and assert freely. R1/R2 apply to tests too — a test
+    /// that iterates a RandomState map or reads a wall clock is exactly as
     /// flaky as a protocol that does.
     pub fn skips_test_code(self) -> bool {
-        matches!(self, RuleId::R3 | RuleId::R4)
+        matches!(self, RuleId::R3 | RuleId::R4 | RuleId::R5)
     }
 
     pub fn summary(self, found: &str) -> String {
@@ -67,6 +74,9 @@ impl RuleId {
             RuleId::R2 => format!("`{found}` is an ambient clock/entropy source"),
             RuleId::R3 => format!("floating-point (`{found}`) in a digest/event-ordering path"),
             RuleId::R4 => format!("`{found}()` can panic in code reachable from Simulation::run"),
+            RuleId::R5 => format!(
+                "release-mode `{found}!` on a simulation hot path can abort a run mid-trace"
+            ),
         }
     }
 
@@ -87,6 +97,11 @@ impl RuleId {
             RuleId::R4 => {
                 "handle the None/Err arm (the engine must survive any message interleaving), \
                  or justify with `// lint: allow(unwrap, reason=…)`"
+            }
+            RuleId::R5 => {
+                "prove the invariant once at construction time (before Simulation::run) \
+                 and downgrade the hot-path check to `debug_assert!`, or justify with \
+                 `// lint: allow(release-assert, reason=…)`"
             }
         }
     }
@@ -116,6 +131,10 @@ const BANNED_COLLECTIONS: [&str; 2] = ["HashMap", "HashSet"];
 const BANNED_ENTROPY: [&str; 4] = ["thread_rng", "from_entropy", "SystemTime", "Instant"];
 const BANNED_FLOAT_TYPES: [&str; 2] = ["f32", "f64"];
 const BANNED_PANICS: [&str; 2] = ["unwrap", "expect"];
+/// R5 matches these idents followed by `!`. The `debug_assert*` family lexes
+/// as distinct idents, so it is exempt by construction.
+const BANNED_RELEASE_ASSERTS: [&str; 5] =
+    ["assert", "assert_eq", "assert_ne", "panic", "unreachable"];
 
 /// Run `rule` over a lexed file. `in_test[i]` marks tokens inside
 /// `#[cfg(test)]` regions (see [`crate::lexer::mark_test_regions`]).
@@ -156,6 +175,15 @@ pub fn check(rule: RuleId, lexed: &LexOutput, in_test: &[bool]) -> Vec<Violation
                         && toks.get(i + 1).is_some_and(|t| t.is_punct('('))
                         && i > 0
                         && (toks[i - 1].is_punct('.') || toks[i - 1].is_punct(':'))
+                    {
+                        out.push(violation(rule, tok, id));
+                    }
+                }
+            }
+            RuleId::R5 => {
+                if let Some(id) = tok.ident() {
+                    if BANNED_RELEASE_ASSERTS.contains(&id)
+                        && toks.get(i + 1).is_some_and(|t| t.is_punct('!'))
                     {
                         out.push(violation(rule, tok, id));
                     }

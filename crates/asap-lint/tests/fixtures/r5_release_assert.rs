@@ -1,0 +1,24 @@
+//! Fixture: R5 release-assert violations and exemptions.
+
+pub fn dispatch(budget: u32, hops: u16) -> u32 {
+    assert!(budget > 0, "a hot-path release assert");
+    assert_eq!(hops % 2, 0);
+    debug_assert!(budget < 10_000);
+    debug_assert_ne!(hops, u16::MAX);
+    match budget {
+        1 => panic!("impossible"),
+        2 => unreachable!("also impossible"),
+        _ => {}
+    }
+    // lint: allow(release-assert, reason=fixture stands in for construction-time validation)
+    assert_ne!(budget, 99);
+    u32::from(hops) + budget
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn asserts_are_fine_in_tests() {
+        assert!(super::dispatch(3, 0) >= 3);
+    }
+}

@@ -60,6 +60,15 @@ fn r4_flags_unwrap_and_expect_calls() {
 }
 
 #[test]
+fn r5_flags_release_asserts_only() {
+    // assert!/assert_eq! at 4/5 and panic!/unreachable! at 9/10 fire; the
+    // debug_assert* family (6/7), the pragma-suppressed assert_ne! (14),
+    // and the #[cfg(test)] assert are exempt.
+    assert_eq!(lines_for("r5_release_assert.rs", "R5"), vec![4, 5, 9, 10]);
+    assert_eq!(findings("r5_release_assert.rs").len(), 4);
+}
+
+#[test]
 fn pragmas_suppress_in_both_positions() {
     assert_eq!(
         findings("pragma_ok.rs"),
@@ -121,6 +130,33 @@ fn workspace_config_keeps_fault_layer_in_scope() {
             "{rule:?} must not be allowed-off for {fault}"
         );
     }
+}
+
+#[test]
+fn workspace_config_scopes_r5_to_dispatch_files() {
+    // R5 pins the no-release-assert policy to the per-event dispatch files
+    // (hot paths), while protocol constructors stay free to reject bad
+    // configs with release asserts.
+    let toml = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../lint.toml"),
+    )
+    .expect("workspace lint.toml readable");
+    let cfg = LintConfig::parse(&toml).expect("workspace lint.toml parses");
+    let scope = cfg.scope(asap_lint::RuleId::R5).expect("R5 configured");
+    for covered in [
+        "crates/asap-topology/src/latency.rs",
+        "crates/asap-sim/src/engine.rs",
+        "crates/asap-sim/src/event.rs",
+        "crates/asap-sim/src/fault.rs",
+        "crates/asap-core/src/delivery.rs",
+        "crates/asap-core/src/protocol.rs",
+    ] {
+        assert!(scope.covers(covered), "R5 must cover {covered}");
+        assert!(!cfg.file_allowed(asap_lint::RuleId::R5, covered));
+    }
+    // Constructors outside the dispatch files are intentionally out of scope.
+    assert!(!scope.covers("crates/asap-search/src/gsa.rs"));
+    assert!(!scope.covers("crates/asap-search/src/flooding.rs"));
 }
 
 #[test]

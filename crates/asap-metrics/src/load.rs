@@ -89,6 +89,9 @@ pub struct LoadRecorder {
     msg_totals: [u64; MsgClass::COUNT],
     /// Step function: `(time_us, live_count)`, appended on every change.
     alive_steps: Vec<(u64, usize)>,
+    /// Free-form run metadata (e.g. clamped scale knobs). Not part of any
+    /// digested series — purely for sweep logs and run reports.
+    notes: Vec<String>,
 }
 
 impl LoadRecorder {
@@ -146,6 +149,17 @@ impl LoadRecorder {
     /// The raw live-peer step timeline `(time_us, count)`, in append order.
     pub fn alive_steps(&self) -> &[(u64, usize)] {
         &self.alive_steps
+    }
+
+    /// Attach a free-form metadata note to the run (e.g. "GSA budget
+    /// clamped ..."). Notes never feed a metric or digest.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Run metadata notes, in the order they were attached.
+    pub fn notes(&self) -> &[String] {
+        &self.notes
     }
 
     /// Bytes attributed to per-search cost classes (Fig. 6 numerator).
@@ -319,6 +333,17 @@ mod tests {
         r.set_alive(0, 10);
         r.set_alive(500_000, 9);
         assert_eq!(r.alive_steps(), &[(0, 10), (500_000, 9)]);
+    }
+
+    #[test]
+    fn notes_accumulate_in_order_without_touching_metrics() {
+        let mut r = LoadRecorder::new();
+        r.note("GSA budget clamped 90 -> 100 (floor 100)");
+        r.note(String::from("second note"));
+        assert_eq!(r.notes().len(), 2);
+        assert!(r.notes()[0].contains("clamped"));
+        assert_eq!(r.total_bytes(), 0);
+        assert!(r.load_series().is_empty());
     }
 
     #[test]

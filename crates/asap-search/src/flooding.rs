@@ -66,14 +66,21 @@ impl Flooding {
         terms: &Rc<[KeywordId]>,
         ttl: u8,
     ) {
-        let targets: Vec<PeerId> = ctx
-            .neighbors(node)
-            .iter()
-            .copied()
-            .filter(|&n| Some(n) != exclude)
-            .collect();
         let bytes = query_size(terms.len());
-        for t in targets {
+        // Index loop re-borrowing the neighbor slice each iteration: sends
+        // only enqueue events and the overlay cannot change mid-event, so no
+        // target list needs materializing.
+        let mut i = 0;
+        loop {
+            let nbrs = ctx.neighbors(node);
+            if i >= nbrs.len() {
+                break;
+            }
+            let t = nbrs[i];
+            i += 1;
+            if Some(t) == exclude {
+                continue;
+            }
             ctx.send(
                 node,
                 t,

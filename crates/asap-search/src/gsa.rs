@@ -65,16 +65,20 @@ impl Gsa {
         if budget == 0 {
             return;
         }
-        let mut nbrs: Vec<PeerId> = ctx
-            .neighbors(node)
-            .iter()
-            .copied()
-            .filter(|&n| Some(n) != exclude)
-            .collect();
+        // Candidate staging uses the engine's scratch buffer — zero
+        // allocation once its capacity has grown to the overlay's max degree.
+        let mut nbrs = ctx.take_scratch();
+        nbrs.extend(
+            ctx.neighbors(node)
+                .iter()
+                .copied()
+                .filter(|&n| Some(n) != exclude),
+        );
         if nbrs.is_empty() {
             // Dead end: allow the backtrack rather than dying.
-            nbrs = ctx.neighbors(node).to_vec();
+            nbrs.extend_from_slice(ctx.neighbors(node));
             if nbrs.is_empty() {
+                ctx.put_scratch(nbrs);
                 return;
             }
         }
@@ -91,7 +95,7 @@ impl Gsa {
         let share = remaining / fan;
         let mut extra = remaining % fan;
         let bytes = query_size(terms.len());
-        for n in nbrs {
+        for &n in &nbrs {
             let b = share + u32::from(extra > 0);
             extra = extra.saturating_sub(1);
             ctx.send(
@@ -107,6 +111,7 @@ impl Gsa {
                 },
             );
         }
+        ctx.put_scratch(nbrs);
     }
 }
 

@@ -69,6 +69,11 @@ pub struct Ctx<'a, M> {
     overlay_kind: OverlayKind,
     alive: Vec<bool>,
     alive_count: usize,
+    /// The live peers in ascending id order, maintained incrementally on
+    /// join/leave so re-attachment never rebuilds it from the bitmap.
+    alive_list: Vec<PeerId>,
+    /// Reusable per-event buffer (see [`Ctx::take_scratch`]).
+    scratch: Vec<PeerId>,
     /// Evolving shared-content state.
     pub content: ContentState,
     /// The static content model (documents, interests, vocabulary).
@@ -114,12 +119,26 @@ impl<'a, M> Ctx<'a, M> {
         self.alive.len()
     }
 
-    /// Currently-alive peers (materialized; used for re-attachment).
-    pub fn alive_peers(&self) -> Vec<PeerId> {
-        (0..self.alive.len() as u32)
-            .map(PeerId)
-            .filter(|&p| self.alive[p.index()])
-            .collect()
+    /// Currently-alive peers in ascending id order. Maintained
+    /// incrementally — no per-call allocation or scan.
+    pub fn alive_peers(&self) -> &[PeerId] {
+        debug_assert_eq!(self.alive_list.len(), self.alive_count);
+        &self.alive_list
+    }
+
+    /// Borrow the engine's reusable scratch buffer (cleared). Protocols use
+    /// it to stage per-event target lists without allocating; return it via
+    /// [`Ctx::put_scratch`] so the next event reuses the capacity.
+    pub fn take_scratch(&mut self) -> Vec<PeerId> {
+        let mut buf = std::mem::take(&mut self.scratch);
+        buf.clear();
+        buf
+    }
+
+    /// Hand the scratch buffer back (capacity is kept; contents are cleared
+    /// on the next [`Ctx::take_scratch`]).
+    pub fn put_scratch(&mut self, buf: Vec<PeerId>) {
+        self.scratch = buf;
     }
 
     #[inline]
@@ -284,7 +303,9 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         seed: u64,
     ) -> Self {
         let n = workload.model.num_peers();
+        // lint: allow(release-assert, reason=construction-time validation; Simulation::new runs before any event dispatch)
         assert_eq!(overlay.num_peers(), n, "overlay/workload size mismatch");
+        // lint: allow(release-assert, reason=construction-time validation; Simulation::new runs before any event dispatch)
         assert!(
             phys.num_nodes() >= n,
             "need at least as many physical nodes as peers"
@@ -307,6 +328,12 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             }
         }
         let alive_count = alive.iter().filter(|&&a| a).count();
+        let alive_list: Vec<PeerId> = alive
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(|(i, _)| PeerId(i as u32))
+            .collect();
 
         let mut queue = EventQueue::new();
         for te in &workload.trace.events {
@@ -329,6 +356,8 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             overlay_kind,
             alive,
             alive_count,
+            alive_list,
+            scratch: Vec::new(),
             content: ContentState::from_model(&workload.model),
             model: &workload.model,
             phys,
@@ -364,6 +393,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
     /// Panics if the plan fails [`FaultPlan::validate`].
     pub fn with_faults(mut self, plan: FaultPlan) -> Self {
         if let Err(e) = plan.validate() {
+            // lint: allow(release-assert, reason=documented construction-time rejection of invalid plans, before run starts)
             panic!("invalid fault plan: {e}");
         }
         self.ctx.faults = Some(Box::new(FaultState::new(plan, self.ctx.run_seed)));
@@ -476,18 +506,22 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 debug_assert!(!ctx.alive[p.index()]);
                 ctx.alive[p.index()] = true;
                 ctx.alive_count += 1;
+                if let Err(pos) = ctx.alive_list.binary_search(&p) {
+                    ctx.alive_list.insert(pos, p);
+                }
                 ctx.load.set_alive(ctx.now_us, ctx.alive_count);
-                let candidates = ctx.alive_peers();
                 let degree = ctx.overlay_kind.avg_degree().round() as usize;
                 // Borrow dance: attach_* needs &mut overlay and &mut rng.
+                // The candidate list (the joiner included, ascending order —
+                // same as the old materialized scan) borrows a disjoint field.
                 let mut rng = SmallRng::seed_from_u64(ctx.rng.gen());
                 match ctx.overlay_kind {
                     OverlayKind::Random => {
-                        ctx.overlay.attach_uniform(p, &candidates, degree, &mut rng)
+                        ctx.overlay.attach_uniform(p, &ctx.alive_list, degree, &mut rng)
                     }
                     OverlayKind::PowerLaw | OverlayKind::Crawled => ctx
                         .overlay
-                        .attach_preferential(p, &candidates, degree, &mut rng),
+                        .attach_preferential(p, &ctx.alive_list, degree, &mut rng),
                 }
                 if let Some(a) = ctx.audit.as_deref_mut() {
                     a.on_join(time_us, seq, p);
@@ -499,6 +533,9 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 debug_assert!(ctx.alive[p.index()]);
                 ctx.alive[p.index()] = false;
                 ctx.alive_count -= 1;
+                if let Ok(pos) = ctx.alive_list.binary_search(&p) {
+                    ctx.alive_list.remove(pos);
+                }
                 ctx.load.set_alive(ctx.now_us, ctx.alive_count);
                 ctx.overlay.detach(p);
                 if let Some(a) = ctx.audit.as_deref_mut() {
@@ -752,6 +789,50 @@ mod tests {
         .run();
         assert_eq!(report.protocol.fired, vec![1, 3], "timer 2 was cancelled");
         assert!(report.audit.unwrap().is_clean());
+    }
+
+    #[test]
+    fn alive_list_tracks_churn_and_scratch_is_reused() {
+        struct ChurnWatcher {
+            checked: usize,
+        }
+        impl ChurnWatcher {
+            fn check(&mut self, ctx: &mut Ctx<'_, ()>) {
+                let list = ctx.alive_peers();
+                assert_eq!(list.len(), ctx.alive_count());
+                assert!(list.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+                for &p in list {
+                    assert!(ctx.alive(p));
+                }
+                self.checked += 1;
+                let mut buf = ctx.take_scratch();
+                assert!(buf.is_empty());
+                buf.extend_from_slice(ctx.alive_peers());
+                ctx.put_scratch(buf);
+            }
+        }
+        impl Protocol for ChurnWatcher {
+            type Msg = ();
+            fn on_query(&mut self, _: &mut Ctx<'_, ()>, _: &QuerySpec) {}
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: PeerId, _: PeerId, _: ()) {}
+            fn on_join(&mut self, ctx: &mut Ctx<'_, ()>, _: PeerId) {
+                self.check(ctx);
+            }
+            fn on_leave(&mut self, ctx: &mut Ctx<'_, ()>, _: PeerId) {
+                self.check(ctx);
+            }
+        }
+        let (phys, workload, overlay) = small_world(6);
+        let report = Simulation::new(
+            &phys,
+            &workload,
+            overlay,
+            OverlayKind::Random,
+            ChurnWatcher { checked: 0 },
+            6,
+        )
+        .run();
+        assert!(report.protocol.checked > 0, "trace should churn");
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Vendored, API-compatible subset of `rayon 1.x`.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the slice of the `rayon` API the workspace uses: `par_iter` /
+//! `into_par_iter` over slices and `Vec`s with `map(..).collect()`,
+//! `ThreadPoolBuilder::num_threads(..).build()` + `ThreadPool::install`,
+//! and `current_num_threads`.
+//!
+//! Differences from upstream: there is no work-stealing deque — items are
+//! claimed from a shared atomic cursor by `std::thread::scope` workers, and
+//! results are written back by item index, so `collect()` always yields
+//! results **in input order** regardless of completion order (upstream's
+//! `IndexedParallelIterator` guarantees the same). `ThreadPool::install`
+//! scopes a thread-local worker-count override rather than re-entering a
+//! pool; for the fork-join shapes this workspace runs, the two are
+//! observationally equivalent.
+
+use std::cell::Cell;
+use std::error::Error;
+use std::fmt;
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+pub mod iter {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// Parallel iterators whose combinators this shim supports. Upstream
+    /// splits `map`/`collect` across several traits; here one trait carries
+    /// the whole supported surface, driven eagerly at `collect` time.
+    pub trait ParallelIterator: Sized {
+        type Item: Send;
+
+        /// Consume the iterator into an ordered `Vec` (the driver primitive
+        /// every combinator bottoms out in).
+        fn drive(self) -> Vec<Self::Item>;
+
+        fn map<R, F>(self, op: F) -> Map<Self, F>
+        where
+            R: Send,
+            F: Fn(Self::Item) -> R + Sync,
+        {
+            Map { base: self, op }
+        }
+
+        fn collect<C>(self) -> C
+        where
+            C: FromIterator<Self::Item>,
+        {
+            self.drive().into_iter().collect()
+        }
+    }
+
+    /// `&collection` → parallel iterator over `&Item`.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: Send + 'data;
+        type Iter: ParallelIterator<Item = Self::Item>;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = ParIter<&'data T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            ParIter {
+                items: self.iter().collect(),
+            }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = ParIter<&'data T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.as_slice().par_iter()
+        }
+    }
+
+    /// Owned collection → parallel iterator over owned items.
+    pub trait IntoParallelIterator {
+        type Item: Send;
+        type Iter: ParallelIterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T: Send> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = ParIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            ParIter { items: self }
+        }
+    }
+
+    /// The base iterator: a materialized item list.
+    pub struct ParIter<T: Send> {
+        items: Vec<T>,
+    }
+
+    impl<T: Send> ParallelIterator for ParIter<T> {
+        type Item = T;
+        fn drive(self) -> Vec<T> {
+            self.items
+        }
+    }
+
+    /// The `map` combinator. Runs `op` across the worker pool at drive time.
+    pub struct Map<B, F> {
+        base: B,
+        op: F,
+    }
+
+    impl<B, R, F> ParallelIterator for Map<B, F>
+    where
+        B: ParallelIterator,
+        R: Send,
+        F: Fn(B::Item) -> R + Sync,
+    {
+        type Item = R;
+
+        fn drive(self) -> Vec<R> {
+            run_ordered(self.base.drive(), &self.op)
+        }
+    }
+
+    /// Fan `op` over `items` on `current_num_threads()` scoped threads;
+    /// results come back indexed by input position, so the output order is
+    /// exactly the serial order no matter which worker ran which item.
+    fn run_ordered<T, R, F>(items: Vec<T>, op: &F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let workers = crate::current_num_threads().min(items.len());
+        if workers <= 1 {
+            return items.into_iter().map(op).collect();
+        }
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let results: Vec<Mutex<Option<R>>> = slots.iter().map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= slots.len() {
+                        break;
+                    }
+                    let item = slots[i]
+                        .lock()
+                        .expect("poisoned item slot")
+                        .take()
+                        .expect("each item is claimed exactly once");
+                    *results[i].lock().expect("poisoned result slot") = Some(op(item));
+                });
+            }
+        });
+        results
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("poisoned result slot")
+                    .expect("every item was processed")
+            })
+            .collect()
+    }
+}
+
+thread_local! {
+    /// `ThreadPool::install` override; `None` means the global default.
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads parallel iterators fan across in the current scope:
+/// the innermost `ThreadPool::install`'s configured count, else the
+/// machine's available parallelism.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS
+        .with(Cell::get)
+        .unwrap_or_else(default_num_threads)
+}
+
+fn default_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Builder for a [`ThreadPool`]. `num_threads(0)` (or not calling it) means
+/// "use the default", as upstream documents.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Infallible in the shim (no OS pool is pre-spawned), but kept
+    /// `Result`-shaped to match upstream.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let num_threads = if self.num_threads == 0 {
+            default_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads })
+    }
+}
+
+/// A configured worker-count scope (upstream: an actual pool of threads).
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with this pool's thread count governing any parallel
+    /// iterators it drives. The previous setting is restored afterwards,
+    /// also on unwind.
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|c| c.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_THREADS.with(|c| c.replace(Some(self.num_threads))));
+        op()
+    }
+}
+
+/// Error building a [`ThreadPool`] (never produced by the shim).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("could not build the thread pool")
+    }
+}
+
+impl Error for ThreadPoolBuildError {}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_input_order() {
+        let input: Vec<u64> = (0..257).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let doubled: Vec<u64> = pool.install(|| input.par_iter().map(|&x| x * 2).collect());
+        assert_eq!(doubled, input.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_consumes_owned_items() {
+        let input: Vec<String> = (0..40).map(|i| format!("item-{i}")).collect();
+        let expect = input.clone();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let out: Vec<String> = pool.install(|| input.into_par_iter().map(|s| s + "!").collect());
+        assert_eq!(out, expect.iter().map(|s| format!("{s}!")).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_scopes_and_restores_thread_count() {
+        let outer = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 7);
+            let inner = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+            inner.install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 7);
+        });
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn zero_threads_means_default() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn single_worker_path_matches_serial() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<i32> = pool.install(|| vec![3, 1, 2].into_par_iter().map(|x| x - 1).collect());
+        assert_eq!(out, vec![2, 0, 1]);
+    }
+}

@@ -37,7 +37,7 @@ fn bench_engine(c: &mut Criterion) {
         b.iter(|| {
             let overlay = OverlayConfig::new(OverlayKind::Random, 200, 3).build();
             let report =
-                Simulation::new(&phys, &workload, overlay, OverlayKind::Random, PingPong, 3).run();
+                Simulation::builder(&phys, &workload, overlay, OverlayKind::Random, PingPong, 3).run();
             black_box(report.messages_sent)
         })
     });

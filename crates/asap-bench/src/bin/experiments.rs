@@ -4,21 +4,30 @@
 //! experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|all|ablate>
 //!             [--scale tiny|default|paper] [--seed N] [--workers N]
 //!             [--out DIR] [--faults none|lossy|chaos]
+//!             [--trace PATH] [--trace-query ID]
 //! ```
 //!
 //! Figures 4–6 and 8–10 come from the 6-algorithm × 3-overlay matrix; when
 //! several are requested the matrix is computed once. Tables print to
 //! stdout and land as TSV under `--out` (default `results/`).
+//!
+//! `--trace PATH` attaches the deterministic trace recorder to every matrix
+//! cell and writes, per cell, a JSONL timeline (`PATH-algo-overlay.jsonl`)
+//! and a Chrome-trace view (`PATH-algo-overlay.json`, load via
+//! `chrome://tracing` or Perfetto). `--trace-query ID` narrows the JSONL to
+//! one query's lifecycle. Tracing never perturbs results: digests are
+//! bit-identical either way (golden `--trace` proves it).
 
 // This binary IS the CLI; its tables go to stdout by design.
 #![allow(clippy::print_stdout)]
 
 use asap_bench::figures;
-use asap_bench::runner::{sweep_cells, RunSummary};
+use asap_bench::runner::{sweep_cells_spec, RunSpec, RunSummary, World};
 use asap_bench::scale::Scale;
 use asap_bench::table::{fnum, Table};
 use asap_bench::{AlgoKind, FaultProfile};
 use asap_overlay::OverlayKind;
+use asap_sim::trace::{to_chrome_trace, TraceConfig};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -29,6 +38,8 @@ struct Args {
     workers: usize,
     out: PathBuf,
     faults: FaultProfile,
+    trace: Option<PathBuf>,
+    trace_query: Option<u32>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -41,6 +52,8 @@ fn parse_args() -> Result<Args, String> {
         workers: rayon::current_num_threads(),
         out: PathBuf::from("results"),
         faults: FaultProfile::None,
+        trace: None,
+        trace_query: None,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
@@ -59,8 +72,16 @@ fn parse_args() -> Result<Args, String> {
                 parsed.faults =
                     FaultProfile::parse(&v).ok_or(format!("unknown fault profile '{v}'"))?;
             }
+            "--trace" => parsed.trace = Some(PathBuf::from(value()?)),
+            "--trace-query" => {
+                parsed.trace_query =
+                    Some(value()?.parse().map_err(|e| format!("bad query id: {e}"))?)
+            }
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
+    }
+    if parsed.trace_query.is_some() && parsed.trace.is_none() {
+        return Err(format!("--trace-query needs --trace PATH\n{}", usage()));
     }
     Ok(parsed)
 }
@@ -68,7 +89,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: experiments <fig2..fig10|all|ablate> [--scale tiny|default|paper] \
      [--seed N] [--workers N (default: all cores)] [--out DIR] \
-     [--faults none|lossy|chaos]"
+     [--faults none|lossy|chaos] [--trace PATH] [--trace-query ID]"
         .to_string()
 }
 
@@ -203,10 +224,47 @@ fn main() -> ExitCode {
 }
 
 fn run_matrix(args: &Args, cells: Vec<(AlgoKind, OverlayKind)>) -> Vec<RunSummary> {
-    sweep_cells(args.scale, args.seed, &cells, args.workers, None, args.faults)
-        .into_iter()
-        .map(|c| c.summary)
-        .collect()
+    let world = World::build(args.scale, args.seed);
+    let spec = RunSpec {
+        audit: None,
+        faults: args.faults,
+        trace: args.trace.as_ref().map(|_| TraceConfig::default()),
+    };
+    let reports = sweep_cells_spec(&world, &cells, args.workers, &spec);
+    if let Some(stem) = &args.trace {
+        export_traces(stem, args.trace_query, &reports);
+    }
+    reports.into_iter().map(|c| c.summary).collect()
+}
+
+/// Write each traced cell's JSONL timeline and Chrome-trace document next to
+/// `stem`, suffixed `-algo-overlay`.
+fn export_traces(stem: &std::path::Path, query: Option<u32>, reports: &[asap_bench::runner::CellReport]) {
+    if let Some(dir) = stem.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create trace output dir");
+        }
+    }
+    let base = stem.to_string_lossy();
+    for cell in reports {
+        let Some(rec) = &cell.trace else { continue };
+        let algo = cell.summary.algo.label().to_lowercase().replace('(', "-").replace(')', "");
+        let tag = format!("{algo}-{}", cell.summary.overlay.label());
+        let jsonl = match query {
+            Some(id) => rec.write_jsonl_for_query(id),
+            None => rec.write_jsonl(),
+        };
+        let jsonl_path = format!("{base}-{tag}.jsonl");
+        std::fs::write(&jsonl_path, jsonl).expect("write trace jsonl");
+        let chrome_path = format!("{base}-{tag}.json");
+        std::fs::write(&chrome_path, to_chrome_trace(&rec.records_vec()))
+            .expect("write chrome trace");
+        eprintln!(
+            "[trace] {jsonl_path} ({} events, {} dropped) + {chrome_path}",
+            rec.len(),
+            rec.dropped()
+        );
+    }
 }
 
 fn emit_matrix_figures(args: &Args, runs: &[RunSummary]) {
@@ -275,7 +333,7 @@ fn ablations(args: &Args) {
         eprintln!("[ablate] {name}");
         let overlay = world.overlay(OverlayKind::Crawled);
         let protocol = Asap::new(cfg, &world.workload.model);
-        let report = Simulation::new(
+        let report = Simulation::builder(
             &world.phys,
             &world.workload,
             overlay,

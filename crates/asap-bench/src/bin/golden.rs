@@ -10,12 +10,17 @@
 //! * `cargo run -p asap-bench --bin golden -- --check` — replay and compare
 //!   against the committed files without writing; exits nonzero on drift.
 //!   CI runs this next to `cargo lint`.
+//! * `--trace` (composes with `--check`) — additionally replay the
+//!   fault-free matrix with the trace recorder attached and assert the
+//!   digests are bit-identical to the untraced run: observation must never
+//!   perturb the simulation.
 
 use std::process::ExitCode;
 
 use asap_bench::faults::FaultProfile;
 use asap_bench::harness::{
-    golden_lines_with, golden_world, replay_matrix_parallel, ReplayRecord, GOLDEN_LOSSY_PROFILE,
+    golden_lines_with, golden_world, replay_matrix_parallel, replay_matrix_traced, ReplayRecord,
+    GOLDEN_LOSSY_PROFILE,
 };
 use asap_bench::runner::World;
 
@@ -81,8 +86,44 @@ fn pin(path: &str, fresh: &str, check: bool) -> bool {
     false
 }
 
+/// Replay the fault-free matrix with the recorder attached and demand the
+/// traced digests match the untraced records exactly. Returns true on pass.
+fn trace_pass(world: &World, untraced: &[ReplayRecord]) -> bool {
+    let workers = rayon::current_num_threads();
+    eprintln!("replaying the fault-free matrix traced (workers={workers})...");
+    let traced = replay_matrix_traced(world, FaultProfile::None, workers);
+    let mut ok = true;
+    for ((rec, cell), want) in traced.iter().zip(untraced) {
+        let recorder = cell.trace.as_ref().expect("traced replay keeps its recorder");
+        if rec != want {
+            eprintln!(
+                "error: tracing perturbed {} / {}: digest {:016x} vs untraced {:016x}",
+                rec.algo.label(),
+                rec.overlay.label(),
+                rec.digest,
+                want.digest
+            );
+            ok = false;
+        }
+        if recorder.total() == 0 {
+            eprintln!(
+                "error: {} / {} recorded no events",
+                rec.algo.label(),
+                rec.overlay.label()
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        eprintln!("traced digests are bit-identical to the untraced matrix");
+    }
+    ok
+}
+
 fn main() -> ExitCode {
-    let check = std::env::args().skip(1).any(|a| a == "--check");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check = args.iter().any(|a| a == "--check");
+    let trace = args.iter().any(|a| a == "--trace");
     let world = golden_world();
     let mut ok = true;
     for (faults, path) in [
@@ -98,6 +139,9 @@ fn main() -> ExitCode {
         let records = replay(&world, faults);
         let fresh = golden_lines_with(&records, faults);
         ok &= pin(path, &fresh, check);
+        if trace && faults.is_none() {
+            ok &= trace_pass(&world, &records);
+        }
     }
     if ok {
         ExitCode::SUCCESS

@@ -11,9 +11,15 @@
 //!
 //! The suite pins the costs this repo's hot-path work targets: Bloom filter
 //! probe, O(1) latency-oracle pair lookup, copy-on-write filter snapshot
-//! handles, one end-to-end tiny cell, and the serial-vs-parallel sweep wall
-//! clock (`threads` records how many workers the parallel leg had — the
-//! speedup is only meaningful on multi-core machines).
+//! handles, one end-to-end tiny cell untraced *and* traced (the pair bounds
+//! the observability tax), and the serial-vs-parallel sweep wall clock
+//! (`threads` records how many workers the parallel leg had — the speedup is
+//! only meaningful on multi-core machines). The engine's event-loop profile
+//! counters (sends, delivers, queue high-water mark) ride along as exact
+//! integers: any drift in them is a behavior change, not noise.
+//!
+//! `--gate KEY=TOL` (repeatable) pins a per-key tolerance tighter than the
+//! global `--tolerance`; CI uses it to hold the micro benches to 5 %.
 
 #![allow(clippy::print_stdout)]
 
@@ -22,15 +28,17 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use asap_bench::faults::FaultProfile;
-use asap_bench::runner::{run_cell_with, sweep_cells_in, World};
+use asap_bench::runner::{run_cell_spec, run_cell_with, sweep_cells_in, RunSpec, World};
 use asap_bench::{AlgoKind, Scale};
 use asap_bloom::{BloomParams, CountingBloom};
 use asap_overlay::OverlayKind;
+use asap_sim::trace::TraceConfig;
+use asap_sim::EngineProfile;
 use asap_topology::{PhysNodeId, PhysicalNetwork, TransitStubConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-const SCHEMA: &str = "asap-bench-perf/v1";
+const SCHEMA: &str = "asap-bench-perf/v2";
 const SEED: u64 = 42;
 
 struct Results {
@@ -39,13 +47,19 @@ struct Results {
     /// `(key, value)` in TIMED_KEYS order, plus derived `sweep_speedup`.
     timed: Vec<(&'static str, f64)>,
     sweep_speedup: f64,
+    /// Event-loop phase counters from the untraced e2e cell (exact values).
+    profile: EngineProfile,
+    /// Trace records captured by the traced e2e cell.
+    trace_records: u64,
 }
 
-/// Best-of-3 wall clock for `iters` calls of `f`, in ns per call. The min
-/// over repeats discards scheduler noise without averaging it in.
+/// Best-of-7 wall clock for `iters` calls of `f`, in ns per call. The min
+/// over repeats discards scheduler noise without averaging it in; seven
+/// repeats (still well under 10 ms per bench) keep the floor stable even on
+/// loaded shared runners, which the 5 % micro gates depend on.
 fn time_ns<T>(iters: u32, mut f: impl FnMut() -> T) -> f64 {
     let mut best = f64::INFINITY;
-    for _ in 0..3 {
+    for _ in 0..7 {
         let start = Instant::now();
         for _ in 0..iters {
             black_box(f());
@@ -128,6 +142,18 @@ fn run_suite(scale: Scale) -> Results {
     let e2e_ms = start.elapsed().as_secs_f64() * 1e3;
     assert!(cell.queries > 0, "perf cell must actually run queries");
 
+    eprintln!("perf: end-to-end cell, traced...");
+    let traced_spec = RunSpec::figures().with_trace(TraceConfig::default());
+    let start = Instant::now();
+    let traced = run_cell_spec(&world, AlgoKind::AsapRw, OverlayKind::Random, &traced_spec);
+    let e2e_traced_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        cell.outcome_fingerprint, traced.outcome_fingerprint,
+        "tracing perturbed the e2e cell — determinism bug"
+    );
+    let trace_records = traced.trace.as_ref().map_or(0, |r| r.total());
+    assert!(trace_records > 0, "traced cell must record events");
+
     eprintln!("perf: serial sweep (4 cells)...");
     let cells = sweep_cells();
     let start = Instant::now();
@@ -154,10 +180,13 @@ fn run_suite(scale: Scale) -> Results {
             ("oracle_pair_ns", oracle),
             ("snapshot_rc_ns", snapshot),
             ("e2e_cell_ms", e2e_ms),
+            ("e2e_traced_ms", e2e_traced_ms),
             ("sweep_serial_ms", sweep_serial_ms),
             ("sweep_parallel_ms", sweep_parallel_ms),
         ],
         sweep_speedup: sweep_serial_ms / sweep_parallel_ms,
+        profile: cell.profile,
+        trace_records,
     }
 }
 
@@ -171,7 +200,15 @@ fn render_json(r: &Results) -> String {
     for (key, value) in &r.timed {
         out.push_str(&format!("  \"{key}\": {value:.3},\n"));
     }
-    out.push_str(&format!("  \"sweep_speedup\": {:.3}\n", r.sweep_speedup));
+    out.push_str(&format!("  \"sweep_speedup\": {:.3},\n", r.sweep_speedup));
+    // Exact event-loop counters from the untraced e2e cell: drift here is a
+    // behavior change, so they are pinned as integers, not tolerated floats.
+    out.push_str(&format!("  \"profile_sends\": {},\n", r.profile.sends));
+    out.push_str(&format!("  \"profile_delivers\": {},\n", r.profile.delivers));
+    out.push_str(&format!("  \"profile_timers_set\": {},\n", r.profile.timers_set));
+    out.push_str(&format!("  \"profile_timers_fired\": {},\n", r.profile.timers_fired));
+    out.push_str(&format!("  \"profile_queue_hwm\": {},\n", r.profile.queue_hwm));
+    out.push_str(&format!("  \"trace_records\": {}\n", r.trace_records));
     out.push_str("}\n");
     out
 }
@@ -196,7 +233,7 @@ fn json_string(doc: &str, key: &str) -> Option<String> {
     Some(rest[..rest.find('"')?].to_string())
 }
 
-fn check(results: &Results, baseline_path: &str, tolerance: f64) -> bool {
+fn check(results: &Results, baseline_path: &str, tolerance: f64, gates: &[(String, f64)]) -> bool {
     let doc = match std::fs::read_to_string(baseline_path) {
         Ok(d) => d,
         Err(e) => {
@@ -219,6 +256,12 @@ fn check(results: &Results, baseline_path: &str, tolerance: f64) -> bool {
         );
         return false;
     }
+    for (key, _) in gates {
+        if !results.timed.iter().any(|(k, _)| k == key) {
+            eprintln!("perf: --gate names unknown key {key:?}");
+            return false;
+        }
+    }
     let mut ok = true;
     for &(key, current) in &results.timed {
         let Some(base) = json_number(&doc, key) else {
@@ -226,10 +269,15 @@ fn check(results: &Results, baseline_path: &str, tolerance: f64) -> bool {
             ok = false;
             continue;
         };
-        let limit = base * (1.0 + tolerance);
+        let tol = gates
+            .iter()
+            .find(|(k, _)| k == key)
+            .map_or(tolerance, |&(_, t)| t);
+        let limit = base * (1.0 + tol);
         let verdict = if current <= limit { "ok" } else { "REGRESSED" };
         println!(
-            "{key:>18}: {current:>12.1} (baseline {base:.1}, limit {limit:.1}) {verdict}"
+            "{key:>18}: {current:>12.1} (baseline {base:.1}, limit {limit:.1}, tol {:.0}%) {verdict}",
+            tol * 100.0
         );
         if current > limit {
             ok = false;
@@ -241,7 +289,7 @@ fn check(results: &Results, baseline_path: &str, tolerance: f64) -> bool {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: perf [--scale tiny|default|paper] [--out FILE] \
-         [--check BASELINE [--tolerance F]]"
+         [--check BASELINE [--tolerance F] [--gate KEY=TOL]...]"
     );
     ExitCode::FAILURE
 }
@@ -252,6 +300,7 @@ fn main() -> ExitCode {
     let mut out: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut tolerance = 0.25;
+    let mut gates: Vec<(String, f64)> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -271,6 +320,16 @@ fn main() -> ExitCode {
                 Some(t) => tolerance = t,
                 None => return usage(),
             },
+            "--gate" => {
+                let Some((key, tol)) = it
+                    .next()
+                    .and_then(|s| s.split_once('='))
+                    .and_then(|(k, v)| v.parse().ok().map(|t| (k.to_string(), t)))
+                else {
+                    return usage();
+                };
+                gates.push((key, tol));
+            }
             _ => return usage(),
         }
     }
@@ -285,10 +344,20 @@ fn main() -> ExitCode {
         println!("{key:>18}: {value:12.1}");
     }
     println!("{:>18}: {:12.3}", "sweep_speedup", results.sweep_speedup);
+    println!(
+        "{:>18}: sends={} delivers={} timers={}/{} queue_hwm={} trace_records={}",
+        "profile",
+        results.profile.sends,
+        results.profile.delivers,
+        results.profile.timers_fired,
+        results.profile.timers_set,
+        results.profile.queue_hwm,
+        results.trace_records
+    );
 
     if let Some(path) = baseline {
         println!("checking against {path} (tolerance {:.0}%):", tolerance * 100.0);
-        if !check(&results, &path, tolerance) {
+        if !check(&results, &path, tolerance, &gates) {
             eprintln!("perf: REGRESSION — some metric exceeded baseline + tolerance");
             return ExitCode::FAILURE;
         }

@@ -19,9 +19,10 @@
 
 use crate::algo::AlgoKind;
 use crate::faults::FaultProfile;
-use crate::runner::{run_cell_with, sweep_cells_in, CellReport, World};
+use crate::runner::{run_cell_spec, sweep_cells_spec, CellReport, RunSpec, World};
 use crate::scale::Scale;
 use asap_overlay::OverlayKind;
+use asap_sim::trace::TraceConfig;
 use asap_sim::AuditConfig;
 
 /// The pinned replay world: tiny scale so the whole matrix replays in
@@ -67,18 +68,23 @@ pub fn replay_cell_with(
     overlay: OverlayKind,
     faults: FaultProfile,
 ) -> ReplayRecord {
-    cell_to_record(run_cell_with(
-        world,
-        algo,
-        overlay,
-        Some(AuditConfig::default()),
+    cell_to_record(&run_cell_spec(world, algo, overlay, &replay_spec(faults, false)))
+}
+
+/// The [`RunSpec`] every replay path uses: always audited, optionally
+/// traced. Tracing must never perturb a digest, which the golden `--trace`
+/// mode proves by replaying the matrix both ways.
+pub fn replay_spec(faults: FaultProfile, traced: bool) -> RunSpec {
+    RunSpec {
+        audit: Some(AuditConfig::default()),
         faults,
-    ))
+        trace: traced.then(TraceConfig::default),
+    }
 }
 
 /// Reduce an audited [`CellReport`] to the fields the golden file pins.
-pub fn cell_to_record(cell: CellReport) -> ReplayRecord {
-    let audit = cell.audit.expect("replay cells always run audited");
+pub fn cell_to_record(cell: &CellReport) -> ReplayRecord {
+    let audit = cell.audit.as_ref().expect("replay cells always run audited");
     ReplayRecord {
         algo: cell.summary.algo,
         overlay: cell.summary.overlay,
@@ -122,16 +128,25 @@ pub fn replay_matrix_parallel(
     faults: FaultProfile,
     workers: usize,
 ) -> Vec<ReplayRecord> {
-    sweep_cells_in(
-        world,
-        &replay_matrix_cells(),
-        workers,
-        Some(AuditConfig::default()),
-        faults,
-    )
-    .into_iter()
-    .map(cell_to_record)
-    .collect()
+    sweep_cells_spec(world, &replay_matrix_cells(), workers, &replay_spec(faults, false))
+        .into_iter()
+        .map(|cell| cell_to_record(&cell))
+        .collect()
+}
+
+/// The replay matrix with trace capture on: every cell comes back as the
+/// pinned [`ReplayRecord`] plus the full [`CellReport`] holding its
+/// [`Recorder`](asap_sim::trace::Recorder). Used by the golden `--trace`
+/// mode and the trace tier to prove observation changes nothing.
+pub fn replay_matrix_traced(
+    world: &World,
+    faults: FaultProfile,
+    workers: usize,
+) -> Vec<(ReplayRecord, CellReport)> {
+    sweep_cells_spec(world, &replay_matrix_cells(), workers, &replay_spec(faults, true))
+        .into_iter()
+        .map(|cell| (cell_to_record(&cell), cell))
+        .collect()
 }
 
 /// Serialize fault-free records in the golden-file format: one

@@ -7,7 +7,11 @@ use rayon::prelude::*;
 use asap_metrics::{LoadRecorder, MsgClass, QueryLedger, RetryCounters};
 use asap_overlay::{OverlayConfig, OverlayKind};
 use asap_search::{Flooding, FloodingConfig, Gsa, GsaConfig, RandomWalk, RandomWalkConfig};
-use asap_sim::{AuditConfig, AuditReport, FaultStats, Fnv64, Protocol, SimReport, Simulation};
+use asap_sim::trace::{Recorder, TraceConfig};
+use asap_sim::{
+    AuditConfig, AuditReport, EngineProfile, FaultStats, Fnv64, Protocol, SimBuilder, SimReport,
+    Simulation,
+};
 use asap_topology::PhysicalNetwork;
 use asap_workload::Workload;
 
@@ -100,6 +104,46 @@ impl World {
     }
 }
 
+/// Per-cell run configuration, shared by the serial and parallel sweep
+/// paths: which optional engine layers (auditor, fault profile, trace
+/// recorder) a cell runs with. One `RunSpec` describes every cell of a
+/// sweep; the per-cell fault plan is derived from the profile and the
+/// world's peer count at run time.
+#[derive(Debug, Clone, Default)]
+pub struct RunSpec {
+    /// Attach the engine's invariant auditor.
+    pub audit: Option<AuditConfig>,
+    /// Fault-injection profile (also selects protocol retry budgets).
+    pub faults: FaultProfile,
+    /// Attach a ring-buffered trace recorder with this configuration.
+    pub trace: Option<TraceConfig>,
+}
+
+impl RunSpec {
+    /// The figures path: unaudited, fault-free, untraced.
+    pub fn figures() -> Self {
+        Self::default()
+    }
+
+    /// Enable the invariant auditor.
+    pub fn audited(mut self, cfg: AuditConfig) -> Self {
+        self.audit = Some(cfg);
+        self
+    }
+
+    /// Run under a fault profile.
+    pub fn with_faults(mut self, faults: FaultProfile) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Attach a trace recorder.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+}
+
 /// One cell's full outcome: the figure-facing summary plus the replay
 /// fingerprints the differential harness compares across algorithms, and the
 /// audit report when the run was audited.
@@ -125,11 +169,15 @@ pub struct CellReport {
     pub retry: RetryCounters,
     /// Fault-layer statistics; `Some` iff the cell ran under a fault profile.
     pub faults: Option<FaultStats>,
+    /// The trace recorder; `Some` iff the cell ran with [`RunSpec::trace`].
+    pub trace: Option<Recorder>,
+    /// Event-loop phase counters and queue high-water marks (always on).
+    pub profile: EngineProfile,
 }
 
 /// Run one cell of the matrix (unaudited, fault-free; figures path).
 pub fn run_one(world: &World, algo: AlgoKind, overlay_kind: OverlayKind) -> RunSummary {
-    run_cell(world, algo, overlay_kind, None).summary
+    run_cell_spec(world, algo, overlay_kind, &RunSpec::figures()).summary
 }
 
 /// Run one cell, optionally with the engine's invariant auditor attached.
@@ -139,7 +187,15 @@ pub fn run_cell(
     overlay_kind: OverlayKind,
     audit: Option<AuditConfig>,
 ) -> CellReport {
-    run_cell_with(world, algo, overlay_kind, audit, FaultProfile::None)
+    run_cell_spec(
+        world,
+        algo,
+        overlay_kind,
+        &RunSpec {
+            audit,
+            ..RunSpec::default()
+        },
+    )
 }
 
 /// Run one cell under a fault profile: the engine injects the profile's
@@ -151,31 +207,50 @@ pub fn run_cell_with(
     audit: Option<AuditConfig>,
     faults: FaultProfile,
 ) -> CellReport {
-    fn go<P: Protocol>(
-        sim: Simulation<'_, P>,
-        audit: Option<AuditConfig>,
-        plan: Option<asap_sim::FaultPlan>,
-    ) -> SimReport<P> {
-        let sim = match plan {
-            Some(p) => sim.with_faults(p),
-            None => sim,
-        };
-        match audit {
-            Some(cfg) => sim.with_audit(cfg).run(),
-            None => sim.run(),
+    run_cell_spec(
+        world,
+        algo,
+        overlay_kind,
+        &RunSpec {
+            audit,
+            faults,
+            trace: None,
+        },
+    )
+}
+
+/// Run one cell under a [`RunSpec`]: the single configuration point shared
+/// by the serial and parallel sweep paths.
+pub fn run_cell_spec(
+    world: &World,
+    algo: AlgoKind,
+    overlay_kind: OverlayKind,
+    spec: &RunSpec,
+) -> CellReport {
+    fn go<P: Protocol>(mut b: SimBuilder<'_, P>, spec: &RunSpec, peers: usize) -> SimReport<P> {
+        if let Some(cfg) = spec.audit.clone() {
+            b = b.audit(cfg);
         }
+        if !spec.faults.is_none() {
+            b = b.faults(spec.faults.plan(peers));
+        }
+        if let Some(tc) = spec.trace {
+            b = b.trace(Box::new(Recorder::new(tc)));
+        }
+        b.run()
     }
     let overlay = world.overlay(overlay_kind);
     let scale = world.scale;
     let seed = world.seed;
-    let plan = (!faults.is_none()).then(|| faults.plan(scale.peers()));
+    let peers = scale.peers();
+    let faults = spec.faults;
     match algo {
         AlgoKind::Flooding => finish(
             algo,
             overlay_kind,
             scale,
             go(
-                Simulation::new(
+                Simulation::builder(
                     &world.phys,
                     &world.workload,
                     overlay,
@@ -186,8 +261,8 @@ pub fn run_cell_with(
                     }),
                     seed,
                 ),
-                audit,
-                plan,
+                spec,
+                peers,
             ),
             None,
         ),
@@ -196,7 +271,7 @@ pub fn run_cell_with(
             overlay_kind,
             scale,
             go(
-                Simulation::new(
+                Simulation::builder(
                     &world.phys,
                     &world.workload,
                     overlay,
@@ -208,8 +283,8 @@ pub fn run_cell_with(
                     }),
                     seed,
                 ),
-                audit,
-                plan,
+                spec,
+                peers,
             ),
             None,
         ),
@@ -218,7 +293,7 @@ pub fn run_cell_with(
             overlay_kind,
             scale,
             go(
-                Simulation::new(
+                Simulation::builder(
                     &world.phys,
                     &world.workload,
                     overlay,
@@ -229,15 +304,15 @@ pub fn run_cell_with(
                     }),
                     seed,
                 ),
-                audit,
-                plan,
+                spec,
+                peers,
             ),
             None,
         ),
         AlgoKind::AsapFld | AlgoKind::AsapRw | AlgoKind::AsapGsa => {
             let protocol = algo.build_asap_with(scale, &world.workload.model, faults.robustness());
             let report = go(
-                Simulation::new(
+                Simulation::builder(
                     &world.phys,
                     &world.workload,
                     overlay,
@@ -245,8 +320,8 @@ pub fn run_cell_with(
                     protocol,
                     seed,
                 ),
-                audit,
-                plan,
+                spec,
+                peers,
             );
             let stats = report.protocol.stats.clone();
             finish(algo, overlay_kind, scale, report, Some(stats))
@@ -289,6 +364,11 @@ fn finish<P>(
     for (i, &a) in report.alive.iter().enumerate() {
         alive.write_all(&[i as u64, a as u64]);
     }
+    let trace = report
+        .trace
+        .take()
+        .and_then(|s| s.into_any().downcast::<Recorder>().ok())
+        .map(|b| *b);
     CellReport {
         summary,
         end_time_us: report.end_time_us,
@@ -300,6 +380,8 @@ fn finish<P>(
         retry: report.retry,
         faults: report.faults,
         audit: report.audit,
+        trace,
+        profile: report.profile,
     }
 }
 
@@ -346,6 +428,26 @@ pub fn sweep_cells_in(
     audit: Option<AuditConfig>,
     faults: FaultProfile,
 ) -> Vec<CellReport> {
+    sweep_cells_spec(
+        world,
+        cells,
+        workers,
+        &RunSpec {
+            audit,
+            faults,
+            trace: None,
+        },
+    )
+}
+
+/// [`sweep_cells_in`] driven by a [`RunSpec`] — the one configuration point
+/// for serial and parallel sweeps, including per-cell trace capture.
+pub fn sweep_cells_spec(
+    world: &World,
+    cells: &[(AlgoKind, OverlayKind)],
+    workers: usize,
+    spec: &RunSpec,
+) -> Vec<CellReport> {
     let total = cells.len();
     let run = |i: usize, a: AlgoKind, o: OverlayKind| {
         let off_table = if a.clamp_notes(world.scale).is_empty() {
@@ -354,7 +456,7 @@ pub fn sweep_cells_in(
             " [off-table: clamped knobs]"
         };
         eprintln!("[run {}/{}] {} / {}{}", i + 1, total, a.label(), o.label(), off_table);
-        run_cell_with(world, a, o, audit.clone(), faults)
+        run_cell_spec(world, a, o, spec)
     };
     if workers <= 1 || total <= 1 {
         return cells

@@ -21,7 +21,7 @@ fn main() {
     config.refresh_interval_us = refresh_s * 1_000_000;
     eprintln!("config: budget_unit={} cache_cap={} refresh={}s", config.budget_unit, config.cache_capacity, refresh_s);
     let protocol = Asap::new(config, &workload.model);
-    let report = Simulation::new(&phys, &workload, overlay.clone(), OverlayKind::Random, protocol, seed).run();
+    let report = Simulation::builder(&phys, &workload, overlay.clone(), OverlayKind::Random, protocol, seed).run();
     let s = &report.protocol.stats;
     eprintln!("queries={} success={:.3} rt={:.1}ms", report.ledger.num_queries(), report.ledger.success_rate(), report.ledger.avg_response_time_ms());
     eprintln!("stats: local_hits={} fallbacks={} confirms={} positive={} repairs={} full_del={} patch_del={} refresh_del={}",

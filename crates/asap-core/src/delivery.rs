@@ -35,6 +35,8 @@ pub(crate) fn start_delivery(
     let topics = payload.topics().len().max(1) as u32;
     let budget = ((topics * budget_unit) as f64 * budget_factor).round() as u32;
     let budget = budget.max(1);
+    let class = ad_class(&payload);
+    ctx.trace(|| asap_sim::trace::Event::AdPublished { node: source, class });
     match kind {
         DeliveryKind::Flooding { ttl } => {
             // Flooding's envelope is its TTL; the budget factor shaves hops
@@ -187,8 +189,9 @@ fn gsa_disperse(
         return;
     }
     // Candidate staging uses the engine's scratch buffer — zero allocation
-    // once its capacity has grown to the overlay's max degree.
-    let mut nbrs = ctx.take_scratch();
+    // once its capacity has grown to the overlay's max degree; the guard
+    // hands the buffer back when it drops, early return included.
+    let mut nbrs = ctx.scratch();
     nbrs.extend(
         ctx.neighbors(node)
             .iter()
@@ -198,7 +201,6 @@ fn gsa_disperse(
     if nbrs.is_empty() {
         nbrs.extend_from_slice(ctx.neighbors(node));
         if nbrs.is_empty() {
-            ctx.put_scratch(nbrs);
             return;
         }
     }
@@ -217,10 +219,9 @@ fn gsa_disperse(
     let remaining = budget - fan;
     let share = remaining / fan;
     let mut extra = remaining % fan;
-    for &n in &nbrs {
+    for &n in nbrs.iter() {
         let b = share + u32::from(extra > 0);
         extra = extra.saturating_sub(1);
         send_ad(ctx, node, n, payload.clone(), delivery, Forwarding::Gsa { budget: b });
     }
-    ctx.put_scratch(nbrs);
 }

@@ -87,6 +87,10 @@ pub(crate) fn start_query(asap: &mut Asap, ctx: &mut Ctx<'_, AsapMsg>, q: &Query
     }
 
     asap.stats.local_lookup_hits += 1;
+    let id = q.id;
+    let node = q.requester;
+    let hits = candidates.len() as u32;
+    ctx.trace(|| asap_sim::trace::Event::QueryLocalHits { id, node, hits });
     send_confirms(asap, ctx, &mut pending, q.id, &candidates);
     asap.pending.insert(q.id, pending);
     ctx.set_timer(
@@ -131,6 +135,15 @@ fn send_confirms(
         pending.in_flight.push(source);
         sent += 1;
     }
+    if sent > 0 {
+        let node = pending.requester;
+        let targets = sent as u32;
+        ctx.trace(|| asap_sim::trace::Event::ConfirmSent {
+            id: query,
+            node,
+            targets,
+        });
+    }
     sent
 }
 
@@ -174,6 +187,10 @@ fn begin_fallback(asap: &mut Asap, ctx: &mut Ctx<'_, AsapMsg>, query: u32) {
     let terms = Rc::clone(&p.terms);
     p.phase = Phase::Fallback;
     asap.stats.fallback_rounds += 1;
+    ctx.trace(|| asap_sim::trace::Event::QueryFallback {
+        id: query,
+        node: requester,
+    });
     let sent = send_ads_request(asap, ctx, requester, Some(query), Some(terms));
     if sent == 0 {
         // Isolated node: nothing more to try.
@@ -323,6 +340,11 @@ pub(crate) fn handle_confirm_reply(
     query: u32,
     results: u32,
 ) {
+    ctx.trace(|| asap_sim::trace::Event::ConfirmResult {
+        id: query,
+        node,
+        positive: results > 0,
+    });
     if results > 0 {
         asap.stats.confirms_positive += 1;
         ctx.report_answer(query);

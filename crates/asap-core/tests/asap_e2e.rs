@@ -27,7 +27,7 @@ fn run_asap(config: AsapConfig, seed: u64) -> SimReport<Asap> {
     // this 50 s trace gets a refresh round every 8 s.
     config.refresh_interval_us = 8_000_000;
     let protocol = Asap::new(config, &workload.model);
-    Simulation::new(&phys, &workload, overlay, OverlayKind::Random, protocol, seed).run()
+    Simulation::builder(&phys, &workload, overlay, OverlayKind::Random, protocol, seed).run()
 }
 
 #[test]
@@ -89,7 +89,7 @@ fn ad_traffic_is_dominated_by_patch_and_refresh_after_warmup() {
     let mut config = AsapConfig::rw().scaled_to(PEERS);
     config.refresh_interval_us = 30_000_000; // 30 s so several rounds fit
     let protocol = Asap::new(config, &workload.model);
-    let report = Simulation::new(&phys, &workload, overlay, OverlayKind::Random, protocol, 5).run();
+    let report = Simulation::builder(&phys, &workload, overlay, OverlayKind::Random, protocol, 5).run();
     let stats = &report.protocol.stats;
     assert!(stats.refresh_deliveries > 0, "refresh ads must flow");
     assert!(stats.patch_deliveries > 0, "patch ads must flow");

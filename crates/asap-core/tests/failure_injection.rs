@@ -24,7 +24,7 @@ fn run(workload: &Workload, seed: u64) -> SimReport<Asap> {
     let phys = PhysicalNetwork::generate(&TransitStubConfig::reduced(seed));
     let overlay = OverlayConfig::new(OverlayKind::Random, PEERS, seed).build();
     let protocol = Asap::new(config(), &workload.model);
-    Simulation::new(&phys, workload, overlay, OverlayKind::Random, protocol, seed).run()
+    Simulation::builder(&phys, workload, overlay, OverlayKind::Random, protocol, seed).run()
 }
 
 /// A trace whose churn rate is pushed to the generator's drain limit:

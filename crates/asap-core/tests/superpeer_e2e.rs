@@ -20,7 +20,7 @@ fn run(seed: u64, super_fraction: f64) -> SimReport<SuperAsap> {
     let mut config = SuperPeerConfig::new(asap);
     config.super_fraction = super_fraction;
     let protocol = SuperAsap::new(config, &workload.model);
-    Simulation::new(&phys, &workload, overlay, OverlayKind::PowerLaw, protocol, seed).run()
+    Simulation::builder(&phys, &workload, overlay, OverlayKind::PowerLaw, protocol, seed).run()
 }
 
 #[test]

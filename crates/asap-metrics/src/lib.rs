@@ -18,11 +18,13 @@
 //! confirmation and ads request messages in ASAP, while in the baselines it
 //! refers to query messages only").
 
+pub mod histogram;
 pub mod load;
 pub mod query_ledger;
 pub mod robustness;
 pub mod summary;
 
+pub use histogram::{LogHistogram, SpanTracker};
 pub use load::{LoadRecorder, MsgClass};
 pub use query_ledger::{QueryLedger, QueryRecord};
 pub use robustness::{RetryCounters, RetryStat};

@@ -71,6 +71,7 @@ impl Flooding {
         // only enqueue events and the overlay cannot change mid-event, so no
         // target list needs materializing.
         let mut i = 0;
+        let mut fanout: u32 = 0;
         loop {
             let nbrs = ctx.neighbors(node);
             if i >= nbrs.len() {
@@ -81,6 +82,7 @@ impl Flooding {
             if Some(t) == exclude {
                 continue;
             }
+            fanout += 1;
             ctx.send(
                 node,
                 t,
@@ -94,6 +96,12 @@ impl Flooding {
                 },
             );
         }
+        ctx.trace(|| asap_sim::trace::Event::FloodFanout {
+            id: query,
+            node,
+            ttl: u32::from(ttl),
+            fanout,
+        });
     }
 }
 
@@ -200,7 +208,7 @@ mod tests {
     #[test]
     fn flooding_finds_most_targets() {
         let (phys, workload, overlay) = world(150, 200, 31);
-        let report = Simulation::new(
+        let report = Simulation::builder(
             &phys,
             &workload,
             overlay,
@@ -221,7 +229,7 @@ mod tests {
     #[test]
     fn flooding_message_count_scales_with_network() {
         let (phys, workload, overlay) = world(150, 50, 32);
-        let report = Simulation::new(
+        let report = Simulation::builder(
             &phys,
             &workload,
             overlay,
@@ -246,7 +254,7 @@ mod tests {
             ttl: 1,
             ..Default::default()
         };
-        let report = Simulation::new(
+        let report = Simulation::builder(
             &phys,
             &workload,
             overlay,

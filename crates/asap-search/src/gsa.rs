@@ -67,7 +67,7 @@ impl Gsa {
         }
         // Candidate staging uses the engine's scratch buffer — zero
         // allocation once its capacity has grown to the overlay's max degree.
-        let mut nbrs = ctx.take_scratch();
+        let mut nbrs = ctx.scratch();
         nbrs.extend(
             ctx.neighbors(node)
                 .iter()
@@ -78,7 +78,6 @@ impl Gsa {
             // Dead end: allow the backtrack rather than dying.
             nbrs.extend_from_slice(ctx.neighbors(node));
             if nbrs.is_empty() {
-                ctx.put_scratch(nbrs);
                 return;
             }
         }
@@ -91,11 +90,17 @@ impl Gsa {
         nbrs.shuffle(&mut ctx.rng);
         nbrs.truncate(fan);
         let fan = nbrs.len() as u32;
+        ctx.trace(|| asap_sim::trace::Event::GsaDisperse {
+            id: query,
+            node,
+            fanout: fan,
+            budget,
+        });
         let remaining = budget - fan; // each send costs one message
         let share = remaining / fan;
         let mut extra = remaining % fan;
         let bytes = query_size(terms.len());
-        for &n in &nbrs {
+        for &n in nbrs.iter() {
             let b = share + u32::from(extra > 0);
             extra = extra.saturating_sub(1);
             ctx.send(
@@ -111,7 +116,6 @@ impl Gsa {
                 },
             );
         }
-        ctx.put_scratch(nbrs);
     }
 }
 
@@ -150,7 +154,7 @@ mod tests {
 
     fn run(budget: u32, seed: u64) -> asap_sim::SimReport<Gsa> {
         let (phys, workload, overlay) = world(150, 100, seed);
-        Simulation::new(
+        Simulation::builder(
             &phys,
             &workload,
             overlay,
@@ -193,7 +197,7 @@ mod tests {
         // shorter than a single sequential walker with the same budget.
         let gsa = run(1_000, 53);
         let (phys, workload, overlay) = world(150, 100, 53);
-        let walk = Simulation::new(
+        let walk = Simulation::builder(
             &phys,
             &workload,
             overlay,

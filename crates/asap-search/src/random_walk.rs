@@ -84,6 +84,11 @@ impl RandomWalk {
                 }
             }
         };
+        ctx.trace(|| asap_sim::trace::Event::WalkStep {
+            id: query,
+            node,
+            ttl: u32::from(ttl),
+        });
         ctx.send(
             node,
             next,
@@ -184,7 +189,7 @@ mod tests {
 
     fn run(walkers: usize, ttl: u16, seed: u64) -> asap_sim::SimReport<RandomWalk> {
         let (phys, workload, overlay) = world(150, 100, seed);
-        Simulation::new(
+        Simulation::builder(
             &phys,
             &workload,
             overlay,

@@ -6,9 +6,13 @@ use crate::fault::{FaultDecision, FaultPlan, FaultState, FaultStats};
 use asap_metrics::{LoadRecorder, MsgClass, QueryLedger, RetryCounters, RetryStat};
 use asap_overlay::{Overlay, OverlayKind, PeerId};
 use asap_topology::{PhysNodeId, PhysicalNetwork};
+use asap_trace::{Event as TraceEvt, TraceSink};
 use asap_workload::{ContentModel, ContentState, DocId, QuerySpec, TraceEvent, Workload};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+use std::rc::Rc;
 
 /// A search algorithm under test. The engine owns the world (overlay,
 /// liveness, content, clock); the protocol owns its own per-node state and
@@ -72,8 +76,10 @@ pub struct Ctx<'a, M> {
     /// The live peers in ascending id order, maintained incrementally on
     /// join/leave so re-attachment never rebuilds it from the bitmap.
     alive_list: Vec<PeerId>,
-    /// Reusable per-event buffer (see [`Ctx::take_scratch`]).
-    scratch: Vec<PeerId>,
+    /// Reusable per-event buffer slot (see [`Ctx::scratch`]). Shared with
+    /// outstanding [`ScratchGuard`]s so the guard can return capacity on
+    /// drop while the protocol keeps using `ctx`.
+    scratch: Rc<RefCell<Vec<PeerId>>>,
     /// Evolving shared-content state.
     pub content: ContentState,
     /// The static content model (documents, interests, vocabulary).
@@ -97,6 +103,63 @@ pub struct Ctx<'a, M> {
     audit: Option<Box<SimAuditor>>,
     /// Optional fault-injection layer (off by default, like the auditor).
     faults: Option<Box<FaultState>>,
+    /// Optional trace sink (off by default: one pointer test per event when
+    /// disabled, and event construction is deferred behind a closure so the
+    /// disabled path does no work at all).
+    trace: Option<Box<dyn TraceSink>>,
+    /// Event-loop phase counters and queue-depth high-water marks, always on
+    /// (plain integer increments).
+    profile: EngineProfile,
+}
+
+/// Always-on event-loop profile: phase counters and queue-depth high-water
+/// marks. Surfaced via [`SimReport::profile`] and the bench `perf` bin.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineProfile {
+    /// Messages sent (before fault decisions).
+    pub sends: u64,
+    /// Deliver events dispatched (dead-target drops included).
+    pub delivers: u64,
+    /// Timer events dispatched (dead-node drops included).
+    pub timers_fired: u64,
+    /// Timers armed via [`Ctx::set_timer`].
+    pub timers_set: u64,
+    /// Workload trace events applied (queries, content changes, churn).
+    pub trace_events: u64,
+    /// Trace-sink records emitted (0 when tracing is disabled).
+    pub trace_records: u64,
+    /// Highest event-queue depth observed at dispatch.
+    pub queue_hwm: usize,
+    /// Events still queued past the horizon when the run stopped.
+    pub past_horizon: u64,
+}
+
+/// RAII scratch-buffer lease (see [`Ctx::scratch`]): derefs to the
+/// `Vec<PeerId>`, and hands the capacity back to the engine on drop. Unlike
+/// the deprecated `take_scratch`/`put_scratch` pair, an early return can't
+/// leak the buffer.
+pub struct ScratchGuard {
+    slot: Rc<RefCell<Vec<PeerId>>>,
+    buf: Vec<PeerId>,
+}
+
+impl Deref for ScratchGuard {
+    type Target = Vec<PeerId>;
+    fn deref(&self) -> &Vec<PeerId> {
+        &self.buf
+    }
+}
+
+impl DerefMut for ScratchGuard {
+    fn deref_mut(&mut self) -> &mut Vec<PeerId> {
+        &mut self.buf
+    }
+}
+
+impl Drop for ScratchGuard {
+    fn drop(&mut self) {
+        *self.slot.borrow_mut() = std::mem::take(&mut self.buf);
+    }
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -126,19 +189,32 @@ impl<'a, M> Ctx<'a, M> {
         &self.alive_list
     }
 
-    /// Borrow the engine's reusable scratch buffer (cleared). Protocols use
-    /// it to stage per-event target lists without allocating; return it via
-    /// [`Ctx::put_scratch`] so the next event reuses the capacity.
+    /// Lease the engine's reusable scratch buffer (cleared). Protocols use
+    /// it to stage per-event target lists without allocating; the capacity
+    /// returns to the engine automatically when the guard drops, so early
+    /// returns can't leak it.
+    pub fn scratch(&mut self) -> ScratchGuard {
+        let mut buf = std::mem::take(&mut *self.scratch.borrow_mut());
+        buf.clear();
+        ScratchGuard {
+            slot: Rc::clone(&self.scratch),
+            buf,
+        }
+    }
+
+    /// Borrow the engine's reusable scratch buffer (cleared).
+    #[deprecated(note = "use Ctx::scratch, which returns the buffer on drop")]
     pub fn take_scratch(&mut self) -> Vec<PeerId> {
-        let mut buf = std::mem::take(&mut self.scratch);
+        let mut buf = std::mem::take(&mut *self.scratch.borrow_mut());
         buf.clear();
         buf
     }
 
     /// Hand the scratch buffer back (capacity is kept; contents are cleared
-    /// on the next [`Ctx::take_scratch`]).
+    /// on the next lease).
+    #[deprecated(note = "use Ctx::scratch, which returns the buffer on drop")]
     pub fn put_scratch(&mut self, buf: Vec<PeerId>) {
-        self.scratch = buf;
+        *self.scratch.borrow_mut() = buf;
     }
 
     #[inline]
@@ -168,6 +244,7 @@ impl<'a, M> Ctx<'a, M> {
         debug_assert_ne!(from, to, "no self-messages");
         self.load.record(self.now_us, class, bytes);
         self.messages_sent += 1;
+        self.profile.sends += 1;
         if let Some(a) = self.audit.as_deref_mut() {
             a.on_send(self.now_us, from, to, class, bytes);
         }
@@ -181,6 +258,7 @@ impl<'a, M> Ctx<'a, M> {
                 if let Some(a) = self.audit.as_deref_mut() {
                     a.on_fault_drop(self.now_us, from, to, partition);
                 }
+                self.trace(|| TraceEvt::FaultDrop { from, to, partition });
             }
             FaultDecision::Deliver {
                 jitter_us,
@@ -192,6 +270,17 @@ impl<'a, M> Ctx<'a, M> {
                     }
                     (dj, msg.clone())
                 });
+                // Delivered sends carry the scheduled delay (latency plus
+                // fault jitter); dropped sends show up as `fault-drop`
+                // instead, so the latency histograms see deliveries only.
+                let delay_us = (base + jitter_us) - self.now_us;
+                self.trace(|| TraceEvt::Send {
+                    from,
+                    to,
+                    class,
+                    bytes: bytes as u32,
+                    delay_us,
+                });
                 self.queue.push(
                     base + jitter_us,
                     EngineEvent::Deliver {
@@ -202,6 +291,7 @@ impl<'a, M> Ctx<'a, M> {
                     },
                 );
                 if let Some((dj, msg)) = copy {
+                    self.trace(|| TraceEvt::FaultDuplicate { from, to });
                     self.queue.push(
                         base + dj,
                         EngineEvent::Deliver {
@@ -216,6 +306,29 @@ impl<'a, M> Ctx<'a, M> {
         }
     }
 
+    /// Emit one trace event if a sink is attached. The closure defers event
+    /// construction, so a disabled sink costs one pointer test and nothing
+    /// else; a sink never touches engine state, randomness, or scheduling.
+    #[inline]
+    pub fn trace<F: FnOnce() -> TraceEvt>(&mut self, f: F) {
+        if let Some(sink) = self.trace.as_deref_mut() {
+            sink.record(self.now_us, &f());
+            self.profile.trace_records += 1;
+        }
+    }
+
+    /// Whether a trace sink is attached (lets protocols skip preparing
+    /// expensive event arguments).
+    #[inline]
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Event-loop phase counters accumulated so far.
+    pub fn profile(&self) -> &EngineProfile {
+        &self.profile
+    }
+
     /// Count one protocol-robustness event (retry, duplicate suppressed,
     /// confirmation lost, delivery abandoned). The auditor keeps an
     /// independent mirror and reconciles it exactly at the end of the run —
@@ -225,6 +338,7 @@ impl<'a, M> Ctx<'a, M> {
         if let Some(a) = self.audit.as_deref_mut() {
             a.on_counter(stat);
         }
+        self.trace(|| TraceEvt::Counter { stat });
     }
 
     /// Robustness counters accumulated so far.
@@ -240,6 +354,8 @@ impl<'a, M> Ctx<'a, M> {
     /// Schedule `on_timer(node, tag)` after `delay_us` (dropped if the node
     /// is dead when it fires). The handle can cancel it later.
     pub fn set_timer(&mut self, node: PeerId, delay_us: u64, tag: u64) -> EventHandle {
+        self.profile.timers_set += 1;
+        self.trace(|| TraceEvt::TimerSet { node, delay_us, tag });
         self.queue
             .push(self.now_us + delay_us, EngineEvent::Timer { node, tag })
     }
@@ -248,12 +364,15 @@ impl<'a, M> Ctx<'a, M> {
     /// never reaches `on_timer`. See [`EventQueue::cancel`] for the return
     /// value's semantics.
     pub fn cancel_timer(&mut self, handle: EventHandle) -> bool {
-        self.queue.cancel(handle)
+        let cancelled = self.queue.cancel(handle);
+        self.trace(|| TraceEvt::TimerCancelled { cancelled });
+        cancelled
     }
 
     /// Record a confirmed result for `query_id` arriving now.
     pub fn report_answer(&mut self, query_id: u32) {
         self.ledger.answer(query_id, self.now_us);
+        self.trace(|| TraceEvt::QueryAnswered { id: query_id });
     }
 
     /// Total messages sent so far (all classes).
@@ -280,8 +399,14 @@ pub struct SimReport<P> {
     /// [`Simulation::with_faults`].
     pub faults: Option<FaultStats>,
     /// Invariant-audit outcome; `Some` iff the run was built with
-    /// [`Simulation::with_audit`].
+    /// [`SimBuilder::audit`].
     pub audit: Option<AuditReport>,
+    /// The trace sink handed to [`SimBuilder::trace`], after observing the
+    /// whole run; `None` when tracing was off. Downcast via
+    /// [`asap_trace::TraceSink::into_any`] to recover a concrete recorder.
+    pub trace: Option<Box<dyn TraceSink>>,
+    /// Event-loop phase counters and queue high-water marks (always on).
+    pub profile: EngineProfile,
 }
 
 /// A configured simulation, ready to run.
@@ -290,11 +415,98 @@ pub struct Simulation<'a, P: Protocol> {
     protocol: P,
 }
 
+/// Typed configuration for a [`Simulation`], obtained from
+/// [`Simulation::builder`]. Optional layers (audit, faults, tracing, horizon
+/// override) are attached here; [`SimBuilder::build`] or the
+/// [`SimBuilder::run`] shorthand produce the configured simulation.
+pub struct SimBuilder<'a, P: Protocol> {
+    sim: Simulation<'a, P>,
+}
+
+impl<'a, P: Protocol> SimBuilder<'a, P> {
+    /// Enable the invariant auditor for this run; the resulting
+    /// [`SimReport::audit`] carries violations, check counts, and the
+    /// event-stream digest. See [`crate::audit`] for what is checked.
+    pub fn audit(mut self, cfg: AuditConfig) -> Self {
+        self.sim.attach_audit(cfg);
+        self
+    }
+
+    /// Attach a fault-injection plan for this run (off by default — an
+    /// un-faulted run pays one pointer test per send). The fault layer uses
+    /// a dedicated RNG stream derived from the run seed, so attaching an
+    /// inert plan reproduces a fault-free run bit-for-bit; see
+    /// [`crate::fault`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.sim.attach_faults(plan);
+        self
+    }
+
+    /// Override the simulation horizon (default: trace end + 30 s). Events
+    /// scheduled past the horizon — periodic protocol timers, stragglers —
+    /// are discarded, which is what terminates a run whose protocol re-arms
+    /// timers forever (ASAP's refresh beacons).
+    pub fn horizon_grace(mut self, grace_us: u64) -> Self {
+        self.sim.set_horizon_grace(grace_us);
+        self
+    }
+
+    /// Attach a trace sink: every engine and protocol event reaches
+    /// [`TraceSink::record`] stamped with the virtual clock. Sinks are
+    /// passive, so a traced run replays bit-identically to an untraced one;
+    /// the sink comes back out through [`SimReport::trace`].
+    pub fn trace(mut self, sink: Box<dyn TraceSink>) -> Self {
+        self.sim.ctx.trace = Some(sink);
+        self
+    }
+
+    /// Finish configuration.
+    pub fn build(self) -> Simulation<'a, P> {
+        self.sim
+    }
+
+    /// Shorthand for `build().run()`.
+    pub fn run(self) -> SimReport<P> {
+        self.sim.run()
+    }
+}
+
 impl<'a, P: Protocol> Simulation<'a, P> {
-    /// Assemble a simulation: peers are mapped onto distinct random physical
-    /// nodes, the trace is preloaded, and initial liveness comes from the
-    /// workload (joiners start offline **and detached**).
+    /// Start configuring a simulation: peers are mapped onto distinct random
+    /// physical nodes, the trace is preloaded, and initial liveness comes
+    /// from the workload (joiners start offline **and detached**). Optional
+    /// layers are attached on the returned [`SimBuilder`].
+    pub fn builder(
+        phys: &'a PhysicalNetwork,
+        workload: &'a Workload,
+        overlay: Overlay,
+        overlay_kind: OverlayKind,
+        protocol: P,
+        seed: u64,
+    ) -> SimBuilder<'a, P> {
+        SimBuilder {
+            sim: Self::assemble(phys, workload, overlay, overlay_kind, protocol, seed),
+        }
+    }
+
+    /// Assemble a simulation with no optional layers.
+    #[deprecated(note = "use Simulation::builder(..) and finish with .build() or .run()")]
     pub fn new(
+        phys: &'a PhysicalNetwork,
+        workload: &'a Workload,
+        overlay: Overlay,
+        overlay_kind: OverlayKind,
+        protocol: P,
+        seed: u64,
+    ) -> Self {
+        Self::assemble(phys, workload, overlay, overlay_kind, protocol, seed)
+    }
+
+    fn assemble(
         phys: &'a PhysicalNetwork,
         workload: &'a Workload,
         mut overlay: Overlay,
@@ -357,7 +569,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             alive,
             alive_count,
             alive_list,
-            scratch: Vec::new(),
+            scratch: Rc::new(RefCell::new(Vec::new())),
             content: ContentState::from_model(&workload.model),
             model: &workload.model,
             phys,
@@ -370,42 +582,50 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             run_seed: seed,
             audit: None,
             faults: None,
+            trace: None,
+            profile: EngineProfile::default(),
         };
         Self { ctx, protocol }
     }
 
-    /// Enable the invariant auditor for this run; the resulting
-    /// [`SimReport::audit`] carries violations, check counts, and the
-    /// event-stream digest. See [`crate::audit`] for what is checked.
-    pub fn with_audit(mut self, cfg: AuditConfig) -> Self {
+    fn attach_audit(&mut self, cfg: AuditConfig) {
         self.ctx.audit = Some(Box::new(SimAuditor::new(cfg, &self.ctx.alive)));
-        self
     }
 
-    /// Attach a fault-injection plan for this run (off by default — an
-    /// un-faulted run pays one pointer test per send). The fault layer uses
-    /// a dedicated RNG stream derived from the run seed, so attaching an
-    /// inert plan reproduces a fault-free run bit-for-bit; see
-    /// [`crate::fault`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the plan fails [`FaultPlan::validate`].
-    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+    fn attach_faults(&mut self, plan: FaultPlan) {
         if let Err(e) = plan.validate() {
             // lint: allow(release-assert, reason=documented construction-time rejection of invalid plans, before run starts)
             panic!("invalid fault plan: {e}");
         }
         self.ctx.faults = Some(Box::new(FaultState::new(plan, self.ctx.run_seed)));
+    }
+
+    fn set_horizon_grace(&mut self, grace_us: u64) {
+        self.ctx.horizon_us = self.ctx.trace_end_us + grace_us;
+    }
+
+    /// Enable the invariant auditor for this run.
+    #[deprecated(note = "use SimBuilder::audit via Simulation::builder")]
+    pub fn with_audit(mut self, cfg: AuditConfig) -> Self {
+        self.attach_audit(cfg);
         self
     }
 
-    /// Override the simulation horizon (default: trace end + 30 s). Events
-    /// scheduled past the horizon — periodic protocol timers, stragglers —
-    /// are discarded, which is what terminates a run whose protocol re-arms
-    /// timers forever (ASAP's refresh beacons).
+    /// Attach a fault-injection plan for this run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`FaultPlan::validate`].
+    #[deprecated(note = "use SimBuilder::faults via Simulation::builder")]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.attach_faults(plan);
+        self
+    }
+
+    /// Override the simulation horizon (default: trace end + 30 s).
+    #[deprecated(note = "use SimBuilder::horizon_grace via Simulation::builder")]
     pub fn with_horizon_grace(mut self, grace_us: u64) -> Self {
-        self.ctx.horizon_us = self.ctx.trace_end_us + grace_us;
+        self.set_horizon_grace(grace_us);
         self
     }
 
@@ -415,30 +635,49 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         while let Some(sched) = self.ctx.queue.pop() {
             debug_assert!(sched.time_us >= self.ctx.now_us, "time goes forward");
             if sched.time_us > self.ctx.horizon_us {
+                // The popped event plus everything still queued is past the
+                // horizon (the queue is time-ordered).
+                self.ctx.profile.past_horizon = self.ctx.queue.len() as u64 + 1;
                 break;
             }
             self.ctx.now_us = sched.time_us;
+            let depth = self.ctx.queue.len() + 1;
+            if depth > self.ctx.profile.queue_hwm {
+                self.ctx.profile.queue_hwm = depth;
+            }
             let (time_us, seq) = (sched.time_us, sched.seq);
             match sched.event {
                 EngineEvent::Deliver { to, from, msg, dup } => {
+                    self.ctx.profile.delivers += 1;
                     let delivered = self.ctx.alive[to.index()];
                     if let Some(a) = self.ctx.audit.as_deref_mut() {
                         a.on_deliver(time_us, seq, to, from, delivered, dup);
                     }
+                    self.ctx.trace(|| TraceEvt::Deliver {
+                        to,
+                        from,
+                        delivered,
+                        dup,
+                    });
                     if delivered {
                         self.protocol.on_message(&mut self.ctx, to, from, msg);
                     }
                 }
                 EngineEvent::Timer { node, tag } => {
+                    self.ctx.profile.timers_fired += 1;
                     let fired = self.ctx.alive[node.index()];
                     if let Some(a) = self.ctx.audit.as_deref_mut() {
                         a.on_timer(time_us, seq, node, tag, fired);
                     }
+                    self.ctx.trace(|| TraceEvt::TimerFired { node, tag, fired });
                     if fired {
                         self.protocol.on_timer(&mut self.ctx, node, tag);
                     }
                 }
-                EngineEvent::Trace(ev) => self.apply_trace(time_us, seq, ev),
+                EngineEvent::Trace(ev) => {
+                    self.ctx.profile.trace_events += 1;
+                    self.apply_trace(time_us, seq, ev);
+                }
             }
         }
         let faults = self.ctx.faults.take().map(|f| f.into_stats());
@@ -470,6 +709,8 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             faults,
             protocol: self.protocol,
             audit,
+            trace: self.ctx.trace,
+            profile: self.ctx.profile,
         }
     }
 
@@ -481,6 +722,10 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 if let Some(a) = ctx.audit.as_deref_mut() {
                     a.on_trace_query(time_us, seq, q.id, q.requester);
                 }
+                ctx.trace(|| TraceEvt::QueryIssued {
+                    id: q.id,
+                    requester: q.requester,
+                });
                 ctx.ledger.register(q.id, ctx.now_us);
                 self.protocol.on_query(ctx, &q);
             }
@@ -489,6 +734,12 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 if let Some(a) = ctx.audit.as_deref_mut() {
                     a.on_content_change(time_us, seq, peer, doc.0, true, applied);
                 }
+                ctx.trace(|| TraceEvt::ContentChanged {
+                    peer,
+                    doc: doc.0,
+                    added: true,
+                    applied,
+                });
                 if applied {
                     self.protocol.on_content_change(ctx, peer, doc, true);
                 }
@@ -498,6 +749,12 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 if let Some(a) = ctx.audit.as_deref_mut() {
                     a.on_content_change(time_us, seq, peer, doc.0, false, applied);
                 }
+                ctx.trace(|| TraceEvt::ContentChanged {
+                    peer,
+                    doc: doc.0,
+                    added: false,
+                    applied,
+                });
                 if applied {
                     self.protocol.on_content_change(ctx, peer, doc, false);
                 }
@@ -527,6 +784,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                     a.on_join(time_us, seq, p);
                     a.check_overlay(&ctx.overlay, &ctx.alive, ctx.alive_count);
                 }
+                ctx.trace(|| TraceEvt::Join { peer: p });
                 self.protocol.on_join(ctx, p);
             }
             TraceEvent::Leave(p) => {
@@ -542,6 +800,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                     a.on_leave(time_us, seq, p);
                     a.check_overlay(&ctx.overlay, &ctx.alive, ctx.alive_count);
                 }
+                ctx.trace(|| TraceEvt::Leave { peer: p });
                 self.protocol.on_leave(ctx, p);
             }
         }
@@ -619,8 +878,9 @@ mod tests {
     #[test]
     fn oracle_protocol_answers_most_queries() {
         let (phys, workload, overlay) = small_world(1);
-        let sim = Simulation::new(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, 1);
-        let report = sim.run();
+        let report =
+            Simulation::builder(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, 1)
+                .run();
         // Every query had a live holder at issue; holders can only die
         // between issue and delivery (rare at this scale).
         assert!(
@@ -635,8 +895,9 @@ mod tests {
     #[test]
     fn response_time_is_two_one_way_latencies() {
         let (phys, workload, overlay) = small_world(2);
-        let sim = Simulation::new(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, 2);
-        let report = sim.run();
+        let report =
+            Simulation::builder(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, 2)
+                .run();
         let rt = report.ledger.avg_response_time_ms();
         // One-way latencies in the reduced transit-stub span 2–~150 ms, so a
         // round trip must land within [4, 400] ms.
@@ -647,7 +908,7 @@ mod tests {
     fn deterministic_replay() {
         let run = |seed| {
             let (phys, workload, overlay) = small_world(7);
-            Simulation::new(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, seed)
+            Simulation::builder(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, seed)
                 .run()
         };
         let (a, b) = (run(42), run(42));
@@ -660,8 +921,9 @@ mod tests {
     #[test]
     fn load_is_accounted() {
         let (phys, workload, overlay) = small_world(3);
-        let sim = Simulation::new(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, 3);
-        let report = sim.run();
+        let report =
+            Simulation::builder(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, 3)
+                .run();
         assert!(report.load.total_bytes() > 0);
         assert!(report.load.mean_load() > 0.0);
         let totals = report.load.class_totals();
@@ -674,7 +936,7 @@ mod tests {
     fn churn_detaches_dead_peers_and_wires_joiners() {
         let (phys, workload, overlay) = small_world(4);
         let report =
-            Simulation::new(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, 4)
+            Simulation::builder(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, 4)
                 .run();
         let mut dead = 0;
         let mut isolated_alive = 0;
@@ -702,8 +964,8 @@ mod tests {
     fn audited_oracle_run_is_clean_and_digest_is_stable() {
         let run = || {
             let (phys, workload, overlay) = small_world(9);
-            Simulation::new(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, 9)
-                .with_audit(AuditConfig::default())
+            Simulation::builder(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, 9)
+                .audit(AuditConfig::default())
                 .run()
         };
         let a = run();
@@ -724,9 +986,10 @@ mod tests {
     fn unaudited_run_reports_no_audit() {
         let (phys, workload, overlay) = small_world(9);
         let report =
-            Simulation::new(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, 9)
+            Simulation::builder(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, 9)
                 .run();
         assert!(report.audit.is_none());
+        assert!(report.trace.is_none());
     }
 
     #[test]
@@ -741,8 +1004,8 @@ mod tests {
             }
         }
         let (phys, workload, overlay) = small_world(9);
-        let report = Simulation::new(&phys, &workload, overlay, OverlayKind::Random, Grumpy, 9)
-            .with_audit(AuditConfig::default())
+        let report = Simulation::builder(&phys, &workload, overlay, OverlayKind::Random, Grumpy, 9)
+            .audit(AuditConfig::default())
             .run();
         let audit = report.audit.unwrap();
         assert!(audit
@@ -774,7 +1037,7 @@ mod tests {
             }
         }
         let (phys, workload, overlay) = small_world(5);
-        let report = Simulation::new(
+        let report = Simulation::builder(
             &phys,
             &workload,
             overlay,
@@ -785,7 +1048,7 @@ mod tests {
             },
             5,
         )
-        .with_audit(AuditConfig::default())
+        .audit(AuditConfig::default())
         .run();
         assert_eq!(report.protocol.fired, vec![1, 3], "timer 2 was cancelled");
         assert!(report.audit.unwrap().is_clean());
@@ -805,10 +1068,11 @@ mod tests {
                     assert!(ctx.alive(p));
                 }
                 self.checked += 1;
-                let mut buf = ctx.take_scratch();
+                let mut buf = ctx.scratch();
                 assert!(buf.is_empty());
-                buf.extend_from_slice(ctx.alive_peers());
-                ctx.put_scratch(buf);
+                let peers: Vec<PeerId> = ctx.alive_peers().to_vec();
+                buf.extend_from_slice(&peers);
+                assert_eq!(buf.len(), ctx.alive_count());
             }
         }
         impl Protocol for ChurnWatcher {
@@ -823,7 +1087,7 @@ mod tests {
             }
         }
         let (phys, workload, overlay) = small_world(6);
-        let report = Simulation::new(
+        let report = Simulation::builder(
             &phys,
             &workload,
             overlay,
@@ -855,7 +1119,7 @@ mod tests {
             }
         }
         let (phys, workload, overlay) = small_world(5);
-        let report = Simulation::new(
+        let report = Simulation::builder(
             &phys,
             &workload,
             overlay,
@@ -865,5 +1129,82 @@ mod tests {
         )
         .run();
         assert_eq!(report.protocol.fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn tracing_is_passive_and_comes_back_out() {
+        use asap_trace::Recorder;
+        let run = |traced: bool| {
+            let (phys, workload, overlay) = small_world(8);
+            let mut b = Simulation::builder(
+                &phys,
+                &workload,
+                overlay,
+                OverlayKind::Random,
+                OracleProtocol,
+                8,
+            )
+            .audit(AuditConfig::default());
+            if traced {
+                b = b.trace(Box::new(Recorder::default()));
+            }
+            b.run()
+        };
+        let plain = run(false);
+        let traced = run(true);
+        // A passive sink must not perturb the run: identical audit digest.
+        assert_eq!(
+            plain.audit.as_ref().map(|a| a.digest),
+            traced.audit.as_ref().map(|a| a.digest),
+            "tracing changed the event stream"
+        );
+        assert_eq!(plain.messages_sent, traced.messages_sent);
+        let sink = traced.trace.expect("traced run returns its sink");
+        let rec = match sink.into_any().downcast::<Recorder>() {
+            Ok(r) => r,
+            Err(_) => panic!("recorder downcasts back"),
+        };
+        assert!(rec.total() > 0, "recorder saw events");
+        assert_eq!(rec.total(), traced.profile.trace_records);
+        assert!(rec.stats().counts().contains_key("send"));
+        assert!(rec.stats().counts().contains_key("query-issued"));
+    }
+
+    #[test]
+    fn profile_counts_event_loop_phases() {
+        let (phys, workload, overlay) = small_world(1);
+        let report =
+            Simulation::builder(&phys, &workload, overlay, OverlayKind::Random, OracleProtocol, 1)
+                .run();
+        let p = report.profile;
+        assert_eq!(p.sends, report.messages_sent);
+        assert!(p.delivers > 0 && p.delivers <= p.sends);
+        assert!(p.trace_events > 0, "workload events counted");
+        assert!(p.queue_hwm > 0);
+        assert_eq!(p.trace_records, 0, "tracing was off");
+    }
+
+    #[test]
+    fn scratch_guard_returns_capacity_on_drop() {
+        struct ScratchProto;
+        impl Protocol for ScratchProto {
+            type Msg = ();
+            fn on_query(&mut self, ctx: &mut Ctx<'_, ()>, _: &QuerySpec) {
+                {
+                    let mut buf = ctx.scratch();
+                    assert!(buf.is_empty());
+                    buf.push(PeerId(0));
+                    buf.reserve(1024);
+                    // ctx stays usable while the lease is held.
+                    let _ = ctx.now_us();
+                }
+                let buf = ctx.scratch();
+                assert!(buf.is_empty(), "next lease starts cleared");
+                assert!(buf.capacity() >= 1024, "capacity was recycled");
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: PeerId, _: PeerId, _: ()) {}
+        }
+        let (phys, workload, overlay) = small_world(2);
+        Simulation::builder(&phys, &workload, overlay, OverlayKind::Random, ScratchProto, 2).run();
     }
 }

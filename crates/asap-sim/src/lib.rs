@@ -23,8 +23,13 @@ pub mod util;
 /// them; this re-export is the canonical path for everyone else.
 pub use asap_overlay::collections;
 
+/// The observability layer (trace events, sinks, recorder). Re-exported so
+/// protocol crates depending on `asap-sim` can name trace events without a
+/// direct `asap-trace` dependency.
+pub use asap_trace as trace;
+
 pub use audit::{AuditConfig, AuditReport, Fnv64};
-pub use engine::{Ctx, Protocol, SimReport, Simulation};
+pub use engine::{Ctx, EngineProfile, Protocol, ScratchGuard, SimBuilder, SimReport, Simulation};
 pub use event::{EngineEvent, EventHandle};
 pub use fault::{FaultDecision, FaultPlan, FaultState, FaultStats, PartitionWindow};
 pub use message::{

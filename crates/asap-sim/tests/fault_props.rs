@@ -88,10 +88,10 @@ fn world(seed: u64) -> (PhysicalNetwork, Workload, Overlay) {
 
 fn run(seed: u64, plan: Option<FaultPlan>) -> SimReport<Echo> {
     let (phys, workload, overlay) = world(seed);
-    let sim = Simulation::new(&phys, &workload, overlay, OverlayKind::Random, Echo, seed)
-        .with_audit(AuditConfig::default());
+    let sim = Simulation::builder(&phys, &workload, overlay, OverlayKind::Random, Echo, seed)
+        .audit(AuditConfig::default());
     match plan {
-        Some(p) => sim.with_faults(p).run(),
+        Some(p) => sim.faults(p).run(),
         None => sim.run(),
     }
 }

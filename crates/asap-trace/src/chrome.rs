@@ -1,0 +1,145 @@
+//! Chrome-trace (`chrome://tracing` / Perfetto) export.
+//!
+//! Pure conversion from retained [`Record`]s to the Trace Event Format JSON
+//! array: every anchored event becomes an instant event on its node's lane,
+//! and each query lifecycle (`query-issued` → first `query-answered`)
+//! becomes a complete (`"ph":"X"`) span on the requester's lane. Output is
+//! integers and fixed labels only, so it is byte-identical across replays.
+
+use crate::event::{Event, Record};
+use std::collections::BTreeMap;
+
+/// Convert retained records into one Chrome Trace Event Format document.
+pub fn to_chrome_trace(records: &[Record]) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    // Query id -> (issue time, requester lane); first answer closes the span.
+    let mut open_queries: BTreeMap<u32, (u64, u32)> = BTreeMap::new();
+
+    for rec in records {
+        match rec.event {
+            Event::QueryIssued { id, requester } => {
+                open_queries.entry(id).or_insert((rec.now_us, requester.0));
+            }
+            Event::QueryAnswered { id } => {
+                if let Some((issued, lane)) = open_queries.remove(&id) {
+                    push_entry(
+                        &mut out,
+                        &mut first,
+                        &format!(
+                            "{{\"name\":\"query-{id}\",\"cat\":\"query\",\"ph\":\"X\",\
+                             \"ts\":{issued},\"dur\":{dur},\"pid\":0,\"tid\":{lane}}}",
+                            dur = rec.now_us.saturating_sub(issued),
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+        if let Some(node) = rec.event.node() {
+            push_entry(
+                &mut out,
+                &mut first,
+                &format!(
+                    "{{\"name\":\"{name}\",\"cat\":\"engine\",\"ph\":\"i\",\
+                     \"ts\":{ts},\"pid\":0,\"tid\":{lane},\"s\":\"t\"}}",
+                    name = rec.event.name(),
+                    ts = rec.now_us,
+                    lane = node.0,
+                ),
+            );
+        }
+    }
+
+    // Queries still open at the end of the window render as instants so they
+    // remain visible in the timeline.
+    for (id, (issued, lane)) in open_queries {
+        push_entry(
+            &mut out,
+            &mut first,
+            &format!(
+                "{{\"name\":\"query-{id}-open\",\"cat\":\"query\",\"ph\":\"i\",\
+                 \"ts\":{issued},\"pid\":0,\"tid\":{lane},\"s\":\"t\"}}",
+            ),
+        );
+    }
+
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+fn push_entry(out: &mut String, first: &mut bool, entry: &str) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+        out.push('\n');
+    }
+    out.push_str(entry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_overlay::PeerId;
+
+    #[test]
+    fn queries_become_complete_spans() {
+        let records = [
+            Record {
+                now_us: 1_000,
+                event: Event::QueryIssued {
+                    id: 5,
+                    requester: PeerId(9),
+                },
+            },
+            Record {
+                now_us: 4_000,
+                event: Event::QueryAnswered { id: 5 },
+            },
+        ];
+        let doc = to_chrome_trace(&records);
+        assert!(doc.starts_with('['));
+        assert!(doc.trim_end().ends_with(']'));
+        assert!(doc.contains("\"name\":\"query-5\""));
+        assert!(doc.contains("\"ph\":\"X\""));
+        assert!(doc.contains("\"ts\":1000"));
+        assert!(doc.contains("\"dur\":3000"));
+        assert!(doc.contains("\"tid\":9"));
+    }
+
+    #[test]
+    fn anchored_events_become_instants_on_their_node_lane() {
+        let records = [Record {
+            now_us: 7,
+            event: Event::TimerSet {
+                node: PeerId(3),
+                delay_us: 100,
+                tag: 1,
+            },
+        }];
+        let doc = to_chrome_trace(&records);
+        assert!(doc.contains("\"name\":\"timer-set\""));
+        assert!(doc.contains("\"ph\":\"i\""));
+        assert!(doc.contains("\"tid\":3"));
+    }
+
+    #[test]
+    fn unanswered_queries_stay_visible_as_open_instants() {
+        let records = [Record {
+            now_us: 2,
+            event: Event::QueryIssued {
+                id: 8,
+                requester: PeerId(1),
+            },
+        }];
+        let doc = to_chrome_trace(&records);
+        assert!(doc.contains("\"name\":\"query-8-open\""));
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_array() {
+        assert_eq!(to_chrome_trace(&[]), "[]\n");
+    }
+}

@@ -1,0 +1,62 @@
+//! The sink trait the engine emits into.
+
+use crate::event::Event;
+use std::any::Any;
+
+/// Receives every traced event from a running simulation.
+///
+/// Implementations must be **passive**: a sink sees the world, never touches
+/// it. The engine calls [`TraceSink::record`] with the virtual clock and a
+/// borrowed event; whatever the sink does (ring-buffer, aggregate, count)
+/// must not consume engine randomness or affect scheduling, so that a traced
+/// run replays bit-identically to an untraced one.
+///
+/// The `Any` plumbing lets callers that attached a concrete sink (usually
+/// [`crate::Recorder`]) get it back out of a finished run's report. `Send`
+/// is required so finished reports (sink included) can be collected across
+/// worker threads by the parallel bench sweep.
+pub trait TraceSink: Any + Send {
+    /// Observe one event at virtual time `now_us`.
+    fn record(&mut self, now_us: u64, ev: &Event);
+
+    /// Borrow as `Any` for downcasting.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Consume into `Any` for downcasting by value.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct CountingSink {
+        seen: u64,
+    }
+
+    impl TraceSink for CountingSink {
+        fn record(&mut self, _now_us: u64, _ev: &Event) {
+            self.seen += 1;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn into_any(self: Box<Self>) -> Box<dyn Any> {
+            self
+        }
+    }
+
+    #[test]
+    fn custom_sinks_downcast_back_out() {
+        let mut sink: Box<dyn TraceSink> = Box::<CountingSink>::default();
+        sink.record(
+            5,
+            &Event::Join {
+                peer: asap_overlay::PeerId(0),
+            },
+        );
+        let concrete = sink.into_any().downcast::<CountingSink>().ok();
+        assert_eq!(concrete.map(|c| c.seen), Some(1));
+    }
+}

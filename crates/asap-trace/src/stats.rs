@@ -1,0 +1,199 @@
+//! Always-on aggregation over the trace stream.
+//!
+//! Unlike the bounded ring of raw records, statistics see **every** event:
+//! per-class latency and bytes histograms (from delivered sends), query
+//! lifecycle spans (issue → first answer), hop/fan-out distributions from
+//! the protocol taps, and a per-event-kind counter. Everything is integer
+//! arithmetic over [`asap_metrics::LogHistogram`], per lint rule R3.
+
+use crate::event::Event;
+use asap_metrics::{LogHistogram, MsgClass, SpanTracker};
+use std::collections::BTreeMap;
+
+/// Aggregated view of one run's trace stream.
+#[derive(Debug, Clone)]
+pub struct TraceStats {
+    /// Scheduled delivery delay (network latency + fault jitter), µs, for
+    /// delivered sends, per message class.
+    latency_us: Vec<LogHistogram>,
+    /// Payload bytes of delivered sends, per message class.
+    bytes: Vec<LogHistogram>,
+    /// TTL / remaining-hop samples from the flood/walk/GSA taps.
+    hops: LogHistogram,
+    /// Fan-out widths from the flood/GSA dispersal taps.
+    fanout: LogHistogram,
+    /// Query lifecycle: opened at `query-issued`, closed at the first
+    /// `query-answered`.
+    spans: SpanTracker,
+    /// Events seen, by stable event name.
+    counts: BTreeMap<&'static str, u64>,
+}
+
+impl Default for TraceStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TraceStats {
+    pub fn new() -> Self {
+        Self {
+            latency_us: vec![LogHistogram::new(); MsgClass::COUNT],
+            bytes: vec![LogHistogram::new(); MsgClass::COUNT],
+            hops: LogHistogram::new(),
+            fanout: LogHistogram::new(),
+            spans: SpanTracker::new(),
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// Fold one event in. Called by the recorder for every event, including
+    /// those the ring buffer later evicts.
+    pub fn observe(&mut self, now_us: u64, ev: &Event) {
+        *self.counts.entry(ev.name()).or_insert(0) += 1;
+        match *ev {
+            Event::Send {
+                class,
+                bytes,
+                delay_us,
+                ..
+            } => {
+                self.latency_us[class.index()].record(delay_us);
+                self.bytes[class.index()].record(bytes as u64);
+            }
+            Event::QueryIssued { id, .. } => self.spans.open(id, now_us),
+            Event::QueryAnswered { id } if self.spans.close(id, now_us).is_none() => {
+                self.spans.note_unmatched_close();
+            }
+            Event::QueryAnswered { .. } => {}
+            Event::FloodFanout { ttl, fanout, .. } => {
+                self.hops.record(ttl as u64);
+                self.fanout.record(fanout as u64);
+            }
+            Event::WalkStep { ttl, .. } => self.hops.record(ttl as u64),
+            Event::GsaDisperse { fanout, .. } => self.fanout.record(fanout as u64),
+            _ => {}
+        }
+    }
+
+    pub fn latency_us(&self, class: MsgClass) -> &LogHistogram {
+        &self.latency_us[class.index()]
+    }
+
+    pub fn bytes(&self, class: MsgClass) -> &LogHistogram {
+        &self.bytes[class.index()]
+    }
+
+    pub fn hops(&self) -> &LogHistogram {
+        &self.hops
+    }
+
+    pub fn fanout(&self) -> &LogHistogram {
+        &self.fanout
+    }
+
+    pub fn spans(&self) -> &SpanTracker {
+        &self.spans
+    }
+
+    /// Events observed so far, by event name (deterministic order).
+    pub fn counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.counts
+    }
+
+    pub fn total_events(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Integer-only one-object JSON summary (used by the bench exporters as
+    /// a trailer line in JSONL output).
+    pub fn summary_jsonl(&self) -> String {
+        let mut out = String::from("{\"t\":0,\"ev\":\"stats\"");
+        for class in MsgClass::ALL {
+            let lat = self.latency_us(class);
+            if lat.count() == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                ",\"{}\":{{\"sends\":{},\"lat_mean_us\":{},\"lat_p99_us\":{},\"bytes_mean\":{}}}",
+                class.label(),
+                lat.count(),
+                lat.mean(),
+                lat.percentile(99, 100),
+                self.bytes(class).mean(),
+            ));
+        }
+        let spans = self.spans();
+        out.push_str(&format!(
+            ",\"spans\":{{\"closed\":{},\"open\":{},\"dur_mean_us\":{},\"dur_p99_us\":{}}}",
+            spans.closed_count(),
+            spans.open_count(),
+            spans.durations().mean(),
+            spans.durations().percentile(99, 100),
+        ));
+        out.push_str(&format!(",\"events\":{}}}", self.total_events()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asap_overlay::PeerId;
+
+    #[test]
+    fn sends_feed_per_class_histograms() {
+        let mut s = TraceStats::new();
+        s.observe(
+            0,
+            &Event::Send {
+                from: PeerId(0),
+                to: PeerId(1),
+                class: MsgClass::Query,
+                bytes: 60,
+                delay_us: 4_000,
+            },
+        );
+        assert_eq!(s.latency_us(MsgClass::Query).count(), 1);
+        assert_eq!(s.bytes(MsgClass::Query).max(), 60);
+        assert_eq!(s.latency_us(MsgClass::Confirm).count(), 0);
+        assert_eq!(s.counts().get("send"), Some(&1));
+    }
+
+    #[test]
+    fn query_spans_close_on_first_answer() {
+        let mut s = TraceStats::new();
+        s.observe(
+            1_000,
+            &Event::QueryIssued {
+                id: 3,
+                requester: PeerId(0),
+            },
+        );
+        s.observe(9_000, &Event::QueryAnswered { id: 3 });
+        s.observe(12_000, &Event::QueryAnswered { id: 3 });
+        assert_eq!(s.spans().closed_count(), 1);
+        assert_eq!(s.spans().unmatched_closes(), 1);
+        assert_eq!(s.spans().durations().max(), 8_000);
+    }
+
+    #[test]
+    fn summary_jsonl_is_a_single_object() {
+        let mut s = TraceStats::new();
+        s.observe(
+            0,
+            &Event::Send {
+                from: PeerId(0),
+                to: PeerId(1),
+                class: MsgClass::Query,
+                bytes: 60,
+                delay_us: 4_000,
+            },
+        );
+        let line = s.summary_jsonl();
+        assert!(line.starts_with("{\"t\":0,\"ev\":\"stats\""));
+        assert!(line.ends_with('}'));
+        assert!(line.contains("\"query\""));
+        assert!(!line.contains('\n'));
+    }
+}

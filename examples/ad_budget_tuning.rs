@@ -42,7 +42,7 @@ fn main() {
         config.warmup_stagger_us = 5_000_000;
         config.refresh_interval_us = 10_000_000;
         let protocol = Asap::new(config, &workload.model);
-        let report = Simulation::new(
+        let report = Simulation::builder(
             &phys,
             &workload,
             overlay,

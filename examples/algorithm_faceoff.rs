@@ -41,7 +41,7 @@ fn run<P: Protocol>(
 ) -> Row {
     eprintln!("running {name} ...");
     let overlay = OverlayConfig::new(kind, PEERS, SEED).build();
-    let report = Simulation::new(phys, workload, overlay, kind, protocol, SEED).run();
+    let report = Simulation::builder(phys, workload, overlay, kind, protocol, SEED).run();
     Row {
         name,
         success: report.ledger.success_rate(),

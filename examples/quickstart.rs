@@ -51,7 +51,7 @@ fn main() {
 
     // 5. Replay the trace.
     let report =
-        Simulation::new(&phys, &workload, overlay, OverlayKind::Random, protocol, seed).run();
+        Simulation::builder(&phys, &workload, overlay, OverlayKind::Random, protocol, seed).run();
 
     // 6. Read the results.
     println!("\n== results ==");

@@ -36,7 +36,7 @@ fn main() {
 
     // Flat ASAP(RW).
     let overlay = OverlayConfig::new(kind, PEERS, SEED).build();
-    let flat = Simulation::new(
+    let flat = Simulation::builder(
         &phys,
         &workload,
         overlay,
@@ -48,7 +48,7 @@ fn main() {
 
     // Hierarchical deployment over the same world.
     let overlay = OverlayConfig::new(kind, PEERS, SEED).build();
-    let hier = Simulation::new(
+    let hier = Simulation::builder(
         &phys,
         &workload,
         overlay,

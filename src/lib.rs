@@ -11,7 +11,9 @@
 //! * [`sim`] — deterministic discrete-event simulator,
 //! * [`search`] — the query-based baselines (flooding, random walk, GSA),
 //! * [`asap`] — the ASAP protocol itself (ads, repositories, one-hop search),
-//! * [`metrics`] — load / latency / cost accounting.
+//! * [`metrics`] — load / latency / cost accounting,
+//! * [`trace`] — deterministic observability: typed engine events, ring
+//!   recorder, JSONL/Chrome-trace export.
 //!
 //! See `examples/quickstart.rs` for a three-minute tour, and the
 //! `asap-bench` crate's `experiments` binary for the paper's figures.
@@ -23,4 +25,5 @@ pub use asap_overlay as overlay;
 pub use asap_search as search;
 pub use asap_sim as sim;
 pub use asap_topology as topology;
+pub use asap_trace as trace;
 pub use asap_workload as workload;

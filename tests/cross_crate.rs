@@ -34,7 +34,7 @@ fn run_asap(
 ) -> SimReport<Asap> {
     let overlay = OverlayConfig::new(kind, PEERS, SEED).build();
     let protocol = Asap::new(asap_config(), &workload.model);
-    Simulation::new(phys, workload, overlay, kind, protocol, SEED).run()
+    Simulation::builder(phys, workload, overlay, kind, protocol, SEED).run()
 }
 
 #[test]
@@ -44,7 +44,7 @@ fn headline_result_asap_beats_flooding_on_cost_and_latency() {
     // success.
     let (phys, workload) = world();
     let overlay = OverlayConfig::new(OverlayKind::Random, PEERS, SEED).build();
-    let flooding = Simulation::new(
+    let flooding = Simulation::builder(
         &phys,
         &workload,
         overlay,
@@ -93,7 +93,7 @@ fn all_baselines_complete_and_account_load() {
     let (phys, workload) = world();
     let mk_overlay = || OverlayConfig::new(OverlayKind::Crawled, PEERS, SEED).build();
 
-    let f = Simulation::new(
+    let f = Simulation::builder(
         &phys,
         &workload,
         mk_overlay(),
@@ -102,7 +102,7 @@ fn all_baselines_complete_and_account_load() {
         SEED,
     )
     .run();
-    let r = Simulation::new(
+    let r = Simulation::builder(
         &phys,
         &workload,
         mk_overlay(),
@@ -111,7 +111,7 @@ fn all_baselines_complete_and_account_load() {
         SEED,
     )
     .run();
-    let g = Simulation::new(
+    let g = Simulation::builder(
         &phys,
         &workload,
         mk_overlay(),
@@ -141,7 +141,7 @@ fn asap_load_is_flat_relative_to_flooding() {
     // variation strictly smaller).
     let (phys, workload) = world();
     let overlay = OverlayConfig::new(OverlayKind::Crawled, PEERS, SEED).build();
-    let flooding = Simulation::new(
+    let flooding = Simulation::builder(
         &phys,
         &workload,
         overlay,
@@ -195,8 +195,8 @@ fn audited_full_stack_run_is_clean() {
     let (phys, workload) = world();
     let overlay = OverlayConfig::new(OverlayKind::Crawled, PEERS, SEED).build();
     let protocol = Asap::new(asap_config(), &workload.model);
-    let report = Simulation::new(&phys, &workload, overlay, OverlayKind::Crawled, protocol, SEED)
-        .with_audit(asap_p2p::sim::AuditConfig::default())
+    let report = Simulation::builder(&phys, &workload, overlay, OverlayKind::Crawled, protocol, SEED)
+        .audit(asap_p2p::sim::AuditConfig::default())
         .run();
     let audit = report.audit.expect("audited run");
     assert!(

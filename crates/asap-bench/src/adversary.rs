@@ -1,0 +1,175 @@
+//! Named adversary profiles: one `--adversary <profile>` axis that
+//! configures the engine's adversary layer (`asap_sim::adversary`) *and* the
+//! protocol-side ad poisoning in one place — the adversarial mirror of
+//! [`crate::faults::FaultProfile`].
+//!
+//! A profile names an attack type and an adversary fraction in percent
+//! (`spam10`, `freeride25`, `eclipse8`); `none` replays the honest goldens
+//! bit-for-bit. Eclipse profiles combine colluding free-riders with
+//! neighbor-table capture of every [`ECLIPSE_VICTIM_STRIDE`]-th peer, so a
+//! victim's queries drain into absorbing colluders.
+
+use asap_overlay::PeerId;
+use asap_sim::{assign_roles, AdversaryPlan, AdversaryRole, EclipseTarget};
+
+/// Every `ECLIPSE_VICTIM_STRIDE`-th peer is an eclipse victim.
+pub const ECLIPSE_VICTIM_STRIDE: usize = 16;
+/// Honest edges swapped for colluder edges per victim (overlay degrees in
+/// the evaluation run ~4–10, so this captures most or all of a table).
+pub const ECLIPSE_CAPTURED_LINKS: u32 = 8;
+
+/// A named adversary scenario for bench runs and the adversary test tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdversaryProfile {
+    /// No adversaries (the default; replays the honest golden digests).
+    #[default]
+    None,
+    /// This percentage of peers advertise poisoned Bloom filters — ads for
+    /// content they don't hold, inflating confirmation failures.
+    Spam(u8),
+    /// This percentage of peers absorb queries, ads-requests, and confirms
+    /// without forwarding or answering.
+    FreeRider(u8),
+    /// This percentage of peers collude (absorbing, like free-riders), and
+    /// every [`ECLIPSE_VICTIM_STRIDE`]-th peer has up to
+    /// [`ECLIPSE_CAPTURED_LINKS`] honest neighbors swapped for colluders.
+    Eclipse(u8),
+}
+
+impl AdversaryProfile {
+    /// Parse `none`, `spam<pct>`, `freeride<pct>` / `freerider<pct>`, or
+    /// `eclipse<pct>` (percent in 1..=100).
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.to_ascii_lowercase();
+        if s == "none" {
+            return Some(Self::None);
+        }
+        for (prefix, ctor) in [
+            ("spam", Self::Spam as fn(u8) -> Self),
+            ("freerider", Self::FreeRider),
+            ("freeride", Self::FreeRider),
+            ("eclipse", Self::Eclipse),
+        ] {
+            if let Some(rest) = s.strip_prefix(prefix) {
+                if let Ok(pct) = rest.parse::<u8>() {
+                    if (1..=100).contains(&pct) {
+                        return Some(ctor(pct));
+                    }
+                }
+                return None;
+            }
+        }
+        None
+    }
+
+    /// Canonical spelling, accepted back by [`Self::parse`].
+    pub fn label(self) -> String {
+        match self {
+            Self::None => "none".into(),
+            Self::Spam(pct) => format!("spam{pct}"),
+            Self::FreeRider(pct) => format!("freeride{pct}"),
+            Self::Eclipse(pct) => format!("eclipse{pct}"),
+        }
+    }
+
+    pub fn is_none(self) -> bool {
+        self == Self::None
+    }
+
+    /// The adversarial fraction in parts per million.
+    pub fn fraction_ppm(self) -> u32 {
+        match self {
+            Self::None => 0,
+            Self::Spam(pct) | Self::FreeRider(pct) | Self::Eclipse(pct) => u32::from(pct) * 10_000,
+        }
+    }
+
+    /// The engine-side adversary plan. `peers` sizes the eclipse victim set.
+    pub fn plan(self, peers: usize) -> AdversaryPlan {
+        match self {
+            Self::None => AdversaryPlan::none(),
+            Self::Spam(_) => AdversaryPlan {
+                spam_ppm: self.fraction_ppm(),
+                ..AdversaryPlan::none()
+            },
+            Self::FreeRider(_) => AdversaryPlan {
+                free_rider_ppm: self.fraction_ppm(),
+                ..AdversaryPlan::none()
+            },
+            Self::Eclipse(_) => AdversaryPlan {
+                spam_ppm: 0,
+                free_rider_ppm: self.fraction_ppm(),
+                eclipse: (0..peers)
+                    .step_by(ECLIPSE_VICTIM_STRIDE)
+                    .map(|v| EclipseTarget {
+                        victim: PeerId(v as u32),
+                        captured_links: ECLIPSE_CAPTURED_LINKS,
+                    })
+                    .collect(),
+            },
+        }
+    }
+
+    /// Per-peer roles for this profile — the same pure function of
+    /// `(plan, peers, seed)` the engine evaluates, exposed so the runner can
+    /// poison ASAP's protocol state *before* the simulation is built.
+    pub fn roles(self, peers: usize, seed: u64) -> Vec<AdversaryRole> {
+        assign_roles(&self.plan(peers), peers, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_canonical_labels() {
+        for p in [
+            AdversaryProfile::None,
+            AdversaryProfile::Spam(10),
+            AdversaryProfile::FreeRider(25),
+            AdversaryProfile::Eclipse(8),
+        ] {
+            assert_eq!(AdversaryProfile::parse(&p.label()), Some(p));
+        }
+        assert_eq!(
+            AdversaryProfile::parse("freerider25"),
+            Some(AdversaryProfile::FreeRider(25))
+        );
+        for bad in ["bogus", "spam", "spam0", "spam101", "spamx", "eclipse-3"] {
+            assert_eq!(AdversaryProfile::parse(bad), None, "{bad} must not parse");
+        }
+    }
+
+    #[test]
+    fn none_profile_is_fully_inert() {
+        let p = AdversaryProfile::None;
+        assert!(p.plan(150).is_inert());
+        assert_eq!(p.fraction_ppm(), 0);
+        assert!(p.roles(150, 11).iter().all(|r| *r == AdversaryRole::Honest));
+    }
+
+    #[test]
+    fn plans_validate_and_roles_match_the_engine_assignment() {
+        for p in [
+            AdversaryProfile::Spam(10),
+            AdversaryProfile::FreeRider(25),
+            AdversaryProfile::Eclipse(8),
+        ] {
+            let plan = p.plan(150);
+            plan.validate().expect("plan must be valid");
+            assert_eq!(p.roles(150, 11), assign_roles(&plan, 150, 11));
+        }
+    }
+
+    #[test]
+    fn eclipse_targets_every_strided_peer() {
+        let plan = AdversaryProfile::Eclipse(8).plan(150);
+        assert_eq!(plan.eclipse.len(), 150usize.div_ceil(ECLIPSE_VICTIM_STRIDE));
+        assert!(plan
+            .eclipse
+            .iter()
+            .all(|t| t.captured_links == ECLIPSE_CAPTURED_LINKS));
+        assert!(AdversaryProfile::Spam(10).plan(150).eclipse.is_empty());
+    }
+}

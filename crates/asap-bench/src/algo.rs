@@ -109,6 +109,27 @@ impl AlgoKind {
     ) -> Asap {
         Asap::new(self.asap_config(scale).with_robustness(robustness), model)
     }
+
+    /// [`Self::build_asap_with`] plus protocol-layer adversaries: every
+    /// `AdSpammer` in `roles` starts with a poisoned filter and falsely
+    /// claimed topics. `roles` and `seed` must match the engine-side plan so
+    /// the poisoned peers are exactly the peers the engine treats as
+    /// adversarial (see [`crate::adversary::AdversaryProfile::roles`]).
+    pub fn build_asap_adversarial(
+        self,
+        scale: Scale,
+        model: &asap_workload::ContentModel,
+        robustness: RobustnessConfig,
+        roles: &[asap_sim::AdversaryRole],
+        seed: u64,
+    ) -> Asap {
+        Asap::new_with_adversaries(
+            self.asap_config(scale).with_robustness(robustness),
+            model,
+            roles,
+            seed,
+        )
+    }
 }
 
 #[cfg(test)]

@@ -1,9 +1,10 @@
 //! `experiments` — regenerate the ASAP paper's figures.
 //!
 //! ```text
-//! experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|all|ablate>
+//! experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|all|ablate|robustness>
 //!             [--scale tiny|default|paper] [--seed N] [--workers N]
 //!             [--out DIR] [--faults none|lossy|chaos]
+//!             [--adversary none|spam<pct>|freeride<pct>|eclipse<pct>]
 //!             [--trace PATH] [--trace-query ID]
 //! ```
 //!
@@ -17,6 +18,12 @@
 //! `chrome://tracing` or Perfetto). `--trace-query ID` narrows the JSONL to
 //! one query's lifecycle. Tracing never perturbs results: digests are
 //! bit-identical either way (golden `--trace` proves it).
+//!
+//! `--adversary <profile>` runs every requested figure under an adversary
+//! profile (ad-spam poisoning, free-riders, eclipse capture; see
+//! `asap_bench::adversary`). The `robustness` subcommand sweeps three
+//! fractions of each attack type and tabulates the success-rate degradation
+//! of ASAP against the random-walk baseline (EXPERIMENTS.md §robustness).
 
 // This binary IS the CLI; its tables go to stdout by design.
 #![allow(clippy::print_stdout)]
@@ -25,7 +32,7 @@ use asap_bench::figures;
 use asap_bench::runner::{sweep_cells_spec, RunSpec, RunSummary, World};
 use asap_bench::scale::Scale;
 use asap_bench::table::{fnum, Table};
-use asap_bench::{AlgoKind, FaultProfile};
+use asap_bench::{AdversaryProfile, AlgoKind, FaultProfile};
 use asap_overlay::OverlayKind;
 use asap_sim::trace::{to_chrome_trace, TraceConfig};
 use std::path::PathBuf;
@@ -38,6 +45,7 @@ struct Args {
     workers: usize,
     out: PathBuf,
     faults: FaultProfile,
+    adversary: AdversaryProfile,
     trace: Option<PathBuf>,
     trace_query: Option<u32>,
 }
@@ -52,6 +60,7 @@ fn parse_args() -> Result<Args, String> {
         workers: rayon::current_num_threads(),
         out: PathBuf::from("results"),
         faults: FaultProfile::None,
+        adversary: AdversaryProfile::None,
         trace: None,
         trace_query: None,
     };
@@ -72,6 +81,11 @@ fn parse_args() -> Result<Args, String> {
                 parsed.faults =
                     FaultProfile::parse(&v).ok_or(format!("unknown fault profile '{v}'"))?;
             }
+            "--adversary" => {
+                let v = value()?;
+                parsed.adversary = AdversaryProfile::parse(&v)
+                    .ok_or(format!("unknown adversary profile '{v}'"))?;
+            }
             "--trace" => parsed.trace = Some(PathBuf::from(value()?)),
             "--trace-query" => {
                 parsed.trace_query =
@@ -87,9 +101,12 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: experiments <fig2..fig10|all|ablate> [--scale tiny|default|paper] \
+    "usage: experiments <fig2..fig10|all|ablate|robustness> \
+     [--scale tiny|default|paper] \
      [--seed N] [--workers N (default: all cores)] [--out DIR] \
-     [--faults none|lossy|chaos] [--trace PATH] [--trace-query ID]"
+     [--faults none|lossy|chaos] \
+     [--adversary none|spam<pct>|freeride<pct>|eclipse<pct>] \
+     [--trace PATH] [--trace-query ID]"
         .to_string()
 }
 
@@ -108,12 +125,13 @@ fn main() -> ExitCode {
     let needs_crawled_only = matches!(args.command.as_str(), "fig7" | "fig10");
 
     println!(
-        "# scale={} peers={} queries={} seed={} faults={}",
+        "# scale={} peers={} queries={} seed={} faults={} adversary={}",
         args.scale.label(),
         args.scale.peers(),
         args.scale.queries(),
         args.seed,
-        args.faults.label()
+        args.faults.label(),
+        args.adversary.label()
     );
 
     match args.command.as_str() {
@@ -215,6 +233,7 @@ fn main() -> ExitCode {
             }
         }
         "ablate" => ablations(&args),
+        "robustness" => robustness(&args),
         other => {
             eprintln!("unknown command '{other}'\n{}", usage());
             return ExitCode::FAILURE;
@@ -229,6 +248,7 @@ fn run_matrix(args: &Args, cells: Vec<(AlgoKind, OverlayKind)>) -> Vec<RunSummar
         audit: None,
         faults: args.faults,
         trace: args.trace.as_ref().map(|_| TraceConfig::default()),
+        adversary: args.adversary,
     };
     let reports = sweep_cells_spec(&world, &cells, args.workers, &spec);
     if let Some(stem) = &args.trace {
@@ -315,6 +335,82 @@ fn emit_matrix_figures(args: &Args, runs: &[RunSummary]) {
         "fig10.tsv",
         "Fig 10: real-time system load, 100 s snapshot (crawled overlay)",
         &figures::fig10_load_series(runs, start, 100),
+    );
+}
+
+/// Robustness sweep: success-rate degradation vs adversary fraction, three
+/// fractions per attack type, ASAP(RW) against the random-walk baseline on
+/// the crawled overlay (the paper's default presentation). `delta-pp` is
+/// percentage points of success rate lost relative to the honest run of the
+/// same algorithm; `absorbed` counts messages swallowed by free-riding or
+/// colluding peers; `neg-confirms` counts empty confirmation replies (the
+/// footprint of poisoned ads; `-` for non-ASAP algorithms).
+fn robustness(args: &Args) {
+    use asap_bench::runner::CellReport;
+
+    let world = World::build(args.scale, args.seed);
+    let overlay = OverlayKind::Crawled;
+    let cells: Vec<(AlgoKind, OverlayKind)> = [AlgoKind::RandomWalk, AlgoKind::AsapRw]
+        .iter()
+        .map(|&a| (a, overlay))
+        .collect();
+
+    let sweep = |profile: AdversaryProfile| -> Vec<CellReport> {
+        eprintln!("[robustness] adversary={}", profile.label());
+        let spec = RunSpec {
+            adversary: profile,
+            ..RunSpec::default()
+        };
+        sweep_cells_spec(&world, &cells, args.workers, &spec)
+    };
+
+    let mut t = Table::new(&[
+        "attack",
+        "fraction",
+        "algo",
+        "success",
+        "delta-pp",
+        "absorbed",
+        "neg-confirms",
+    ]);
+    let row = |t: &mut Table, attack: &str, pct: u8, cell: &CellReport, honest_rate: f64| {
+        let rate = cell.summary.success_rate;
+        t.row(vec![
+            attack.to_string(),
+            format!("{pct}%"),
+            cell.summary.algo.label().to_string(),
+            fnum(rate),
+            format!("{:+.1}", (rate - honest_rate) * 100.0),
+            cell.adversary.map_or(0, |a| a.absorbed).to_string(),
+            cell.summary
+                .asap_stats
+                .as_ref()
+                .map_or_else(|| "-".to_string(), |s| s.confirms_negative.to_string()),
+        ]);
+    };
+
+    let honest = sweep(AdversaryProfile::None);
+    for cell in &honest {
+        row(&mut t, "none", 0, cell, cell.summary.success_rate);
+    }
+    type Attack = (&'static str, fn(u8) -> AdversaryProfile, [u8; 3]);
+    let attacks: [Attack; 3] = [
+        ("spam", AdversaryProfile::Spam, [5, 10, 20]),
+        ("freeride", AdversaryProfile::FreeRider, [10, 25, 50]),
+        ("eclipse", AdversaryProfile::Eclipse, [4, 8, 16]),
+    ];
+    for (attack, profile, fractions) in attacks {
+        for pct in fractions {
+            for (cell, base) in sweep(profile(pct)).iter().zip(&honest) {
+                row(&mut t, attack, pct, cell, base.summary.success_rate);
+            }
+        }
+    }
+    figures::emit(
+        &args.out,
+        "robustness.tsv",
+        "Robustness: success-rate degradation vs adversary fraction (crawled overlay)",
+        &t,
     );
 }
 

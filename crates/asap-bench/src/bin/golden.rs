@@ -1,8 +1,11 @@
 //! Regenerate or verify the committed replay-digest golden files.
 //!
-//! Two files are pinned: `golden/replay_tiny.txt` (the fault-free matrix —
-//! the paper's perfect network) and `golden/replay_tiny_lossy.txt` (the same
-//! matrix under the `lossy` fault profile with protocol retries enabled).
+//! Five files are pinned: `golden/replay_tiny.txt` (the fault-free matrix —
+//! the paper's perfect network), `golden/replay_tiny_lossy.txt` (the same
+//! matrix under the `lossy` fault profile with protocol retries enabled),
+//! and one `golden/replay_tiny_<scenario>.txt` per robustness scenario pack
+//! (ad spam, adversarial free-riders, flash crowd — see
+//! `asap_bench::scenario`).
 //!
 //! * `cargo run -p asap-bench --bin golden` — replay both golden matrices
 //!   and rewrite the files. Run after an *intentional* behavior change and
@@ -19,28 +22,20 @@ use std::process::ExitCode;
 
 use asap_bench::faults::FaultProfile;
 use asap_bench::harness::{
-    golden_lines_with, golden_world, replay_matrix_parallel, replay_matrix_traced, ReplayRecord,
-    GOLDEN_LOSSY_PROFILE,
+    golden_lines_scenario, golden_lines_with, golden_world, replay_matrix_parallel,
+    replay_matrix_traced, replay_scenario_matrix, ReplayRecord, GOLDEN_LOSSY_PROFILE,
 };
 use asap_bench::runner::World;
+use asap_bench::scenario::ScenarioPack;
 
-fn replay(world: &World, faults: FaultProfile) -> Vec<ReplayRecord> {
-    // Fan across every core: `--check` passing from here *is* the proof that
-    // the parallel sweep reproduces the pinned digests bit-for-bit.
-    let workers = rayon::current_num_threads();
-    eprintln!(
-        "replaying the golden matrix (18 audited cells, faults={}, workers={workers})...",
-        faults.label()
-    );
-    let records = replay_matrix_parallel(world, faults, workers);
-    for r in &records {
+fn report_records(label: &str, records: &[ReplayRecord]) {
+    for r in records {
         assert_eq!(
             r.violations,
             0,
-            "auditor found violations in {} / {} (faults={}) — fix before pinning",
+            "auditor found violations in {} / {} ({label}) — fix before pinning",
             r.algo.label(),
             r.overlay.label(),
-            faults.label()
         );
         eprintln!(
             "  {} / {}: digest {:016x}, {}/{} queries answered",
@@ -51,6 +46,30 @@ fn replay(world: &World, faults: FaultProfile) -> Vec<ReplayRecord> {
             r.queries
         );
     }
+}
+
+fn replay(world: &World, faults: FaultProfile) -> Vec<ReplayRecord> {
+    // Fan across every core: `--check` passing from here *is* the proof that
+    // the parallel sweep reproduces the pinned digests bit-for-bit.
+    let workers = rayon::current_num_threads();
+    eprintln!(
+        "replaying the golden matrix (18 audited cells, faults={}, workers={workers})...",
+        faults.label()
+    );
+    let records = replay_matrix_parallel(world, faults, workers);
+    report_records(&format!("faults={}", faults.label()), &records);
+    records
+}
+
+fn replay_scenario(pack: ScenarioPack) -> Vec<ReplayRecord> {
+    let workers = rayon::current_num_threads();
+    eprintln!(
+        "replaying the {} scenario matrix (18 audited cells, workers={workers})...",
+        pack.label()
+    );
+    let world = pack.world();
+    let records = replay_scenario_matrix(&world, pack, workers);
+    report_records(&format!("scenario={}", pack.label()), &records);
     records
 }
 
@@ -142,6 +161,16 @@ fn main() -> ExitCode {
         if trace && faults.is_none() {
             ok &= trace_pass(&world, &records);
         }
+    }
+    for pack in ScenarioPack::ALL {
+        let records = replay_scenario(pack);
+        let fresh = golden_lines_scenario(&records, pack);
+        let path = format!(
+            "{}/golden/{}",
+            env!("CARGO_MANIFEST_DIR"),
+            pack.golden_file()
+        );
+        ok &= pin(&path, &fresh, check);
     }
     if ok {
         ExitCode::SUCCESS

@@ -21,6 +21,7 @@ use crate::algo::AlgoKind;
 use crate::faults::FaultProfile;
 use crate::runner::{run_cell_spec, sweep_cells_spec, CellReport, RunSpec, World};
 use crate::scale::Scale;
+use crate::scenario::ScenarioPack;
 use asap_overlay::OverlayKind;
 use asap_sim::trace::TraceConfig;
 use asap_sim::AuditConfig;
@@ -79,7 +80,43 @@ pub fn replay_spec(faults: FaultProfile, traced: bool) -> RunSpec {
         audit: Some(AuditConfig::default()),
         faults,
         trace: traced.then(TraceConfig::default),
+        ..RunSpec::default()
     }
+}
+
+/// The audited [`RunSpec`] of a scenario pack's replay: fault-free, with the
+/// pack's adversary profile attached (the pack's workload axis lives in the
+/// world, see [`ScenarioPack::world`]).
+pub fn scenario_spec(pack: ScenarioPack) -> RunSpec {
+    RunSpec {
+        audit: Some(AuditConfig::default()),
+        adversary: pack.adversary(),
+        ..RunSpec::default()
+    }
+}
+
+/// Run one audited cell of a scenario pack's matrix. The caller supplies the
+/// pack's world ([`ScenarioPack::world`]) so it amortizes across cells.
+pub fn replay_scenario_cell(
+    world: &World,
+    algo: AlgoKind,
+    overlay: OverlayKind,
+    pack: ScenarioPack,
+) -> ReplayRecord {
+    cell_to_record(&run_cell_spec(world, algo, overlay, &scenario_spec(pack)))
+}
+
+/// Replay the full matrix of one scenario pack, in golden-file order, fanned
+/// across `workers` rayon workers.
+pub fn replay_scenario_matrix(
+    world: &World,
+    pack: ScenarioPack,
+    workers: usize,
+) -> Vec<ReplayRecord> {
+    sweep_cells_spec(world, &replay_matrix_cells(), workers, &scenario_spec(pack))
+        .into_iter()
+        .map(|cell| cell_to_record(&cell))
+        .collect()
 }
 
 /// Reduce an audited [`CellReport`] to the fields the golden file pins.
@@ -159,17 +196,23 @@ pub fn golden_lines(records: &[ReplayRecord]) -> String {
 /// [`golden_lines`] for an arbitrary fault profile (named in the header so
 /// the two golden files can't be confused for one another).
 pub fn golden_lines_with(records: &[ReplayRecord], faults: FaultProfile) -> String {
-    let mut out = String::new();
-    if faults.is_none() {
-        out.push_str(&format!(
-            "# replay digests: scale=tiny seed={GOLDEN_SEED}\n# overlay algo digest queries succeeded messages\n"
-        ));
+    let tag = if faults.is_none() {
+        String::new()
     } else {
-        out.push_str(&format!(
-            "# replay digests: scale=tiny seed={GOLDEN_SEED} faults={}\n# overlay algo digest queries succeeded messages\n",
-            faults.label()
-        ));
-    }
+        format!(" faults={}", faults.label())
+    };
+    golden_lines_tagged(records, &tag)
+}
+
+/// [`golden_lines`] for a scenario pack (`scenario=<label>` in the header).
+pub fn golden_lines_scenario(records: &[ReplayRecord], pack: ScenarioPack) -> String {
+    golden_lines_tagged(records, &format!(" scenario={}", pack.label()))
+}
+
+fn golden_lines_tagged(records: &[ReplayRecord], tag: &str) -> String {
+    let mut out = format!(
+        "# replay digests: scale=tiny seed={GOLDEN_SEED}{tag}\n# overlay algo digest queries succeeded messages\n"
+    );
     for r in records {
         out.push_str(&format!(
             "{} {} {:016x} {} {} {}\n",

@@ -13,16 +13,20 @@
 // design, so the workspace-wide print_stdout deny does not apply here.
 #![allow(clippy::print_stdout)]
 
+pub mod adversary;
 pub mod algo;
 pub mod faults;
 pub mod figures;
 pub mod harness;
 pub mod runner;
 pub mod scale;
+pub mod scenario;
 pub mod table;
 
+pub use adversary::AdversaryProfile;
 pub use algo::AlgoKind;
 pub use faults::FaultProfile;
+pub use scenario::ScenarioPack;
 pub use harness::{replay_cell, replay_cell_with, replay_matrix, replay_matrix_with, ReplayRecord};
 pub use runner::{run_cell, run_cell_with, run_one, CellReport, RunSummary};
 pub use scale::Scale;

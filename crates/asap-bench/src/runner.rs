@@ -1,5 +1,6 @@
 //! Build worlds, run one (algorithm, overlay) cell, sweep the matrix.
 
+use crate::adversary::AdversaryProfile;
 use crate::algo::AlgoKind;
 use crate::faults::FaultProfile;
 use crate::scale::Scale;
@@ -9,11 +10,11 @@ use asap_overlay::{OverlayConfig, OverlayKind};
 use asap_search::{Flooding, FloodingConfig, Gsa, GsaConfig, RandomWalk, RandomWalkConfig};
 use asap_sim::trace::{Recorder, TraceConfig};
 use asap_sim::{
-    AuditConfig, AuditReport, EngineProfile, FaultStats, Fnv64, Protocol, SimBuilder, SimReport,
-    Simulation,
+    AdversaryStats, AuditConfig, AuditReport, EngineProfile, FaultStats, Fnv64, Protocol,
+    SimBuilder, SimReport, Simulation,
 };
 use asap_topology::PhysicalNetwork;
-use asap_workload::Workload;
+use asap_workload::{HeterogeneityPack, Workload};
 
 /// Everything the figures need from one run.
 #[derive(Debug)]
@@ -89,8 +90,18 @@ pub struct World {
 
 impl World {
     pub fn build(scale: Scale, seed: u64) -> Self {
+        Self::build_with_pack(scale, seed, HeterogeneityPack::inert())
+    }
+
+    /// [`Self::build`] under a heterogeneity pack: the pack perturbs the
+    /// generated trace itself (arrival spikes, interest drift, hotspots,
+    /// session tails), so two worlds differing only in pack share a model
+    /// but not a trace. An inert pack reproduces [`Self::build`] exactly.
+    pub fn build_with_pack(scale: Scale, seed: u64, pack: HeterogeneityPack) -> Self {
         let phys = PhysicalNetwork::generate(&scale.topology(seed));
-        let workload = asap_workload::generate(&scale.workload(seed));
+        let mut wl = scale.workload(seed);
+        wl.pack = pack;
+        let workload = asap_workload::generate(&wl);
         Self {
             phys,
             workload,
@@ -117,6 +128,9 @@ pub struct RunSpec {
     pub faults: FaultProfile,
     /// Attach a ring-buffered trace recorder with this configuration.
     pub trace: Option<TraceConfig>,
+    /// Adversary profile (also poisons ASAP's protocol state for spam
+    /// peers). The default `None` attaches no adversary layer at all.
+    pub adversary: AdversaryProfile,
 }
 
 impl RunSpec {
@@ -140,6 +154,12 @@ impl RunSpec {
     /// Attach a trace recorder.
     pub fn with_trace(mut self, trace: TraceConfig) -> Self {
         self.trace = Some(trace);
+        self
+    }
+
+    /// Run under an adversary profile.
+    pub fn with_adversary(mut self, adversary: AdversaryProfile) -> Self {
+        self.adversary = adversary;
         self
     }
 }
@@ -169,6 +189,9 @@ pub struct CellReport {
     pub retry: RetryCounters,
     /// Fault-layer statistics; `Some` iff the cell ran under a fault profile.
     pub faults: Option<FaultStats>,
+    /// Adversary-layer statistics; `Some` iff the cell ran under an
+    /// adversary profile.
+    pub adversary: Option<AdversaryStats>,
     /// The trace recorder; `Some` iff the cell ran with [`RunSpec::trace`].
     pub trace: Option<Recorder>,
     /// Event-loop phase counters and queue high-water marks (always on).
@@ -214,7 +237,7 @@ pub fn run_cell_with(
         &RunSpec {
             audit,
             faults,
-            trace: None,
+            ..RunSpec::default()
         },
     )
 }
@@ -233,6 +256,9 @@ pub fn run_cell_spec(
         }
         if !spec.faults.is_none() {
             b = b.faults(spec.faults.plan(peers));
+        }
+        if !spec.adversary.is_none() {
+            b = b.adversary(spec.adversary.plan(peers));
         }
         if let Some(tc) = spec.trace {
             b = b.trace(Box::new(Recorder::new(tc)));
@@ -310,7 +336,21 @@ pub fn run_cell_spec(
             None,
         ),
         AlgoKind::AsapFld | AlgoKind::AsapRw | AlgoKind::AsapGsa => {
-            let protocol = algo.build_asap_with(scale, &world.workload.model, faults.robustness());
+            // Spam poisoning happens at protocol construction, keyed on the
+            // same (plan, peers, seed) role assignment the engine derives,
+            // so protocol-layer and engine-layer adversaries are one peer
+            // set. A `None` profile takes the plain constructor.
+            let protocol = if spec.adversary.is_none() {
+                algo.build_asap_with(scale, &world.workload.model, faults.robustness())
+            } else {
+                algo.build_asap_adversarial(
+                    scale,
+                    &world.workload.model,
+                    faults.robustness(),
+                    &spec.adversary.roles(peers, seed),
+                    seed,
+                )
+            };
             let report = go(
                 Simulation::builder(
                     &world.phys,
@@ -379,6 +419,7 @@ fn finish<P>(
         outcome_fingerprint: outcome.finish(),
         retry: report.retry,
         faults: report.faults,
+        adversary: report.adversary,
         audit: report.audit,
         trace,
         profile: report.profile,
@@ -435,7 +476,7 @@ pub fn sweep_cells_in(
         &RunSpec {
             audit,
             faults,
-            trace: None,
+            ..RunSpec::default()
         },
     )
 }

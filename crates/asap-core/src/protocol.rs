@@ -14,8 +14,10 @@ use asap_overlay::PeerId;
 use asap_sim::collections::{DetHashMap, DetHashSet};
 use asap_sim::util::SeenTracker;
 use asap_sim::{Ctx, Protocol};
+use asap_sim::AdversaryRole;
 use asap_workload::{ContentModel, DocId, InterestSet, KeywordId, QuerySpec};
-use rand::Rng;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 use std::rc::Rc;
 
 /// Timer tags. Query tags grow upward from `TAG_QUERY_BASE` (two per query
@@ -28,6 +30,18 @@ pub(crate) const TAG_QUERY_BASE: u64 = 2;
 pub(crate) const TAG_READVERT: u64 = 1 << 61;
 /// Repair-fetch retransmit; the low bits carry the fetch's source peer.
 pub(crate) const TAG_FETCH_BIT: u64 = 1 << 62;
+
+/// Stream salt for the ad-spam poison pass, XORed into the run seed. The
+/// pass runs once at construction time — before the engine starts — so it
+/// never perturbs the engine, fault, adversary, or workload RNG streams;
+/// the salt only has to be distinct from theirs so a shared run seed can't
+/// correlate the draws.
+const SPAM_POISON_SALT: u64 = 0x5BAD_AD00_F17E_D0C5;
+
+/// Documents whose keywords each ad-spam peer falsely claims to hold.
+/// Drawn uniformly from the real catalog, so the poisoned Bloom bits sit
+/// exactly where honest queries probe — lookups match, confirmations fail.
+const SPAM_POISON_DOCS: usize = 25;
 
 /// Pending re-advertisement state: the ad wave is considered acknowledged
 /// once *any* peer fetches our full ad (delivery demonstrably arrived);
@@ -73,6 +87,10 @@ pub struct AsapStats {
     pub confirms_sent: u64,
     /// Positive confirmations returned.
     pub confirms_positive: u64,
+    /// Empty confirmations returned — the advertised content wasn't there.
+    /// Honest runs see a handful (content churn between ad and confirm);
+    /// ad-spam adversaries inflate this without bound.
+    pub confirms_negative: u64,
     /// Full-ad repair fetches issued (version gaps / refresh misses).
     pub repair_fetches: u64,
     /// Ad deliveries started, by payload kind.
@@ -91,6 +109,10 @@ pub struct Asap {
     pub(crate) pending: DetHashMap<u32, PendingSearch>,
     /// Duplicate suppression for flooded deliveries.
     pub(crate) seen: SeenTracker<u64>,
+    /// Topics ad-spam adversaries falsely claim (empty for honest runs).
+    /// Unioned into announcements and served ads so a content-free spammer
+    /// still advertises; ground-truth confirmation is what exposes the lie.
+    pub(crate) claimed_topics: DetHashMap<PeerId, InterestSet>,
     next_delivery: u64,
     pub stats: AsapStats,
 }
@@ -130,9 +152,67 @@ impl Asap {
             kw_hashes,
             nodes,
             pending: DetHashMap::default(),
+            claimed_topics: DetHashMap::default(),
             next_delivery: 0,
             stats: AsapStats::default(),
             config,
+        }
+    }
+
+    /// [`Asap::new`] plus the adversary poison pass: every `AdSpammer` in
+    /// `roles` salts its content filter with the keywords of
+    /// [`SPAM_POISON_DOCS`] documents it does not hold and claims their
+    /// classes as advertised topics. An all-honest `roles` slice draws no
+    /// randomness and produces state identical to [`Asap::new`].
+    ///
+    /// Poisoning lives here — not in the simulator — because ad spam is a
+    /// protocol-layer attack: the lie is in the Bloom filter the protocol
+    /// publishes, and the protocol's own ground-truth confirmation step
+    /// (`handle_confirm` checks real content) is what catches it.
+    pub fn new_with_adversaries(
+        config: AsapConfig,
+        model: &ContentModel,
+        roles: &[AdversaryRole],
+        run_seed: u64,
+    ) -> Self {
+        let mut asap = Self::new(config, model);
+        if !roles.contains(&AdversaryRole::AdSpammer) {
+            return asap;
+        }
+        let mut rng = SmallRng::seed_from_u64(run_seed ^ SPAM_POISON_SALT);
+        let num_docs = model.num_docs() as u32;
+        // Peers in id order, one rng stream: the poison layout is a pure
+        // function of (roles, run_seed, model).
+        for (p, role) in roles.iter().enumerate() {
+            if *role != AdversaryRole::AdSpammer {
+                continue;
+            }
+            let mut claimed = InterestSet::EMPTY;
+            for _ in 0..SPAM_POISON_DOCS {
+                let doc = model.doc(DocId(rng.gen_range(0..num_docs)));
+                claimed = claimed.union(InterestSet::singleton(doc.class));
+                for &kw in &doc.keywords {
+                    let h = asap.kw_hashes[kw.index()];
+                    asap.nodes[p].filter.insert_hash(&h);
+                }
+            }
+            // Republish so `audit_invariants`' snapshot == filter check
+            // holds: the spammer's very first ad is already poisoned.
+            let snap = asap.nodes[p].filter.snapshot_rc();
+            asap.nodes[p].snapshot = snap;
+            asap.claimed_topics.insert(PeerId(p as u32), claimed);
+        }
+        asap
+    }
+
+    /// Topics `node` advertises: its real content classes, unioned with any
+    /// falsely claimed ones. Honest nodes take the map-miss path, so this
+    /// is one hash probe over [`Asap::new`]'s behavior.
+    fn advertised_topics(&self, ctx: &Ctx<'_, AsapMsg>, node: PeerId) -> InterestSet {
+        let real = ctx.content.peer_topics(ctx.model, node);
+        match self.claimed_topics.get(&node) {
+            Some(&claimed) => real.union(claimed),
+            None => real,
         }
     }
 
@@ -215,7 +295,7 @@ impl Asap {
         node: PeerId,
         budget_factor: f64,
     ) -> bool {
-        let topics = ctx.content.peer_topics(ctx.model, node);
+        let topics = self.advertised_topics(ctx, node);
         if topics.is_empty() {
             return false; // free riders have "nothing to advertise"
         }
@@ -448,7 +528,7 @@ impl Protocol for Asap {
                 // Serve our full ad directly to the requester. The fetch also
                 // acknowledges our announcement reached someone interested.
                 self.nodes[to.index()].fetches_served += 1;
-                let topics = ctx.content.peer_topics(ctx.model, to);
+                let topics = self.advertised_topics(ctx, to);
                 if topics.is_empty() {
                     return;
                 }
@@ -572,8 +652,9 @@ impl Protocol for Asap {
         let version = st.version;
 
         // Patch topics: union of old and new, so cachers from a dropped
-        // class still hear about the removal.
-        let new_topics = ctx.content.peer_topics(ctx.model, peer);
+        // class still hear about the removal. Claimed (spam) topics ride
+        // along so cachers keyed on the false classes stay in sync too.
+        let new_topics = self.advertised_topics(ctx, peer);
         let old_class = ctx.model.doc(doc).class;
         let topics = new_topics.union(InterestSet::singleton(old_class));
 
@@ -685,5 +766,95 @@ mod tests {
         let a = asap.next_delivery_id();
         let b = asap.next_delivery_id();
         assert_ne!(a, b);
+    }
+
+    /// Roles vector with `AdSpammer` at every index divisible by 10.
+    fn spam_roles(peers: usize) -> Vec<AdversaryRole> {
+        (0..peers)
+            .map(|p| {
+                if p % 10 == 0 {
+                    AdversaryRole::AdSpammer
+                } else {
+                    AdversaryRole::Honest
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_honest_roles_match_plain_construction() {
+        let m = model();
+        let cfg = AsapConfig::rw().scaled_to(120);
+        let plain = Asap::new(cfg.clone(), &m);
+        let adv = Asap::new_with_adversaries(cfg, &m, &[AdversaryRole::Honest; 120], 7);
+        assert!(adv.claimed_topics.is_empty());
+        for p in 0..m.num_peers() {
+            assert_eq!(
+                plain.nodes[p].snapshot, adv.nodes[p].snapshot,
+                "peer {p}: honest roles must not perturb filters"
+            );
+        }
+    }
+
+    #[test]
+    fn spam_poisoning_is_deterministic_and_scoped_to_spammers() {
+        let m = model();
+        let cfg = AsapConfig::rw().scaled_to(120);
+        let roles = spam_roles(120);
+        let plain = Asap::new(cfg.clone(), &m);
+        let a = Asap::new_with_adversaries(cfg.clone(), &m, &roles, 7);
+        let b = Asap::new_with_adversaries(cfg.clone(), &m, &roles, 7);
+        let c = Asap::new_with_adversaries(cfg, &m, &roles, 8);
+        let mut diverged = false;
+        for (p, role) in roles.iter().enumerate() {
+            assert_eq!(
+                a.nodes[p].snapshot, b.nodes[p].snapshot,
+                "peer {p}: same seed must poison identically"
+            );
+            match role {
+                AdversaryRole::AdSpammer => {
+                    assert!(a.claimed_topics.contains_key(&PeerId(p as u32)));
+                    assert_ne!(
+                        plain.nodes[p].snapshot, a.nodes[p].snapshot,
+                        "peer {p}: a spammer's filter must be poisoned"
+                    );
+                    diverged |= a.nodes[p].snapshot != c.nodes[p].snapshot;
+                }
+                _ => {
+                    assert!(!a.claimed_topics.contains_key(&PeerId(p as u32)));
+                    assert_eq!(
+                        plain.nodes[p].snapshot, a.nodes[p].snapshot,
+                        "peer {p}: honest filters must be untouched"
+                    );
+                }
+            }
+        }
+        assert!(diverged, "different seeds must draw different poison sets");
+    }
+
+    #[test]
+    fn poisoned_snapshot_stays_consistent_with_filter() {
+        // `audit_invariants` flags any node whose published snapshot lags
+        // its filter; the poison pass must leave no such gap.
+        let m = model();
+        let asap =
+            Asap::new_with_adversaries(AsapConfig::rw().scaled_to(120), &m, &spam_roles(120), 7);
+        for p in 0..m.num_peers() {
+            let st = &asap.nodes[p];
+            assert_eq!(st.snapshot.as_ref(), st.filter.as_filter());
+        }
+    }
+
+    #[test]
+    fn spammers_claim_topics_beyond_their_content() {
+        let m = model();
+        let asap =
+            Asap::new_with_adversaries(AsapConfig::rw().scaled_to(120), &m, &spam_roles(120), 7);
+        for (&peer, &claimed) in asap.claimed_topics.iter() {
+            assert!(!claimed.is_empty(), "{peer:?} must claim at least one class");
+            // Claimed classes come from real documents, so honest queries in
+            // those classes will probe — and confirmation will expose — them.
+            assert!(claimed.len() <= m.num_classes);
+        }
     }
 }

@@ -348,6 +348,10 @@ pub(crate) fn handle_confirm_reply(
     if results > 0 {
         asap.stats.confirms_positive += 1;
         ctx.report_answer(query);
+    } else {
+        // Confirmation failure: the advertised content isn't actually there
+        // (content churn, a Bloom false positive — or a poisoned spam ad).
+        asap.stats.confirms_negative += 1;
     }
     let Some(mut p) = asap.pending.remove(&query) else {
         return; // late reply after the search closed — still counted above

@@ -27,6 +27,7 @@
 //! [`with_audit`](crate::Simulation::with_audit) carries `None` and pays one
 //! pointer test per event.
 
+use crate::adversary::AdversaryStats;
 use crate::fault::FaultStats;
 use asap_metrics::{LoadRecorder, MsgClass, QueryLedger, RetryCounters, RetryStat};
 use asap_overlay::{Overlay, PeerId};
@@ -133,6 +134,10 @@ const TAG_FINAL: u64 = 8;
 // identical to a run without a fault layer at all.
 const TAG_FAULT_DROP: u64 = 9;
 const TAG_FAULT_DUP: u64 = 10;
+// Adversary-layer record: folded only when an absorption actually fires, so
+// an adversary-free (or inert-plan) run's digest is bit-for-bit identical to
+// a run without an adversary layer at all.
+const TAG_ADVERSARY_ABSORB: u64 = 11;
 
 /// The audit hook object owned by the engine context. See the module docs
 /// for the invariant list.
@@ -162,6 +167,9 @@ pub struct SimAuditor {
     /// announced count (the tripwire), and stragglers past the horizon make
     /// "fewer seen than announced" legal.
     fault_dups_seen: u64,
+    /// Adversary-absorption mirror, driven only by
+    /// [`Self::on_adversary_absorb`].
+    adversary_absorbed: u64,
 }
 
 impl SimAuditor {
@@ -185,6 +193,7 @@ impl SimAuditor {
             fault_partition_drops: 0,
             fault_dups_announced: 0,
             fault_dups_seen: 0,
+            adversary_absorbed: 0,
         }
     }
 
@@ -322,6 +331,27 @@ impl SimAuditor {
         }
     }
 
+    /// The adversary layer absorbed a send at a free-riding target (the
+    /// bytes were charged, nothing was queued).
+    pub fn on_adversary_absorb(
+        &mut self,
+        now_us: u64,
+        from: PeerId,
+        to: PeerId,
+        class: MsgClass,
+    ) {
+        self.adversary_absorbed += 1;
+        if self.cfg.digest_events {
+            self.digest.write_all(&[
+                TAG_ADVERSARY_ABSORB,
+                now_us,
+                from.0 as u64,
+                to.0 as u64,
+                class.index() as u64,
+            ]);
+        }
+    }
+
     /// The protocol counted a robustness event via `Ctx::count`; mirror it.
     /// Counters are reconciled exactly at [`Self::finish`] but never folded
     /// into the digest (fault-free digests keep their historical values).
@@ -450,9 +480,10 @@ impl SimAuditor {
     /// Final reconciliation against the engine's metrics, then fold the
     /// final world state into the digest and produce the report.
     ///
-    /// `retry` is the engine's robustness-counter ledger and `faults` the
-    /// fault layer's own statistics (`None` when no plan was attached);
-    /// both must reconcile exactly with this auditor's independent mirrors.
+    /// `retry` is the engine's robustness-counter ledger, `faults` the
+    /// fault layer's own statistics, and `adversary` the adversary layer's
+    /// (`None` when the respective plan was not attached); all must
+    /// reconcile exactly with this auditor's independent mirrors.
     #[allow(clippy::too_many_arguments)]
     pub fn finish(
         mut self,
@@ -465,6 +496,7 @@ impl SimAuditor {
         end_time_us: u64,
         retry: &RetryCounters,
         faults: Option<&FaultStats>,
+        adversary: Option<&AdversaryStats>,
     ) -> AuditReport {
         if self.cfg.check_invariants {
             // Robustness counters: the engine's ledger and the mirror saw
@@ -500,6 +532,13 @@ impl SimAuditor {
             let seen = self.fault_dups_seen;
             self.check(seen <= ma, || {
                 format!("duplicate deliveries seen {seen} > announced {ma}")
+            });
+            // Adversary statistics: every absorption the layer counted must
+            // have been announced to the auditor, and none invented.
+            let absorbed = adversary.map_or(0, |a| a.absorbed);
+            let mirror_absorbed = self.adversary_absorbed;
+            self.check(absorbed == mirror_absorbed, || {
+                format!("adversary absorbs: layer {absorbed} != audit mirror {mirror_absorbed}")
             });
             // Per-class bytes and message counts must reconcile *exactly*:
             // both sides saw the same `send` calls and nothing else.
@@ -736,6 +775,7 @@ mod tests {
                 0,
                 &retry,
                 None,
+                None,
             )
         };
         assert!(finish_with(3, 3).is_clean());
@@ -768,6 +808,7 @@ mod tests {
                 0,
                 &RetryCounters::new(),
                 Some(&stats),
+                None,
             )
         };
         assert!(finish_with(true).is_clean());
@@ -776,5 +817,59 @@ mod tests {
             .violations
             .iter()
             .any(|v| v.contains("fault drops")));
+    }
+
+    #[test]
+    fn adversary_stats_mirror_reconciles_in_finish() {
+        use asap_overlay::{Overlay, OverlayConfig, OverlayKind};
+        let finish_with = |announce: bool| {
+            let alive = vec![true; 4];
+            let mut a = SimAuditor::new(AuditConfig::default(), &alive);
+            if announce {
+                a.on_adversary_absorb(5, PeerId(0), PeerId(1), MsgClass::Query);
+            }
+            let stats = AdversaryStats {
+                absorbed: 1,
+                free_riders: 1,
+                ..AdversaryStats::default()
+            };
+            let overlay: Overlay = OverlayConfig::new(OverlayKind::Random, 4, 1).build();
+            a.finish(
+                &LoadRecorder::new(),
+                &QueryLedger::new(),
+                &overlay,
+                &alive,
+                4,
+                0,
+                0,
+                &RetryCounters::new(),
+                None,
+                Some(&stats),
+            )
+        };
+        assert!(finish_with(true).is_clean());
+        let bad = finish_with(false);
+        assert!(bad
+            .violations
+            .iter()
+            .any(|v| v.contains("adversary absorbs")));
+    }
+
+    #[test]
+    fn absorb_records_change_the_digest_only_when_they_fire() {
+        let stream = |absorbed: bool| {
+            let mut a = SimAuditor::new(AuditConfig::default(), &[true, true]);
+            a.on_send(5, PeerId(0), PeerId(1), MsgClass::Query, 40);
+            if absorbed {
+                a.on_adversary_absorb(5, PeerId(0), PeerId(1), MsgClass::Query);
+            } else {
+                a.on_deliver(9, 0, PeerId(1), PeerId(0), true, false);
+            }
+            a
+        };
+        assert_ne!(
+            stream(true).digest.finish(),
+            stream(false).digest.finish()
+        );
     }
 }

@@ -1,5 +1,6 @@
 //! The simulation engine: world state, protocol trait, event loop.
 
+use crate::adversary::{AdversaryPlan, AdversaryState, AdversaryStats};
 use crate::audit::{AuditConfig, AuditReport, SimAuditor};
 use crate::event::{EngineEvent, EventHandle, EventQueue};
 use crate::fault::{FaultDecision, FaultPlan, FaultState, FaultStats};
@@ -103,6 +104,9 @@ pub struct Ctx<'a, M> {
     audit: Option<Box<SimAuditor>>,
     /// Optional fault-injection layer (off by default, like the auditor).
     faults: Option<Box<FaultState>>,
+    /// Optional adversary layer (off by default, like the fault layer: one
+    /// pointer test per send when disabled).
+    adversary: Option<Box<AdversaryState>>,
     /// Optional trace sink (off by default: one pointer test per event when
     /// disabled, and event construction is deferred behind a closure so the
     /// disabled path does no work at all).
@@ -248,6 +252,19 @@ impl<'a, M> Ctx<'a, M> {
         if let Some(a) = self.audit.as_deref_mut() {
             a.on_send(self.now_us, from, to, class, bytes);
         }
+        // Free-riding targets absorb request-class messages: the bytes are
+        // already charged (the sender paid), but nothing is queued — the
+        // message reaches the recipient and dies there. The decision draws
+        // no randomness, so the fault stream below stays untouched.
+        if let Some(adv) = self.adversary.as_deref_mut() {
+            if adv.absorb(to, class) {
+                if let Some(a) = self.audit.as_deref_mut() {
+                    a.on_adversary_absorb(self.now_us, from, to, class);
+                }
+                self.trace(|| TraceEvt::AdversaryAbsorb { from, to, class });
+                return;
+            }
+        }
         let decision = match self.faults.as_deref_mut() {
             Some(f) => f.decide(self.now_us, from, to),
             None => FaultDecision::CLEAN,
@@ -351,6 +368,12 @@ impl<'a, M> Ctx<'a, M> {
         self.faults.as_deref().map(FaultState::stats)
     }
 
+    /// Adversary-layer statistics so far; `None` when no adversary plan is
+    /// attached.
+    pub fn adversary_stats(&self) -> Option<&AdversaryStats> {
+        self.adversary.as_deref().map(AdversaryState::stats)
+    }
+
     /// Schedule `on_timer(node, tag)` after `delay_us` (dropped if the node
     /// is dead when it fires). The handle can cancel it later.
     pub fn set_timer(&mut self, node: PeerId, delay_us: u64, tag: u64) -> EventHandle {
@@ -398,6 +421,9 @@ pub struct SimReport<P> {
     /// Fault-layer statistics; `Some` iff the run was built with
     /// [`Simulation::with_faults`].
     pub faults: Option<FaultStats>,
+    /// Adversary-layer statistics; `Some` iff the run was built with
+    /// [`SimBuilder::adversary`].
+    pub adversary: Option<AdversaryStats>,
     /// Invariant-audit outcome; `Some` iff the run was built with
     /// [`SimBuilder::audit`].
     pub audit: Option<AuditReport>,
@@ -443,6 +469,20 @@ impl<'a, P: Protocol> SimBuilder<'a, P> {
     /// Panics if the plan fails [`FaultPlan::validate`].
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.sim.attach_faults(plan);
+        self
+    }
+
+    /// Attach an adversary plan for this run (off by default — an honest run
+    /// pays one pointer test per send). Roles are assigned once, on a
+    /// dedicated RNG stream derived from the run seed, and eclipse targets
+    /// are rewired immediately; attaching an inert plan reproduces an
+    /// adversary-free run bit-for-bit. See [`crate::adversary`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan fails [`AdversaryPlan::validate`].
+    pub fn adversary(mut self, plan: AdversaryPlan) -> Self {
+        self.sim.attach_adversary(plan);
         self
     }
 
@@ -582,6 +622,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             run_seed: seed,
             audit: None,
             faults: None,
+            adversary: None,
             trace: None,
             profile: EngineProfile::default(),
         };
@@ -598,6 +639,55 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             panic!("invalid fault plan: {e}");
         }
         self.ctx.faults = Some(Box::new(FaultState::new(plan, self.ctx.run_seed)));
+    }
+
+    fn attach_adversary(&mut self, plan: AdversaryPlan) {
+        if let Err(e) = plan.validate() {
+            // lint: allow(release-assert, reason=documented construction-time rejection of invalid plans, before run starts)
+            panic!("invalid adversary plan: {e}");
+        }
+        let mut state = AdversaryState::new(plan, self.ctx.alive.len(), self.ctx.run_seed);
+        let rewired = self.eclipse_rewire(&state);
+        state.note_eclipsed(rewired);
+        self.ctx.adversary = Some(Box::new(state));
+    }
+
+    /// Apply the plan's eclipse targets: swap up to `captured_links` of each
+    /// live victim's honest edges for edges toward colluding peers. Entirely
+    /// deterministic (no RNG draw) and invariant-preserving: `add_edge`
+    /// keeps symmetry and rejects self-loops/duplicates, colluders are
+    /// filtered for liveness, and detached (dead) peers are never touched.
+    fn eclipse_rewire(&mut self, state: &AdversaryState) -> u64 {
+        let ctx = &mut self.ctx;
+        let mut rewired = 0u64;
+        for t in &state.plan().eclipse {
+            if t.victim.index() >= ctx.alive.len() || !ctx.alive[t.victim.index()] {
+                continue;
+            }
+            let pool: Vec<PeerId> = state
+                .colluders()
+                .filter(|&c| {
+                    c != t.victim && ctx.alive[c.index()] && !ctx.overlay.has_edge(t.victim, c)
+                })
+                .collect();
+            let mut old: Vec<PeerId> = ctx
+                .overlay
+                .neighbors(t.victim)
+                .iter()
+                .copied()
+                .filter(|&n| !state.role(n).is_adversarial())
+                .collect();
+            old.sort_unstable();
+            for (o, c) in old.into_iter().zip(pool).take(t.captured_links as usize) {
+                let removed = ctx.overlay.remove_edge(t.victim, o);
+                let added = ctx.overlay.add_edge(t.victim, c);
+                debug_assert!(removed && added, "eclipse rewiring must be clean");
+                if removed && added {
+                    rewired += 1;
+                }
+            }
+        }
+        rewired
     }
 
     fn set_horizon_grace(&mut self, grace_us: u64) {
@@ -681,6 +771,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             }
         }
         let faults = self.ctx.faults.take().map(|f| f.into_stats());
+        let adversary = self.ctx.adversary.take().map(|a| a.into_stats());
         let audit = self.ctx.audit.take().map(|auditor| {
             let mut auditor = *auditor;
             for v in self.protocol.audit_invariants(&self.ctx) {
@@ -696,6 +787,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 self.ctx.now_us,
                 &self.ctx.retry,
                 faults.as_ref(),
+                adversary.as_ref(),
             )
         });
         SimReport {
@@ -707,6 +799,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             overlay: self.ctx.overlay,
             retry: self.ctx.retry,
             faults,
+            adversary,
             protocol: self.protocol,
             audit,
             trace: self.ctx.trace,

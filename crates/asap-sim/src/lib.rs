@@ -11,6 +11,7 @@
 //! deterministic — a fixed seed yields byte-identical ledgers — which the
 //! integration suite exploits for replay tests.
 
+pub mod adversary;
 pub mod audit;
 pub mod engine;
 pub mod event;
@@ -28,6 +29,9 @@ pub use asap_overlay::collections;
 /// direct `asap-trace` dependency.
 pub use asap_trace as trace;
 
+pub use adversary::{
+    assign_roles, AdversaryPlan, AdversaryRole, AdversaryState, AdversaryStats, EclipseTarget,
+};
 pub use audit::{AuditConfig, AuditReport, Fnv64};
 pub use engine::{Ctx, EngineProfile, Protocol, ScratchGuard, SimBuilder, SimReport, Simulation};
 pub use event::{EngineEvent, EventHandle};

@@ -37,6 +37,13 @@ pub enum Event {
     },
     /// The fault layer scheduled a duplicate copy of a send.
     FaultDuplicate { from: PeerId, to: PeerId },
+    /// The adversary layer absorbed a send at a free-riding target (bytes
+    /// charged, nothing queued for delivery).
+    AdversaryAbsorb {
+        from: PeerId,
+        to: PeerId,
+        class: MsgClass,
+    },
     /// A protocol timer was armed.
     TimerSet { node: PeerId, delay_us: u64, tag: u64 },
     /// A timer reached dispatch; `fired` is the liveness gate's verdict.
@@ -101,6 +108,7 @@ impl Event {
             Self::Deliver { .. } => "deliver",
             Self::FaultDrop { .. } => "fault-drop",
             Self::FaultDuplicate { .. } => "fault-dup",
+            Self::AdversaryAbsorb { .. } => "adversary-absorb",
             Self::TimerSet { .. } => "timer-set",
             Self::TimerFired { .. } => "timer-fired",
             Self::TimerCancelled { .. } => "timer-cancel",
@@ -141,9 +149,10 @@ impl Event {
     /// The node the event is anchored at (the Chrome-trace thread lane).
     pub fn node(&self) -> Option<PeerId> {
         match *self {
-            Self::Send { from, .. } | Self::FaultDrop { from, .. } | Self::FaultDuplicate { from, .. } => {
-                Some(from)
-            }
+            Self::Send { from, .. }
+            | Self::FaultDrop { from, .. }
+            | Self::FaultDuplicate { from, .. }
+            | Self::AdversaryAbsorb { from, .. } => Some(from),
             Self::Deliver { to, .. } => Some(to),
             Self::TimerSet { node, .. }
             | Self::TimerFired { node, .. }
@@ -234,6 +243,11 @@ impl Record {
             Event::FaultDuplicate { from, to } => {
                 push_u64(&mut out, "from", from.0 as u64);
                 push_u64(&mut out, "to", to.0 as u64);
+            }
+            Event::AdversaryAbsorb { from, to, class } => {
+                push_u64(&mut out, "from", from.0 as u64);
+                push_u64(&mut out, "to", to.0 as u64);
+                push_label(&mut out, "class", class.label());
             }
             Event::TimerSet { node, delay_us, tag } => {
                 push_u64(&mut out, "node", node.0 as u64);
@@ -391,6 +405,11 @@ mod tests {
             Event::FaultDuplicate {
                 from: PeerId(0),
                 to: PeerId(1),
+            },
+            Event::AdversaryAbsorb {
+                from: PeerId(0),
+                to: PeerId(1),
+                class: MsgClass::Query,
             },
             Event::TimerSet {
                 node: PeerId(0),

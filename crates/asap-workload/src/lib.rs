@@ -28,7 +28,7 @@ pub mod vocab;
 pub mod zipf;
 
 pub use asap_overlay::PeerId;
-pub use config::WorkloadConfig;
+pub use config::{HeterogeneityPack, WorkloadConfig};
 pub use content::ContentModel;
 pub use ids::{ClassId, DocId, InterestSet, KeywordId};
 pub use state::ContentState;

@@ -106,10 +106,18 @@ pub fn generate_trace(
 ) -> (Trace, Vec<bool>) {
     // --- timeline skeleton -------------------------------------------------
     // Query times: Poisson arrivals. Churn times: uniform over the duration.
+    let pack = &config.pack;
     let mut query_times = Vec::with_capacity(config.queries);
     let mut t = 0u64;
-    for _ in 0..config.queries {
-        t += exp_gap_us(config.arrival_rate_hz, rng);
+    for i in 0..config.queries {
+        let mut gap = exp_gap_us(config.arrival_rate_hz, rng);
+        // Flash crowd: same exponential draw, compressed — the knob scales
+        // the gap rather than drawing again, so an inert pack consumes the
+        // exact RNG sequence of the unperturbed generator.
+        if pack.flash_boost > 1.0 && pack.in_flash_window(i, config.queries) {
+            gap = ((gap as f64 / pack.flash_boost) as u64).max(1);
+        }
+        t += gap;
         query_times.push(t);
     }
     let duration = t.max(1);
@@ -138,6 +146,8 @@ pub fn generate_trace(
     let mut departed: Vec<PeerId> = Vec::new();
     let initially_alive = alive.clone();
     let mut alive_count = config.peers;
+    // Rejoin order, newest last — the heavy-tail knob's eviction stack.
+    let mut recent_joiners: Vec<PeerId> = Vec::new();
 
     // --- chronological generation ------------------------------------------
     let mut state = ContentState::from_model(model);
@@ -156,6 +166,9 @@ pub fn generate_trace(
                 let p = departed.swap_remove(i);
                 alive[p.index()] = true;
                 alive_count += 1;
+                if pack.session_tail > 0.0 {
+                    recent_joiners.push(p);
+                }
                 events.push(TimedEvent {
                     time_us,
                     event: TraceEvent::Join(p),
@@ -166,7 +179,19 @@ pub fn generate_trace(
                 if alive_count <= config.peers / 4 + 2 {
                     continue;
                 }
-                let p = random_alive(&alive, alive_count, rng);
+                // Heavy-tailed sessions: prefer evicting the most recent
+                // rejoiner, so rejoin→leave cycles produce a population of
+                // short sessions on top of the uniform baseline.
+                let mut picked = None;
+                if pack.session_tail > 0.0 && rng.gen_bool(pack.session_tail) {
+                    while let Some(p) = recent_joiners.pop() {
+                        if alive[p.index()] {
+                            picked = Some(p);
+                            break;
+                        }
+                    }
+                }
+                let p = picked.unwrap_or_else(|| random_alive(&alive, alive_count, rng));
                 alive[p.index()] = false;
                 alive_count -= 1;
                 departed.push(p);
@@ -176,9 +201,10 @@ pub fn generate_trace(
                 });
             }
             Slot::Query => {
-                let Some(q) =
-                    synthesize_query(config, model, &state, &alive, alive_count, query_id, rng)
-                else {
+                let progress = f64::from(query_id) / config.queries.max(1) as f64;
+                let Some(q) = synthesize_query(
+                    config, model, &state, &alive, alive_count, query_id, progress, rng,
+                ) else {
                     continue; // no answerable target right now (vanishingly rare)
                 };
                 query_id += 1;
@@ -209,7 +235,9 @@ fn random_alive(alive: &[bool], alive_count: usize, rng: &mut SmallRng) -> PeerI
     }
 }
 
-/// Pick a requester and an answerable target document within its interests.
+/// Pick a requester and an answerable target document within its interests
+/// (or, under interest drift, progressively outside them).
+#[allow(clippy::too_many_arguments)]
 fn synthesize_query(
     config: &WorkloadConfig,
     model: &ContentModel,
@@ -217,19 +245,35 @@ fn synthesize_query(
     alive: &[bool],
     alive_count: usize,
     id: u32,
+    progress: f64,
     rng: &mut SmallRng,
 ) -> Option<QuerySpec> {
+    let pack = &config.pack;
     // A few requester attempts; each tries several targets.
     for _ in 0..8 {
         let requester = random_alive(alive, alive_count, rng);
         let classes: Vec<ClassId> = model.interests[requester.index()].iter().collect();
         for _ in 0..32 {
-            let class = classes[rng.gen_range(0..classes.len())];
+            let mut class = classes[rng.gen_range(0..classes.len())];
+            // Interest drift: rotate the class by an offset that grows with
+            // trace progress — late queries probe classes the requester's
+            // static profile (and everyone's cached ads) never covered.
+            if pack.drift_strength > 0.0 && rng.gen_bool(pack.drift_strength) {
+                let shift = 1 + (progress * (model.num_classes - 1) as f64) as usize;
+                class = ClassId(((class.index() + shift) % model.num_classes) as u8);
+            }
             let pool = &model.class_docs[class.index()];
             if pool.is_empty() {
                 continue;
             }
-            let doc = pool[rng.gen_range(0..pool.len())];
+            // Content hotspot: pile demand onto the class's first document
+            // (an arbitrary-but-fixed "hit release") instead of spreading
+            // uniformly over the pool.
+            let doc = if pack.hotspot_prob > 0.0 && rng.gen_bool(pack.hotspot_prob) {
+                pool[0]
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            };
             if state.peer_has_doc(requester, doc) {
                 continue; // peers ask for documents they lack
             }
@@ -406,6 +450,162 @@ mod tests {
                 TraceEvent::Leave(p) => alive[p.index()] = false,
             }
         }
+    }
+
+    fn pack_workload(
+        pack: crate::config::HeterogeneityPack,
+        peers: usize,
+        queries: usize,
+        seed: u64,
+    ) -> (WorkloadConfig, ContentModel, Trace, Vec<bool>) {
+        let mut cfg = WorkloadConfig::reduced(peers, queries, seed);
+        cfg.pack = pack;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let model = generate_model(&cfg, &mut rng);
+        let (trace, alive) = generate_trace(&cfg, &model, &mut rng);
+        (cfg, model, trace, alive)
+    }
+
+    #[test]
+    fn stress_pack_traces_stay_answerable() {
+        use crate::config::HeterogeneityPack;
+        let (cfg, model, trace, alive) = pack_workload(HeterogeneityPack::stress(), 400, 800, 31);
+        cfg.validate();
+        let checked = trace.validate(&model, &alive);
+        assert!(checked >= 700, "only {checked} stress queries validated");
+    }
+
+    #[test]
+    fn flash_crowd_compresses_arrivals_inside_the_window() {
+        use crate::config::HeterogeneityPack;
+        let (_, _, trace, _) = pack_workload(HeterogeneityPack::flash_crowd(), 300, 2_000, 32);
+        let times: Vec<u64> = trace
+            .events
+            .iter()
+            .filter(|e| matches!(e.event, TraceEvent::Query(_)))
+            .map(|e| e.time_us)
+            .collect();
+        let n = times.len();
+        let mean_gap = |w: &[u64]| {
+            w.windows(2).map(|g| (g[1] - g[0]) as f64).sum::<f64>() / (w.len() - 1) as f64
+        };
+        // The spike window spans the middle fifth of the query sequence.
+        let inside = mean_gap(&times[(n * 2) / 5..(n * 3) / 5]);
+        let outside = mean_gap(&times[..n / 3]);
+        assert!(
+            inside * 3.0 < outside,
+            "flash window gaps ({inside:.0} µs) should be ≪ baseline ({outside:.0} µs)"
+        );
+    }
+
+    #[test]
+    fn drift_probes_outside_static_interests() {
+        use crate::config::HeterogeneityPack;
+        let drifted = HeterogeneityPack {
+            drift_strength: 0.8,
+            ..HeterogeneityPack::inert()
+        };
+        let (_, model, trace, _) = pack_workload(drifted, 300, 1_000, 33);
+        let outside = |trace: &Trace| {
+            trace
+                .events
+                .iter()
+                .filter_map(|e| match &e.event {
+                    TraceEvent::Query(q) => Some(q),
+                    _ => None,
+                })
+                .filter(|q| {
+                    let class = model.doc(q.target).class;
+                    !model.interests[q.requester.index()].contains(class)
+                })
+                .count()
+        };
+        assert!(outside(&trace) > 0, "drift must reach uninterested classes");
+        // The homogeneous generator picks targets from the requester's own
+        // interests by construction — zero escapes.
+        let (_, model2, baseline, _) = pack_workload(HeterogeneityPack::inert(), 300, 1_000, 33);
+        let baseline_outside = baseline
+            .events
+            .iter()
+            .filter_map(|e| match &e.event {
+                TraceEvent::Query(q) => Some(q),
+                _ => None,
+            })
+            .filter(|q| {
+                let class = model2.doc(q.target).class;
+                !model2.interests[q.requester.index()].contains(class)
+            })
+            .count();
+        assert_eq!(baseline_outside, 0);
+    }
+
+    #[test]
+    fn hotspot_concentrates_target_popularity() {
+        use crate::config::HeterogeneityPack;
+        let hot = HeterogeneityPack {
+            hotspot_prob: 0.8,
+            ..HeterogeneityPack::inert()
+        };
+        let distinct = |trace: &Trace| {
+            let mut targets: Vec<DocId> = trace
+                .events
+                .iter()
+                .filter_map(|e| match &e.event {
+                    TraceEvent::Query(q) => Some(q.target),
+                    _ => None,
+                })
+                .collect();
+            targets.sort_unstable();
+            targets.dedup();
+            targets.len()
+        };
+        let (_, _, hot_trace, _) = pack_workload(hot, 300, 1_500, 34);
+        let (_, _, cold_trace, _) = pack_workload(HeterogeneityPack::inert(), 300, 1_500, 34);
+        assert!(
+            distinct(&hot_trace) * 2 < distinct(&cold_trace),
+            "hotspot must concentrate targets ({} vs {})",
+            distinct(&hot_trace),
+            distinct(&cold_trace)
+        );
+    }
+
+    #[test]
+    fn heavy_tail_produces_repeat_leavers() {
+        use crate::config::HeterogeneityPack;
+        let tail = HeterogeneityPack {
+            session_tail: 0.9,
+            ..HeterogeneityPack::inert()
+        };
+        let repeat_leavers = |trace: &Trace| {
+            let mut leavers: Vec<PeerId> = trace
+                .events
+                .iter()
+                .filter_map(|e| match e.event {
+                    TraceEvent::Leave(p) => Some(p),
+                    _ => None,
+                })
+                .collect();
+            leavers.sort_unstable();
+            let total = leavers.len();
+            leavers.dedup();
+            total - leavers.len() // leave events beyond each peer's first
+        };
+        let mk = |pack| {
+            let mut cfg = WorkloadConfig::reduced(400, 2_000, 35);
+            cfg.joins = 150;
+            cfg.leaves = 150;
+            cfg.pack = pack;
+            let mut rng = SmallRng::seed_from_u64(35);
+            let model = generate_model(&cfg, &mut rng);
+            let (trace, _) = generate_trace(&cfg, &model, &mut rng);
+            trace
+        };
+        let tailed = repeat_leavers(&mk(tail));
+        let uniform = repeat_leavers(&mk(HeterogeneityPack::inert()));
+        assert!(
+            tailed > uniform,
+            "rejoin-eviction bias must create repeat leavers ({tailed} vs {uniform})"
+        );
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! A minimal Rust lexer: just enough to find identifiers, numeric literals,
 //! and punctuation with accurate line/column spans, while *never* looking
 //! inside comments, strings, or char literals. The build environment has no
-//! crates.io access, so this replaces `syn`/`proc-macro2`; the rules in
-//! [`crate::rules`] are token-pattern checks, which a token stream serves as
-//! well as a syntax tree.
+//! crates.io access, so this replaces `syn`/`proc-macro2`; the syntax layer
+//! in [`crate::syntax`] and the rules in [`crate::rules`] are token-pattern
+//! checks, which a token stream serves as well as a syntax tree.
+
+use crate::pragma::{self, Pragma};
 
 /// One lexed token. Columns are 1-based byte offsets within the line
 /// (identical to character columns for ASCII sources, which is all this
@@ -19,7 +21,10 @@ pub struct Tok {
 pub enum TokKind {
     Ident(String),
     /// A numeric literal; `float` is true for `1.5`, `2e3`, `1f64`, ….
-    Num { float: bool },
+    /// `raw` is the literal text normalized for comparison: lower-cased with
+    /// `_` separators stripped (so `0xFA17_0B5E` matches `0xfa170b5e`) — the
+    /// RNG stream-salt registry (rule R6) matches against it.
+    Num { float: bool, raw: String },
     Punct(char),
 }
 
@@ -39,26 +44,18 @@ impl Tok {
     pub fn width(&self) -> usize {
         match &self.kind {
             TokKind::Ident(s) => s.len(),
-            _ => 1,
+            TokKind::Num { raw, .. } => raw.len().max(1),
+            TokKind::Punct(_) => 1,
         }
     }
 }
 
-/// A `// lint: allow(...)` suppression comment (parsed, not yet validated —
-/// see [`crate::rules::pragma_problems`]).
-#[derive(Debug, Clone)]
-pub struct Pragma {
-    pub line: u32,
-    pub col: u32,
-    /// True when the pragma comment is the only thing on its line, in which
-    /// case it suppresses the *next* code line instead of its own.
-    pub own_line: bool,
-    /// Raw rule names as written, e.g. `["unwrap"]`.
-    pub rules: Vec<String>,
-    /// The `reason=` text, required for a pragma to be honored.
-    pub reason: Option<String>,
-    /// Set when the comment mentions `lint:` but does not parse.
-    pub malformed: bool,
+/// Normalize a numeric literal for registry comparison: strip `_`, lowercase.
+pub fn normalize_literal(text: &str) -> String {
+    text.chars()
+        .filter(|&c| c != '_')
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
 }
 
 #[derive(Debug, Default)]
@@ -203,7 +200,7 @@ impl Lexer<'_> {
             self.bump();
         }
         let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("");
-        if let Some(p) = parse_pragma(text, line, col, own_line) {
+        if let Some(p) = pragma::parse_comment(text, line, col, own_line) {
             self.out.pragmas.push(p);
         }
     }
@@ -301,6 +298,7 @@ impl Lexer<'_> {
 
     fn number(&mut self) {
         let (line, col) = (self.line, self.col);
+        let start = self.pos;
         let mut float = false;
         if self.peek(0) == b'0' && matches!(self.peek(1), b'x' | b'o' | b'b') {
             // Radix literal: no dots, no exponents, letters are digits.
@@ -354,65 +352,17 @@ impl Lexer<'_> {
                 self.bump();
             }
         }
+        let raw = std::str::from_utf8(&self.src[start..self.pos]).unwrap_or("");
         self.out.tokens.push(Tok {
             line,
             col,
-            kind: TokKind::Num { float },
+            kind: TokKind::Num {
+                float,
+                raw: normalize_literal(raw),
+            },
         });
         self.line_had_code = true;
     }
-}
-
-/// Parse a line comment into a [`Pragma`], if it carries one. Accepted
-/// shape: `// lint: allow(rule[, rule…][, reason=free text])`.
-fn parse_pragma(comment: &str, line: u32, col: u32, own_line: bool) -> Option<Pragma> {
-    let body = comment.trim_start_matches('/').trim();
-    let rest = body.strip_prefix("lint:")?.trim();
-    let malformed = Pragma {
-        line,
-        col,
-        own_line,
-        rules: Vec::new(),
-        reason: None,
-        malformed: true,
-    };
-    let Some(args) = rest
-        .strip_prefix("allow")
-        .map(str::trim_start)
-        .and_then(|a| a.strip_prefix('('))
-        .and_then(|a| a.rfind(')').map(|end| &a[..end]))
-    else {
-        return Some(malformed);
-    };
-    let mut rules = Vec::new();
-    let mut reason = None;
-    let mut parts = args.split(',');
-    while let Some(part) = parts.next() {
-        let part = part.trim();
-        if let Some(r) = part.strip_prefix("reason=") {
-            // The reason is free text and may itself contain commas: consume
-            // the remainder of the argument list.
-            let tail: Vec<&str> = parts.collect();
-            let mut full = r.to_string();
-            for t in tail {
-                full.push(',');
-                full.push_str(t);
-            }
-            reason = Some(full.trim().to_string());
-            break;
-        }
-        if !part.is_empty() {
-            rules.push(part.to_string());
-        }
-    }
-    Some(Pragma {
-        line,
-        col,
-        own_line,
-        rules,
-        reason,
-        malformed: false,
-    })
 }
 
 /// Mark which tokens sit inside `#[cfg(test)]`-gated items (or `#[test]`
@@ -541,8 +491,8 @@ mod tests {
         let toks = lex("let x = 1.5 + 2 + 3e4 + 0x1F + 1f64; a.0").tokens;
         let floats: Vec<bool> = toks
             .iter()
-            .filter_map(|t| match t.kind {
-                TokKind::Num { float } => Some(float),
+            .filter_map(|t| match &t.kind {
+                TokKind::Num { float, .. } => Some(*float),
                 _ => None,
             })
             .collect();

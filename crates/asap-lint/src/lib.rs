@@ -4,34 +4,55 @@
 //! replay digests are pinned in `crates/asap-bench/golden/`. Those digests
 //! catch nondeterminism only *after* it ships; this tool rejects it at
 //! analysis time. Run as `cargo lint` (alias in `.cargo/config.toml`);
-//! scoping lives in `lint.toml` at the workspace root. Rules:
+//! scoping lives in `lint.toml` at the workspace root.
+//!
+//! The analyzer works in two layers. A token layer (lexer + per-file
+//! pattern checks) drives the local rules; a syntax layer
+//! ([`syntax`] item extraction over the same tokens) feeds a
+//! workspace-wide call graph ([`callgraph`]) that drives the
+//! interprocedural rules ([`analysis`]). Rules:
 //!
 //! * **R1 `det-collections`** — no `std::collections::HashMap`/`HashSet`
 //!   (RandomState-seeded) in simulation-facing crates; use the fixed-seed
 //!   `DetHashMap`/`DetHashSet` aliases or `BTreeMap`/`BTreeSet`.
 //! * **R2 `ambient-entropy`** — no `SystemTime`/`Instant`/`thread_rng`/
 //!   `from_entropy` outside `asap-bench`.
-//! * **R3 `float-arith`** — no `f32`/`f64` or float literals in digest- or
-//!   event-ordering paths (the metrics summary layer is allowlisted).
-//! * **R4 `unwrap`** — no `unwrap()`/`expect()` in non-test code reachable
-//!   from `Simulation::run`; justify survivors with
-//!   `// lint: allow(unwrap, reason=…)`.
+//! * **R3 `digest-taint`** — no floats on the configured digest-path
+//!   files, and *interprocedurally*: no floats/clocks/RandomState in any
+//!   function reachable from a digest/event-ordering sink (`sinks` in
+//!   `lint.toml`) — anything the digest computation calls, wherever it
+//!   lives.
+//! * **R4 `panic-reachability`** — no `unwrap()`/`expect()` in non-test
+//!   code reachable (through the call graph, across crates) from
+//!   `Simulation::run` or any `Protocol` implementation; justify survivors
+//!   with `// lint: allow(panic-reachability, reason=…)`.
 //! * **R5 `release-assert`** — no release-mode `assert!`/`assert_eq!`/
 //!   `assert_ne!`/`panic!`/`unreachable!` in the per-event dispatch files;
 //!   prove invariants at construction time and keep hot-path checks as
 //!   `debug_assert!` (exempt by construction), or justify with
 //!   `// lint: allow(release-assert, reason=…)`.
+//! * **R6 `rng-stream-discipline`** — every subsystem draws only from its
+//!   own salted RNG stream: registered salts (`[streams.*]` in
+//!   `lint.toml`) may not appear outside their owner files, and every
+//!   `seed_from_u64` must mix in a registered salt.
 //!
 //! Everything is deny-by-default: any violation (or broken pragma) makes
-//! the binary exit nonzero.
+//! the binary exit nonzero. Pragma problems (`P0`) are reported for every
+//! scanned file, even ones no rule is scoped to.
 
+pub mod analysis;
+pub mod callgraph;
 pub mod config;
 pub mod lexer;
+pub mod pragma;
 pub mod rules;
+pub mod syntax;
 
-pub use config::{AllowEntry, LintConfig, RuleScope};
+pub use config::{AllowEntry, LintConfig, RuleScope, StreamDef};
 pub use rules::{RuleId, ALL_RULES};
 
+use callgraph::CallGraph;
+use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -43,10 +64,12 @@ pub struct Diagnostic {
     pub line: u32,
     pub col: u32,
     pub width: usize,
-    /// `R1`…`R5`, or `P0` for pragma problems.
+    /// `R1`…`R6`, or `P0` for pragma problems.
     pub rule_id: &'static str,
     pub rule_name: &'static str,
     pub summary: String,
+    /// Interprocedural context: an example call path, the owning stream….
+    pub note: Option<String>,
     pub help: Option<&'static str>,
 }
 
@@ -70,60 +93,180 @@ impl Diagnostic {
             let carets = "^".repeat(self.width.max(1));
             let _ = writeln!(out, "{pad} | {caret_pad}{carets}");
         }
+        if let Some(note) = &self.note {
+            let _ = writeln!(out, "  = note: {note}");
+        }
         if let Some(help) = self.help {
             let _ = writeln!(out, "  = help: {help}");
         }
         out
     }
+
+    /// One-line GitHub Actions workflow command (`::error …::…`) so the CI
+    /// lint job surfaces findings as inline PR annotations.
+    pub fn github_annotation(&self) -> String {
+        let mut message = self.summary.clone();
+        if let Some(note) = &self.note {
+            message.push_str(" — ");
+            message.push_str(note);
+        }
+        format!(
+            "::error file={},line={},col={},title={} {}::{}",
+            gh_property(&self.path),
+            self.line,
+            self.col,
+            self.rule_id,
+            gh_property(self.rule_name),
+            gh_message(&message),
+        )
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"path\":{},\"line\":{},\"col\":{},\"rule_id\":{},\"rule\":{},\"summary\":{}",
+            json_string(&self.path),
+            self.line,
+            self.col,
+            json_string(self.rule_id),
+            json_string(self.rule_name),
+            json_string(&self.summary),
+        );
+        if let Some(note) = &self.note {
+            let _ = write!(out, ",\"note\":{}", json_string(note));
+        }
+        if let Some(help) = self.help {
+            let _ = write!(out, ",\"help\":{}", json_string(help));
+        }
+        out.push('}');
+        out
+    }
 }
 
-/// Lint one file's source text against every rule `cfg` puts in scope for
-/// `rel_path`. This is the unit the fixture tests drive directly.
-pub fn lint_source(rel_path: &str, source: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
-    let applicable: Vec<RuleId> = ALL_RULES
-        .iter()
-        .copied()
-        .filter(|&r| cfg.scope(r).is_some_and(|s| s.covers(rel_path)))
-        .filter(|&r| !cfg.file_allowed(r, rel_path))
+/// Escape a GitHub workflow-command message (data portion).
+fn gh_message(s: &str) -> String {
+    s.replace('%', "%25").replace('\r', "%0D").replace('\n', "%0A")
+}
+
+/// Escape a GitHub workflow-command property (before the `::`).
+fn gh_property(s: &str) -> String {
+    gh_message(s).replace(':', "%3A").replace(',', "%2C")
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The full outcome of linting one unit (one file or the whole workspace):
+/// diagnostics plus the call graph they were judged against.
+pub struct UnitOutcome {
+    pub files: Vec<analysis::FileData>,
+    pub diagnostics: Vec<Diagnostic>,
+    pub graph: CallGraph,
+}
+
+/// Lint a set of files as one unit: token rules per file, then the
+/// interprocedural rules over the call graph built from *all* of them.
+/// `deps` (the crate dependency closure) bounds cross-crate resolution;
+/// `None` lets every name resolve everywhere (fixture units).
+pub fn lint_unit(
+    inputs: Vec<(String, String)>,
+    cfg: &LintConfig,
+    deps: Option<&callgraph::CrateDeps>,
+) -> UnitOutcome {
+    let files: Vec<analysis::FileData> = inputs
+        .into_iter()
+        .map(|(rel, source)| analysis::load(rel, source))
         .collect();
-    if applicable.is_empty() {
-        return Vec::new();
+    let graph = analysis::build_graph(&files, deps);
+
+    // (file index, violation) from both layers, then shared suppression.
+    let mut violations: Vec<(usize, rules::Violation)> = Vec::new();
+    for (fix, f) in files.iter().enumerate() {
+        for rule in ALL_RULES {
+            if cfg.scope(rule).is_some_and(|s| s.covers(&f.rel))
+                && !cfg.file_allowed(rule, &f.rel)
+            {
+                violations.extend(
+                    rules::check(rule, &f.lexed, &f.in_test)
+                        .into_iter()
+                        .map(|v| (fix, v)),
+                );
+            }
+        }
     }
-    let lexed = lexer::lex(source);
-    let in_test = lexer::mark_test_regions(&lexed.tokens);
-    let targets = rules::pragma_targets(&lexed);
-    let mut out = Vec::new();
-    for (line, col, summary) in rules::pragma_problems(&lexed.pragmas) {
-        out.push(Diagnostic {
-            path: rel_path.to_string(),
-            line,
-            col,
-            width: 2,
-            rule_id: "P0",
-            rule_name: "pragma",
-            summary,
-            help: None,
-        });
-    }
-    for rule in applicable {
-        for v in rules::check(rule, &lexed, &in_test) {
-            if rules::suppressed(&v, &lexed, &targets) {
+    violations.extend(analysis::graph_violations(&files, &graph, cfg));
+
+    let mut diagnostics = Vec::new();
+    for (fix, f) in files.iter().enumerate() {
+        // Pragma problems are hard errors on every file — including files
+        // no rule is scoped to, so a typo'd suppression can never sit
+        // silently in the tree.
+        for (line, col, summary) in pragma::problems(&f.lexed.pragmas) {
+            diagnostics.push(Diagnostic {
+                path: f.rel.clone(),
+                line,
+                col,
+                width: 2,
+                rule_id: "P0",
+                rule_name: "pragma",
+                summary,
+                note: None,
+                help: None,
+            });
+        }
+        let targets = pragma::targets(&f.lexed);
+        for (vfix, v) in &violations {
+            if *vfix != fix || pragma::suppresses(v.rule, v.line, &f.lexed, &targets) {
                 continue;
             }
-            out.push(Diagnostic {
-                path: rel_path.to_string(),
+            diagnostics.push(Diagnostic {
+                path: f.rel.clone(),
                 line: v.line,
                 col: v.col,
                 width: v.width,
-                rule_id: rule.id(),
-                rule_name: rule.name(),
-                summary: rule.summary(&v.found),
-                help: Some(rule.help()),
+                rule_id: v.rule.id(),
+                rule_name: v.rule.name(),
+                summary: v.rule.summary(&v.found),
+                note: v.note.clone(),
+                help: Some(v.rule.help()),
             });
         }
     }
-    out.sort_by(|a, b| (a.line, a.col, a.rule_id).cmp(&(b.line, b.col, b.rule_id)));
-    out
+    diagnostics.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule_id).cmp(&(b.path.as_str(), b.line, b.col, b.rule_id))
+    });
+    diagnostics.dedup_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule_id) == (b.path.as_str(), b.line, b.col, b.rule_id)
+    });
+    UnitOutcome {
+        files,
+        diagnostics,
+        graph,
+    }
+}
+
+/// Lint one file's source text. This is the unit the fixture tests drive
+/// directly; the call graph is built from just this file.
+pub fn lint_source(rel_path: &str, source: &str, cfg: &LintConfig) -> Vec<Diagnostic> {
+    lint_unit(vec![(rel_path.to_string(), source.to_string())], cfg, None).diagnostics
 }
 
 /// Outcome of a workspace run.
@@ -131,13 +274,43 @@ pub fn lint_source(rel_path: &str, source: &str, cfg: &LintConfig) -> Vec<Diagno
 pub struct Report {
     pub files_scanned: usize,
     pub diagnostics: Vec<Diagnostic>,
-    /// (rel_path, rendered) pairs, ready to print.
+    /// Rendered text, aligned index-for-index with `diagnostics`.
     pub rendered: Vec<String>,
+    /// Per-crate `(functions, edges)` call-graph summary.
+    pub graph_summary: BTreeMap<String, (usize, usize)>,
 }
 
 impl Report {
     pub fn is_clean(&self) -> bool {
         self.diagnostics.is_empty()
+    }
+
+    /// Machine-readable report: findings plus the call-graph summary. This
+    /// is what `cargo lint --format json` prints and what the CI annotation
+    /// step consumes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(out, "\"files_scanned\":{}", self.files_scanned);
+        out.push_str(",\"graph\":{");
+        for (i, (krate, (fns, edges))) in self.graph_summary.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{}:{{\"functions\":{fns},\"edges\":{edges}}}",
+                json_string(krate)
+            );
+        }
+        out.push_str("},\"findings\":[");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&d.to_json());
+        }
+        out.push_str("]}");
+        out
     }
 }
 
@@ -169,24 +342,38 @@ pub fn collect_rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
-/// Lint the whole workspace rooted at `root` with `cfg`.
+/// Lint the whole workspace rooted at `root` with `cfg`: every `.rs` file
+/// becomes one unit, so the interprocedural rules see the complete
+/// first-party call graph (bounded by the crate dependency DAG parsed from
+/// the `Cargo.toml` manifests).
 pub fn lint_workspace(root: &Path, cfg: &LintConfig) -> std::io::Result<Report> {
-    let mut report = Report::default();
+    let mut inputs = Vec::new();
     for path in collect_rust_files(root)? {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
-        let source = std::fs::read_to_string(&path)?;
-        let diags = lint_source(&rel, &source, cfg);
-        report.files_scanned += 1;
-        for d in &diags {
-            report.rendered.push(d.render(Some(&source)));
-        }
-        report.diagnostics.extend(diags);
+        inputs.push((rel, std::fs::read_to_string(&path)?));
     }
-    Ok(report)
+    let deps = callgraph::parse_crate_deps(root);
+    let outcome = lint_unit(inputs, cfg, Some(&deps));
+    let sources: BTreeMap<&str, &str> = outcome
+        .files
+        .iter()
+        .map(|f| (f.rel.as_str(), f.source.as_str()))
+        .collect();
+    let rendered = outcome
+        .diagnostics
+        .iter()
+        .map(|d| d.render(sources.get(d.path.as_str()).copied()))
+        .collect();
+    Ok(Report {
+        files_scanned: outcome.files.len(),
+        diagnostics: outcome.diagnostics,
+        rendered,
+        graph_summary: outcome.graph.summary(),
+    })
 }
 
 /// Locate the workspace root: the nearest ancestor of `start` containing

@@ -1,18 +1,33 @@
 //! CLI entry point for `cargo lint`.
 //!
-//! Usage: `cargo lint [PATH …]`. With no arguments, lints every `.rs` file
-//! in the workspace (found by ascending from the current directory to the
-//! one containing `lint.toml`). With arguments, lints just those files —
-//! handy for pre-commit hooks.
+//! Usage: `cargo lint [--format human|json|github] [PATH …]`.
+//!
+//! With no path arguments, lints every `.rs` file in the workspace (found
+//! by ascending from the current directory to the one containing
+//! `lint.toml`). With paths, the *whole workspace* is still analyzed — the
+//! interprocedural rules need the full call graph — but only findings in
+//! the named files are reported, which is what a pre-commit hook wants.
+//!
+//! Formats: `human` (default, rustc-style with source excerpts), `json`
+//! (findings + call-graph summary, consumed by CI), `github` (one
+//! `::error` workflow command per finding, for inline PR annotations).
 //!
 //! Exit codes: 0 clean, 1 violations found, 2 setup error (missing or
-//! invalid `lint.toml`, unreadable file).
+//! invalid `lint.toml`, unknown flag, unreadable file).
 #![allow(clippy::print_stdout)]
 
+use std::collections::BTreeSet;
 use std::path::Path;
 use std::process::ExitCode;
 
-use asap_lint::{lint_source, lint_workspace, LintConfig};
+use asap_lint::{lint_workspace, LintConfig, Report};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+    Github,
+}
 
 fn main() -> ExitCode {
     let cwd = std::env::current_dir().unwrap_or_else(|_| Path::new(".").to_path_buf());
@@ -33,76 +48,119 @@ fn main() -> ExitCode {
         }
     };
 
-    let files: Vec<String> = std::env::args().skip(1).collect();
-    if files.is_empty() {
-        return run_workspace(&root, &cfg);
+    let mut format = Format::Human;
+    let mut files: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if let Some(v) = arg.strip_prefix("--format=") {
+            match parse_format(v) {
+                Some(f) => format = f,
+                None => return bad_format(v),
+            }
+        } else if arg == "--format" {
+            match args.next().as_deref().and_then(parse_format) {
+                Some(f) => format = f,
+                None => return bad_format("(missing)"),
+            }
+        } else if arg.starts_with("--") {
+            eprintln!("error: unknown flag `{arg}` (want --format human|json|github)");
+            return ExitCode::from(2);
+        } else {
+            files.push(arg);
+        }
     }
-    run_files(&root, &cfg, &files)
-}
 
-fn run_workspace(root: &Path, cfg: &LintConfig) -> ExitCode {
-    let report = match lint_workspace(root, cfg) {
+    // The graph rules need the whole workspace even when reporting on a
+    // subset of files.
+    let mut report = match lint_workspace(&root, &cfg) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: walking {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
-    for rendered in &report.rendered {
-        println!("{rendered}");
+    if !files.is_empty() {
+        let keep: BTreeSet<String> = files
+            .iter()
+            .map(|arg| {
+                let path = Path::new(arg);
+                let abs = if path.is_absolute() {
+                    path.to_path_buf()
+                } else {
+                    // Resolve relative to the invocation directory, not the
+                    // root: `cargo lint src/util.rs` inside a crate works.
+                    std::env::current_dir()
+                        .map(|d| d.join(path))
+                        .unwrap_or_else(|_| path.to_path_buf())
+                };
+                abs.strip_prefix(&root)
+                    .unwrap_or(&abs)
+                    .to_string_lossy()
+                    .replace('\\', "/")
+            })
+            .collect();
+        let kept: Vec<usize> = (0..report.diagnostics.len())
+            .filter(|&i| keep.contains(&report.diagnostics[i].path))
+            .collect();
+        report.rendered = kept.iter().map(|&i| report.rendered[i].clone()).collect();
+        report.diagnostics = kept
+            .into_iter()
+            .map(|i| report.diagnostics[i].clone())
+            .collect();
     }
-    if report.is_clean() {
-        println!(
-            "asap-lint: {} files clean (rules R1-R5, lint.toml at {})",
-            report.files_scanned,
-            root.join("lint.toml").display()
-        );
-        ExitCode::SUCCESS
-    } else {
-        println!(
-            "asap-lint: {} violation(s) in {} files scanned",
-            report.diagnostics.len(),
-            report.files_scanned
-        );
-        ExitCode::from(1)
+    emit(&report, format, &root)
+}
+
+fn parse_format(s: &str) -> Option<Format> {
+    match s {
+        "human" => Some(Format::Human),
+        "json" => Some(Format::Json),
+        "github" => Some(Format::Github),
+        _ => None,
     }
 }
 
-fn run_files(root: &Path, cfg: &LintConfig, files: &[String]) -> ExitCode {
-    let mut total = 0usize;
-    for arg in files {
-        let path = Path::new(arg);
-        let abs = if path.is_absolute() {
-            path.to_path_buf()
-        } else {
-            // Resolve relative to the invocation directory, not the root:
-            // `cargo lint src/util.rs` from inside a crate should work.
-            std::env::current_dir()
-                .map(|d| d.join(path))
-                .unwrap_or_else(|_| path.to_path_buf())
-        };
-        let rel = abs
-            .strip_prefix(root)
-            .unwrap_or(&abs)
-            .to_string_lossy()
-            .replace('\\', "/");
-        let source = match std::fs::read_to_string(&abs) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("error: cannot read {}: {e}", abs.display());
-                return ExitCode::from(2);
+fn bad_format(got: &str) -> ExitCode {
+    eprintln!("error: unknown format `{got}` (want human, json, or github)");
+    ExitCode::from(2)
+}
+
+fn emit(report: &Report, format: Format, root: &Path) -> ExitCode {
+    match format {
+        Format::Json => println!("{}", report.to_json()),
+        Format::Github => {
+            for d in &report.diagnostics {
+                println!("{}", d.github_annotation());
             }
-        };
-        for d in lint_source(&rel, &source, cfg) {
-            println!("{}", d.render(Some(&source)));
-            total += 1;
+        }
+        Format::Human => {
+            for rendered in &report.rendered {
+                println!("{rendered}");
+            }
+            if report.is_clean() {
+                let (fns, edges) = report
+                    .graph_summary
+                    .values()
+                    .fold((0, 0), |(f, e), (df, de)| (f + df, e + de));
+                println!(
+                    "asap-lint: {} files clean (rules R1-R6; call graph: {} fns, {} edges; lint.toml at {})",
+                    report.files_scanned,
+                    fns,
+                    edges,
+                    root.join("lint.toml").display()
+                );
+            } else {
+                println!(
+                    "asap-lint: {} violation(s) in {} files scanned",
+                    report.diagnostics.len(),
+                    report.files_scanned
+                );
+            }
         }
     }
-    if total == 0 {
-        println!("asap-lint: {} file(s) clean", files.len());
+    if report.is_clean() {
         ExitCode::SUCCESS
     } else {
-        println!("asap-lint: {total} violation(s)");
         ExitCode::from(1)
     }
 }

@@ -1,6 +1,16 @@
-//! Fixture: a reason-less pragma is a hard error AND does not suppress.
+//! Fixture: a reason-less pragma is a hard error AND does not suppress;
+//! so is a pragma naming an unknown rule id.
 
-pub fn f(x: Option<u32>) -> u32 {
-    // lint: allow(unwrap)
-    x.unwrap()
+pub struct Proto;
+
+impl Protocol for Proto {
+    fn on_query(&mut self, x: Option<u32>) -> u32 {
+        // lint: allow(unwrap)
+        x.unwrap()
+    }
+
+    fn on_timer(&mut self, x: Option<u32>) -> u32 {
+        // lint: allow(unwrap-everything, reason=this rule id does not exist)
+        x.unwrap()
+    }
 }

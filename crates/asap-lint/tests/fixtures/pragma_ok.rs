@@ -1,10 +1,14 @@
-//! Fixture: pragma-suppressed violations do not fire.
+//! Fixture: pragma-suppressed violations do not fire (new name + legacy alias).
 
-pub fn head(queue: &mut Vec<u32>) -> u32 {
-    // lint: allow(unwrap, reason=fixture demonstrates own-line suppression)
-    queue.pop().unwrap()
-}
+pub struct Proto;
 
-pub fn trailing(queue: &mut Vec<u32>) -> u32 {
-    queue.pop().unwrap() // lint: allow(unwrap, reason=same-line form)
+impl Protocol for Proto {
+    fn on_query(&mut self, queue: &mut Vec<u32>) -> u32 {
+        // lint: allow(panic-reachability, reason=fixture demonstrates own-line suppression)
+        queue.pop().unwrap()
+    }
+
+    fn on_message(&mut self, queue: &mut Vec<u32>) -> u32 {
+        queue.pop().unwrap() // lint: allow(unwrap, reason=legacy alias keeps working)
+    }
 }

@@ -1,7 +1,11 @@
-//! Fixture: R4 unwrap violations.
+//! Fixture: R4 panic-reachability — unwrap/expect in a Protocol method.
 
-pub fn deliver(queue: &mut Vec<u32>) -> u32 {
-    let head = queue.pop().unwrap();
-    let checked = queue.first().expect("nonempty");
-    head + *checked
+pub struct Proto;
+
+impl Protocol for Proto {
+    fn on_query(&mut self, queue: &mut Vec<u32>) -> u32 {
+        let head = queue.pop().unwrap();
+        let checked = queue.first().expect("nonempty");
+        head + *checked
+    }
 }

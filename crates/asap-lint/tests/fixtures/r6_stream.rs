@@ -1,0 +1,12 @@
+//! Fixture: R6 stream-discipline violations — a foreign stream's salt
+//! referenced outside its owner file, and an unsalted `seed_from_u64`.
+
+const LOCAL_SEED: u64 = 7;
+
+pub fn seed_foreign(run: u64) -> u64 {
+    run ^ ALPHA_STREAM_SALT
+}
+
+pub fn make_rng(run: u64) -> SmallRng {
+    SmallRng::seed_from_u64(run ^ LOCAL_SEED)
+}

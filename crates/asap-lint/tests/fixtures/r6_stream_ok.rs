@@ -1,0 +1,11 @@
+//! Fixture: R6 clean — the owner file may use its own salt, and a derived
+//! child stream carries a justifying pragma.
+
+pub fn owner_seed(run: u64) -> SmallRng {
+    SmallRng::seed_from_u64(run ^ ALPHA_STREAM_SALT)
+}
+
+pub fn derived(parent: &mut SmallRng) -> SmallRng {
+    // lint: allow(rng-stream-discipline, reason=derived child stream seeded from the parent stream's output)
+    SmallRng::seed_from_u64(parent.gen())
+}

@@ -1,0 +1,11 @@
+//! Fixture (cross-file, with reach_helper.rs): the Protocol method calls a
+//! helper defined in another file. The pre-call-graph R4 scoped by path
+//! lists and missed this class entirely.
+
+pub struct Proto;
+
+impl Protocol for Proto {
+    fn on_message(&mut self, v: Option<u32>) -> u32 {
+        fetch_remote(v)
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture (cross-file, with reach_entry.rs): the unwrap here is only a
+//! violation because reach_entry.rs makes it reachable; `untouched` stays
+//! clean because nothing reaches it.
+
+pub fn fetch_remote(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn untouched(v: Option<u32>) -> u32 {
+    v.expect("never called from a Protocol impl")
+}

@@ -1,0 +1,19 @@
+//! Fixture: R3 digest-taint — a float helper reachable from a digest sink,
+//! in a file the direct `paths` scope never covers.
+
+pub struct Digest(u64);
+
+impl Digest {
+    pub fn write_u64(&mut self, v: u64) {
+        self.0 ^= widen(v);
+    }
+}
+
+fn widen(v: u64) -> u64 {
+    let scaled = (v as f64) * 1.5;
+    scaled as u64
+}
+
+fn off_path(v: u64) -> u64 {
+    ((v as f64) * 2.5) as u64
+}

@@ -1,0 +1,15 @@
+//! Fixture: R3 digest-taint suppressed by an own-line pragma.
+
+pub struct Digest(u64);
+
+impl Digest {
+    pub fn write_u64(&mut self, v: u64) {
+        self.0 ^= widen(v);
+    }
+}
+
+fn widen(v: u64) -> u64 {
+    // lint: allow(digest-taint, reason=fixture demonstrates suppression; rounding proven exact)
+    let scaled = (v as f64) * 1.5;
+    scaled as u64
+}

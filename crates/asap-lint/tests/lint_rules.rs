@@ -5,12 +5,15 @@
 use asap_lint::{lint_source, LintConfig, RuleScope, ALL_RULES};
 
 /// Config with every rule in scope for every path (fixtures bypass
-/// `lint.toml` scoping so they exercise the rules themselves).
+/// `lint.toml` scoping so they exercise the rules themselves). R4 roots
+/// mirror the workspace config so `impl Protocol` fixtures are reachable.
 fn everywhere() -> LintConfig {
     let mut cfg = LintConfig::default();
     for rule in ALL_RULES {
         cfg.scopes.insert(rule, RuleScope::everywhere());
     }
+    cfg.panic_roots = vec!["Simulation::run".to_string()];
+    cfg.panic_root_traits = vec!["Protocol".to_string()];
     cfg
 }
 
@@ -55,8 +58,10 @@ fn r3_flags_float_types_and_literals() {
 }
 
 #[test]
-fn r4_flags_unwrap_and_expect_calls() {
-    assert_eq!(lines_for("r4_unwrap.rs", "R4"), vec![4, 5]);
+fn r4_flags_unwrap_and_expect_in_protocol_impls() {
+    // The fixture's panicking fn is an `impl Protocol` method, which the
+    // `panic_root_traits` config makes a reachability root.
+    assert_eq!(lines_for("r4_unwrap.rs", "R4"), vec![7, 8]);
 }
 
 #[test]
@@ -78,12 +83,19 @@ fn pragmas_suppress_in_both_positions() {
 }
 
 #[test]
-fn reasonless_pragma_errors_and_does_not_suppress() {
+fn bad_pragmas_error_and_do_not_suppress() {
+    // Line 8: reason-less pragma; line 13: unknown rule id. Both are P0
+    // hard errors, and neither suppresses the unwrap on the next line.
     let got = findings("bad_pragma.rs");
     assert_eq!(
         got,
-        vec![("P0".to_string(), 4), ("R4".to_string(), 5)],
-        "the pragma itself is a hard error AND the unwrap still fires"
+        vec![
+            ("P0".to_string(), 8),
+            ("R4".to_string(), 9),
+            ("P0".to_string(), 13),
+            ("R4".to_string(), 14),
+        ],
+        "each pragma is a hard error AND the unwraps still fire"
     );
 }
 
@@ -163,9 +175,15 @@ fn workspace_config_scopes_r5_to_dispatch_files() {
 fn diagnostics_render_with_span_and_caret() {
     let src = fixture("r4_unwrap.rs");
     let diags = lint_source("crates/x/src/lib.rs", &src, &everywhere());
+    let annotation = diags[0].github_annotation();
+    assert!(
+        annotation.starts_with("::error file=crates/x/src/lib.rs,line=7,col="),
+        "workflow-command annotation well-formed: {annotation}"
+    );
     let rendered = diags[0].render(Some(&src));
-    assert!(rendered.contains("error[R4/unwrap]"), "{rendered}");
-    assert!(rendered.contains("--> crates/x/src/lib.rs:4:"), "{rendered}");
+    assert!(rendered.contains("error[R4/panic-reachability]"), "{rendered}");
+    assert!(rendered.contains("--> crates/x/src/lib.rs:7:"), "{rendered}");
     assert!(rendered.contains("^^^^^^"), "caret line present: {rendered}");
+    assert!(rendered.contains("= note: reachable via"), "{rendered}");
     assert!(rendered.contains("= help:"), "{rendered}");
 }

@@ -864,6 +864,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
                 // Borrow dance: attach_* needs &mut overlay and &mut rng.
                 // The candidate list (the joiner included, ascending order —
                 // same as the old materialized scan) borrows a disjoint field.
+                // lint: allow(rng-stream-discipline, reason=derived child stream: seeded from the engine stream's own output, so it inherits the engine salt's lineage deterministically)
                 let mut rng = SmallRng::seed_from_u64(ctx.rng.gen());
                 match ctx.overlay_kind {
                     OverlayKind::Random => {

@@ -16,7 +16,7 @@
 //! * [`chrome::to_chrome_trace`] — a `chrome://tracing` / Perfetto JSON
 //!   document with per-node instant events and per-query spans.
 //!
-//! Determinism policy (lint rules R1–R5 apply to this crate): events carry
+//! Determinism policy (lint rules R1–R6 apply to this crate): events carry
 //! integers and `Copy` enums only; aggregation uses integer-only
 //! [`asap_metrics::LogHistogram`]s; file I/O stays in `asap-bench`.
 

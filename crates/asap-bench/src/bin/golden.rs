@@ -1,11 +1,14 @@
 //! Regenerate or verify the committed replay-digest golden files.
 //!
-//! Five files are pinned: `golden/replay_tiny.txt` (the fault-free matrix —
+//! Six files are pinned: `golden/replay_tiny.txt` (the fault-free matrix —
 //! the paper's perfect network), `golden/replay_tiny_lossy.txt` (the same
 //! matrix under the `lossy` fault profile with protocol retries enabled),
-//! and one `golden/replay_tiny_<scenario>.txt` per robustness scenario pack
+//! one `golden/replay_tiny_<scenario>.txt` per robustness scenario pack
 //! (ad spam, adversarial free-riders, flash crowd — see
-//! `asap_bench::scenario`).
+//! `asap_bench::scenario`), and `golden/resume_tiny.txt` (tier 9: every
+//! honest cell plus one lossy and one spam10 cell checkpointed and resumed
+//! at three split points; `--check` additionally demands each resumed digest
+//! equal its uninterrupted run's digest bit-for-bit).
 //!
 //! * `cargo run -p asap-bench --bin golden` — replay both golden matrices
 //!   and rewrite the files. Run after an *intentional* behavior change and
@@ -22,8 +25,9 @@ use std::process::ExitCode;
 
 use asap_bench::faults::FaultProfile;
 use asap_bench::harness::{
-    golden_lines_scenario, golden_lines_with, golden_world, replay_matrix_parallel,
-    replay_matrix_traced, replay_scenario_matrix, ReplayRecord, GOLDEN_LOSSY_PROFILE,
+    diff_golden, golden_lines_scenario, golden_lines_with, golden_world, replay_matrix_parallel,
+    replay_matrix_traced, replay_scenario_matrix, resume_golden_lines, resume_matrix_records,
+    ReplayRecord, ResumeRecord, GOLDEN_LOSSY_PROFILE, REPLAY_KEY_COLS, RESUME_KEY_COLS,
 };
 use asap_bench::runner::World;
 use asap_bench::scenario::ScenarioPack;
@@ -73,8 +77,11 @@ fn replay_scenario(pack: ScenarioPack) -> Vec<ReplayRecord> {
     records
 }
 
-/// Write or check one golden file; returns true on success.
-fn pin(path: &str, fresh: &str, check: bool) -> bool {
+/// Write or check one golden file; returns true on success. In check mode
+/// every drifted cell is reported (per-cell digest diff via
+/// [`diff_golden`]), never just the first, before the file is declared
+/// failed — and the caller keeps checking the remaining files either way.
+fn pin(path: &str, fresh: &str, check: bool, key_cols: usize) -> bool {
     if !check {
         std::fs::write(path, fresh).expect("write golden file");
         eprintln!("wrote {path}");
@@ -87,22 +94,62 @@ fn pin(path: &str, fresh: &str, check: bool) -> bool {
             return false;
         }
     };
-    if committed == fresh {
+    let drifts = diff_golden(&committed, fresh, key_cols);
+    if drifts.is_empty() {
         eprintln!("golden file matches ({path})");
         return true;
     }
-    eprintln!("golden drift: recomputed digests differ from {path}");
-    for (got, want) in fresh.lines().zip(committed.lines()) {
-        if got != want {
-            eprintln!("  committed: {want}");
-            eprintln!("  computed:  {got}");
+    eprintln!(
+        "golden drift: {} cell(s) differ from {path}",
+        drifts.len()
+    );
+    for d in &drifts {
+        eprintln!("  cell [{}]", d.key);
+        match &d.committed {
+            Some(line) => eprintln!("    committed: {line}"),
+            None => eprintln!("    committed: (absent — new cell in the replay)"),
         }
-    }
-    if fresh.lines().count() != committed.lines().count() {
-        eprintln!("  (line counts differ)");
+        match &d.computed {
+            Some(line) => eprintln!("    computed:  {line}"),
+            None => eprintln!("    computed:  (absent — cell vanished from the replay)"),
+        }
     }
     eprintln!("if the change is intentional, regenerate: cargo run -p asap-bench --bin golden");
     false
+}
+
+/// Replay the resume-equivalence matrix (tier 9): every honest golden cell
+/// plus one lossy and one spam10 cell, each checkpointed and resumed at the
+/// three quarter points. Besides pinning the digests, every resumed digest
+/// must equal its cell's uninterrupted digest — the bit-identical-resume
+/// acceptance gate. Returns the records and whether that gate held.
+fn replay_resume(world: &World) -> (Vec<ResumeRecord>, bool) {
+    let workers = rayon::current_num_threads();
+    eprintln!(
+        "replaying the resume matrix (20 audited cells x 3 split points, workers={workers})..."
+    );
+    let records = resume_matrix_records(world, workers);
+    let mut ok = true;
+    for r in &records {
+        if r.digest != r.cold_digest {
+            eprintln!(
+                "error: resume divergence in {} / {} ({}) at s{} ({} us): \
+                 resumed {:016x} vs uninterrupted {:016x}",
+                r.cell.overlay.label(),
+                r.cell.algo.label(),
+                r.cell.variant.label(),
+                r.split_index,
+                r.split_us,
+                r.digest,
+                r.cold_digest
+            );
+            ok = false;
+        }
+    }
+    if ok {
+        eprintln!("all {} resumed digests are bit-identical to their uninterrupted runs", records.len());
+    }
+    (records, ok)
 }
 
 /// Replay the fault-free matrix with the recorder attached and demand the
@@ -157,7 +204,7 @@ fn main() -> ExitCode {
     ] {
         let records = replay(&world, faults);
         let fresh = golden_lines_with(&records, faults);
-        ok &= pin(path, &fresh, check);
+        ok &= pin(path, &fresh, check, REPLAY_KEY_COLS);
         if trace && faults.is_none() {
             ok &= trace_pass(&world, &records);
         }
@@ -170,7 +217,14 @@ fn main() -> ExitCode {
             env!("CARGO_MANIFEST_DIR"),
             pack.golden_file()
         );
-        ok &= pin(&path, &fresh, check);
+        ok &= pin(&path, &fresh, check, REPLAY_KEY_COLS);
+    }
+    {
+        let (records, resume_ok) = replay_resume(&world);
+        ok &= resume_ok;
+        let fresh = resume_golden_lines(&records);
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/resume_tiny.txt");
+        ok &= pin(path, &fresh, check, RESUME_KEY_COLS);
     }
     if ok {
         ExitCode::SUCCESS

@@ -19,12 +19,13 @@
 
 use crate::algo::AlgoKind;
 use crate::faults::FaultProfile;
-use crate::runner::{run_cell_spec, sweep_cells_spec, CellReport, RunSpec, World};
+use crate::runner::{run_cell_spec, run_cell_split, sweep_cells_spec, CellReport, RunSpec, World};
 use crate::scale::Scale;
 use crate::scenario::ScenarioPack;
 use asap_overlay::OverlayKind;
 use asap_sim::trace::TraceConfig;
 use asap_sim::AuditConfig;
+use rayon::prelude::*;
 
 /// The pinned replay world: tiny scale so the whole matrix replays in
 /// seconds, covering all three overlay families.
@@ -227,6 +228,228 @@ fn golden_lines_tagged(records: &[ReplayRecord], tag: &str) -> String {
     out
 }
 
+// --- resume-equivalence tier (tier 9) -------------------------------------
+
+/// Which optional-layer axis a resume-tier cell runs under. The cold half of
+/// every resume cell attaches the variant's layers on the builder; the
+/// resumed half attaches **nothing** — audit, faults, and adversary state
+/// all ride the checkpoint (see [`run_cell_split`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResumeVariant {
+    /// The paper's perfect network (the fault-free replay spec).
+    Honest,
+    /// The pinned lossy fault profile, retries enabled.
+    Lossy,
+    /// The 10 %-ad-spam adversary of the `spam10` scenario pack.
+    Spam10,
+}
+
+impl ResumeVariant {
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Honest => "honest",
+            Self::Lossy => "lossy",
+            Self::Spam10 => "spam10",
+        }
+    }
+
+    /// The audited [`RunSpec`] of this variant's cold run.
+    pub fn spec(self) -> RunSpec {
+        match self {
+            Self::Honest => replay_spec(FaultProfile::None, false),
+            Self::Lossy => replay_spec(GOLDEN_LOSSY_PROFILE, false),
+            Self::Spam10 => scenario_spec(ScenarioPack::Spam10),
+        }
+    }
+}
+
+/// Resume split points per cell: the quarter points 1/4, 2/4, 3/4 of the
+/// cold run's end time, so every cell is cut mid-warm-up, mid-steady-state,
+/// and into the settling tail.
+pub const RESUME_SPLITS: u64 = 3;
+
+/// One cell of the resume-equivalence matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResumeCell {
+    pub algo: AlgoKind,
+    pub overlay: OverlayKind,
+    pub variant: ResumeVariant,
+}
+
+/// The resume-tier matrix: every honest golden cell, plus one lossy and one
+/// spam10 cell so checkpointed fault and adversary layers stay covered. All
+/// twenty cells share [`golden_world`] — the spam10 pack's workload axis is
+/// inert, which `scenario::tests` pins.
+pub fn resume_matrix_cells() -> Vec<ResumeCell> {
+    let mut cells: Vec<ResumeCell> = replay_matrix_cells()
+        .into_iter()
+        .map(|(algo, overlay)| ResumeCell {
+            algo,
+            overlay,
+            variant: ResumeVariant::Honest,
+        })
+        .collect();
+    cells.push(ResumeCell {
+        algo: AlgoKind::AsapRw,
+        overlay: OverlayKind::Crawled,
+        variant: ResumeVariant::Lossy,
+    });
+    cells.push(ResumeCell {
+        algo: AlgoKind::AsapGsa,
+        overlay: OverlayKind::Crawled,
+        variant: ResumeVariant::Spam10,
+    });
+    cells
+}
+
+/// One checkpoint/resume replay of one cell at one split point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResumeRecord {
+    pub cell: ResumeCell,
+    /// 1-based quarter index of the split (1..=[`RESUME_SPLITS`]).
+    pub split_index: u64,
+    /// The split's virtual time: `cold_end_us * split_index / 4`.
+    pub split_us: u64,
+    /// Digest of the split run (cold half → checkpoint → resumed half).
+    pub digest: u64,
+    /// Digest of the same cell run uninterrupted. Bit-identical resume means
+    /// `digest == cold_digest` for every record; the golden `--check` mode
+    /// and the tier-9 spot check both verify it.
+    pub cold_digest: u64,
+}
+
+/// Replay one resume cell: one uninterrupted audited run for the reference
+/// digest and end time, then one split run per quarter point.
+pub fn replay_resume_cell(world: &World, cell: ResumeCell) -> Vec<ResumeRecord> {
+    let spec = cell.variant.spec();
+    let cold = run_cell_spec(world, cell.algo, cell.overlay, &spec);
+    let cold_digest = cell_to_record(&cold).digest;
+    (1..=RESUME_SPLITS)
+        .map(|k| {
+            let split_us = cold.end_time_us * k / (RESUME_SPLITS + 1);
+            let resumed = run_cell_split(world, cell.algo, cell.overlay, &spec, split_us);
+            ResumeRecord {
+                cell,
+                split_index: k,
+                split_us,
+                digest: cell_to_record(&resumed).digest,
+                cold_digest,
+            }
+        })
+        .collect()
+}
+
+/// The whole resume matrix, fanned across `workers` rayon workers at cell
+/// grain (each cell's four runs stay serial on one worker). Records come
+/// back in cell-then-split order regardless of the worker count.
+pub fn resume_matrix_records(world: &World, workers: usize) -> Vec<ResumeRecord> {
+    let cells = resume_matrix_cells();
+    if workers <= 1 {
+        return cells
+            .into_iter()
+            .flat_map(|c| replay_resume_cell(world, c))
+            .collect();
+    }
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(workers.min(cells.len()))
+        .build()
+        .unwrap_or_else(|e| panic!("building the resume thread pool failed: {e}"));
+    let per_cell: Vec<Vec<ResumeRecord>> = pool.install(|| {
+        cells
+            .into_par_iter()
+            .map(|c| replay_resume_cell(world, c))
+            .collect()
+    });
+    per_cell.into_iter().flatten().collect()
+}
+
+/// Serialize resume records in the tier-9 golden-file format. The line key
+/// is the first [`RESUME_KEY_COLS`] columns (`overlay algo variant sK`);
+/// `split_us` is data, not key — it moves with any end-time change.
+pub fn resume_golden_lines(records: &[ResumeRecord]) -> String {
+    let mut out = format!(
+        "# resume digests: scale=tiny seed={GOLDEN_SEED} splits=quarter points of the cold end time\n\
+         # overlay algo variant split split_us digest\n"
+    );
+    for r in records {
+        out.push_str(&format!(
+            "{} {} {} s{} {} {:016x}\n",
+            r.cell.overlay.label(),
+            r.cell.algo.label(),
+            r.cell.variant.label(),
+            r.split_index,
+            r.split_us,
+            r.digest
+        ));
+    }
+    out
+}
+
+/// Key width of a resume golden line (`overlay algo variant sK`).
+pub const RESUME_KEY_COLS: usize = 4;
+
+/// Key width of a replay golden line (`overlay algo`).
+pub const REPLAY_KEY_COLS: usize = 2;
+
+// --- golden-file diffing ---------------------------------------------------
+
+/// One drifted cell of a golden-file comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GoldenDrift {
+    /// The leading key columns identifying the cell (e.g. `crawled ASAP(RW)`).
+    pub key: String,
+    /// The committed line; `None` when the cell only exists in the replay.
+    pub committed: Option<String>,
+    /// The recomputed line; `None` when the cell vanished from the replay.
+    pub computed: Option<String>,
+}
+
+/// Compare a committed golden file against freshly computed lines, pairing
+/// record lines by their first `key_cols` whitespace columns. Returns
+/// **every** drifted cell — never just the first — so one `--check` run
+/// names the full blast radius of a behavior change. Comments and blank
+/// lines are ignored on both sides.
+pub fn diff_golden(committed: &str, fresh: &str, key_cols: usize) -> Vec<GoldenDrift> {
+    fn index(text: &str, key_cols: usize) -> Vec<(String, String)> {
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(|l| {
+                let key: Vec<&str> = l.split_whitespace().take(key_cols).collect();
+                (key.join(" "), l.to_string())
+            })
+            .collect()
+    }
+    let want = index(committed, key_cols);
+    let got = index(fresh, key_cols);
+    let mut drifts = Vec::new();
+    for (key, line) in &want {
+        match got.iter().find(|(k, _)| k == key) {
+            Some((_, g)) if g == line => {}
+            Some((_, g)) => drifts.push(GoldenDrift {
+                key: key.clone(),
+                committed: Some(line.clone()),
+                computed: Some(g.clone()),
+            }),
+            None => drifts.push(GoldenDrift {
+                key: key.clone(),
+                committed: Some(line.clone()),
+                computed: None,
+            }),
+        }
+    }
+    for (key, line) in &got {
+        if !want.iter().any(|(k, _)| k == key) {
+            drifts.push(GoldenDrift {
+                key: key.clone(),
+                committed: None,
+                computed: Some(line.clone()),
+            });
+        }
+    }
+    drifts
+}
+
 /// Parse a golden file back into `(overlay, algo, digest)` triples,
 /// skipping comments and blank lines.
 pub fn parse_golden(text: &str) -> Vec<(String, String, u64)> {
@@ -270,5 +493,79 @@ mod tests {
                 0xdead_beef_0123_4567
             )]
         );
+    }
+
+    #[test]
+    fn resume_matrix_covers_honest_lossy_and_spam() {
+        let cells = resume_matrix_cells();
+        assert_eq!(cells.len(), 20);
+        assert_eq!(
+            cells
+                .iter()
+                .filter(|c| c.variant == ResumeVariant::Honest)
+                .count(),
+            18
+        );
+        assert!(cells
+            .iter()
+            .any(|c| c.variant == ResumeVariant::Lossy && c.algo.is_asap()));
+        assert!(cells
+            .iter()
+            .any(|c| c.variant == ResumeVariant::Spam10 && c.algo.is_asap()));
+        // All twenty share golden_world(): the spam10 workload axis is inert.
+        assert!(ScenarioPack::Spam10.workload_pack().is_inert());
+    }
+
+    /// Regression for the `golden --check` first-mismatch exit: a
+    /// deliberately stale fixture with several kinds of drift must surface
+    /// *every* drifted cell in one diff, not just the first.
+    #[test]
+    fn diff_golden_reports_every_stale_cell() {
+        let committed = "\
+# replay digests: scale=tiny seed=11
+# overlay algo digest queries succeeded messages
+random flooding 000000000000aaaa 300 280 12345
+random GSA 000000000000bbbb 300 250 9999
+random random-walk 000000000000cccc 300 240 8888
+random ASAP(RW) 000000000000dddd 300 290 7777
+";
+        let fresh = "\
+# replay digests: scale=tiny seed=11
+# overlay algo digest queries succeeded messages
+random flooding 000000000000aaaa 300 280 12345
+random GSA 111111111111bbbb 300 251 9999
+random random-walk 222222222222cccc 300 240 8811
+random ASAP(FLD) 000000000000eeee 300 260 6666
+";
+        let drifts = diff_golden(committed, fresh, REPLAY_KEY_COLS);
+        // GSA + random-walk drifted, ASAP(RW) vanished, ASAP(FLD) appeared —
+        // all four reported, the matching flooding cell not.
+        assert_eq!(drifts.len(), 4, "drifts: {drifts:#?}");
+        let by_key = |k: &str| drifts.iter().find(|d| d.key == k).expect(k);
+        let gsa = by_key("random GSA");
+        assert!(gsa.committed.as_deref().unwrap().contains("000000000000bbbb"));
+        assert!(gsa.computed.as_deref().unwrap().contains("111111111111bbbb"));
+        assert!(by_key("random random-walk").computed.is_some());
+        assert!(by_key("random ASAP(RW)").computed.is_none(), "vanished cell");
+        assert!(by_key("random ASAP(FLD)").committed.is_none(), "new cell");
+        assert!(!drifts.iter().any(|d| d.key == "random flooding"));
+    }
+
+    #[test]
+    fn diff_golden_is_empty_for_identical_files() {
+        let text = "# header\nrandom flooding 0000000000000001 1 1 1\n";
+        assert!(diff_golden(text, text, REPLAY_KEY_COLS).is_empty());
+    }
+
+    #[test]
+    fn diff_golden_keys_resume_lines_on_variant_and_split() {
+        // split_us is data: an end-time shift must read as digest drift on
+        // the same key, not as a removed + added cell.
+        let committed = "crawled ASAP(RW) lossy s2 9000000 000000000000aaaa\n";
+        let fresh = "crawled ASAP(RW) lossy s2 9100000 000000000000aaab\n";
+        let drifts = diff_golden(committed, fresh, RESUME_KEY_COLS);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].key, "crawled ASAP(RW) lossy s2");
+        assert!(drifts[0].committed.is_some() && drifts[0].computed.is_some());
     }
 }

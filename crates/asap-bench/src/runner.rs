@@ -10,8 +10,8 @@ use asap_overlay::{OverlayConfig, OverlayKind};
 use asap_search::{Flooding, FloodingConfig, Gsa, GsaConfig, RandomWalk, RandomWalkConfig};
 use asap_sim::trace::{Recorder, TraceConfig};
 use asap_sim::{
-    AdversaryStats, AuditConfig, AuditReport, EngineProfile, FaultStats, Fnv64, Protocol,
-    SimBuilder, SimReport, Simulation,
+    AdversaryStats, AuditConfig, AuditReport, Checkpoint, CheckpointProtocol, EngineProfile,
+    FaultStats, Fnv64, Protocol, SimBuilder, SimReport, Simulation,
 };
 use asap_topology::PhysicalNetwork;
 use asap_workload::{HeterogeneityPack, Workload};
@@ -250,22 +250,108 @@ pub fn run_cell_spec(
     overlay_kind: OverlayKind,
     spec: &RunSpec,
 ) -> CellReport {
-    fn go<P: Protocol>(mut b: SimBuilder<'_, P>, spec: &RunSpec, peers: usize) -> SimReport<P> {
-        if let Some(cfg) = spec.audit.clone() {
-            b = b.audit(cfg);
-        }
-        if !spec.faults.is_none() {
-            b = b.faults(spec.faults.plan(peers));
-        }
-        if !spec.adversary.is_none() {
-            b = b.adversary(spec.adversary.plan(peers));
-        }
-        if let Some(tc) = spec.trace {
-            b = b.trace(Box::new(Recorder::new(tc)));
-        }
-        b.run()
+    run_cell_exec(world, algo, overlay_kind, spec, None)
+}
+
+/// [`run_cell_spec`], split at `split_us`: run until every event at or
+/// before the split has dispatched, checkpoint, round-trip the checkpoint
+/// through its serialized bytes, resume onto a **fresh** builder, and run to
+/// completion. The resumed builder re-attaches none of the spec's audit /
+/// fault / adversary layers — they ride the checkpoint — so a report equal
+/// to the uninterrupted [`run_cell_spec`] proves the full state (layers
+/// included) survives serialization bit-identically.
+pub fn run_cell_split(
+    world: &World,
+    algo: AlgoKind,
+    overlay_kind: OverlayKind,
+    spec: &RunSpec,
+    split_us: u64,
+) -> CellReport {
+    run_cell_exec(world, algo, overlay_kind, spec, Some(split_us))
+}
+
+/// Attach the spec's optional engine layers to a builder.
+fn apply_spec<'a, P: Protocol>(
+    mut b: SimBuilder<'a, P>,
+    spec: &RunSpec,
+    peers: usize,
+) -> SimBuilder<'a, P> {
+    if let Some(cfg) = spec.audit.clone() {
+        b = b.audit(cfg);
     }
-    let overlay = world.overlay(overlay_kind);
+    if !spec.faults.is_none() {
+        b = b.faults(spec.faults.plan(peers));
+    }
+    if !spec.adversary.is_none() {
+        b = b.adversary(spec.adversary.plan(peers));
+    }
+    if let Some(tc) = spec.trace {
+        b = b.trace(Box::new(Recorder::new(tc)));
+    }
+    b
+}
+
+/// Drive one protocol through a cell, either uninterrupted or split at
+/// `split_us` via checkpoint/resume. `make` must construct the protocol
+/// deterministically — the split path calls it once per half and relies on
+/// `decode_state` overwriting the second instance's dynamic state.
+fn drive<P: CheckpointProtocol>(
+    world: &World,
+    overlay_kind: OverlayKind,
+    spec: &RunSpec,
+    split_us: Option<u64>,
+    make: impl Fn() -> P,
+) -> SimReport<P> {
+    let peers = world.scale.peers();
+    let b = apply_spec(
+        Simulation::builder(
+            &world.phys,
+            &world.workload,
+            world.overlay(overlay_kind),
+            overlay_kind,
+            make(),
+            world.seed,
+        ),
+        spec,
+        peers,
+    );
+    let Some(split_us) = split_us else {
+        return b.run();
+    };
+    let mut sim = b.build();
+    sim.run_until(split_us);
+    // Round-trip through the serialized form: the resumed half starts from
+    // exactly the bytes a checkpoint file would hold.
+    let ckpt = Checkpoint::from_bytes(sim.checkpoint().into_bytes())
+        .expect("a freshly taken checkpoint always re-parses");
+    drop(sim);
+    let mut fresh = Simulation::builder(
+        &world.phys,
+        &world.workload,
+        world.overlay(overlay_kind),
+        overlay_kind,
+        make(),
+        world.seed,
+    );
+    // Only the trace sink is re-attached: it is the one spec layer that
+    // lives outside checkpointed state (so the recorder holds post-split
+    // events only). Audit, faults, and adversary come from the checkpoint.
+    if let Some(tc) = spec.trace {
+        fresh = fresh.trace(Box::new(Recorder::new(tc)));
+    }
+    fresh
+        .from_checkpoint(&ckpt)
+        .expect("resume world matches the checkpointed world")
+        .run()
+}
+
+fn run_cell_exec(
+    world: &World,
+    algo: AlgoKind,
+    overlay_kind: OverlayKind,
+    spec: &RunSpec,
+    split_us: Option<u64>,
+) -> CellReport {
     let scale = world.scale;
     let seed = world.seed;
     let peers = scale.peers();
@@ -275,64 +361,37 @@ pub fn run_cell_spec(
             algo,
             overlay_kind,
             scale,
-            go(
-                Simulation::builder(
-                    &world.phys,
-                    &world.workload,
-                    overlay,
-                    overlay_kind,
-                    Flooding::new(FloodingConfig {
-                        retransmit: faults.retransmit(),
-                        ..FloodingConfig::default()
-                    }),
-                    seed,
-                ),
-                spec,
-                peers,
-            ),
+            drive(world, overlay_kind, spec, split_us, || {
+                Flooding::new(FloodingConfig {
+                    retransmit: faults.retransmit(),
+                    ..FloodingConfig::default()
+                })
+            }),
             None,
         ),
         AlgoKind::RandomWalk => finish(
             algo,
             overlay_kind,
             scale,
-            go(
-                Simulation::builder(
-                    &world.phys,
-                    &world.workload,
-                    overlay,
-                    overlay_kind,
-                    RandomWalk::new(RandomWalkConfig {
-                        walkers: 5,
-                        ttl: scale.rw_ttl(),
-                        retransmit: faults.retransmit(),
-                    }),
-                    seed,
-                ),
-                spec,
-                peers,
-            ),
+            drive(world, overlay_kind, spec, split_us, || {
+                RandomWalk::new(RandomWalkConfig {
+                    walkers: 5,
+                    ttl: scale.rw_ttl(),
+                    retransmit: faults.retransmit(),
+                })
+            }),
             None,
         ),
         AlgoKind::Gsa => finish(
             algo,
             overlay_kind,
             scale,
-            go(
-                Simulation::builder(
-                    &world.phys,
-                    &world.workload,
-                    overlay,
-                    overlay_kind,
-                    Gsa::new(GsaConfig {
-                        budget: scale.gsa_budget(),
-                        branch: 4,
-                    }),
-                    seed,
-                ),
-                spec,
-                peers,
-            ),
+            drive(world, overlay_kind, spec, split_us, || {
+                Gsa::new(GsaConfig {
+                    budget: scale.gsa_budget(),
+                    branch: 4,
+                })
+            }),
             None,
         ),
         AlgoKind::AsapFld | AlgoKind::AsapRw | AlgoKind::AsapGsa => {
@@ -340,29 +399,19 @@ pub fn run_cell_spec(
             // same (plan, peers, seed) role assignment the engine derives,
             // so protocol-layer and engine-layer adversaries are one peer
             // set. A `None` profile takes the plain constructor.
-            let protocol = if spec.adversary.is_none() {
-                algo.build_asap_with(scale, &world.workload.model, faults.robustness())
-            } else {
-                algo.build_asap_adversarial(
-                    scale,
-                    &world.workload.model,
-                    faults.robustness(),
-                    &spec.adversary.roles(peers, seed),
-                    seed,
-                )
-            };
-            let report = go(
-                Simulation::builder(
-                    &world.phys,
-                    &world.workload,
-                    overlay,
-                    overlay_kind,
-                    protocol,
-                    seed,
-                ),
-                spec,
-                peers,
-            );
+            let report = drive(world, overlay_kind, spec, split_us, || {
+                if spec.adversary.is_none() {
+                    algo.build_asap_with(scale, &world.workload.model, faults.robustness())
+                } else {
+                    algo.build_asap_adversarial(
+                        scale,
+                        &world.workload.model,
+                        faults.robustness(),
+                        &spec.adversary.roles(peers, seed),
+                        seed,
+                    )
+                }
+            });
             let stats = report.protocol.stats.clone();
             finish(algo, overlay_kind, scale, report, Some(stats))
         }
@@ -558,6 +607,31 @@ mod tests {
         let s = run_one(&world, AlgoKind::AsapRw, OverlayKind::Crawled);
         assert!(s.asap_stats.is_some());
         assert!(s.success_rate > 0.0);
+    }
+
+    #[test]
+    fn split_cell_matches_uninterrupted_run() {
+        let world = World::build(Scale::Tiny, 5);
+        let spec = RunSpec {
+            audit: Some(AuditConfig::default()),
+            ..RunSpec::default()
+        };
+        let cold = run_cell_spec(&world, AlgoKind::Gsa, OverlayKind::Random, &spec);
+        let split = run_cell_split(
+            &world,
+            AlgoKind::Gsa,
+            OverlayKind::Random,
+            &spec,
+            cold.end_time_us / 2,
+        );
+        assert_eq!(
+            cold.audit.as_ref().unwrap().digest,
+            split.audit.as_ref().unwrap().digest,
+            "checkpoint/resume split must be digest-identical"
+        );
+        assert_eq!(cold.summary.messages_sent, split.summary.messages_sent);
+        assert_eq!(cold.end_time_us, split.end_time_us);
+        assert_eq!(cold.succeeded, split.succeeded);
     }
 
     #[test]

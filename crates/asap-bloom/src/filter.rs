@@ -105,6 +105,33 @@ impl BloomFilter {
         keys.into_iter().all(|k| self.contains(k))
     }
 
+    /// Raw 64-bit words backing the bit vector (checkpointing).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuild a filter from [`BloomFilter::words`] output. The set-bit count
+    /// is recomputed; returns `None` when the word count doesn't match
+    /// `params.bits` or a bit beyond `params.bits` is set (corrupt input).
+    pub fn from_words(params: BloomParams, words: Vec<u64>) -> Option<Self> {
+        if words.len() != (params.bits as usize).div_ceil(64) {
+            return None;
+        }
+        let tail_bits = params.bits as usize % 64;
+        if tail_bits != 0 {
+            let last = *words.last()?;
+            if last >> tail_bits != 0 {
+                return None;
+            }
+        }
+        let ones = words.iter().map(|w| w.count_ones()).sum();
+        Some(Self {
+            params,
+            words,
+            ones,
+        })
+    }
+
     /// Positions of all set bits, ascending.
     pub fn one_positions(&self) -> Vec<u32> {
         let mut out = Vec::with_capacity(self.ones as usize);
@@ -210,6 +237,32 @@ impl CountingBloom {
     /// Borrow the live snapshot without cloning.
     pub fn as_filter(&self) -> &BloomFilter {
         &self.snapshot
+    }
+
+    /// Raw per-bit occurrence counts (checkpointing).
+    pub fn counts(&self) -> &[u16] {
+        &self.counts
+    }
+
+    /// Rebuild a counting filter from [`CountingBloom::counts`] output. The
+    /// flat snapshot is re-derived (bit set iff count > 0), which is exactly
+    /// the invariant `insert_hash`/`remove_hash` maintain. Returns `None`
+    /// when the count vector length doesn't match `params.bits`.
+    pub fn from_counts(params: BloomParams, counts: Vec<u16>) -> Option<Self> {
+        if counts.len() != params.bits as usize {
+            return None;
+        }
+        let mut snapshot = BloomFilter::empty(params);
+        for (bit, &c) in counts.iter().enumerate() {
+            if c > 0 {
+                snapshot.set_bit(bit as u32);
+            }
+        }
+        Some(Self {
+            params,
+            counts,
+            snapshot: Rc::new(snapshot),
+        })
     }
 }
 

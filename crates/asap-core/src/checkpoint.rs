@@ -1,0 +1,1039 @@
+//! Checkpoint codec for the ASAP protocol ([`CheckpointProtocol`]).
+//!
+//! Static configuration ([`crate::AsapConfig`]) and the keyword hash table
+//! (derived from the content model) are never serialized — the resume caller
+//! reconstructs the protocol with the same configuration the original run
+//! used. Everything dynamic rides the checkpoint: per-node counting filters,
+//! versions, ad repositories, fetch pacers and re-advertisement watchdogs,
+//! the pending-search table, the flood dedup window, claimed (spam) topics,
+//! the delivery-id counter and the aggregate stats.
+//!
+//! Maps serialize in ascending key order and sets in ascending element
+//! order (the only exceptions are `PendingSearch::in_flight` / `backlog`,
+//! whose *insertion* order is behaviorally meaningful and serialized
+//! verbatim), so encode → decode → re-encode is byte-identical.
+//!
+//! Bloom filters carry their [`BloomParams`] inline (`bits`, `hashes`, then
+//! the words or counts), making every filter self-describing: message decode
+//! is an associated function without access to the protocol config.
+//!
+//! `Rc` aliasing is *not* preserved: a filter shared by fifty caches
+//! serializes fifty times and decodes into fifty allocations. Behavior only
+//! depends on filter values, so digests are unaffected; only resumed-run
+//! memory footprints differ.
+//!
+//! The hierarchical [`crate::SuperAsap`] variant is deliberately *not*
+//! checkpointable: it is a demonstration deployment outside the pinned
+//! golden matrix, and growing it a codec would double this module for no
+//! replay coverage.
+
+use crate::ad::{AdPayload, AdSnapshot, AsapMsg, Forwarding};
+use crate::protocol::{Asap, NodeState, ReAdvert};
+use crate::repository::{AdRepository, CachedAd};
+use crate::search::{PendingSearch, Phase};
+use asap_bloom::{BloomFilter, BloomParams, CountingBloom, FilterPatch};
+use asap_overlay::PeerId;
+use asap_sim::checkpoint::{CheckpointProtocol, CodecError, Decoder, Encoder};
+use asap_sim::collections::{DetHashMap, DetHashSet};
+use asap_sim::util::{Backoff, SeenTracker};
+use asap_workload::{InterestSet, KeywordId};
+use std::rc::Rc;
+
+// ---------------------------------------------------------------------------
+// Primitive pieces
+// ---------------------------------------------------------------------------
+
+fn encode_terms(terms: &Rc<[KeywordId]>, enc: &mut Encoder) {
+    enc.put_len(terms.len());
+    for t in terms.iter() {
+        enc.put_u32(t.0);
+    }
+}
+
+fn decode_terms(dec: &mut Decoder<'_>) -> Result<Rc<[KeywordId]>, CodecError> {
+    let n = dec.get_count()?;
+    let mut v = Vec::with_capacity(n);
+    for _ in 0..n {
+        v.push(KeywordId(dec.get_u32()?));
+    }
+    Ok(v.into())
+}
+
+fn encode_backoff(b: &Backoff, enc: &mut Encoder) {
+    let (delay_us, cap_us, remaining) = b.raw_parts();
+    enc.put_u64(delay_us);
+    enc.put_u64(cap_us);
+    enc.put_u32(remaining);
+}
+
+fn decode_backoff(dec: &mut Decoder<'_>) -> Result<Backoff, CodecError> {
+    let delay_us = dec.get_u64()?;
+    let cap_us = dec.get_u64()?;
+    let remaining = dec.get_u32()?;
+    Ok(Backoff::from_raw_parts(delay_us, cap_us, remaining))
+}
+
+fn decode_params(dec: &mut Decoder<'_>) -> Result<BloomParams, CodecError> {
+    let bits = dec.get_u32()?;
+    let hashes = dec.get_u32()?;
+    if bits == 0 || hashes == 0 {
+        return Err(CodecError::Invalid("degenerate bloom params"));
+    }
+    Ok(BloomParams { bits, hashes })
+}
+
+fn encode_filter(filter: &BloomFilter, enc: &mut Encoder) {
+    let params = filter.params();
+    enc.put_u32(params.bits);
+    enc.put_u32(params.hashes);
+    let words = filter.words();
+    enc.put_len(words.len());
+    for &w in words {
+        enc.put_u64(w);
+    }
+}
+
+fn decode_filter(dec: &mut Decoder<'_>) -> Result<BloomFilter, CodecError> {
+    let params = decode_params(dec)?;
+    let n = dec.get_count()?;
+    let mut words = Vec::with_capacity(n);
+    for _ in 0..n {
+        words.push(dec.get_u64()?);
+    }
+    BloomFilter::from_words(params, words).ok_or(CodecError::Invalid("bloom filter words"))
+}
+
+fn encode_counting(filter: &CountingBloom, enc: &mut Encoder) {
+    let params = filter.params();
+    enc.put_u32(params.bits);
+    enc.put_u32(params.hashes);
+    let counts = filter.counts();
+    enc.put_len(counts.len());
+    for &c in counts {
+        enc.put_u16(c);
+    }
+}
+
+fn decode_counting(dec: &mut Decoder<'_>) -> Result<CountingBloom, CodecError> {
+    let params = decode_params(dec)?;
+    let n = dec.get_count()?;
+    let mut counts = Vec::with_capacity(n);
+    for _ in 0..n {
+        counts.push(dec.get_u16()?);
+    }
+    CountingBloom::from_counts(params, counts).ok_or(CodecError::Invalid("counting bloom counts"))
+}
+
+fn encode_snapshot(snap: &AdSnapshot, enc: &mut Encoder) {
+    enc.put_u32(snap.source.0);
+    enc.put_u16(snap.topics.0);
+    enc.put_u16(snap.version);
+    encode_filter(&snap.filter, enc);
+}
+
+fn decode_snapshot(dec: &mut Decoder<'_>) -> Result<AdSnapshot, CodecError> {
+    Ok(AdSnapshot {
+        source: PeerId(dec.get_u32()?),
+        topics: InterestSet(dec.get_u16()?),
+        version: dec.get_u16()?,
+        filter: Rc::new(decode_filter(dec)?),
+    })
+}
+
+fn encode_patch(patch: &FilterPatch, enc: &mut Encoder) {
+    enc.put_len(patch.set.len());
+    for &b in &patch.set {
+        enc.put_u32(b);
+    }
+    enc.put_len(patch.cleared.len());
+    for &b in &patch.cleared {
+        enc.put_u32(b);
+    }
+}
+
+fn decode_patch(dec: &mut Decoder<'_>) -> Result<FilterPatch, CodecError> {
+    let mut patch = FilterPatch::default();
+    let n = dec.get_count()?;
+    for _ in 0..n {
+        patch.set.push(dec.get_u32()?);
+    }
+    let n = dec.get_count()?;
+    for _ in 0..n {
+        patch.cleared.push(dec.get_u32()?);
+    }
+    Ok(patch)
+}
+
+fn encode_fwd(fwd: Forwarding, enc: &mut Encoder) {
+    match fwd {
+        Forwarding::Direct => enc.put_u8(0),
+        Forwarding::Flood { ttl } => {
+            enc.put_u8(1);
+            enc.put_u8(ttl);
+        }
+        Forwarding::Walk { budget } => {
+            enc.put_u8(2);
+            enc.put_u32(budget);
+        }
+        Forwarding::Gsa { budget } => {
+            enc.put_u8(3);
+            enc.put_u32(budget);
+        }
+    }
+}
+
+fn decode_fwd(dec: &mut Decoder<'_>) -> Result<Forwarding, CodecError> {
+    match dec.get_u8()? {
+        0 => Ok(Forwarding::Direct),
+        1 => Ok(Forwarding::Flood { ttl: dec.get_u8()? }),
+        2 => Ok(Forwarding::Walk {
+            budget: dec.get_u32()?,
+        }),
+        3 => Ok(Forwarding::Gsa {
+            budget: dec.get_u32()?,
+        }),
+        _ => Err(CodecError::BadTag),
+    }
+}
+
+fn encode_payload(payload: &AdPayload, enc: &mut Encoder) {
+    match payload {
+        AdPayload::Full(snap) => {
+            enc.put_u8(0);
+            encode_snapshot(snap, enc);
+        }
+        AdPayload::Patch {
+            source,
+            topics,
+            version,
+            patch,
+            result,
+        } => {
+            enc.put_u8(1);
+            enc.put_u32(source.0);
+            enc.put_u16(topics.0);
+            enc.put_u16(*version);
+            encode_patch(patch, enc);
+            encode_filter(result, enc);
+        }
+        AdPayload::Refresh {
+            source,
+            topics,
+            version,
+        } => {
+            enc.put_u8(2);
+            enc.put_u32(source.0);
+            enc.put_u16(topics.0);
+            enc.put_u16(*version);
+        }
+    }
+}
+
+fn decode_payload(dec: &mut Decoder<'_>) -> Result<AdPayload, CodecError> {
+    match dec.get_u8()? {
+        0 => Ok(AdPayload::Full(decode_snapshot(dec)?)),
+        1 => Ok(AdPayload::Patch {
+            source: PeerId(dec.get_u32()?),
+            topics: InterestSet(dec.get_u16()?),
+            version: dec.get_u16()?,
+            patch: Rc::new(decode_patch(dec)?),
+            result: Rc::new(decode_filter(dec)?),
+        }),
+        2 => Ok(AdPayload::Refresh {
+            source: PeerId(dec.get_u32()?),
+            topics: InterestSet(dec.get_u16()?),
+            version: dec.get_u16()?,
+        }),
+        _ => Err(CodecError::BadTag),
+    }
+}
+
+fn encode_asap_msg(msg: &AsapMsg, enc: &mut Encoder) {
+    match msg {
+        AsapMsg::Ad {
+            payload,
+            fwd,
+            delivery,
+        } => {
+            enc.put_u8(0);
+            encode_payload(payload, enc);
+            encode_fwd(*fwd, enc);
+            enc.put_u64(*delivery);
+        }
+        AsapMsg::FullAdFetch => enc.put_u8(1),
+        AsapMsg::AdsRequest {
+            requester,
+            interests,
+            hops,
+            query,
+            terms,
+        } => {
+            enc.put_u8(2);
+            enc.put_u32(requester.0);
+            enc.put_u16(interests.0);
+            enc.put_u8(*hops);
+            match query {
+                Some(q) => {
+                    enc.put_bool(true);
+                    enc.put_u32(*q);
+                }
+                None => enc.put_bool(false),
+            }
+            match terms {
+                Some(t) => {
+                    enc.put_bool(true);
+                    encode_terms(t, enc);
+                }
+                None => enc.put_bool(false),
+            }
+        }
+        AsapMsg::AdsReply { ads, query } => {
+            enc.put_u8(3);
+            enc.put_len(ads.len());
+            for snap in ads {
+                encode_snapshot(snap, enc);
+            }
+            match query {
+                Some(q) => {
+                    enc.put_bool(true);
+                    enc.put_u32(*q);
+                }
+                None => enc.put_bool(false),
+            }
+        }
+        AsapMsg::Confirm {
+            query,
+            requester,
+            terms,
+        } => {
+            enc.put_u8(4);
+            enc.put_u32(*query);
+            enc.put_u32(requester.0);
+            encode_terms(terms, enc);
+        }
+        AsapMsg::ConfirmReply { query, results } => {
+            enc.put_u8(5);
+            enc.put_u32(*query);
+            enc.put_u32(*results);
+        }
+    }
+}
+
+fn decode_asap_msg(dec: &mut Decoder<'_>) -> Result<AsapMsg, CodecError> {
+    match dec.get_u8()? {
+        0 => Ok(AsapMsg::Ad {
+            payload: decode_payload(dec)?,
+            fwd: decode_fwd(dec)?,
+            delivery: dec.get_u64()?,
+        }),
+        1 => Ok(AsapMsg::FullAdFetch),
+        2 => {
+            let requester = PeerId(dec.get_u32()?);
+            let interests = InterestSet(dec.get_u16()?);
+            let hops = dec.get_u8()?;
+            let query = if dec.get_bool()? {
+                Some(dec.get_u32()?)
+            } else {
+                None
+            };
+            let terms = if dec.get_bool()? {
+                Some(decode_terms(dec)?)
+            } else {
+                None
+            };
+            Ok(AsapMsg::AdsRequest {
+                requester,
+                interests,
+                hops,
+                query,
+                terms,
+            })
+        }
+        3 => {
+            let n = dec.get_count()?;
+            let mut ads = Vec::with_capacity(n);
+            for _ in 0..n {
+                ads.push(decode_snapshot(dec)?);
+            }
+            let query = if dec.get_bool()? {
+                Some(dec.get_u32()?)
+            } else {
+                None
+            };
+            Ok(AsapMsg::AdsReply { ads, query })
+        }
+        4 => Ok(AsapMsg::Confirm {
+            query: dec.get_u32()?,
+            requester: PeerId(dec.get_u32()?),
+            terms: decode_terms(dec)?,
+        }),
+        5 => Ok(AsapMsg::ConfirmReply {
+            query: dec.get_u32()?,
+            results: dec.get_u32()?,
+        }),
+        _ => Err(CodecError::BadTag),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-node state
+// ---------------------------------------------------------------------------
+
+fn encode_node(st: &NodeState, enc: &mut Encoder) {
+    encode_counting(&st.filter, enc);
+    enc.put_u16(st.version);
+    // `snapshot` is not serialized: it is invariantly the filter's current
+    // snapshot (audit_invariants checks exactly this) and is rebuilt on
+    // decode via `CountingBloom::snapshot_rc`.
+    enc.put_len(st.repo.len());
+    for (source, ad) in st.repo.iter() {
+        enc.put_u32(source.0);
+        enc.put_u16(ad.topics.0);
+        enc.put_u16(ad.version);
+        encode_filter(&ad.filter, enc);
+        enc.put_u64(ad.last_used_us);
+        enc.put_u64(ad.last_refreshed_us);
+        enc.put_bool(ad.stale);
+    }
+    let mut fetching: Vec<u32> = st.fetching.iter().map(|p| p.0).collect();
+    fetching.sort_unstable();
+    enc.put_len(fetching.len());
+    for p in fetching {
+        enc.put_u32(p);
+    }
+    let mut pacers: Vec<(&PeerId, &Backoff)> = st.fetch_backoff.iter().collect();
+    pacers.sort_by_key(|(p, _)| p.0);
+    enc.put_len(pacers.len());
+    for (p, b) in pacers {
+        enc.put_u32(p.0);
+        encode_backoff(b, enc);
+    }
+    enc.put_u64(st.fetches_served);
+    match &st.readvert {
+        Some(ra) => {
+            enc.put_bool(true);
+            enc.put_u64(ra.baseline_fetches);
+            encode_backoff(&ra.backoff, enc);
+        }
+        None => enc.put_bool(false),
+    }
+}
+
+fn decode_node(
+    dec: &mut Decoder<'_>,
+    num_peers: usize,
+    cache_capacity: usize,
+) -> Result<NodeState, CodecError> {
+    let filter = decode_counting(dec)?;
+    let version = dec.get_u16()?;
+    let snapshot = filter.snapshot_rc();
+    let n_ads = dec.get_count()?;
+    if n_ads > cache_capacity {
+        return Err(CodecError::Invalid("ad cache over capacity"));
+    }
+    let mut entries = Vec::with_capacity(n_ads);
+    for _ in 0..n_ads {
+        let source = dec.get_u32()?;
+        if source as usize >= num_peers {
+            return Err(CodecError::Invalid("cached-ad source out of range"));
+        }
+        let topics = InterestSet(dec.get_u16()?);
+        let version = dec.get_u16()?;
+        let filter = Rc::new(decode_filter(dec)?);
+        let last_used_us = dec.get_u64()?;
+        let last_refreshed_us = dec.get_u64()?;
+        let stale = dec.get_bool()?;
+        entries.push((
+            PeerId(source),
+            CachedAd {
+                topics,
+                version,
+                filter,
+                last_used_us,
+                last_refreshed_us,
+                stale,
+            },
+        ));
+    }
+    let repo = AdRepository::from_entries(cache_capacity, entries)
+        .ok_or(CodecError::Invalid("ad repository entries"))?;
+    let n = dec.get_count()?;
+    let mut fetching = DetHashSet::default();
+    for _ in 0..n {
+        let p = dec.get_u32()?;
+        if p as usize >= num_peers {
+            return Err(CodecError::Invalid("fetching peer out of range"));
+        }
+        fetching.insert(PeerId(p));
+    }
+    let n = dec.get_count()?;
+    let mut fetch_backoff = DetHashMap::default();
+    for _ in 0..n {
+        let p = dec.get_u32()?;
+        if p as usize >= num_peers {
+            return Err(CodecError::Invalid("fetch pacer peer out of range"));
+        }
+        fetch_backoff.insert(PeerId(p), decode_backoff(dec)?);
+    }
+    let fetches_served = dec.get_u64()?;
+    let readvert = if dec.get_bool()? {
+        Some(ReAdvert {
+            baseline_fetches: dec.get_u64()?,
+            backoff: decode_backoff(dec)?,
+        })
+    } else {
+        None
+    };
+    Ok(NodeState {
+        filter,
+        version,
+        snapshot,
+        repo,
+        fetching,
+        fetch_backoff,
+        fetches_served,
+        readvert,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// The protocol impl
+// ---------------------------------------------------------------------------
+
+impl CheckpointProtocol for Asap {
+    fn encode_msg(msg: &AsapMsg, enc: &mut Encoder) {
+        encode_asap_msg(msg, enc);
+    }
+
+    fn decode_msg(dec: &mut Decoder<'_>) -> Result<AsapMsg, CodecError> {
+        decode_asap_msg(dec)
+    }
+
+    fn encode_state(&self, enc: &mut Encoder) {
+        enc.put_len(self.nodes.len());
+        for st in &self.nodes {
+            encode_node(st, enc);
+        }
+        let mut pending: Vec<(&u32, &PendingSearch)> = self.pending.iter().collect();
+        pending.sort_by_key(|(id, _)| **id);
+        enc.put_len(pending.len());
+        for (id, p) in pending {
+            enc.put_u32(*id);
+            enc.put_u32(p.requester.0);
+            encode_terms(&p.terms, enc);
+            // `term_hashes` are a pure function of `terms` — recomputed.
+            enc.put_bool(p.answered);
+            enc.put_u8(u8::from(p.phase == Phase::Fallback));
+            enc.put_len(p.in_flight.len());
+            for s in &p.in_flight {
+                enc.put_u32(s.0);
+            }
+            let mut confirmed: Vec<u32> = p.confirmed.iter().map(|s| s.0).collect();
+            confirmed.sort_unstable();
+            enc.put_len(confirmed.len());
+            for s in confirmed {
+                enc.put_u32(s);
+            }
+            enc.put_len(p.backlog.len());
+            for s in &p.backlog {
+                enc.put_u32(s.0);
+            }
+            encode_backoff(&p.backoff, enc);
+        }
+        let seen = &self.seen;
+        enc.put_len(seen.window());
+        let entries = seen.entries();
+        enc.put_len(entries.len());
+        for (delivery, visitors) in entries {
+            enc.put_u64(delivery);
+            enc.put_len(visitors.len());
+            for v in visitors {
+                enc.put_u32(v);
+            }
+        }
+        let mut claimed: Vec<(&PeerId, &InterestSet)> = self.claimed_topics.iter().collect();
+        claimed.sort_by_key(|(p, _)| p.0);
+        enc.put_len(claimed.len());
+        for (p, topics) in claimed {
+            enc.put_u32(p.0);
+            enc.put_u16(topics.0);
+        }
+        enc.put_u64(self.next_delivery);
+        enc.put_u64(self.stats.local_lookup_hits);
+        enc.put_u64(self.stats.fallback_rounds);
+        enc.put_u64(self.stats.confirms_sent);
+        enc.put_u64(self.stats.confirms_positive);
+        enc.put_u64(self.stats.confirms_negative);
+        enc.put_u64(self.stats.repair_fetches);
+        enc.put_u64(self.stats.full_deliveries);
+        enc.put_u64(self.stats.patch_deliveries);
+        enc.put_u64(self.stats.refresh_deliveries);
+    }
+
+    fn decode_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        let num_peers = self.nodes.len();
+        let n = dec.get_len()?;
+        if n != num_peers {
+            return Err(CodecError::Invalid("node count mismatch"));
+        }
+        let mut nodes = Vec::with_capacity(num_peers);
+        for _ in 0..num_peers {
+            nodes.push(decode_node(dec, num_peers, self.config.cache_capacity)?);
+        }
+        let n = dec.get_count()?;
+        let mut pending = DetHashMap::default();
+        for _ in 0..n {
+            let id = dec.get_u32()?;
+            let requester = dec.get_u32()?;
+            if requester as usize >= num_peers {
+                return Err(CodecError::Invalid("pending requester out of range"));
+            }
+            let terms = decode_terms(dec)?;
+            if terms.iter().any(|t| t.index() >= self.kw_hashes.len()) {
+                return Err(CodecError::Invalid("pending term out of range"));
+            }
+            let term_hashes = terms.iter().map(|&k| self.hash_of(k)).collect();
+            let answered = dec.get_bool()?;
+            let phase = match dec.get_u8()? {
+                0 => Phase::Confirming,
+                1 => Phase::Fallback,
+                _ => return Err(CodecError::BadTag),
+            };
+            let m = dec.get_count()?;
+            let mut in_flight = Vec::with_capacity(m);
+            for _ in 0..m {
+                in_flight.push(PeerId(dec.get_u32()?));
+            }
+            let m = dec.get_count()?;
+            let mut confirmed = DetHashSet::default();
+            for _ in 0..m {
+                confirmed.insert(PeerId(dec.get_u32()?));
+            }
+            let m = dec.get_count()?;
+            let mut backlog = Vec::with_capacity(m);
+            for _ in 0..m {
+                backlog.push(PeerId(dec.get_u32()?));
+            }
+            let backoff = decode_backoff(dec)?;
+            pending.insert(
+                id,
+                PendingSearch {
+                    requester: PeerId(requester),
+                    terms,
+                    term_hashes,
+                    answered,
+                    phase,
+                    in_flight,
+                    confirmed,
+                    backlog,
+                    backoff,
+                },
+            );
+        }
+        let window = dec.get_len()?;
+        if window == 0 {
+            return Err(CodecError::Invalid("zero seen window"));
+        }
+        let n = dec.get_count()?;
+        if n > window {
+            return Err(CodecError::Invalid("seen entries exceed window"));
+        }
+        let mut entries = Vec::new();
+        for _ in 0..n {
+            let delivery = dec.get_u64()?;
+            let m = dec.get_count()?;
+            let mut visitors = Vec::new();
+            for _ in 0..m {
+                visitors.push(dec.get_u32()?);
+            }
+            entries.push((delivery, visitors));
+        }
+        let seen = SeenTracker::from_entries(window, entries);
+        let n = dec.get_count()?;
+        let mut claimed_topics = DetHashMap::default();
+        for _ in 0..n {
+            let p = dec.get_u32()?;
+            if p as usize >= num_peers {
+                return Err(CodecError::Invalid("claimed-topics peer out of range"));
+            }
+            claimed_topics.insert(PeerId(p), InterestSet(dec.get_u16()?));
+        }
+        let next_delivery = dec.get_u64()?;
+        let stats = crate::protocol::AsapStats {
+            local_lookup_hits: dec.get_u64()?,
+            fallback_rounds: dec.get_u64()?,
+            confirms_sent: dec.get_u64()?,
+            confirms_positive: dec.get_u64()?,
+            confirms_negative: dec.get_u64()?,
+            repair_fetches: dec.get_u64()?,
+            full_deliveries: dec.get_u64()?,
+            patch_deliveries: dec.get_u64()?,
+            refresh_deliveries: dec.get_u64()?,
+        };
+        self.nodes = nodes;
+        self.pending = pending;
+        self.seen = seen;
+        self.claimed_topics = claimed_topics;
+        self.next_delivery = next_delivery;
+        self.stats = stats;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AsapConfig, DeliveryKind};
+    use crate::retry::RobustnessConfig;
+    use asap_overlay::{OverlayConfig, OverlayKind};
+    use asap_sim::checkpoint::Checkpoint;
+    use asap_sim::{AdversaryPlan, AuditConfig, FaultPlan, Simulation};
+    use asap_topology::{PhysicalNetwork, TransitStubConfig};
+    use asap_workload::{Workload, WorkloadConfig};
+
+    fn world(peers: usize, queries: usize, seed: u64) -> (PhysicalNetwork, Workload, asap_overlay::Overlay) {
+        let phys = PhysicalNetwork::generate(&TransitStubConfig::reduced(seed));
+        let workload = asap_workload::generate(&WorkloadConfig::reduced(peers, queries, seed));
+        let overlay = OverlayConfig::new(OverlayKind::Random, peers, seed).build();
+        (phys, workload, overlay)
+    }
+
+    fn msg_roundtrip(msg: &AsapMsg) {
+        let mut enc = Encoder::new();
+        encode_asap_msg(msg, &mut enc);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        let back = decode_asap_msg(&mut dec).unwrap();
+        dec.finish().unwrap();
+        let mut enc2 = Encoder::new();
+        encode_asap_msg(&back, &mut enc2);
+        assert_eq!(bytes, enc2.into_bytes(), "re-encode differs for {msg:?}");
+    }
+
+    fn sample_snapshot() -> AdSnapshot {
+        AdSnapshot {
+            source: PeerId(7),
+            topics: InterestSet(0b101),
+            version: 3,
+            filter: Rc::new(BloomFilter::from_keys(
+                BloomParams::for_capacity(64, 4),
+                ["rock", "jazz"],
+            )),
+        }
+    }
+
+    #[test]
+    fn asap_msg_codec_roundtrips() {
+        let terms: Rc<[KeywordId]> = vec![KeywordId(1), KeywordId(44)].into();
+        let snap = sample_snapshot();
+        let old = BloomFilter::from_keys(BloomParams::for_capacity(64, 4), ["rock"]);
+        let patch = FilterPatch::diff(&old, &snap.filter);
+        msg_roundtrip(&AsapMsg::Ad {
+            payload: AdPayload::Full(snap.clone()),
+            fwd: Forwarding::Flood { ttl: 6 },
+            delivery: 42,
+        });
+        msg_roundtrip(&AsapMsg::Ad {
+            payload: AdPayload::Patch {
+                source: PeerId(7),
+                topics: InterestSet(0b101),
+                version: 4,
+                patch: Rc::new(patch),
+                result: Rc::clone(&snap.filter),
+            },
+            fwd: Forwarding::Walk { budget: 900 },
+            delivery: 43,
+        });
+        msg_roundtrip(&AsapMsg::Ad {
+            payload: AdPayload::Refresh {
+                source: PeerId(9),
+                topics: InterestSet(0b1),
+                version: 0,
+            },
+            fwd: Forwarding::Gsa { budget: 12 },
+            delivery: 44,
+        });
+        msg_roundtrip(&AsapMsg::FullAdFetch);
+        msg_roundtrip(&AsapMsg::AdsRequest {
+            requester: PeerId(3),
+            interests: InterestSet(0b11),
+            hops: 1,
+            query: Some(17),
+            terms: Some(Rc::clone(&terms)),
+        });
+        msg_roundtrip(&AsapMsg::AdsRequest {
+            requester: PeerId(3),
+            interests: InterestSet(0b11),
+            hops: 2,
+            query: None,
+            terms: None,
+        });
+        msg_roundtrip(&AsapMsg::AdsReply {
+            ads: vec![snap.clone(), sample_snapshot()],
+            query: Some(17),
+        });
+        msg_roundtrip(&AsapMsg::AdsReply {
+            ads: Vec::new(),
+            query: None,
+        });
+        msg_roundtrip(&AsapMsg::Confirm {
+            query: 17,
+            requester: PeerId(3),
+            terms,
+        });
+        msg_roundtrip(&AsapMsg::ConfirmReply {
+            query: 17,
+            results: 2,
+        });
+    }
+
+    #[test]
+    fn asap_msg_decode_rejects_bad_tags() {
+        for bytes in [[200u8].as_slice(), &[0, 9], &[0]] {
+            let mut dec = Decoder::new(bytes);
+            assert!(decode_asap_msg(&mut dec).is_err(), "accepted {bytes:?}");
+        }
+    }
+
+    #[test]
+    fn filter_decode_rejects_degenerate_params() {
+        let mut enc = Encoder::new();
+        enc.put_u32(0); // bits = 0
+        enc.put_u32(8);
+        enc.put_len(0);
+        let bytes = enc.into_bytes();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(
+            decode_filter(&mut dec),
+            Err(CodecError::Invalid(_))
+        ));
+    }
+
+    /// Run `make()` twice over the same world: once uninterrupted, once
+    /// split at `frac` of the trace through a byte-roundtripped checkpoint.
+    /// Digests must match bit-for-bit.
+    fn assert_split_run_identical<F>(
+        make: F,
+        seed: u64,
+        faults: Option<FaultPlan>,
+        adversary: Option<AdversaryPlan>,
+    ) where
+        F: Fn(&asap_workload::ContentModel, &[asap_sim::AdversaryRole]) -> Asap,
+    {
+        let (phys, workload, overlay) = world(120, 150, seed);
+        let roles = adversary
+            .as_ref()
+            .map(|plan| asap_sim::assign_roles(plan, workload.model.num_peers(), seed))
+            .unwrap_or_else(|| vec![asap_sim::AdversaryRole::Honest; workload.model.num_peers()]);
+        let build = |protocol: Asap, ov: asap_overlay::Overlay| {
+            let mut b = Simulation::builder(&phys, &workload, ov, OverlayKind::Random, protocol, seed)
+                .audit(AuditConfig::default());
+            if let Some(f) = faults.clone() {
+                b = b.faults(f);
+            }
+            if let Some(a) = adversary.clone() {
+                b = b.adversary(a);
+            }
+            b
+        };
+        let cold = build(make(&workload.model, &roles), overlay.clone()).run();
+        let cold_audit = cold.audit.expect("audited run");
+        assert!(cold_audit.is_clean(), "{:?}", cold_audit.violations);
+
+        let t_mid = workload.trace.duration_us() / 2;
+        let mut first = build(make(&workload.model, &roles), overlay.clone()).build();
+        first.run_until(t_mid);
+        let ckpt = first.checkpoint();
+        drop(first);
+
+        let ckpt = Checkpoint::from_bytes(ckpt.into_bytes()).expect("self-produced bytes");
+        // Resume from a plain builder: the checkpoint carries the audit,
+        // fault, and adversary layers itself.
+        let warm = Simulation::builder(
+            &phys,
+            &workload,
+            overlay,
+            OverlayKind::Random,
+            make(&workload.model, &roles),
+            seed,
+        )
+        .from_checkpoint(&ckpt)
+        .expect("resume")
+        .run();
+        let warm_audit = warm.audit.expect("audited resume");
+
+        assert_eq!(
+            cold_audit.digest, warm_audit.digest,
+            "split run digest diverged"
+        );
+        assert_eq!(cold.messages_sent, warm.messages_sent);
+        assert_eq!(cold.end_time_us, warm.end_time_us);
+        assert_eq!(cold.ledger.num_succeeded(), warm.ledger.num_succeeded());
+        assert_eq!(cold.profile, warm.profile);
+    }
+
+    fn scaled(delivery: DeliveryKind) -> AsapConfig {
+        AsapConfig::paper_default(delivery).scaled_to(120)
+    }
+
+    #[test]
+    fn asap_fld_split_run_is_bit_identical() {
+        assert_split_run_identical(
+            |model, _| Asap::new(scaled(DeliveryKind::Flooding { ttl: 6 }), model),
+            61,
+            None,
+            None,
+        );
+    }
+
+    #[test]
+    fn asap_rw_split_run_is_bit_identical() {
+        assert_split_run_identical(
+            |model, _| Asap::new(scaled(DeliveryKind::RandomWalk { walkers: 5 }), model),
+            62,
+            None,
+            None,
+        );
+    }
+
+    #[test]
+    fn asap_gsa_split_run_is_bit_identical() {
+        assert_split_run_identical(
+            |model, _| Asap::new(scaled(DeliveryKind::Gsa { branch: 4 }), model),
+            63,
+            None,
+            None,
+        );
+    }
+
+    #[test]
+    fn asap_lossy_split_run_is_bit_identical() {
+        assert_split_run_identical(
+            |model, _| {
+                Asap::new(
+                    scaled(DeliveryKind::RandomWalk { walkers: 5 })
+                        .with_robustness(RobustnessConfig::lossy()),
+                    model,
+                )
+            },
+            64,
+            Some(FaultPlan {
+                loss_ppm: 20_000,
+                jitter_max_us: 50_000,
+                ..FaultPlan::none()
+            }),
+            None,
+        );
+    }
+
+    #[test]
+    fn asap_spam_adversary_split_run_is_bit_identical() {
+        let seed = 65;
+        assert_split_run_identical(
+            move |model, roles| {
+                Asap::new_with_adversaries(
+                    scaled(DeliveryKind::RandomWalk { walkers: 5 }),
+                    model,
+                    roles,
+                    seed,
+                )
+            },
+            seed,
+            None,
+            Some(AdversaryPlan {
+                spam_ppm: 100_000,
+                ..AdversaryPlan::none()
+            }),
+        );
+    }
+
+    #[test]
+    fn asap_state_reencode_is_byte_identical() {
+        let seed = 66;
+        let (phys, workload, overlay) = world(100, 120, seed);
+        let make = || Asap::new(scaled(DeliveryKind::Flooding { ttl: 6 }), &workload.model);
+        let mut sim = Simulation::builder(
+            &phys,
+            &workload,
+            overlay.clone(),
+            OverlayKind::Random,
+            make(),
+            seed,
+        )
+        .build();
+        sim.run_until(workload.trace.duration_us() / 2);
+        let ckpt1 = sim.checkpoint();
+        let resumed = Simulation::resume(
+            &phys,
+            &workload,
+            overlay,
+            OverlayKind::Random,
+            make(),
+            &ckpt1,
+        )
+        .expect("resume");
+        let ckpt2 = resumed.checkpoint();
+        assert_eq!(
+            ckpt1.as_bytes(),
+            ckpt2.as_bytes(),
+            "checkpoint re-encode differs"
+        );
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Counting filters reached through arbitrary insert/remove
+        /// interleavings (including removes of absent keys) decode to the
+        /// exact same counts and re-encode byte-identically. Deletes are
+        /// what distinguish a counting filter from a plain one — a state
+        /// the whole-sim tests above only reach via content churn.
+        #[test]
+        fn counting_bloom_roundtrips_after_deletes(
+            ops in proptest::collection::vec((0u32..48, 0u32..3), 0..160),
+        ) {
+            let mut filter = CountingBloom::new(BloomParams::for_capacity(64, 4));
+            for (key, action) in ops {
+                let key = format!("key-{key}");
+                if action == 2 {
+                    filter.remove(&key);
+                } else {
+                    filter.insert(&key);
+                }
+            }
+            let mut enc = Encoder::new();
+            encode_counting(&filter, &mut enc);
+            let bytes = enc.into_bytes();
+
+            let mut dec = Decoder::new(&bytes);
+            let back = decode_counting(&mut dec).unwrap();
+            dec.finish().unwrap();
+            prop_assert_eq!(back.counts(), filter.counts());
+
+            let mut enc2 = Encoder::new();
+            encode_counting(&back, &mut enc2);
+            prop_assert_eq!(bytes, enc2.into_bytes());
+        }
+
+        /// A corrupted count vector length is a typed error, not a panic:
+        /// `from_counts` demands exactly `bits` slots.
+        #[test]
+        fn counting_bloom_decode_rejects_wrong_slot_count(extra in 1u32..32) {
+            let params = BloomParams::for_capacity(64, 4);
+            let mut enc = Encoder::new();
+            enc.put_u32(params.bits);
+            enc.put_u32(params.hashes);
+            let n = params.bits + extra;
+            enc.put_len(n as usize);
+            for _ in 0..n {
+                enc.put_u16(0);
+            }
+            let bytes = enc.into_bytes();
+            let mut dec = Decoder::new(&bytes);
+            prop_assert!(matches!(
+                decode_counting(&mut dec),
+                Err(CodecError::Invalid(_))
+            ));
+        }
+    }
+}

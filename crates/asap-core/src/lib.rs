@@ -24,6 +24,7 @@
 //! the source.
 
 pub mod ad;
+pub mod checkpoint;
 pub mod config;
 pub mod delivery;
 pub mod protocol;

@@ -48,8 +48,8 @@ const SPAM_POISON_DOCS: usize = 25;
 /// otherwise the announcement is repeated on a backoff schedule.
 pub(crate) struct ReAdvert {
     /// `fetches_served` level when the (re)announcement went out.
-    baseline_fetches: u64,
-    backoff: Backoff,
+    pub(crate) baseline_fetches: u64,
+    pub(crate) backoff: Backoff,
 }
 
 /// Per-node ASAP state.
@@ -113,7 +113,7 @@ pub struct Asap {
     /// Unioned into announcements and served ads so a content-free spammer
     /// still advertises; ground-truth confirmation is what exposes the lie.
     pub(crate) claimed_topics: DetHashMap<PeerId, InterestSet>,
-    next_delivery: u64,
+    pub(crate) next_delivery: u64,
     pub stats: AsapStats,
 }
 

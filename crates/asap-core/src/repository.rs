@@ -79,6 +79,18 @@ impl AdRepository {
         self.ads.get(&source)
     }
 
+    /// Rebuild a repository from checkpointed entries. Returns `None` when
+    /// the entries exceed `capacity` (a valid repository never does).
+    pub fn from_entries(capacity: usize, entries: Vec<(PeerId, CachedAd)>) -> Option<Self> {
+        if capacity == 0 || entries.len() > capacity {
+            return None;
+        }
+        Some(Self {
+            ads: entries.into_iter().collect(),
+            capacity,
+        })
+    }
+
     /// Store/overwrite the full ad of `source`. Evicts the least-recently
     /// used entry when full. Overwrites with an *older* version are ignored
     /// (out-of-order delivery).

@@ -151,6 +151,28 @@ impl LoadRecorder {
         &self.alive_steps
     }
 
+    /// The raw per-second byte buckets, `buckets[second][class]`
+    /// (checkpointing).
+    pub fn buckets(&self) -> &[[u64; MsgClass::COUNT]] {
+        &self.buckets
+    }
+
+    /// Rebuild a recorder from raw checkpointed state: byte buckets, message
+    /// totals, alive timeline, and notes, all restored verbatim.
+    pub fn from_parts(
+        buckets: Vec<[u64; MsgClass::COUNT]>,
+        msg_totals: [u64; MsgClass::COUNT],
+        alive_steps: Vec<(u64, usize)>,
+        notes: Vec<String>,
+    ) -> Self {
+        Self {
+            buckets,
+            msg_totals,
+            alive_steps,
+            notes,
+        }
+    }
+
     /// Attach a free-form metadata note to the run (e.g. "GSA budget
     /// clamped ..."). Notes never feed a metric or digest.
     pub fn note(&mut self, note: impl Into<String>) {

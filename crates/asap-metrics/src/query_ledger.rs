@@ -101,6 +101,32 @@ impl QueryLedger {
         self.records.iter().filter(|r| r.registered)
     }
 
+    /// The raw record-vector length, unregistered tail slots included
+    /// (checkpointing: `register` sizes the vector by the highest id seen,
+    /// so the raw length is observable state).
+    pub fn raw_len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Rebuild a ledger from checkpointed state: the raw vector length and
+    /// the registered `(id, issue_us, first_answer_us, answers)` entries.
+    /// Slots not listed stay unregistered, exactly as `register` left them.
+    pub fn from_parts(
+        raw_len: usize,
+        entries: impl IntoIterator<Item = (u32, u64, Option<u64>, u32)>,
+    ) -> Self {
+        let mut records = vec![QueryRecord::default(); raw_len];
+        for (id, issue_us, first_answer_us, answers) in entries {
+            records[id as usize] = QueryRecord {
+                issue_us,
+                first_answer_us,
+                answers,
+                registered: true,
+            };
+        }
+        Self { records }
+    }
+
     /// Registered records keyed by query id, in ascending id order.
     pub fn records_with_ids(&self) -> impl Iterator<Item = (u32, &QueryRecord)> {
         self.records

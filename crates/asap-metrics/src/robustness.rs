@@ -85,6 +85,12 @@ impl RetryCounters {
         self.counts
     }
 
+    /// Rebuild counters from a [`RetryCounters::counts`] snapshot
+    /// (checkpointing).
+    pub fn from_counts(counts: [u64; RetryStat::COUNT]) -> Self {
+        Self { counts }
+    }
+
     pub fn total(&self) -> u64 {
         self.counts.iter().sum()
     }

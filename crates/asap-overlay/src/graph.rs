@@ -34,6 +34,20 @@ impl Overlay {
         self.adj.len()
     }
 
+    /// The raw adjacency lists (checkpointing). Neighbor order is
+    /// history-dependent (`swap_remove` on detach), behavior-relevant for
+    /// protocols iterating neighbors, and therefore serialized verbatim.
+    pub fn adjacency(&self) -> &[Vec<PeerId>] {
+        &self.adj
+    }
+
+    /// Rebuild an overlay from [`Overlay::adjacency`] output, verbatim. The
+    /// caller is responsible for handing back lists that keep the undirected
+    /// invariant (every edge present in both directions).
+    pub fn from_adjacency(adj: Vec<Vec<PeerId>>) -> Self {
+        Self { adj }
+    }
+
     pub fn num_edges(&self) -> usize {
         self.adj.iter().map(Vec::len).sum::<usize>() / 2
     }

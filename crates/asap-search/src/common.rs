@@ -138,6 +138,16 @@ impl SeenTracker {
     pub fn tracked_queries(&self) -> usize {
         self.inner.tracked_keys()
     }
+
+    /// The wrapped tracker (checkpoint serialization).
+    pub(crate) fn inner(&self) -> &asap_sim::util::SeenTracker<u32> {
+        &self.inner
+    }
+
+    /// Wrap a restored tracker (checkpoint deserialization).
+    pub(crate) fn from_inner(inner: asap_sim::util::SeenTracker<u32>) -> Self {
+        Self { inner }
+    }
 }
 
 #[cfg(test)]

@@ -37,11 +37,11 @@ impl Default for FloodingConfig {
 /// The flooding baseline protocol.
 #[derive(Debug)]
 pub struct Flooding {
-    config: FloodingConfig,
-    seen: SeenTracker,
+    pub(crate) config: FloodingConfig,
+    pub(crate) seen: SeenTracker,
     /// Queries awaiting possible retransmission, by query id (which doubles
     /// as the timer tag — the baselines use no other timers).
-    retrans: DetHashMap<u32, RetransmitState>,
+    pub(crate) retrans: DetHashMap<u32, RetransmitState>,
 }
 
 impl Flooding {

@@ -12,6 +12,7 @@
 //! returns a *query hit* directly to the requester. The paper's baseline
 //! search cost counts query messages only.
 
+pub mod checkpoint;
 pub mod common;
 pub mod flooding;
 pub mod gsa;

@@ -39,10 +39,10 @@ impl Default for RandomWalkConfig {
 /// The random-walk baseline protocol.
 #[derive(Debug)]
 pub struct RandomWalk {
-    config: RandomWalkConfig,
+    pub(crate) config: RandomWalkConfig,
     /// Queries awaiting possible walker relaunch, by query id (which doubles
     /// as the timer tag — the baselines use no other timers).
-    retrans: DetHashMap<u32, RetransmitState>,
+    pub(crate) retrans: DetHashMap<u32, RetransmitState>,
 }
 
 impl RandomWalk {

@@ -205,6 +205,22 @@ impl AdversaryState {
         Self { plan, roles, stats }
     }
 
+    /// Rebuild an adversary layer mid-run from checkpointed state. Roles are
+    /// *recomputed* rather than serialized: [`assign_roles`] is a pure
+    /// function of `(plan, num_peers, run_seed)`, all of which the checkpoint
+    /// carries, so the table comes back bit-identical. Eclipse rewiring is
+    /// **not** reapplied — the checkpointed overlay adjacency already has it.
+    pub fn from_parts(
+        plan: AdversaryPlan,
+        num_peers: usize,
+        run_seed: u64,
+        stats: AdversaryStats,
+    ) -> Self {
+        debug_assert!(plan.validate().is_ok(), "invalid adversary plan");
+        let roles = assign_roles(&plan, num_peers, run_seed);
+        Self { plan, roles, stats }
+    }
+
     pub fn plan(&self) -> &AdversaryPlan {
         &self.plan
     }

@@ -67,26 +67,26 @@ pub trait Protocol {
 /// The world as seen by a protocol: clock, overlay, liveness, content,
 /// messaging, timers, metrics.
 pub struct Ctx<'a, M> {
-    now_us: u64,
-    queue: EventQueue<M>,
+    pub(crate) now_us: u64,
+    pub(crate) queue: EventQueue<M>,
     /// The mutable overlay graph (read via [`Ctx::neighbors`]).
     pub overlay: Overlay,
-    overlay_kind: OverlayKind,
-    alive: Vec<bool>,
-    alive_count: usize,
+    pub(crate) overlay_kind: OverlayKind,
+    pub(crate) alive: Vec<bool>,
+    pub(crate) alive_count: usize,
     /// The live peers in ascending id order, maintained incrementally on
     /// join/leave so re-attachment never rebuilds it from the bitmap.
-    alive_list: Vec<PeerId>,
+    pub(crate) alive_list: Vec<PeerId>,
     /// Reusable per-event buffer slot (see [`Ctx::scratch`]). Shared with
     /// outstanding [`ScratchGuard`]s so the guard can return capacity on
     /// drop while the protocol keeps using `ctx`.
-    scratch: Rc<RefCell<Vec<PeerId>>>,
+    pub(crate) scratch: Rc<RefCell<Vec<PeerId>>>,
     /// Evolving shared-content state.
     pub content: ContentState,
     /// The static content model (documents, interests, vocabulary).
     pub model: &'a ContentModel,
-    phys: &'a PhysicalNetwork,
-    assignment: Vec<PhysNodeId>,
+    pub(crate) phys: &'a PhysicalNetwork,
+    pub(crate) assignment: Vec<PhysNodeId>,
     /// Deterministic per-run RNG for protocol decisions.
     pub rng: SmallRng,
     /// Byte/load accounting.
@@ -94,26 +94,26 @@ pub struct Ctx<'a, M> {
     /// Query outcome accounting.
     pub ledger: QueryLedger,
     /// Robustness-event accounting (see [`Ctx::count`]).
-    retry: RetryCounters,
-    messages_sent: u64,
-    horizon_us: u64,
-    trace_end_us: u64,
-    run_seed: u64,
+    pub(crate) retry: RetryCounters,
+    pub(crate) messages_sent: u64,
+    pub(crate) horizon_us: u64,
+    pub(crate) trace_end_us: u64,
+    pub(crate) run_seed: u64,
     /// Optional invariant auditor (off by default: one pointer test per
     /// event when disabled).
-    audit: Option<Box<SimAuditor>>,
+    pub(crate) audit: Option<Box<SimAuditor>>,
     /// Optional fault-injection layer (off by default, like the auditor).
-    faults: Option<Box<FaultState>>,
+    pub(crate) faults: Option<Box<FaultState>>,
     /// Optional adversary layer (off by default, like the fault layer: one
     /// pointer test per send when disabled).
-    adversary: Option<Box<AdversaryState>>,
+    pub(crate) adversary: Option<Box<AdversaryState>>,
     /// Optional trace sink (off by default: one pointer test per event when
     /// disabled, and event construction is deferred behind a closure so the
     /// disabled path does no work at all).
-    trace: Option<Box<dyn TraceSink>>,
+    pub(crate) trace: Option<Box<dyn TraceSink>>,
     /// Event-loop phase counters and queue-depth high-water marks, always on
     /// (plain integer increments).
-    profile: EngineProfile,
+    pub(crate) profile: EngineProfile,
 }
 
 /// Always-on event-loop profile: phase counters and queue-depth high-water
@@ -437,8 +437,14 @@ pub struct SimReport<P> {
 
 /// A configured simulation, ready to run.
 pub struct Simulation<'a, P: Protocol> {
-    ctx: Ctx<'a, P::Msg>,
-    protocol: P,
+    pub(crate) ctx: Ctx<'a, P::Msg>,
+    pub(crate) protocol: P,
+    /// Whether `on_init` has run (set before the first dispatched event, and
+    /// restored from checkpoints so a resumed run never re-initializes).
+    pub(crate) started: bool,
+    /// Whether the run has ended: the horizon was crossed or the event queue
+    /// drained. A halted simulation dispatches nothing further.
+    pub(crate) halted: bool,
 }
 
 /// Typed configuration for a [`Simulation`], obtained from
@@ -626,7 +632,12 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             trace: None,
             profile: EngineProfile::default(),
         };
-        Self { ctx, protocol }
+        Self {
+            ctx,
+            protocol,
+            started: false,
+            halted: false,
+        }
     }
 
     fn attach_audit(&mut self, cfg: AuditConfig) {
@@ -721,55 +732,117 @@ impl<'a, P: Protocol> Simulation<'a, P> {
 
     /// Run to the horizon (or queue exhaustion) and return the report.
     pub fn run(mut self) -> SimReport<P> {
-        self.protocol.on_init(&mut self.ctx);
-        while let Some(sched) = self.ctx.queue.pop() {
-            debug_assert!(sched.time_us >= self.ctx.now_us, "time goes forward");
-            if sched.time_us > self.ctx.horizon_us {
-                // The popped event plus everything still queued is past the
-                // horizon (the queue is time-ordered).
-                self.ctx.profile.past_horizon = self.ctx.queue.len() as u64 + 1;
-                break;
+        self.ensure_init();
+        while self.step() {}
+        self.into_report()
+    }
+
+    /// Run until every event scheduled at or before `t_us` has dispatched,
+    /// then stop with the simulation still live — the checkpoint/resume
+    /// split point. Initializes the protocol on first use, exactly like
+    /// [`Simulation::run`], and returns early if the run halts first
+    /// (horizon crossed or queue exhausted). A run split as
+    /// `run_until(t)` → [`Simulation::checkpoint`] → resume → `run()` is
+    /// bit-identical to the uninterrupted run.
+    pub fn run_until(&mut self, t_us: u64) {
+        self.ensure_init();
+        while !self.halted && self.ctx.queue.peek_time().is_some_and(|t| t <= t_us) {
+            self.step();
+        }
+    }
+
+    /// Virtual time of the last dispatched event.
+    pub fn now_us(&self) -> u64 {
+        self.ctx.now_us
+    }
+
+    /// Whether the run has ended (horizon crossed or queue drained).
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Borrow the attached trace sink, if any — lets tools inspect recorded
+    /// events *mid-run* (e.g. the divergence bisector diffing the trace
+    /// windows of two [`Simulation::run_until`] probes). Finished runs get
+    /// the sink back through [`SimReport::trace`] instead.
+    pub fn trace_sink(&self) -> Option<&dyn TraceSink> {
+        self.ctx.trace.as_deref()
+    }
+
+    /// Borrow the protocol instance mid-run. Tests and tools use this to
+    /// inspect protocol state at a checkpoint split point; finished runs
+    /// get the protocol back through [`SimReport::protocol`].
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    fn ensure_init(&mut self) {
+        if !self.started {
+            self.started = true;
+            self.protocol.on_init(&mut self.ctx);
+        }
+    }
+
+    /// Dispatch the next event. Returns `false` when the run halts: the
+    /// next event is past the horizon (discarding it and everything behind
+    /// it — the queue is time-ordered) or the queue is exhausted.
+    fn step(&mut self) -> bool {
+        if self.halted {
+            return false;
+        }
+        let Some(sched) = self.ctx.queue.pop() else {
+            self.halted = true;
+            return false;
+        };
+        debug_assert!(sched.time_us >= self.ctx.now_us, "time goes forward");
+        if sched.time_us > self.ctx.horizon_us {
+            self.ctx.profile.past_horizon = self.ctx.queue.len() as u64 + 1;
+            self.halted = true;
+            return false;
+        }
+        self.ctx.now_us = sched.time_us;
+        let depth = self.ctx.queue.len() + 1;
+        if depth > self.ctx.profile.queue_hwm {
+            self.ctx.profile.queue_hwm = depth;
+        }
+        let (time_us, seq) = (sched.time_us, sched.seq);
+        match sched.event {
+            EngineEvent::Deliver { to, from, msg, dup } => {
+                self.ctx.profile.delivers += 1;
+                let delivered = self.ctx.alive[to.index()];
+                if let Some(a) = self.ctx.audit.as_deref_mut() {
+                    a.on_deliver(time_us, seq, to, from, delivered, dup);
+                }
+                self.ctx.trace(|| TraceEvt::Deliver {
+                    to,
+                    from,
+                    delivered,
+                    dup,
+                });
+                if delivered {
+                    self.protocol.on_message(&mut self.ctx, to, from, msg);
+                }
             }
-            self.ctx.now_us = sched.time_us;
-            let depth = self.ctx.queue.len() + 1;
-            if depth > self.ctx.profile.queue_hwm {
-                self.ctx.profile.queue_hwm = depth;
+            EngineEvent::Timer { node, tag } => {
+                self.ctx.profile.timers_fired += 1;
+                let fired = self.ctx.alive[node.index()];
+                if let Some(a) = self.ctx.audit.as_deref_mut() {
+                    a.on_timer(time_us, seq, node, tag, fired);
+                }
+                self.ctx.trace(|| TraceEvt::TimerFired { node, tag, fired });
+                if fired {
+                    self.protocol.on_timer(&mut self.ctx, node, tag);
+                }
             }
-            let (time_us, seq) = (sched.time_us, sched.seq);
-            match sched.event {
-                EngineEvent::Deliver { to, from, msg, dup } => {
-                    self.ctx.profile.delivers += 1;
-                    let delivered = self.ctx.alive[to.index()];
-                    if let Some(a) = self.ctx.audit.as_deref_mut() {
-                        a.on_deliver(time_us, seq, to, from, delivered, dup);
-                    }
-                    self.ctx.trace(|| TraceEvt::Deliver {
-                        to,
-                        from,
-                        delivered,
-                        dup,
-                    });
-                    if delivered {
-                        self.protocol.on_message(&mut self.ctx, to, from, msg);
-                    }
-                }
-                EngineEvent::Timer { node, tag } => {
-                    self.ctx.profile.timers_fired += 1;
-                    let fired = self.ctx.alive[node.index()];
-                    if let Some(a) = self.ctx.audit.as_deref_mut() {
-                        a.on_timer(time_us, seq, node, tag, fired);
-                    }
-                    self.ctx.trace(|| TraceEvt::TimerFired { node, tag, fired });
-                    if fired {
-                        self.protocol.on_timer(&mut self.ctx, node, tag);
-                    }
-                }
-                EngineEvent::Trace(ev) => {
-                    self.ctx.profile.trace_events += 1;
-                    self.apply_trace(time_us, seq, ev);
-                }
+            EngineEvent::Trace(ev) => {
+                self.ctx.profile.trace_events += 1;
+                self.apply_trace(time_us, seq, ev);
             }
         }
+        true
+    }
+
+    fn into_report(mut self) -> SimReport<P> {
         let faults = self.ctx.faults.take().map(|f| f.into_stats());
         let adversary = self.ctx.adversary.take().map(|a| a.into_stats());
         let audit = self.ctx.audit.take().map(|auditor| {

@@ -11,6 +11,21 @@ use std::collections::BinaryHeap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventHandle(u64);
 
+impl EventHandle {
+    /// The underlying queue sequence number. Sequence numbers survive
+    /// checkpoint/resume verbatim, so protocols that keep handles in their
+    /// own state can serialize them (`CheckpointProtocol::encode_state`)
+    /// and rebuild with [`EventHandle::from_raw`].
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild a handle from a checkpointed sequence number.
+    pub fn from_raw(seq: u64) -> Self {
+        Self(seq)
+    }
+}
+
 /// An event awaiting execution.
 #[derive(Debug, Clone)]
 pub enum EngineEvent<M> {
@@ -116,6 +131,23 @@ impl<M> EventQueue<M> {
         None
     }
 
+    /// Time of the next event `pop` would return, without removing it.
+    /// Collects tombstoned heads exactly as the next `pop` would, so peeking
+    /// never changes what a later `pop` observes.
+    pub fn peek_time(&mut self) -> Option<u64> {
+        loop {
+            let (time_us, seq) = match self.heap.peek() {
+                Some(Reverse(s)) => (s.time_us, s.seq),
+                None => return None,
+            };
+            if self.cancelled.remove(&seq) {
+                self.heap.pop();
+            } else {
+                return Some(time_us);
+            }
+        }
+    }
+
     /// Scheduled entries still in the heap, including cancelled ones whose
     /// tombstones have not yet been collected by `pop`.
     pub fn len(&self) -> usize {
@@ -124,6 +156,40 @@ impl<M> EventQueue<M> {
 
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    /// The next sequence number `push` would hand out (checkpointing).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Every entry still in the heap — uncollected tombstones included — in
+    /// canonical `(time, seq)` order, for checkpoint serialization. Heap
+    /// layout is an implementation detail; the sorted view is the state.
+    pub fn entries_sorted(&self) -> Vec<&Scheduled<M>> {
+        let mut v: Vec<&Scheduled<M>> = self.heap.iter().map(|Reverse(s)| s).collect();
+        v.sort_by_key(|s| (s.time_us, s.seq));
+        v
+    }
+
+    /// Uncollected tombstone sequence numbers in ascending order.
+    pub fn cancelled_sorted(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.cancelled.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Rebuild a queue from checkpoint state: the surviving entries (with
+    /// their original sequence numbers), the uncollected tombstones, and the
+    /// sequence counter to continue from. The heap's internal layout need
+    /// not match the originating run's — `pop` always returns the unique
+    /// `(time, seq)` minimum, so replay order is identical regardless.
+    pub fn from_parts(next_seq: u64, entries: Vec<Scheduled<M>>, cancelled: Vec<u64>) -> Self {
+        Self {
+            heap: entries.into_iter().map(Reverse).collect(),
+            next_seq,
+            cancelled: cancelled.into_iter().collect(),
+        }
     }
 }
 
@@ -239,6 +305,44 @@ mod tests {
         q.cancel(h); // tombstone for an already-popped seq can never match
         q.push(2, timer(0, 1));
         assert!(q.pop().is_some(), "later events are unaffected");
+    }
+
+    #[test]
+    fn peek_time_matches_pop_and_collects_tombstones() {
+        let mut q = EventQueue::new();
+        let h = q.push(100, timer(0, 0));
+        q.push(200, timer(0, 1));
+        q.cancel(h);
+        assert_eq!(q.peek_time(), Some(200), "tombstoned head is skipped");
+        assert_eq!(q.pop().unwrap().time_us, 200);
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn from_parts_replays_identically() {
+        let mut q = EventQueue::new();
+        q.push(300, timer(0, 3));
+        q.push(100, timer(0, 1));
+        let h = q.push(200, timer(0, 2));
+        q.cancel(h);
+        let entries: Vec<Scheduled<()>> = q
+            .entries_sorted()
+            .into_iter()
+            .map(|s| Scheduled {
+                time_us: s.time_us,
+                seq: s.seq,
+                event: s.event.clone(),
+            })
+            .collect();
+        let mut rebuilt = EventQueue::from_parts(q.next_seq(), entries, q.cancelled_sorted());
+        assert_eq!(rebuilt.next_seq(), q.next_seq());
+        assert_eq!(rebuilt.len(), q.len());
+        loop {
+            match (q.pop(), rebuilt.pop()) {
+                (None, None) => break,
+                (a, b) => assert_eq!(a.map(|s| (s.time_us, s.seq)), b.map(|s| (s.time_us, s.seq))),
+            }
+        }
     }
 
     #[test]

@@ -177,6 +177,24 @@ impl FaultState {
         }
     }
 
+    /// Raw xoshiro state of the dedicated fault stream (checkpointing).
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rebuild a fault layer mid-run from checkpointed state: the plan, the
+    /// dedicated stream's raw RNG state, and the statistics accumulated so
+    /// far. Continues the decision stream exactly where the snapshot left
+    /// off.
+    pub fn from_parts(plan: FaultPlan, rng_state: [u64; 4], stats: FaultStats) -> Self {
+        debug_assert!(plan.validate().is_ok(), "invalid fault plan");
+        Self {
+            plan,
+            rng: SmallRng::from_state(rng_state),
+            stats,
+        }
+    }
+
     pub fn plan(&self) -> &FaultPlan {
         &self.plan
     }

@@ -13,6 +13,7 @@
 
 pub mod adversary;
 pub mod audit;
+pub mod checkpoint;
 pub mod engine;
 pub mod event;
 pub mod fault;
@@ -33,6 +34,7 @@ pub use adversary::{
     assign_roles, AdversaryPlan, AdversaryRole, AdversaryState, AdversaryStats, EclipseTarget,
 };
 pub use audit::{AuditConfig, AuditReport, Fnv64};
+pub use checkpoint::{Checkpoint, CheckpointProtocol, CodecError, Decoder, Encoder};
 pub use engine::{Ctx, EngineProfile, Protocol, ScratchGuard, SimBuilder, SimReport, Simulation};
 pub use event::{EngineEvent, EventHandle};
 pub use fault::{FaultDecision, FaultPlan, FaultState, FaultStats, PartitionWindow};

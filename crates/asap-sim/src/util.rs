@@ -51,6 +51,41 @@ impl<K: Hash + Eq + Copy> SeenTracker<K> {
     pub fn tracked_keys(&self) -> usize {
         self.seen.len()
     }
+
+    /// The configured window size (checkpointing).
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Canonical checkpoint view: `(key, visitors)` pairs in eviction-queue
+    /// order (oldest first), visitors sorted ascending. The eviction queue
+    /// and the map hold exactly the same keys, so this captures the whole
+    /// state.
+    pub fn entries(&self) -> Vec<(K, Vec<u32>)> {
+        self.order
+            .iter()
+            .map(|k| {
+                let mut visitors: Vec<u32> = self
+                    .seen
+                    .get(k)
+                    .map(|s| s.iter().copied().collect())
+                    .unwrap_or_default();
+                visitors.sort_unstable();
+                (*k, visitors)
+            })
+            .collect()
+    }
+
+    /// Rebuild a tracker from [`SeenTracker::entries`] output. Entries must
+    /// be in eviction-queue order and within the window.
+    pub fn from_entries(window: usize, entries: Vec<(K, Vec<u32>)>) -> Self {
+        let mut t = Self::new(window);
+        for (key, visitors) in entries {
+            t.order.push_back(key);
+            t.seen.insert(key, visitors.into_iter().collect());
+        }
+        t
+    }
 }
 
 /// Capped exponential backoff with a bounded retry budget: the universal
@@ -87,6 +122,23 @@ impl Backoff {
     /// True iff `next` would yield `None`.
     pub fn exhausted(&self) -> bool {
         self.remaining == 0
+    }
+
+    /// Raw `(delay_us, cap_us, remaining)` fields, for checkpointing a
+    /// backoff mid-stream. Pair with [`Backoff::from_raw_parts`].
+    pub fn raw_parts(&self) -> (u64, u64, u32) {
+        (self.delay_us, self.cap_us, self.remaining)
+    }
+
+    /// Rebuild a backoff from [`Backoff::raw_parts`] output. No clamping is
+    /// applied — the fields are restored verbatim so a checkpointed backoff
+    /// continues its schedule exactly.
+    pub fn from_raw_parts(delay_us: u64, cap_us: u64, remaining: u32) -> Self {
+        Self {
+            delay_us,
+            cap_us,
+            remaining,
+        }
     }
 }
 

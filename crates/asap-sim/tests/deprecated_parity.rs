@@ -1,0 +1,217 @@
+//! Parity tier for the deprecated construction shims kept alive for old
+//! callers: every `#[deprecated]` surface must behave **bit-identically**
+//! to its builder-era replacement, proven by audit-digest equality on
+//! whole runs. The shims are thin forwarders today; these tests keep them
+//! honest if either path ever grows logic of its own.
+#![allow(deprecated)]
+
+use asap_metrics::MsgClass;
+use asap_overlay::{Overlay, OverlayConfig, OverlayKind, PeerId};
+use asap_sim::{
+    query_hit_size, query_size, AuditConfig, Ctx, FaultPlan, Protocol, SimReport, Simulation,
+};
+use asap_topology::{PhysicalNetwork, TransitStubConfig};
+use asap_workload::{QuerySpec, Workload, WorkloadConfig};
+
+const PEERS: usize = 150;
+const QUERIES: usize = 200;
+
+/// Echo-style oracle whose holder scan goes through the engine scratch
+/// buffer — via the deprecated `take_scratch`/`put_scratch` pair or the
+/// drop-returning [`Ctx::scratch`] guard, selected per instance. Both
+/// styles must leave zero trace in the digest.
+struct Scratchy {
+    legacy_scratch: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Msg {
+    Ask { query: u32, terms: Vec<asap_workload::KeywordId> },
+    Reply { query: u32 },
+}
+
+impl Scratchy {
+    fn pick_holder(&self, ctx: &mut Ctx<'_, Msg>, q: &QuerySpec) -> Option<PeerId> {
+        if self.legacy_scratch {
+            let mut buf = ctx.take_scratch();
+            buf.extend(
+                ctx.content
+                    .holders(q.target)
+                    .iter()
+                    .copied()
+                    .filter(|&h| ctx.alive(h) && h != q.requester),
+            );
+            let picked = buf.first().copied();
+            ctx.put_scratch(buf);
+            picked
+        } else {
+            let mut buf = ctx.scratch();
+            let holders: Vec<PeerId> = ctx
+                .content
+                .holders(q.target)
+                .iter()
+                .copied()
+                .filter(|&h| ctx.alive(h) && h != q.requester)
+                .collect();
+            buf.extend(holders);
+            buf.first().copied()
+        }
+    }
+}
+
+impl Protocol for Scratchy {
+    type Msg = Msg;
+
+    fn on_query(&mut self, ctx: &mut Ctx<'_, Msg>, q: &QuerySpec) {
+        if let Some(h) = self.pick_holder(ctx, q) {
+            ctx.send(
+                q.requester,
+                h,
+                MsgClass::Query,
+                query_size(q.terms.len()),
+                Msg::Ask {
+                    query: q.id,
+                    terms: q.terms.clone(),
+                },
+            );
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, to: PeerId, from: PeerId, msg: Msg) {
+        match msg {
+            Msg::Ask { query, terms } => {
+                if ctx.content.peer_matches(ctx.model, to, &terms) {
+                    ctx.send(
+                        to,
+                        from,
+                        MsgClass::QueryHit,
+                        query_hit_size(1),
+                        Msg::Reply { query },
+                    );
+                }
+            }
+            Msg::Reply { query } => ctx.report_answer(query),
+        }
+    }
+}
+
+fn world(seed: u64) -> (PhysicalNetwork, Workload, Overlay) {
+    let phys = PhysicalNetwork::generate(&TransitStubConfig::reduced(seed));
+    let workload = asap_workload::generate(&WorkloadConfig::reduced(PEERS, QUERIES, seed));
+    let overlay = OverlayConfig::new(OverlayKind::Random, PEERS, seed).build();
+    (phys, workload, overlay)
+}
+
+fn digest(report: &SimReport<Scratchy>) -> u64 {
+    let audit = report.audit.as_ref().expect("audited run");
+    assert!(audit.is_clean(), "{:?}", audit.violations);
+    audit.digest
+}
+
+fn proto() -> Scratchy {
+    Scratchy {
+        legacy_scratch: false,
+    }
+}
+
+#[test]
+fn simulation_new_with_audit_matches_builder() {
+    let seed = 81;
+    let (phys, workload, overlay) = world(seed);
+    let old = Simulation::new(
+        &phys,
+        &workload,
+        overlay.clone(),
+        OverlayKind::Random,
+        proto(),
+        seed,
+    )
+    .with_audit(AuditConfig::default())
+    .run();
+    let new = Simulation::builder(&phys, &workload, overlay, OverlayKind::Random, proto(), seed)
+        .audit(AuditConfig::default())
+        .run();
+    assert_eq!(digest(&old), digest(&new), "with_audit shim diverged");
+    assert_eq!(old.messages_sent, new.messages_sent);
+    assert_eq!(old.end_time_us, new.end_time_us);
+}
+
+#[test]
+fn with_faults_matches_builder_faults() {
+    let seed = 82;
+    let plan = FaultPlan {
+        loss_ppm: 40_000,
+        jitter_max_us: 30_000,
+        duplicate_ppm: 15_000,
+        ..FaultPlan::none()
+    };
+    let (phys, workload, overlay) = world(seed);
+    let old = Simulation::new(
+        &phys,
+        &workload,
+        overlay.clone(),
+        OverlayKind::Random,
+        proto(),
+        seed,
+    )
+    .with_audit(AuditConfig::default())
+    .with_faults(plan.clone())
+    .run();
+    let new = Simulation::builder(&phys, &workload, overlay, OverlayKind::Random, proto(), seed)
+        .audit(AuditConfig::default())
+        .faults(plan)
+        .run();
+    assert_eq!(digest(&old), digest(&new), "with_faults shim diverged");
+    assert_eq!(old.faults, new.faults, "fault statistics diverged");
+}
+
+#[test]
+fn with_horizon_grace_matches_builder_horizon_grace() {
+    let seed = 83;
+    let grace_us = 5_000_000;
+    let (phys, workload, overlay) = world(seed);
+    let old = Simulation::new(
+        &phys,
+        &workload,
+        overlay.clone(),
+        OverlayKind::Random,
+        proto(),
+        seed,
+    )
+    .with_audit(AuditConfig::default())
+    .with_horizon_grace(grace_us)
+    .run();
+    let new = Simulation::builder(&phys, &workload, overlay, OverlayKind::Random, proto(), seed)
+        .audit(AuditConfig::default())
+        .horizon_grace(grace_us)
+        .run();
+    assert_eq!(digest(&old), digest(&new), "horizon_grace shim diverged");
+    assert_eq!(old.end_time_us, new.end_time_us);
+}
+
+#[test]
+fn take_put_scratch_matches_scratch_guard() {
+    let seed = 84;
+    let (phys, workload, overlay) = world(seed);
+    let run = |legacy_scratch: bool, overlay: Overlay| {
+        Simulation::builder(
+            &phys,
+            &workload,
+            overlay,
+            OverlayKind::Random,
+            Scratchy { legacy_scratch },
+            seed,
+        )
+        .audit(AuditConfig::default())
+        .run()
+    };
+    let old = run(true, overlay.clone());
+    let new = run(false, overlay);
+    assert_eq!(digest(&old), digest(&new), "scratch shims diverged");
+    assert_eq!(old.messages_sent, new.messages_sent);
+    assert_eq!(
+        old.ledger.num_succeeded(),
+        new.ledger.num_succeeded(),
+        "scratch styles answered different queries"
+    );
+}

@@ -124,6 +124,37 @@ impl ContentState {
             .collect()
     }
 
+    /// Raw `(holdings, holders)` views for checkpointing. `holdings` is
+    /// sorted per peer; `holders` order is history-dependent (`swap_remove`
+    /// on removal) and behavior-relevant, so both are serialized verbatim.
+    /// The keyword multiset is derived state and is rebuilt on restore.
+    pub fn parts(&self) -> (&[Vec<DocId>], &[Vec<PeerId>]) {
+        (&self.holdings, &self.holders)
+    }
+
+    /// Rebuild content state from [`ContentState::parts`] output, restoring
+    /// `holdings`/`holders` verbatim and re-deriving the per-peer keyword
+    /// multiset from the holdings and the model.
+    pub fn from_parts(
+        model: &ContentModel,
+        holdings: Vec<Vec<DocId>>,
+        holders: Vec<Vec<PeerId>>,
+    ) -> Self {
+        let mut keyword_counts = vec![DetHashMap::default(); holdings.len()];
+        for (docs, counts) in holdings.iter().zip(keyword_counts.iter_mut()) {
+            for &d in docs {
+                for &kw in &model.doc(d).keywords {
+                    *counts.entry(kw).or_insert(0u32) += 1;
+                }
+            }
+        }
+        Self {
+            holdings,
+            holders,
+            keyword_counts,
+        }
+    }
+
     /// Current distinct keywords of a peer (what its Bloom filter covers).
     pub fn peer_keywords(&self, peer: PeerId) -> impl Iterator<Item = KeywordId> + '_ {
         self.keyword_counts[peer.index()].keys().copied()

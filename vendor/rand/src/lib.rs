@@ -151,6 +151,22 @@ pub mod rngs {
         fn rotl(x: u64, k: u32) -> u64 {
             x.rotate_left(k)
         }
+
+        /// The raw xoshiro256++ state words, for checkpointing a generator
+        /// mid-stream. Pair with [`SmallRng::from_state`].
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuild a generator from [`SmallRng::state`] output, continuing
+        /// the stream exactly where the snapshot left off. The state must
+        /// come from a previously seeded generator (a seeded xoshiro256++
+        /// can never reach the all-zero state, so no remapping is applied —
+        /// remapping would break snapshot/restore exactness).
+        pub fn from_state(s: [u64; 4]) -> Self {
+            debug_assert!(s != [0; 4], "all-zero state is not a valid snapshot");
+            Self { s }
+        }
     }
 
     impl RngCore for SmallRng {

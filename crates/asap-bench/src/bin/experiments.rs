@@ -48,6 +48,7 @@ struct Args {
     adversary: AdversaryProfile,
     trace: Option<PathBuf>,
     trace_query: Option<u32>,
+    sharded: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -63,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
         adversary: AdversaryProfile::None,
         trace: None,
         trace_query: None,
+        sharded: false,
     };
     while let Some(flag) = args.next() {
         let mut value = || args.next().ok_or(format!("{flag} needs a value"));
@@ -86,6 +88,7 @@ fn parse_args() -> Result<Args, String> {
                 parsed.adversary = AdversaryProfile::parse(&v)
                     .ok_or(format!("unknown adversary profile '{v}'"))?;
             }
+            "--sharded" => parsed.sharded = true,
             "--trace" => parsed.trace = Some(PathBuf::from(value()?)),
             "--trace-query" => {
                 parsed.trace_query =
@@ -106,7 +109,7 @@ fn usage() -> String {
      [--seed N] [--workers N (default: all cores)] [--out DIR] \
      [--faults none|lossy|chaos] \
      [--adversary none|spam<pct>|freeride<pct>|eclipse<pct>] \
-     [--trace PATH] [--trace-query ID]"
+     [--trace PATH] [--trace-query ID] [--sharded]"
         .to_string()
 }
 
@@ -249,6 +252,7 @@ fn run_matrix(args: &Args, cells: Vec<(AlgoKind, OverlayKind)>) -> Vec<RunSummar
         faults: args.faults,
         trace: args.trace.as_ref().map(|_| TraceConfig::default()),
         adversary: args.adversary,
+        sharded: args.sharded,
     };
     let reports = sweep_cells_spec(&world, &cells, args.workers, &spec);
     if let Some(stem) = &args.trace {

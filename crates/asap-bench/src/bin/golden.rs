@@ -20,6 +20,10 @@
 //!   fault-free matrix with the trace recorder attached and assert the
 //!   digests are bit-identical to the untraced run: observation must never
 //!   perturb the simulation.
+//! * `--sharded` (composes with `--check`) — replay every matrix on the
+//!   time-window-sharded event-queue backend. The golden files don't change:
+//!   all 150 pinned digests must come out bit-identical on either backend,
+//!   so CI runs `--check` both with and without this flag.
 
 use std::process::ExitCode;
 
@@ -52,29 +56,39 @@ fn report_records(label: &str, records: &[ReplayRecord]) {
     }
 }
 
-fn replay(world: &World, faults: FaultProfile) -> Vec<ReplayRecord> {
+fn replay(world: &World, faults: FaultProfile, sharded: bool) -> Vec<ReplayRecord> {
     // Fan across every core: `--check` passing from here *is* the proof that
     // the parallel sweep reproduces the pinned digests bit-for-bit.
     let workers = rayon::current_num_threads();
     eprintln!(
-        "replaying the golden matrix (18 audited cells, faults={}, workers={workers})...",
-        faults.label()
+        "replaying the golden matrix (18 audited cells, faults={}, workers={workers}, queue={})...",
+        faults.label(),
+        backend_label(sharded),
     );
-    let records = replay_matrix_parallel(world, faults, workers);
+    let records = replay_matrix_parallel(world, faults, workers, sharded);
     report_records(&format!("faults={}", faults.label()), &records);
     records
 }
 
-fn replay_scenario(pack: ScenarioPack) -> Vec<ReplayRecord> {
+fn replay_scenario(pack: ScenarioPack, sharded: bool) -> Vec<ReplayRecord> {
     let workers = rayon::current_num_threads();
     eprintln!(
-        "replaying the {} scenario matrix (18 audited cells, workers={workers})...",
-        pack.label()
+        "replaying the {} scenario matrix (18 audited cells, workers={workers}, queue={})...",
+        pack.label(),
+        backend_label(sharded),
     );
     let world = pack.world();
-    let records = replay_scenario_matrix(&world, pack, workers);
+    let records = replay_scenario_matrix(&world, pack, workers, sharded);
     report_records(&format!("scenario={}", pack.label()), &records);
     records
+}
+
+fn backend_label(sharded: bool) -> &'static str {
+    if sharded {
+        "sharded"
+    } else {
+        "heap"
+    }
 }
 
 /// Write or check one golden file; returns true on success. In check mode
@@ -123,12 +137,13 @@ fn pin(path: &str, fresh: &str, check: bool, key_cols: usize) -> bool {
 /// three quarter points. Besides pinning the digests, every resumed digest
 /// must equal its cell's uninterrupted digest — the bit-identical-resume
 /// acceptance gate. Returns the records and whether that gate held.
-fn replay_resume(world: &World) -> (Vec<ResumeRecord>, bool) {
+fn replay_resume(world: &World, sharded: bool) -> (Vec<ResumeRecord>, bool) {
     let workers = rayon::current_num_threads();
     eprintln!(
-        "replaying the resume matrix (20 audited cells x 3 split points, workers={workers})..."
+        "replaying the resume matrix (20 audited cells x 3 split points, workers={workers}, queue={})...",
+        backend_label(sharded),
     );
-    let records = resume_matrix_records(world, workers);
+    let records = resume_matrix_records(world, workers, sharded);
     let mut ok = true;
     for r in &records {
         if r.digest != r.cold_digest {
@@ -154,10 +169,10 @@ fn replay_resume(world: &World) -> (Vec<ResumeRecord>, bool) {
 
 /// Replay the fault-free matrix with the recorder attached and demand the
 /// traced digests match the untraced records exactly. Returns true on pass.
-fn trace_pass(world: &World, untraced: &[ReplayRecord]) -> bool {
+fn trace_pass(world: &World, untraced: &[ReplayRecord], sharded: bool) -> bool {
     let workers = rayon::current_num_threads();
     eprintln!("replaying the fault-free matrix traced (workers={workers})...");
-    let traced = replay_matrix_traced(world, FaultProfile::None, workers);
+    let traced = replay_matrix_traced(world, FaultProfile::None, workers, sharded);
     let mut ok = true;
     for ((rec, cell), want) in traced.iter().zip(untraced) {
         let recorder = cell.trace.as_ref().expect("traced replay keeps its recorder");
@@ -190,6 +205,14 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let check = args.iter().any(|a| a == "--check");
     let trace = args.iter().any(|a| a == "--trace");
+    let sharded = args.iter().any(|a| a == "--sharded");
+    if sharded && !check {
+        // Pinning from the sharded backend would be fine (digests are
+        // backend-invariant), but regeneration should stay on the default
+        // path so an accidental backend divergence can't be pinned in.
+        eprintln!("error: --sharded only composes with --check");
+        return ExitCode::from(2);
+    }
     let world = golden_world();
     let mut ok = true;
     for (faults, path) in [
@@ -202,15 +225,15 @@ fn main() -> ExitCode {
             concat!(env!("CARGO_MANIFEST_DIR"), "/golden/replay_tiny_lossy.txt"),
         ),
     ] {
-        let records = replay(&world, faults);
+        let records = replay(&world, faults, sharded);
         let fresh = golden_lines_with(&records, faults);
         ok &= pin(path, &fresh, check, REPLAY_KEY_COLS);
         if trace && faults.is_none() {
-            ok &= trace_pass(&world, &records);
+            ok &= trace_pass(&world, &records, sharded);
         }
     }
     for pack in ScenarioPack::ALL {
-        let records = replay_scenario(pack);
+        let records = replay_scenario(pack, sharded);
         let fresh = golden_lines_scenario(&records, pack);
         let path = format!(
             "{}/golden/{}",
@@ -220,7 +243,7 @@ fn main() -> ExitCode {
         ok &= pin(&path, &fresh, check, REPLAY_KEY_COLS);
     }
     {
-        let (records, resume_ok) = replay_resume(&world);
+        let (records, resume_ok) = replay_resume(&world, sharded);
         ok &= resume_ok;
         let fresh = resume_golden_lines(&records);
         let path = concat!(env!("CARGO_MANIFEST_DIR"), "/golden/resume_tiny.txt");

@@ -1,22 +1,35 @@
 //! Pinned performance trajectory: a fixed micro + macro suite whose results
-//! are committed as `BENCH_pr4.json` at the workspace root.
+//! are committed as `BENCH_pr9.json` at the workspace root.
 //!
-//! * `cargo run --release -p asap-bench --bin perf` — run the suite at tiny
-//!   scale and write `BENCH_pr4.json` (pass `--out FILE` to redirect,
-//!   `--scale default` for the bigger instance).
-//! * `cargo run --release -p asap-bench --bin perf -- --check BENCH_pr4.json`
-//!   — run the suite and exit nonzero if any timed metric regressed more
-//!   than the tolerance (default 25 %, `--tolerance 0.4` to loosen) against
-//!   the committed baseline. CI's bench-smoke job runs this at tiny scale.
+//! * `cargo run --release -p asap-bench --bin perf -- --scale all` — run
+//!   every leg (tiny micros + e2e, default sweeps + backend comparison, the
+//!   xl 100k-peer cell) and write `BENCH_pr9.json` (`--out FILE` redirects).
+//! * `cargo run --release -p asap-bench --bin perf -- --check BENCH_pr9.json`
+//!   — run the requested legs and exit nonzero if any timed metric regressed
+//!   more than the tolerance (default 25 %, `--tolerance 0.4` to loosen)
+//!   against the committed baseline. Only the keys this invocation measured
+//!   are compared, so CI can gate the tiny leg (fast) and the xl leg
+//!   (coarse) in separate jobs against one committed baseline.
 //!
-//! The suite pins the costs this repo's hot-path work targets: Bloom filter
-//! probe, O(1) latency-oracle pair lookup, copy-on-write filter snapshot
-//! handles, one end-to-end tiny cell untraced *and* traced (the pair bounds
-//! the observability tax), and the serial-vs-parallel sweep wall clock
-//! (`threads` records how many workers the parallel leg had — the speedup is
-//! only meaningful on multi-core machines). The engine's event-loop profile
-//! counters (sends, delivers, queue high-water mark) ride along as exact
-//! integers: any drift in them is a behavior change, not noise.
+//! Legs (`--scale`, repeatable; `all` = every leg; default `tiny`):
+//!
+//! * `tiny` — micro benches (hash-path Bloom query, word-parallel
+//!   [`ProbePlan`] query, oracle pair lookup, copy-on-write snapshot), one
+//!   end-to-end tiny cell untraced *and* traced (the pair bounds the
+//!   observability tax), and the serial-vs-parallel 4-cell sweep. The
+//!   engine's event-loop profile counters ride along as exact integers: any
+//!   drift in them is a behavior change, not noise.
+//! * `default` — the 4-cell sweep serial vs parallel at default scale
+//!   (1,500 peers), plus one default cell on the binary-heap vs the
+//!   time-window-sharded queue backend (`shard_speedup_default`); the two
+//!   runs must agree on the outcome fingerprint, so the comparison doubles
+//!   as a backend-invariance check at a scale the goldens never reach.
+//! * `xl` — build the streamed 103,872-node topology and run one 100,000
+//!   peer random-walk cell on the sharded backend (`e2e_xl_ms`).
+//!
+//! Speedup ratios (`sweep_speedup_*`, `shard_speedup_default`) are derived
+//! values: written for the trajectory record, never regression-gated (they
+//! move with core count — `threads` records what this host gave the run).
 //!
 //! `--gate KEY=TOL` (repeatable) pins a per-key tolerance tighter than the
 //! global `--tolerance`; CI uses it to hold the micro benches to 5 %.
@@ -28,29 +41,72 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use asap_bench::faults::FaultProfile;
-use asap_bench::runner::{run_cell_spec, run_cell_with, sweep_cells_in, RunSpec, World};
+use asap_bench::runner::{run_cell_spec, run_cell_with, sweep_cells_spec, RunSpec, World};
 use asap_bench::{AlgoKind, Scale};
-use asap_bloom::{BloomParams, CountingBloom};
+use asap_bloom::hashing::KeyHash;
+use asap_bloom::{BloomParams, CountingBloom, ProbePlan};
 use asap_overlay::OverlayKind;
 use asap_sim::trace::TraceConfig;
-use asap_sim::EngineProfile;
 use asap_topology::{PhysNodeId, PhysicalNetwork, TransitStubConfig};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-const SCHEMA: &str = "asap-bench-perf/v2";
+const SCHEMA: &str = "asap-bench-perf/v3";
 const SEED: u64 = 42;
 
+/// One suite leg; `--scale` selects which run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Leg {
+    Tiny,
+    Default,
+    Xl,
+}
+
+impl Leg {
+    fn parse(s: &str) -> Option<Vec<Leg>> {
+        match s {
+            "tiny" => Some(vec![Leg::Tiny]),
+            "default" => Some(vec![Leg::Default]),
+            "xl" => Some(vec![Leg::Xl]),
+            "all" => Some(vec![Leg::Tiny, Leg::Default, Leg::Xl]),
+            _ => None,
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            Leg::Tiny => "tiny",
+            Leg::Default => "default",
+            Leg::Xl => "xl",
+        }
+    }
+}
+
+#[derive(Default)]
 struct Results {
-    scale: Scale,
+    /// Which legs ran, `+`-joined (metadata, not compared).
+    scales: String,
     threads: usize,
-    /// `(key, value)` in TIMED_KEYS order, plus derived `sweep_speedup`.
-    timed: Vec<(&'static str, f64)>,
-    sweep_speedup: f64,
-    /// Event-loop phase counters from the untraced e2e cell (exact values).
-    profile: EngineProfile,
-    /// Trace records captured by the traced e2e cell.
-    trace_records: u64,
+    /// Regression-gated wall-clock metrics, in suite order.
+    timed: Vec<(String, f64)>,
+    /// Derived ratios: written, printed, never gated.
+    derived: Vec<(String, f64)>,
+    /// Exact integers (event-loop counters, populations): pinned verbatim.
+    ints: Vec<(String, u64)>,
+}
+
+impl Results {
+    fn timed(&mut self, key: &str, ms: f64) {
+        self.timed.push((key.to_string(), ms));
+    }
+
+    fn derived(&mut self, key: &str, v: f64) {
+        self.derived.push((key.to_string(), v));
+    }
+
+    fn int(&mut self, key: &str, v: u64) {
+        self.ints.push((key.to_string(), v));
+    }
 }
 
 /// Best-of-7 wall clock for `iters` calls of `f`, in ns per call. The min
@@ -70,7 +126,14 @@ fn time_ns<T>(iters: u32, mut f: impl FnMut() -> T) -> f64 {
     best
 }
 
-fn micro_bloom_query() -> f64 {
+fn timed_ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let start = Instant::now();
+    let v = f();
+    (v, start.elapsed().as_secs_f64() * 1e3)
+}
+
+/// The shared micro fixture: a paper-sized filter holding 64 keywords.
+fn micro_filter() -> (BloomParams, Vec<String>, asap_bloom::BloomFilter) {
     let params = BloomParams::paper_default();
     let mut cb = CountingBloom::new(params);
     let keys: Vec<String> = (0..64).map(|i| format!("keyword-{i}")).collect();
@@ -78,11 +141,31 @@ fn micro_bloom_query() -> f64 {
         cb.insert(k);
     }
     let filter = cb.snapshot();
+    (params, keys, filter)
+}
+
+fn micro_bloom_query() -> f64 {
+    let (_, keys, filter) = micro_filter();
     let probes: Vec<&str> = keys.iter().map(String::as_str).cycle().take(256).collect();
     let mut i = 0;
     time_ns(20_000, || {
         i = (i + 1) % probes.len();
         filter.contains(probes[i])
+    })
+}
+
+/// The word-parallel path: probe positions prehashed and word-merged into a
+/// [`ProbePlan`], as the repository lookup hot path does per query.
+fn micro_bloom_probe() -> f64 {
+    let (params, keys, filter) = micro_filter();
+    let plans: Vec<ProbePlan> = keys
+        .iter()
+        .map(|k| ProbePlan::new(params, &[KeyHash::of(k)]))
+        .collect();
+    let mut i = 0;
+    time_ns(20_000, || {
+        i = (i + 1) % plans.len();
+        filter.contains_plan(&plans[i])
     })
 }
 
@@ -120,50 +203,14 @@ fn sweep_cells() -> [(AlgoKind, OverlayKind); 4] {
     ]
 }
 
-fn run_suite(scale: Scale) -> Results {
-    let threads = rayon::current_num_threads();
-    eprintln!("perf: micro benches...");
-    let bloom = micro_bloom_query();
-    let oracle = micro_oracle_pair();
-    let snapshot = micro_snapshot_rc();
-
-    eprintln!("perf: building the {} world...", scale.label());
-    let world = World::build(scale, SEED);
-
-    eprintln!("perf: end-to-end cell...");
-    let start = Instant::now();
-    let cell = run_cell_with(
-        &world,
-        AlgoKind::AsapRw,
-        OverlayKind::Random,
-        None,
-        FaultProfile::None,
-    );
-    let e2e_ms = start.elapsed().as_secs_f64() * 1e3;
-    assert!(cell.queries > 0, "perf cell must actually run queries");
-
-    eprintln!("perf: end-to-end cell, traced...");
-    let traced_spec = RunSpec::figures().with_trace(TraceConfig::default());
-    let start = Instant::now();
-    let traced = run_cell_spec(&world, AlgoKind::AsapRw, OverlayKind::Random, &traced_spec);
-    let e2e_traced_ms = start.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(
-        cell.outcome_fingerprint, traced.outcome_fingerprint,
-        "tracing perturbed the e2e cell — determinism bug"
-    );
-    let trace_records = traced.trace.as_ref().map_or(0, |r| r.total());
-    assert!(trace_records > 0, "traced cell must record events");
-
-    eprintln!("perf: serial sweep (4 cells)...");
+/// Time the 4-cell sweep serially and across `threads` workers on one world;
+/// asserts serial/parallel fingerprint agreement and returns
+/// `(serial_ms, parallel_ms)`.
+fn sweep_pair(world: &World, threads: usize) -> (f64, f64) {
     let cells = sweep_cells();
-    let start = Instant::now();
-    let serial = sweep_cells_in(&world, &cells, 1, None, FaultProfile::None);
-    let sweep_serial_ms = start.elapsed().as_secs_f64() * 1e3;
-
-    eprintln!("perf: parallel sweep ({threads} workers)...");
-    let start = Instant::now();
-    let parallel = sweep_cells_in(&world, &cells, threads, None, FaultProfile::None);
-    let sweep_parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+    let spec = RunSpec::figures();
+    let (serial, serial_ms) = timed_ms(|| sweep_cells_spec(world, &cells, 1, &spec));
+    let (parallel, parallel_ms) = timed_ms(|| sweep_cells_spec(world, &cells, threads, &spec));
     assert_eq!(serial.len(), parallel.len());
     for (s, p) in serial.iter().zip(&parallel) {
         assert_eq!(
@@ -171,44 +218,156 @@ fn run_suite(scale: Scale) -> Results {
             "parallel sweep diverged from serial — determinism bug"
         );
     }
+    (serial_ms, parallel_ms)
+}
 
-    Results {
-        scale,
-        threads,
-        timed: vec![
-            ("bloom_query_ns", bloom),
-            ("oracle_pair_ns", oracle),
-            ("snapshot_rc_ns", snapshot),
-            ("e2e_cell_ms", e2e_ms),
-            ("e2e_traced_ms", e2e_traced_ms),
-            ("sweep_serial_ms", sweep_serial_ms),
-            ("sweep_parallel_ms", sweep_parallel_ms),
-        ],
-        sweep_speedup: sweep_serial_ms / sweep_parallel_ms,
-        profile: cell.profile,
-        trace_records,
+fn leg_tiny(r: &mut Results, threads: usize) {
+    eprintln!("perf[tiny]: micro benches...");
+    r.timed("bloom_query_ns", micro_bloom_query());
+    r.timed("bloom_probe_ns", micro_bloom_probe());
+    r.timed("oracle_pair_ns", micro_oracle_pair());
+    r.timed("snapshot_rc_ns", micro_snapshot_rc());
+
+    eprintln!("perf[tiny]: building the world...");
+    let world = World::build(Scale::Tiny, SEED);
+
+    eprintln!("perf[tiny]: end-to-end cell...");
+    let (cell, e2e_ms) = timed_ms(|| {
+        run_cell_with(
+            &world,
+            AlgoKind::AsapRw,
+            OverlayKind::Random,
+            None,
+            FaultProfile::None,
+        )
+    });
+    assert!(cell.queries > 0, "perf cell must actually run queries");
+    r.timed("e2e_tiny_ms", e2e_ms);
+
+    eprintln!("perf[tiny]: end-to-end cell, traced...");
+    let traced_spec = RunSpec::figures().with_trace(TraceConfig::default());
+    let (traced, e2e_traced_ms) =
+        timed_ms(|| run_cell_spec(&world, AlgoKind::AsapRw, OverlayKind::Random, &traced_spec));
+    assert_eq!(
+        cell.outcome_fingerprint, traced.outcome_fingerprint,
+        "tracing perturbed the e2e cell — determinism bug"
+    );
+    let trace_records = traced.trace.as_ref().map_or(0, |t| t.total());
+    assert!(trace_records > 0, "traced cell must record events");
+    r.timed("e2e_tiny_traced_ms", e2e_traced_ms);
+
+    eprintln!("perf[tiny]: serial vs parallel sweep ({threads} workers)...");
+    let (serial_ms, parallel_ms) = sweep_pair(&world, threads);
+    r.timed("sweep_serial_tiny_ms", serial_ms);
+    r.timed("sweep_parallel_tiny_ms", parallel_ms);
+    r.derived("sweep_speedup_tiny", serial_ms / parallel_ms);
+
+    // Exact event-loop counters from the untraced e2e cell: drift here is a
+    // behavior change, so they are pinned as integers, not tolerated floats.
+    r.int("profile_sends", cell.profile.sends);
+    r.int("profile_delivers", cell.profile.delivers);
+    r.int("profile_timers_set", cell.profile.timers_set);
+    r.int("profile_timers_fired", cell.profile.timers_fired);
+    r.int("profile_queue_hwm", cell.profile.queue_hwm as u64);
+    r.int("trace_records", trace_records);
+}
+
+fn leg_default(r: &mut Results, threads: usize) {
+    eprintln!("perf[default]: building the world...");
+    let world = World::build(Scale::Default, SEED);
+
+    eprintln!("perf[default]: e2e cell on the heap backend...");
+    let (heap, heap_ms) = timed_ms(|| {
+        run_cell_spec(
+            &world,
+            AlgoKind::AsapRw,
+            OverlayKind::Random,
+            &RunSpec::figures(),
+        )
+    });
+    eprintln!("perf[default]: e2e cell on the sharded backend...");
+    let (sharded, sharded_ms) = timed_ms(|| {
+        run_cell_spec(
+            &world,
+            AlgoKind::AsapRw,
+            OverlayKind::Random,
+            &RunSpec::figures().with_sharded(true),
+        )
+    });
+    assert_eq!(
+        heap.outcome_fingerprint, sharded.outcome_fingerprint,
+        "sharded backend diverged from the heap at default scale"
+    );
+    r.timed("e2e_default_heap_ms", heap_ms);
+    r.timed("e2e_default_sharded_ms", sharded_ms);
+    r.derived("shard_speedup_default", heap_ms / sharded_ms);
+
+    eprintln!("perf[default]: serial vs parallel sweep ({threads} workers)...");
+    let (serial_ms, parallel_ms) = sweep_pair(&world, threads);
+    r.timed("sweep_serial_default_ms", serial_ms);
+    r.timed("sweep_parallel_default_ms", parallel_ms);
+    r.derived("sweep_speedup_default", serial_ms / parallel_ms);
+}
+
+fn leg_xl(r: &mut Results) {
+    eprintln!("perf[xl]: building the 103,872-node streamed topology...");
+    let (world, build_ms) = timed_ms(|| World::build(Scale::Xl, SEED));
+    r.timed("xl_world_build_ms", build_ms);
+
+    eprintln!("perf[xl]: 100k-peer random-walk cell (sharded backend)...");
+    let (cell, e2e_ms) = timed_ms(|| {
+        run_cell_spec(
+            &world,
+            AlgoKind::RandomWalk,
+            OverlayKind::Random,
+            &RunSpec::figures().with_sharded(true),
+        )
+    });
+    assert!(cell.queries > 0, "xl cell must actually run queries");
+    r.timed("e2e_xl_ms", e2e_ms);
+    r.int("xl_peers", Scale::Xl.peers() as u64);
+    r.int("xl_queries", cell.queries as u64);
+    r.int("xl_queue_hwm", cell.profile.queue_hwm as u64);
+}
+
+fn run_suite(legs: &[Leg]) -> Results {
+    let mut r = Results {
+        scales: legs
+            .iter()
+            .map(|l| l.label())
+            .collect::<Vec<_>>()
+            .join("+"),
+        threads: rayon::current_num_threads(),
+        ..Results::default()
+    };
+    let threads = r.threads;
+    for leg in legs {
+        match leg {
+            Leg::Tiny => leg_tiny(&mut r, threads),
+            Leg::Default => leg_default(&mut r, threads),
+            Leg::Xl => leg_xl(&mut r),
+        }
     }
+    r
 }
 
 fn render_json(r: &Results) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
-    out.push_str(&format!("  \"scale\": \"{}\",\n", r.scale.label()));
+    out.push_str(&format!("  \"scales\": \"{}\",\n", r.scales));
     out.push_str(&format!("  \"seed\": {SEED},\n"));
     out.push_str(&format!("  \"threads\": {},\n", r.threads));
     for (key, value) in &r.timed {
         out.push_str(&format!("  \"{key}\": {value:.3},\n"));
     }
-    out.push_str(&format!("  \"sweep_speedup\": {:.3},\n", r.sweep_speedup));
-    // Exact event-loop counters from the untraced e2e cell: drift here is a
-    // behavior change, so they are pinned as integers, not tolerated floats.
-    out.push_str(&format!("  \"profile_sends\": {},\n", r.profile.sends));
-    out.push_str(&format!("  \"profile_delivers\": {},\n", r.profile.delivers));
-    out.push_str(&format!("  \"profile_timers_set\": {},\n", r.profile.timers_set));
-    out.push_str(&format!("  \"profile_timers_fired\": {},\n", r.profile.timers_fired));
-    out.push_str(&format!("  \"profile_queue_hwm\": {},\n", r.profile.queue_hwm));
-    out.push_str(&format!("  \"trace_records\": {}\n", r.trace_records));
+    for (key, value) in &r.derived {
+        out.push_str(&format!("  \"{key}\": {value:.3},\n"));
+    }
+    for (i, (key, value)) in r.ints.iter().enumerate() {
+        let comma = if i + 1 == r.ints.len() { "" } else { "," };
+        out.push_str(&format!("  \"{key}\": {value}{comma}\n"));
+    }
     out.push_str("}\n");
     out
 }
@@ -233,6 +392,10 @@ fn json_string(doc: &str, key: &str) -> Option<String> {
     Some(rest[..rest.find('"')?].to_string())
 }
 
+/// Compare this run's **measured** keys against the baseline: a key the
+/// current invocation did not run is never judged, so per-leg CI jobs can
+/// share one all-legs baseline. A measured key the baseline lacks fails —
+/// that means the baseline predates the metric and must be regenerated.
 fn check(results: &Results, baseline_path: &str, tolerance: f64, gates: &[(String, f64)]) -> bool {
     let doc = match std::fs::read_to_string(baseline_path) {
         Ok(d) => d,
@@ -248,24 +411,16 @@ fn check(results: &Results, baseline_path: &str, tolerance: f64, gates: &[(Strin
             return false;
         }
     }
-    if json_string(&doc, "scale").as_deref() != Some(results.scale.label()) {
-        eprintln!(
-            "perf: baseline scale {:?} but this run is {:?} — compare like with like",
-            json_string(&doc, "scale"),
-            results.scale.label()
-        );
-        return false;
-    }
     for (key, _) in gates {
         if !results.timed.iter().any(|(k, _)| k == key) {
-            eprintln!("perf: --gate names unknown key {key:?}");
+            eprintln!("perf: --gate names a key this invocation did not measure: {key:?}");
             return false;
         }
     }
     let mut ok = true;
-    for &(key, current) in &results.timed {
+    for (key, current) in &results.timed {
         let Some(base) = json_number(&doc, key) else {
-            eprintln!("perf: baseline is missing {key}");
+            eprintln!("perf: baseline is missing {key} — regenerate it with the same legs");
             ok = false;
             continue;
         };
@@ -274,12 +429,12 @@ fn check(results: &Results, baseline_path: &str, tolerance: f64, gates: &[(Strin
             .find(|(k, _)| k == key)
             .map_or(tolerance, |&(_, t)| t);
         let limit = base * (1.0 + tol);
-        let verdict = if current <= limit { "ok" } else { "REGRESSED" };
+        let verdict = if *current <= limit { "ok" } else { "REGRESSED" };
         println!(
-            "{key:>18}: {current:>12.1} (baseline {base:.1}, limit {limit:.1}, tol {:.0}%) {verdict}",
+            "{key:>24}: {current:>12.1} (baseline {base:.1}, limit {limit:.1}, tol {:.0}%) {verdict}",
             tol * 100.0
         );
-        if current > limit {
+        if *current > limit {
             ok = false;
         }
     }
@@ -288,7 +443,7 @@ fn check(results: &Results, baseline_path: &str, tolerance: f64, gates: &[(Strin
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: perf [--scale tiny|default|paper] [--out FILE] \
+        "usage: perf [--scale tiny|default|xl|all]... [--out FILE] \
          [--check BASELINE [--tolerance F] [--gate KEY=TOL]...]"
     );
     ExitCode::FAILURE
@@ -296,7 +451,7 @@ fn usage() -> ExitCode {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut scale = Scale::Tiny;
+    let mut legs: Vec<Leg> = Vec::new();
     let mut out: Option<String> = None;
     let mut baseline: Option<String> = None;
     let mut tolerance = 0.25;
@@ -304,8 +459,8 @@ fn main() -> ExitCode {
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
-            "--scale" => match it.next().map(|s| Scale::parse(s)) {
-                Some(Some(s)) => scale = s,
+            "--scale" => match it.next().map(|s| Leg::parse(s)) {
+                Some(Some(mut l)) => legs.append(&mut l),
                 _ => return usage(),
             },
             "--out" => match it.next() {
@@ -333,27 +488,25 @@ fn main() -> ExitCode {
             _ => return usage(),
         }
     }
+    if legs.is_empty() {
+        legs.push(Leg::Tiny);
+    }
+    legs.dedup();
 
-    let results = run_suite(scale);
+    let results = run_suite(&legs);
     println!(
-        "perf suite @ {} scale, {} thread(s):",
-        results.scale.label(),
-        results.threads
+        "perf suite, legs [{}], {} thread(s):",
+        results.scales, results.threads
     );
     for (key, value) in &results.timed {
-        println!("{key:>18}: {value:12.1}");
+        println!("{key:>24}: {value:12.1}");
     }
-    println!("{:>18}: {:12.3}", "sweep_speedup", results.sweep_speedup);
-    println!(
-        "{:>18}: sends={} delivers={} timers={}/{} queue_hwm={} trace_records={}",
-        "profile",
-        results.profile.sends,
-        results.profile.delivers,
-        results.profile.timers_fired,
-        results.profile.timers_set,
-        results.profile.queue_hwm,
-        results.trace_records
-    );
+    for (key, value) in &results.derived {
+        println!("{key:>24}: {value:12.3}");
+    }
+    for (key, value) in &results.ints {
+        println!("{key:>24}: {value:>12}");
+    }
 
     if let Some(path) = baseline {
         println!("checking against {path} (tolerance {:.0}%):", tolerance * 100.0);
@@ -369,7 +522,7 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let path = out.unwrap_or_else(|| "BENCH_pr4.json".to_string());
+    let path = out.unwrap_or_else(|| "BENCH_pr9.json".to_string());
     std::fs::write(&path, render_json(&results)).expect("write perf JSON");
     eprintln!("wrote {path}");
     ExitCode::SUCCESS

@@ -153,7 +153,7 @@ pub fn fig10_start_second(scale: Scale) -> usize {
     match scale {
         Scale::Tiny => 10,
         Scale::Default => 120,
-        Scale::Paper => 600,
+        Scale::Paper | Scale::Xl => 600,
     }
 }
 

@@ -108,13 +108,16 @@ pub fn replay_scenario_cell(
 }
 
 /// Replay the full matrix of one scenario pack, in golden-file order, fanned
-/// across `workers` rayon workers.
+/// across `workers` rayon workers. `sharded` selects the event-queue
+/// backend; every digest must be backend-invariant.
 pub fn replay_scenario_matrix(
     world: &World,
     pack: ScenarioPack,
     workers: usize,
+    sharded: bool,
 ) -> Vec<ReplayRecord> {
-    sweep_cells_spec(world, &replay_matrix_cells(), workers, &scenario_spec(pack))
+    let spec = scenario_spec(pack).with_sharded(sharded);
+    sweep_cells_spec(world, &replay_matrix_cells(), workers, &spec)
         .into_iter()
         .map(|cell| cell_to_record(&cell))
         .collect()
@@ -154,19 +157,23 @@ pub fn replay_matrix(world: &World) -> Vec<ReplayRecord> {
 
 /// The whole replay matrix under a fault profile, serially.
 pub fn replay_matrix_with(world: &World, faults: FaultProfile) -> Vec<ReplayRecord> {
-    replay_matrix_parallel(world, faults, 1)
+    replay_matrix_parallel(world, faults, 1, false)
 }
 
 /// The whole replay matrix under a fault profile, fanned across `workers`
 /// rayon workers. Records come back in golden-file order regardless of the
 /// worker count; the golden `--check` runs this with parallelism on to prove
-/// the parallel sweep reproduces the pinned digests bit-for-bit.
+/// the parallel sweep reproduces the pinned digests bit-for-bit. `sharded`
+/// selects the event-queue backend; the pinned digests must come out
+/// identical either way (`--check --sharded` is the enforcement).
 pub fn replay_matrix_parallel(
     world: &World,
     faults: FaultProfile,
     workers: usize,
+    sharded: bool,
 ) -> Vec<ReplayRecord> {
-    sweep_cells_spec(world, &replay_matrix_cells(), workers, &replay_spec(faults, false))
+    let spec = replay_spec(faults, false).with_sharded(sharded);
+    sweep_cells_spec(world, &replay_matrix_cells(), workers, &spec)
         .into_iter()
         .map(|cell| cell_to_record(&cell))
         .collect()
@@ -180,8 +187,10 @@ pub fn replay_matrix_traced(
     world: &World,
     faults: FaultProfile,
     workers: usize,
+    sharded: bool,
 ) -> Vec<(ReplayRecord, CellReport)> {
-    sweep_cells_spec(world, &replay_matrix_cells(), workers, &replay_spec(faults, true))
+    let spec = replay_spec(faults, true).with_sharded(sharded);
+    sweep_cells_spec(world, &replay_matrix_cells(), workers, &spec)
         .into_iter()
         .map(|cell| (cell_to_record(&cell), cell))
         .collect()
@@ -319,9 +328,12 @@ pub struct ResumeRecord {
 }
 
 /// Replay one resume cell: one uninterrupted audited run for the reference
-/// digest and end time, then one split run per quarter point.
-pub fn replay_resume_cell(world: &World, cell: ResumeCell) -> Vec<ResumeRecord> {
-    let spec = cell.variant.spec();
+/// digest and end time, then one split run per quarter point. With
+/// `sharded`, both halves of every split run — and the cold reference — use
+/// the sharded backend, so resume goldens gate backend invariance across
+/// the checkpoint boundary too.
+pub fn replay_resume_cell(world: &World, cell: ResumeCell, sharded: bool) -> Vec<ResumeRecord> {
+    let spec = cell.variant.spec().with_sharded(sharded);
     let cold = run_cell_spec(world, cell.algo, cell.overlay, &spec);
     let cold_digest = cell_to_record(&cold).digest;
     (1..=RESUME_SPLITS)
@@ -342,12 +354,12 @@ pub fn replay_resume_cell(world: &World, cell: ResumeCell) -> Vec<ResumeRecord> 
 /// The whole resume matrix, fanned across `workers` rayon workers at cell
 /// grain (each cell's four runs stay serial on one worker). Records come
 /// back in cell-then-split order regardless of the worker count.
-pub fn resume_matrix_records(world: &World, workers: usize) -> Vec<ResumeRecord> {
+pub fn resume_matrix_records(world: &World, workers: usize, sharded: bool) -> Vec<ResumeRecord> {
     let cells = resume_matrix_cells();
     if workers <= 1 {
         return cells
             .into_iter()
-            .flat_map(|c| replay_resume_cell(world, c))
+            .flat_map(|c| replay_resume_cell(world, c, sharded))
             .collect();
     }
     let pool = rayon::ThreadPoolBuilder::new()
@@ -357,7 +369,7 @@ pub fn resume_matrix_records(world: &World, workers: usize) -> Vec<ResumeRecord>
     let per_cell: Vec<Vec<ResumeRecord>> = pool.install(|| {
         cells
             .into_par_iter()
-            .map(|c| replay_resume_cell(world, c))
+            .map(|c| replay_resume_cell(world, c, sharded))
             .collect()
     });
     per_cell.into_iter().flatten().collect()

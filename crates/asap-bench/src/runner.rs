@@ -80,12 +80,18 @@ impl RunSummary {
 }
 
 /// A prebuilt world shared by several cells (physical network + workload are
-/// identical across algorithms; the overlay is rebuilt per kind).
+/// identical across algorithms; the overlay is built once per kind and
+/// cached, so parallel sweep workers share one construction instead of
+/// rebuilding it per cell).
 pub struct World {
     pub phys: PhysicalNetwork,
     pub workload: Workload,
     pub scale: Scale,
     pub seed: u64,
+    /// Lazily built overlay per [`OverlayKind`], indexed in `ALL` order.
+    /// `OnceLock` keeps `overlay(&self)` shared-reference (sweep workers
+    /// hold `&World`) while still building each kind at most once.
+    overlays: [std::sync::OnceLock<asap_overlay::Overlay>; 3],
 }
 
 impl World {
@@ -107,11 +113,21 @@ impl World {
             workload,
             scale,
             seed,
+            overlays: Default::default(),
         }
     }
 
+    /// The overlay of `kind` for this world; built on first use, cloned from
+    /// the cache afterwards. Construction is deterministic in `(kind, peers,
+    /// seed)`, so a cached clone is indistinguishable from a rebuild.
     pub fn overlay(&self, kind: OverlayKind) -> asap_overlay::Overlay {
-        OverlayConfig::new(kind, self.scale.peers(), self.seed).build()
+        let slot = OverlayKind::ALL
+            .iter()
+            .position(|&k| k == kind)
+            .expect("every overlay kind is in ALL");
+        self.overlays[slot]
+            .get_or_init(|| OverlayConfig::new(kind, self.scale.peers(), self.seed).build())
+            .clone()
     }
 }
 
@@ -131,6 +147,11 @@ pub struct RunSpec {
     /// Adversary profile (also poisons ASAP's protocol state for spam
     /// peers). The default `None` attaches no adversary layer at all.
     pub adversary: AdversaryProfile,
+    /// Run the engine on the time-window-sharded event queue instead of the
+    /// single binary heap. Pop order — and therefore every digest — is
+    /// identical by construction; the golden `--check --sharded` leg pins
+    /// that equivalence against all 150 golden digests.
+    pub sharded: bool,
 }
 
 impl RunSpec {
@@ -160,6 +181,12 @@ impl RunSpec {
     /// Run under an adversary profile.
     pub fn with_adversary(mut self, adversary: AdversaryProfile) -> Self {
         self.adversary = adversary;
+        self
+    }
+
+    /// Select the sharded event-queue backend.
+    pub fn with_sharded(mut self, sharded: bool) -> Self {
+        self.sharded = sharded;
         self
     }
 }
@@ -288,7 +315,7 @@ fn apply_spec<'a, P: Protocol>(
     if let Some(tc) = spec.trace {
         b = b.trace(Box::new(Recorder::new(tc)));
     }
-    b
+    b.sharded(spec.sharded)
 }
 
 /// Drive one protocol through a cell, either uninterrupted or split at
@@ -333,12 +360,15 @@ fn drive<P: CheckpointProtocol>(
         make(),
         world.seed,
     );
-    // Only the trace sink is re-attached: it is the one spec layer that
+    // Only the trace sink and the queue backend are re-attached: the sink
     // lives outside checkpointed state (so the recorder holds post-split
-    // events only). Audit, faults, and adversary come from the checkpoint.
+    // events only), and the backend is an execution strategy, not state —
+    // the resumed queue adopts the fresh builder's choice. Audit, faults,
+    // and adversary come from the checkpoint.
     if let Some(tc) = spec.trace {
         fresh = fresh.trace(Box::new(Recorder::new(tc)));
     }
+    fresh = fresh.sharded(spec.sharded);
     fresh
         .from_checkpoint(&ckpt)
         .expect("resume world matches the checkpointed world")

@@ -18,6 +18,14 @@ pub enum Scale {
     Default,
     /// The paper's 10,000 peers / 30,000 queries on 51,984 physical nodes.
     Paper,
+    /// 100,000 peers / 1,000 queries on 103,872 physical nodes — the
+    /// million-node-trajectory scaling leg. 10× the paper's population on
+    /// the streamed xl topology; the query count is kept small because this
+    /// scale exists to exercise engine throughput and memory layout, not to
+    /// reproduce figures. The proportional random-walk TTL (10,240) is
+    /// capped at 2,048 — walks are for liveness here, and an uncapped TTL
+    /// makes per-query cost scale quadratically with population.
+    Xl,
 }
 
 impl Scale {
@@ -26,6 +34,7 @@ impl Scale {
             "tiny" => Some(Self::Tiny),
             "default" => Some(Self::Default),
             "paper" => Some(Self::Paper),
+            "xl" => Some(Self::Xl),
             _ => None,
         }
     }
@@ -35,6 +44,7 @@ impl Scale {
             Self::Tiny => "tiny",
             Self::Default => "default",
             Self::Paper => "paper",
+            Self::Xl => "xl",
         }
     }
 
@@ -43,6 +53,7 @@ impl Scale {
             Self::Tiny => 150,
             Self::Default => 1_500,
             Self::Paper => 10_000,
+            Self::Xl => 100_000,
         }
     }
 
@@ -51,6 +62,7 @@ impl Scale {
             Self::Tiny => 300,
             Self::Default => 4_000,
             Self::Paper => 30_000,
+            Self::Xl => 1_000,
         }
     }
 
@@ -71,6 +83,7 @@ impl Scale {
             Self::Tiny => TransitStubConfig::reduced(seed),
             Self::Default => TransitStubConfig::medium(seed),
             Self::Paper => TransitStubConfig::paper_default(seed),
+            Self::Xl => TransitStubConfig::xl(seed),
         }
     }
 
@@ -126,7 +139,10 @@ impl ScaleKnobs {
         let cache_capacity_raw = (4_096.0 * ratio).round() as usize;
         Self {
             rw_ttl_raw,
-            rw_ttl: rw_ttl_raw.max(32),
+            // Floor 32 binds at tiny; the cap of 2,048 binds only above
+            // paper scale (ratio > 2), where uncapped proportional walks
+            // would dominate runtime without changing what xl measures.
+            rw_ttl: rw_ttl_raw.clamp(32, 2_048),
             gsa_budget_raw,
             gsa_budget: gsa_budget_raw.max(100),
             budget_unit_raw,
@@ -136,11 +152,16 @@ impl ScaleKnobs {
         }
     }
 
-    /// Note when the random-walk TTL floor bound (random-walk cells).
+    /// Note when the random-walk TTL floor or cap bound (random-walk cells).
     pub fn rw_ttl_clamp_note(&self) -> Option<String> {
         (self.rw_ttl != self.rw_ttl_raw).then(|| {
+            let bound = if self.rw_ttl > self.rw_ttl_raw {
+                "floor 32"
+            } else {
+                "cap 2048"
+            };
             format!(
-                "random-walk TTL clamped {} -> {} (floor 32)",
+                "random-walk TTL clamped {} -> {} ({bound})",
                 self.rw_ttl_raw, self.rw_ttl
             )
         })
@@ -257,9 +278,24 @@ mod tests {
 
     #[test]
     fn parse_round_trips() {
-        for s in [Scale::Tiny, Scale::Default, Scale::Paper] {
+        for s in [Scale::Tiny, Scale::Default, Scale::Paper, Scale::Xl] {
             assert_eq!(Scale::parse(s.label()), Some(s));
         }
         assert_eq!(Scale::parse("bogus"), None);
+    }
+
+    #[test]
+    fn xl_caps_walk_ttl_and_notes_it() {
+        let s = Scale::Xl;
+        assert_eq!(s.peers(), 100_000);
+        assert_eq!(s.topology(1).expected_nodes(), 103_872);
+        assert!(s.topology(1).expected_nodes() >= s.peers());
+        let knobs = s.knobs();
+        assert_eq!((knobs.rw_ttl_raw, knobs.rw_ttl), (10_240, 2_048));
+        let note = knobs.rw_ttl_clamp_note().expect("cap binds at xl");
+        assert!(note.contains("clamped 10240 -> 2048 (cap 2048)"), "{note}");
+        // The floor-side knobs are all comfortably above their floors.
+        assert_eq!(knobs.gsa_budget, 80_000);
+        assert_eq!(knobs.cache_capacity, 40_960);
     }
 }

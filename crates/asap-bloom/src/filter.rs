@@ -145,6 +145,73 @@ impl BloomFilter {
         }
         out
     }
+
+    /// Word-parallel multi-term membership test: equivalent to testing
+    /// [`BloomFilter::contains_hash`] for every hash the plan was built
+    /// from, but each probed word is fetched once and compared against a
+    /// merged mask — up to 64 bit-probes collapse into one `u64` compare.
+    /// Build the plan once per query and reuse it across every candidate
+    /// filter (the ad-repository scan is the hot path this serves).
+    ///
+    /// Falls back to `false`-free behavior only for filters with the plan's
+    /// parameters; with different parameters the probe positions would be
+    /// wrong, so the caller must check [`ProbePlan::params`] first (the
+    /// debug assert below catches mismatches in tests).
+    #[inline]
+    pub fn contains_plan(&self, plan: &ProbePlan) -> bool {
+        debug_assert_eq!(self.params, plan.params, "plan built for other params");
+        plan.probes
+            .iter()
+            .all(|&(w, mask)| self.words[w as usize] & mask == mask)
+    }
+}
+
+/// Precomputed probe set for a fixed term list under fixed [`BloomParams`]:
+/// every `(word, bit)` position the terms hash to, merged into one required
+/// mask per distinct word and sorted ascending by word index (cache-friendly
+/// forward scan). Probe positions depend only on the hashes and the
+/// parameters — never on a particular filter — so one plan serves an entire
+/// repository scan.
+#[derive(Debug, Clone)]
+pub struct ProbePlan {
+    params: BloomParams,
+    /// `(word index, required mask)`, strictly ascending by word index.
+    probes: Vec<(u32, u64)>,
+}
+
+impl ProbePlan {
+    /// Build the merged probe set for `hashes` (conjunctive: a filter
+    /// matches when **all** hashes test positive, the ad-match predicate).
+    pub fn new(params: BloomParams, hashes: &[KeyHash]) -> Self {
+        let mut probes: Vec<(u32, u64)> =
+            Vec::with_capacity(hashes.len() * params.hashes as usize);
+        for h in hashes {
+            for bit in h.bits(params.bits, params.hashes) {
+                probes.push((bit / 64, 1u64 << (bit % 64)));
+            }
+        }
+        probes.sort_unstable_by_key(|&(w, _)| w);
+        probes.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                b.1 |= a.1;
+                true
+            } else {
+                false
+            }
+        });
+        Self { params, probes }
+    }
+
+    /// The parameters the probe positions were derived for.
+    pub fn params(&self) -> BloomParams {
+        self.params
+    }
+
+    /// Number of distinct words the plan probes (≤ total bit-probes; the
+    /// compression the word-parallel path buys).
+    pub fn words_probed(&self) -> usize {
+        self.probes.len()
+    }
 }
 
 /// Counting Bloom filter a peer keeps for its **own** content so that
@@ -160,6 +227,13 @@ pub struct CountingBloom {
     /// vector exactly once (`Rc::make_mut`). Stable content ⇒ repeated ad
     /// emissions share one allocation.
     snapshot: Rc<BloomFilter>,
+    /// Updates lost to saturated cells: increments absorbed by a cell
+    /// already at `u16::MAX`, plus decrements pinned on such a cell. Once a
+    /// cell saturates its true count is unknowable, so it stays at `MAX`
+    /// forever — a permanent possible-false-positive, never a false
+    /// negative. Diagnostic only: not checkpointed ([`Self::from_counts`]
+    /// restores it to zero) and never read by the simulation.
+    saturation_events: u64,
 }
 
 impl CountingBloom {
@@ -168,6 +242,7 @@ impl CountingBloom {
             counts: vec![0; params.bits as usize],
             snapshot: Rc::new(BloomFilter::empty(params)),
             params,
+            saturation_events: 0,
         }
     }
 
@@ -184,7 +259,12 @@ impl CountingBloom {
     pub fn insert_hash(&mut self, h: &KeyHash) {
         for bit in h.bits(self.params.bits, self.params.hashes) {
             let c = &mut self.counts[bit as usize];
-            *c = c.saturating_add(1);
+            if *c == u16::MAX {
+                // Increment absorbed: the cell is saturated and stays there.
+                self.saturation_events += 1;
+                continue;
+            }
+            *c += 1;
             if *c == 1 {
                 Rc::make_mut(&mut self.snapshot).set_bit(bit);
             }
@@ -200,6 +280,13 @@ impl CountingBloom {
 
     /// Remove by precomputed hash; see [`CountingBloom::remove`]. Two passes
     /// over the (deterministic) bit sequence instead of materializing it.
+    ///
+    /// Saturated cells (`u16::MAX`) are **pinned**: a saturated cell has
+    /// absorbed at least one lost increment, so its true count is unknown
+    /// and decrementing it could reach zero while keys still map there —
+    /// clearing the bit and producing false negatives for *other* keys.
+    /// Pinning trades that corruption for a permanent possible false
+    /// positive on the saturated positions, which Bloom semantics allow.
     pub fn remove_hash(&mut self, h: &KeyHash) -> bool {
         if h.bits(self.params.bits, self.params.hashes)
             .any(|b| self.counts[b as usize] == 0)
@@ -208,6 +295,11 @@ impl CountingBloom {
         }
         for bit in h.bits(self.params.bits, self.params.hashes) {
             let c = &mut self.counts[bit as usize];
+            if *c == u16::MAX {
+                // Decrement pinned on a saturated cell.
+                self.saturation_events += 1;
+                continue;
+            }
             *c -= 1;
             if *c == 0 {
                 Rc::make_mut(&mut self.snapshot).clear_bit(bit);
@@ -244,6 +336,13 @@ impl CountingBloom {
         &self.counts
     }
 
+    /// Updates lost to saturated cells so far (see the field docs). Zero in
+    /// any healthy filter — the paper-default parameters would need a single
+    /// bit position hit 65,535 times.
+    pub fn saturation_events(&self) -> u64 {
+        self.saturation_events
+    }
+
     /// Rebuild a counting filter from [`CountingBloom::counts`] output. The
     /// flat snapshot is re-derived (bit set iff count > 0), which is exactly
     /// the invariant `insert_hash`/`remove_hash` maintain. Returns `None`
@@ -262,6 +361,7 @@ impl CountingBloom {
             params,
             counts,
             snapshot: Rc::new(snapshot),
+            saturation_events: 0,
         })
     }
 }
@@ -387,6 +487,94 @@ mod tests {
         assert!(c.as_filter().count_ones() > held_ones);
         assert!(!Rc::ptr_eq(&held, &c.snapshot_rc()));
         assert_eq!(c.snapshot(), *c.snapshot_rc());
+    }
+
+    #[test]
+    fn probe_plan_matches_per_hash_conjunction() {
+        let p = params();
+        let present: Vec<String> = (0..60).map(|i| format!("in{i}")).collect();
+        let f = BloomFilter::from_keys(p, present.iter().map(String::as_str));
+        // Equivalence over many term sets, mixing present and absent keys —
+        // including false-positive territory on a loaded filter.
+        for trial in 0..200 {
+            let terms: Vec<String> = (0..1 + trial % 4)
+                .map(|j| {
+                    if (trial + j) % 3 == 0 {
+                        format!("in{}", (trial * 7 + j) % 60)
+                    } else {
+                        format!("out{}", trial * 11 + j)
+                    }
+                })
+                .collect();
+            let hashes: Vec<KeyHash> = terms.iter().map(|t| KeyHash::of(t)).collect();
+            let plan = ProbePlan::new(p, &hashes);
+            let per_hash = hashes.iter().all(|h| f.contains_hash(h));
+            assert_eq!(
+                f.contains_plan(&plan),
+                per_hash,
+                "plan diverged from per-hash scan for {terms:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn probe_plan_merges_words_and_is_empty_safe() {
+        let p = params();
+        let hashes: Vec<KeyHash> = (0..4).map(|i| KeyHash::of(&format!("t{i}"))).collect();
+        let plan = ProbePlan::new(p, &hashes);
+        assert_eq!(plan.params(), p);
+        assert!(plan.words_probed() <= 4 * p.hashes as usize);
+        assert!(plan.words_probed() > 0);
+        // Empty plan (zero terms) matches everything, like `all` on empty.
+        let empty = ProbePlan::new(p, &[]);
+        assert!(BloomFilter::empty(p).contains_plan(&empty));
+    }
+
+    #[test]
+    fn saturated_cell_pins_on_delete_and_counts_events() {
+        // One-hash filter makes the shared-cell scenario deterministic.
+        let p = BloomParams {
+            bits: 64,
+            hashes: 1,
+        };
+        let mut c = CountingBloom::new(p);
+        let key = "hot";
+        for _ in 0..u32::from(u16::MAX) + 10 {
+            c.insert(key);
+        }
+        assert_eq!(c.saturation_events(), 10, "10 increments absorbed");
+        let bit = KeyHash::of(key)
+            .bits(p.bits, p.hashes)
+            .next()
+            .map_or(0, |b| b as usize);
+        assert_eq!(c.counts()[bit], u16::MAX);
+        for i in 0..u32::from(u16::MAX) + 10 {
+            assert!(c.remove(key), "remove #{i} failed");
+        }
+        assert_eq!(c.counts()[bit], u16::MAX, "cell must stay pinned");
+        assert!(c.contains(key), "pinned cell keeps the bit set");
+        assert_eq!(
+            c.saturation_events(),
+            10 + u64::from(u16::MAX) + 10,
+            "every pinned decrement is counted"
+        );
+    }
+
+    #[test]
+    fn saturation_events_reset_by_from_counts() {
+        let p = BloomParams {
+            bits: 64,
+            hashes: 1,
+        };
+        let mut c = CountingBloom::new(p);
+        for _ in 0..u32::from(u16::MAX) + 1 {
+            c.insert("x");
+        }
+        assert!(c.saturation_events() > 0);
+        let restored = CountingBloom::from_counts(p, c.counts().to_vec())
+            .unwrap_or_else(|| unreachable!("lengths match"));
+        assert_eq!(restored.saturation_events(), 0, "diagnostic, not state");
+        assert_eq!(restored.counts(), c.counts());
     }
 
     #[test]

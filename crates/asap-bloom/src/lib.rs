@@ -28,7 +28,7 @@ pub mod patch;
 pub mod variable;
 
 pub use encoding::WireFilter;
-pub use filter::{BloomFilter, CountingBloom};
+pub use filter::{BloomFilter, CountingBloom, ProbePlan};
 pub use params::BloomParams;
 pub use patch::FilterPatch;
 pub use variable::VariableFilter;

@@ -126,3 +126,62 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Saturation pinning (regression: delete used to decrement saturated cells)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    // Driving cells past saturation needs 65k+ inserts per case; a few
+    // cases cover the space (hot-key count, bystander set) well enough.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Drive one key's cells past `u16::MAX`, then remove it just as many
+    /// times: bystander keys must never go false-negative, the saturated
+    /// cells must stay pinned at `MAX`, and the lost updates are counted.
+    /// Before the fix, the removes walked the saturated cells back to zero
+    /// and cleared bits that bystander keys still mapped to.
+    #[test]
+    fn saturated_cells_are_pinned_on_delete(
+        hot in "[a-z]{1,12}",
+        extra_inserts in 1u32..5_000,
+        bystanders in keys_strategy(),
+    ) {
+        // Tiny filter so the hot key's cells really share bits with others.
+        let p = BloomParams::for_capacity(20, 8);
+        let mut f = CountingBloom::new(p);
+        for k in &bystanders {
+            f.insert(k);
+        }
+        let n = u32::from(u16::MAX) + extra_inserts;
+        for _ in 0..n {
+            f.insert(&hot);
+        }
+        prop_assert!(f.saturation_events() > 0, "cells never saturated — vacuous");
+        let saturated: Vec<usize> = f
+            .counts()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c == u16::MAX)
+            .map(|(i, _)| i)
+            .collect();
+        prop_assert!(!saturated.is_empty());
+        for _ in 0..n {
+            prop_assert!(f.remove(&hot), "hot key still present");
+        }
+        for &cell in &saturated {
+            prop_assert_eq!(
+                f.counts()[cell],
+                u16::MAX,
+                "saturated cell {} must stay pinned",
+                cell
+            );
+        }
+        // Pinned cells keep their bits set, so the hot key stays a
+        // (permanent, allowed) possible positive — and critically no
+        // bystander ever goes false-negative.
+        for k in &bystanders {
+            prop_assert!(f.contains(k), "false negative for bystander {:?}", k);
+        }
+    }
+}

@@ -36,6 +36,7 @@ use asap_overlay::PeerId;
 use asap_sim::checkpoint::{CheckpointProtocol, CodecError, Decoder, Encoder};
 use asap_sim::collections::{DetHashMap, DetHashSet};
 use asap_sim::util::{Backoff, SeenTracker};
+use asap_sim::NodeTable;
 use asap_workload::{InterestSet, KeywordId};
 use std::rc::Rc;
 
@@ -551,12 +552,19 @@ impl CheckpointProtocol for Asap {
                 enc.put_u32(v);
             }
         }
-        let mut claimed: Vec<(&PeerId, &InterestSet)> = self.claimed_topics.iter().collect();
-        claimed.sort_by_key(|(p, _)| p.0);
+        // Dense slots in index order == the old map's sorted-by-PeerId order;
+        // EMPTY slots are "no claim" (spam claims always union ≥1 class).
+        let claimed: Vec<(u32, u16)> = self
+            .claimed_topics
+            .iter()
+            .enumerate()
+            .filter(|(_, topics)| !topics.is_empty())
+            .map(|(p, topics)| (p as u32, topics.0))
+            .collect();
         enc.put_len(claimed.len());
         for (p, topics) in claimed {
-            enc.put_u32(p.0);
-            enc.put_u16(topics.0);
+            enc.put_u32(p);
+            enc.put_u16(topics);
         }
         enc.put_u64(self.next_delivery);
         enc.put_u64(self.stats.local_lookup_hits);
@@ -650,13 +658,13 @@ impl CheckpointProtocol for Asap {
         }
         let seen = SeenTracker::from_entries(window, entries);
         let n = dec.get_count()?;
-        let mut claimed_topics = DetHashMap::default();
+        let mut claimed_topics = NodeTable::from_vec(vec![InterestSet::EMPTY; num_peers]);
         for _ in 0..n {
             let p = dec.get_u32()?;
             if p as usize >= num_peers {
                 return Err(CodecError::Invalid("claimed-topics peer out of range"));
             }
-            claimed_topics.insert(PeerId(p), InterestSet(dec.get_u16()?));
+            claimed_topics[p as usize] = InterestSet(dec.get_u16()?);
         }
         let next_delivery = dec.get_u64()?;
         let stats = crate::protocol::AsapStats {
@@ -670,7 +678,7 @@ impl CheckpointProtocol for Asap {
             patch_deliveries: dec.get_u64()?,
             refresh_deliveries: dec.get_u64()?,
         };
-        self.nodes = nodes;
+        self.nodes = NodeTable::from_vec(nodes);
         self.pending = pending;
         self.seen = seen;
         self.claimed_topics = claimed_topics;

@@ -13,7 +13,7 @@ use asap_metrics::{MsgClass, RetryStat};
 use asap_overlay::PeerId;
 use asap_sim::collections::{DetHashMap, DetHashSet};
 use asap_sim::util::SeenTracker;
-use asap_sim::{Ctx, Protocol};
+use asap_sim::{Ctx, NodeTable, Protocol};
 use asap_sim::AdversaryRole;
 use asap_workload::{ContentModel, DocId, InterestSet, KeywordId, QuerySpec};
 use rand::rngs::SmallRng;
@@ -102,17 +102,21 @@ pub struct AsapStats {
 /// The ASAP protocol under simulation.
 pub struct Asap {
     pub config: AsapConfig,
-    pub(crate) nodes: Vec<NodeState>,
+    /// Per-node protocol state, densely indexed by peer id (arena layout —
+    /// delivery/timer handlers index straight into the slot, no map probe).
+    pub(crate) nodes: NodeTable<NodeState>,
     /// Precomputed keyword hashes, indexed by `KeywordId`.
     pub(crate) kw_hashes: Vec<KeyHash>,
     /// Active searches by query id (requester-side state).
     pub(crate) pending: DetHashMap<u32, PendingSearch>,
     /// Duplicate suppression for flooded deliveries.
     pub(crate) seen: SeenTracker<u64>,
-    /// Topics ad-spam adversaries falsely claim (empty for honest runs).
-    /// Unioned into announcements and served ads so a content-free spammer
-    /// still advertises; ground-truth confirmation is what exposes the lie.
-    pub(crate) claimed_topics: DetHashMap<PeerId, InterestSet>,
+    /// Topics ad-spam adversaries falsely claim, densely indexed by peer
+    /// ([`InterestSet::EMPTY`] = honest — a real claim is never empty, it
+    /// unions at least one document class). Unioned into announcements and
+    /// served ads so a content-free spammer still advertises; ground-truth
+    /// confirmation is what exposes the lie.
+    pub(crate) claimed_topics: NodeTable<InterestSet>,
     pub(crate) next_delivery: u64,
     pub stats: AsapStats,
 }
@@ -126,7 +130,7 @@ impl Asap {
         let kw_hashes: Vec<KeyHash> = (0..model.vocab.len())
             .map(|i| KeyHash::of(model.vocab.word(KeywordId(i as u32))))
             .collect();
-        let nodes = (0..model.num_peers())
+        let nodes: Vec<NodeState> = (0..model.num_peers())
             .map(|p| {
                 let mut filter = CountingBloom::new(config.bloom);
                 for &doc in &model.initial_holdings[p] {
@@ -150,9 +154,9 @@ impl Asap {
         Self {
             seen: SeenTracker::new(config.seen_window),
             kw_hashes,
-            nodes,
+            claimed_topics: NodeTable::from_vec(vec![InterestSet::EMPTY; nodes.len()]),
+            nodes: NodeTable::from_vec(nodes),
             pending: DetHashMap::default(),
-            claimed_topics: DetHashMap::default(),
             next_delivery: 0,
             stats: AsapStats::default(),
             config,
@@ -200,20 +204,17 @@ impl Asap {
             // holds: the spammer's very first ad is already poisoned.
             let snap = asap.nodes[p].filter.snapshot_rc();
             asap.nodes[p].snapshot = snap;
-            asap.claimed_topics.insert(PeerId(p as u32), claimed);
+            asap.claimed_topics[p] = claimed;
         }
         asap
     }
 
     /// Topics `node` advertises: its real content classes, unioned with any
-    /// falsely claimed ones. Honest nodes take the map-miss path, so this
-    /// is one hash probe over [`Asap::new`]'s behavior.
+    /// falsely claimed ones. Honest nodes union with `EMPTY` (a no-op), so
+    /// this is one indexed load over [`Asap::new`]'s behavior.
     fn advertised_topics(&self, ctx: &Ctx<'_, AsapMsg>, node: PeerId) -> InterestSet {
         let real = ctx.content.peer_topics(ctx.model, node);
-        match self.claimed_topics.get(&node) {
-            Some(&claimed) => real.union(claimed),
-            None => real,
-        }
+        real.union(self.claimed_topics[node])
     }
 
     pub(crate) fn hash_of(&self, kw: KeywordId) -> KeyHash {
@@ -787,7 +788,7 @@ mod tests {
         let cfg = AsapConfig::rw().scaled_to(120);
         let plain = Asap::new(cfg.clone(), &m);
         let adv = Asap::new_with_adversaries(cfg, &m, &[AdversaryRole::Honest; 120], 7);
-        assert!(adv.claimed_topics.is_empty());
+        assert!(adv.claimed_topics.iter().all(|c| c.is_empty()));
         for p in 0..m.num_peers() {
             assert_eq!(
                 plain.nodes[p].snapshot, adv.nodes[p].snapshot,
@@ -813,7 +814,7 @@ mod tests {
             );
             match role {
                 AdversaryRole::AdSpammer => {
-                    assert!(a.claimed_topics.contains_key(&PeerId(p as u32)));
+                    assert!(!a.claimed_topics[p].is_empty());
                     assert_ne!(
                         plain.nodes[p].snapshot, a.nodes[p].snapshot,
                         "peer {p}: a spammer's filter must be poisoned"
@@ -821,7 +822,7 @@ mod tests {
                     diverged |= a.nodes[p].snapshot != c.nodes[p].snapshot;
                 }
                 _ => {
-                    assert!(!a.claimed_topics.contains_key(&PeerId(p as u32)));
+                    assert!(a.claimed_topics[p].is_empty());
                     assert_eq!(
                         plain.nodes[p].snapshot, a.nodes[p].snapshot,
                         "peer {p}: honest filters must be untouched"
@@ -850,11 +851,16 @@ mod tests {
         let m = model();
         let asap =
             Asap::new_with_adversaries(AsapConfig::rw().scaled_to(120), &m, &spam_roles(120), 7);
-        for (&peer, &claimed) in asap.claimed_topics.iter() {
-            assert!(!claimed.is_empty(), "{peer:?} must claim at least one class");
+        let mut spammers = 0;
+        for (p, &claimed) in asap.claimed_topics.iter().enumerate() {
+            if claimed.is_empty() {
+                continue; // honest slot
+            }
+            spammers += 1;
             // Claimed classes come from real documents, so honest queries in
             // those classes will probe — and confirmation will expose — them.
-            assert!(claimed.len() <= m.num_classes);
+            assert!(claimed.len() <= m.num_classes, "peer {p} claims too much");
         }
+        assert_eq!(spammers, 120 / 10, "one spammer per 10 peers must claim");
     }
 }

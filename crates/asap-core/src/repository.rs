@@ -3,15 +3,23 @@
 //! One entry per source peer, holding that source's latest known filter,
 //! topics, version and freshness. Capacity-bounded with LRU eviction (the
 //! paper's nodes "selectively store interesting ads"; a bounded cache is the
-//! practical reading). A `BTreeMap` keeps iteration deterministic, which the
-//! simulator's replay tests rely on.
+//! practical reading).
+//!
+//! Layout: two parallel vectors sorted by source `PeerId` — a dense key
+//! array (`sources`) binary-searched on the lookup/update hot path and a
+//! payload array (`ads`) indexed by the same position. This replaces the
+//! original `BTreeMap`: iteration order (ascending `PeerId`) and every
+//! observable behavior are identical — the simulator's replay digests and
+//! the checkpoint byte format depend on that order — but the key scan now
+//! touches one contiguous cache line per ~16 entries instead of chasing
+//! tree nodes. The invariant `sources.len() == ads.len()` with `sources`
+//! strictly ascending holds between all public calls.
 
 use crate::ad::AdSnapshot;
 use asap_bloom::hashing::KeyHash;
-use asap_bloom::BloomFilter;
+use asap_bloom::{BloomFilter, ProbePlan};
 use asap_overlay::PeerId;
 use asap_workload::InterestSet;
-use std::collections::BTreeMap;
 use std::rc::Rc;
 
 /// One cached ad.
@@ -42,10 +50,12 @@ pub enum ApplyOutcome {
     Outdated,
 }
 
-/// Capacity-bounded ad cache.
+/// Capacity-bounded ad cache over sorted parallel vectors (see module docs).
 #[derive(Debug)]
 pub struct AdRepository {
-    ads: BTreeMap<PeerId, CachedAd>,
+    /// Source peers, strictly ascending; position `i` owns `ads[i]`.
+    sources: Vec<PeerId>,
+    ads: Vec<CachedAd>,
     capacity: usize,
 }
 
@@ -53,17 +63,18 @@ impl AdRepository {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "capacity must be positive");
         Self {
-            ads: BTreeMap::new(),
+            sources: Vec::new(),
+            ads: Vec::new(),
             capacity,
         }
     }
 
     pub fn len(&self) -> usize {
-        self.ads.len()
+        self.sources.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.ads.is_empty()
+        self.sources.is_empty()
     }
 
     pub fn capacity(&self) -> usize {
@@ -72,21 +83,44 @@ impl AdRepository {
 
     /// All cached entries, keyed by source, in `PeerId` order.
     pub fn iter(&self) -> impl Iterator<Item = (PeerId, &CachedAd)> {
-        self.ads.iter().map(|(&p, ad)| (p, ad))
+        self.sources.iter().copied().zip(self.ads.iter())
+    }
+
+    fn position(&self, source: PeerId) -> Result<usize, usize> {
+        self.sources.binary_search(&source)
     }
 
     pub fn get(&self, source: PeerId) -> Option<&CachedAd> {
-        self.ads.get(&source)
+        self.position(source).ok().map(|i| &self.ads[i])
     }
 
     /// Rebuild a repository from checkpointed entries. Returns `None` when
     /// the entries exceed `capacity` (a valid repository never does).
+    /// Entries are sorted by source; a duplicated source keeps the later
+    /// entry (the `BTreeMap`-collect behavior this layout replaced).
     pub fn from_entries(capacity: usize, entries: Vec<(PeerId, CachedAd)>) -> Option<Self> {
         if capacity == 0 || entries.len() > capacity {
             return None;
         }
+        let mut entries = entries;
+        // Stable sort: duplicates stay in input order, so "keep last" below
+        // matches repeated-insert semantics.
+        entries.sort_by_key(|&(p, _)| p);
+        let mut sources: Vec<PeerId> = Vec::with_capacity(entries.len());
+        let mut ads: Vec<CachedAd> = Vec::with_capacity(entries.len());
+        for (p, ad) in entries {
+            if sources.last() == Some(&p) {
+                if let Some(slot) = ads.last_mut() {
+                    *slot = ad;
+                }
+            } else {
+                sources.push(p);
+                ads.push(ad);
+            }
+        }
         Some(Self {
-            ads: entries.into_iter().collect(),
+            sources,
+            ads,
             capacity,
         })
     }
@@ -95,36 +129,38 @@ impl AdRepository {
     /// used entry when full. Overwrites with an *older* version are ignored
     /// (out-of-order delivery).
     pub fn insert_full(&mut self, snap: &AdSnapshot, now_us: u64) -> ApplyOutcome {
-        if let Some(existing) = self.ads.get_mut(&snap.source) {
-            if !existing.stale && version_not_newer(snap.version, existing.version) {
-                existing.last_refreshed_us = now_us;
-                return ApplyOutcome::Outdated;
+        let fresh = CachedAd {
+            topics: snap.topics,
+            version: snap.version,
+            filter: Rc::clone(&snap.filter),
+            last_used_us: now_us,
+            last_refreshed_us: now_us,
+            stale: false,
+        };
+        match self.position(snap.source) {
+            Ok(i) => {
+                let existing = &mut self.ads[i];
+                if !existing.stale && version_not_newer(snap.version, existing.version) {
+                    existing.last_refreshed_us = now_us;
+                    return ApplyOutcome::Outdated;
+                }
+                *existing = fresh;
+                ApplyOutcome::Applied
             }
-            *existing = CachedAd {
-                topics: snap.topics,
-                version: snap.version,
-                filter: Rc::clone(&snap.filter),
-                last_used_us: now_us,
-                last_refreshed_us: now_us,
-                stale: false,
-            };
-            return ApplyOutcome::Applied;
+            Err(mut i) => {
+                if self.sources.len() >= self.capacity {
+                    let victim = self.evict_lru();
+                    // Eviction shifts the insertion point when the victim
+                    // sat left of it.
+                    if victim < i {
+                        i -= 1;
+                    }
+                }
+                self.sources.insert(i, snap.source);
+                self.ads.insert(i, fresh);
+                ApplyOutcome::Applied
+            }
         }
-        if self.ads.len() >= self.capacity {
-            self.evict_lru();
-        }
-        self.ads.insert(
-            snap.source,
-            CachedAd {
-                topics: snap.topics,
-                version: snap.version,
-                filter: Rc::clone(&snap.filter),
-                last_used_us: now_us,
-                last_refreshed_us: now_us,
-                stale: false,
-            },
-        );
-        ApplyOutcome::Applied
     }
 
     /// Apply a patch ad: only valid on top of `version - 1`. The shared
@@ -137,9 +173,10 @@ impl AdRepository {
         result: &Rc<BloomFilter>,
         now_us: u64,
     ) -> ApplyOutcome {
-        let Some(entry) = self.ads.get_mut(&source) else {
+        let Ok(i) = self.position(source) else {
             return ApplyOutcome::Unknown;
         };
+        let entry = &mut self.ads[i];
         if entry.stale {
             return ApplyOutcome::VersionGap;
         }
@@ -161,15 +198,11 @@ impl AdRepository {
 
     /// Apply a refresh ad: bumps freshness when the version matches, flags a
     /// gap otherwise.
-    pub fn apply_refresh(
-        &mut self,
-        source: PeerId,
-        version: u16,
-        now_us: u64,
-    ) -> ApplyOutcome {
-        let Some(entry) = self.ads.get_mut(&source) else {
+    pub fn apply_refresh(&mut self, source: PeerId, version: u16, now_us: u64) -> ApplyOutcome {
+        let Ok(i) = self.position(source) else {
             return ApplyOutcome::Unknown;
         };
+        let entry = &mut self.ads[i];
         if entry.stale {
             return ApplyOutcome::VersionGap;
         }
@@ -185,12 +218,26 @@ impl AdRepository {
     }
 
     pub fn remove(&mut self, source: PeerId) -> bool {
-        self.ads.remove(&source).is_some()
+        match self.position(source) {
+            Ok(i) => {
+                self.sources.remove(i);
+                self.ads.remove(i);
+                true
+            }
+            Err(_) => false,
+        }
     }
 
     /// The ASAP local lookup: sources whose cached filter contains **all**
     /// query terms (pre-hashed). Stale or expired entries are skipped;
     /// matched entries' LRU stamps are bumped.
+    ///
+    /// The term hashes are compiled once into a word-parallel [`ProbePlan`]
+    /// (probe positions depend only on hashes + parameters) and the plan is
+    /// reused across every cached filter with matching parameters — in
+    /// practice all of them, since one config sizes every filter in a run.
+    /// A parameter mismatch falls back to the per-hash scan, which the plan
+    /// is provably equivalent to, so hits are identical either way.
     pub fn lookup(
         &mut self,
         term_hashes: &[KeyHash],
@@ -198,11 +245,18 @@ impl AdRepository {
         expire_before_us: u64,
     ) -> Vec<PeerId> {
         let mut hits = Vec::new();
-        for (&source, ad) in self.ads.iter_mut() {
+        let mut plan: Option<ProbePlan> = None;
+        for (&source, ad) in self.sources.iter().zip(self.ads.iter_mut()) {
             if ad.stale || ad.last_refreshed_us < expire_before_us {
                 continue;
             }
-            if term_hashes.iter().all(|h| ad.filter.contains_hash(h)) {
+            let plan = plan.get_or_insert_with(|| ProbePlan::new(ad.filter.params(), term_hashes));
+            let matched = if ad.filter.params() == plan.params() {
+                ad.filter.contains_plan(plan)
+            } else {
+                term_hashes.iter().all(|h| ad.filter.contains_hash(h))
+            };
+            if matched {
                 ad.last_used_us = now_us;
                 hits.push(source);
             }
@@ -224,14 +278,13 @@ impl AdRepository {
         sources
             .into_iter()
             .take(max)
-            .map(|source| {
-                let ad = &self.ads[&source];
-                AdSnapshot {
+            .filter_map(|source| {
+                self.get(source).map(|ad| AdSnapshot {
                     source,
                     topics: ad.topics,
                     version: ad.version,
                     filter: Rc::clone(&ad.filter),
-                }
+                })
             })
             .collect()
     }
@@ -239,16 +292,17 @@ impl AdRepository {
     /// Cached ads with topic overlap, for an ads reply — freshest first,
     /// capped at `max`.
     pub fn ads_for_interests(&self, interests: InterestSet, max: usize) -> Vec<AdSnapshot> {
-        let mut matches: Vec<(&PeerId, &CachedAd)> = self
-            .ads
+        let mut matches: Vec<(PeerId, &CachedAd)> = self
             .iter()
             .filter(|(_, ad)| !ad.stale && ad.topics.intersects(interests))
             .collect();
+        // Stable sort: equal freshness keeps ascending-source order, as the
+        // old map iteration did.
         matches.sort_by_key(|(_, ad)| std::cmp::Reverse(ad.last_refreshed_us));
         matches
             .into_iter()
             .take(max)
-            .map(|(&source, ad)| AdSnapshot {
+            .map(|(source, ad)| AdSnapshot {
                 source,
                 topics: ad.topics,
                 version: ad.version,
@@ -257,14 +311,21 @@ impl AdRepository {
             .collect()
     }
 
-    fn evict_lru(&mut self) {
-        if let Some((&victim, _)) = self
-            .ads
-            .iter()
-            .min_by_key(|(source, ad)| (ad.last_used_us, **source))
-        {
-            self.ads.remove(&victim);
+    /// Remove the least-recently-used entry, returning its position.
+    fn evict_lru(&mut self) -> usize {
+        let mut victim = 0usize;
+        for (i, ad) in self.ads.iter().enumerate() {
+            // Ties on last_used_us break toward the smaller source, which is
+            // the smaller index in a sorted array — i.e. first wins.
+            if ad.last_used_us < self.ads[victim].last_used_us {
+                victim = i;
+            }
         }
+        if !self.sources.is_empty() {
+            self.sources.remove(victim);
+            self.ads.remove(victim);
+        }
+        victim
     }
 }
 
@@ -320,6 +381,62 @@ mod tests {
     }
 
     #[test]
+    fn lru_tie_breaks_toward_smaller_source() {
+        let mut repo = AdRepository::new(2);
+        repo.insert_full(&snap(7, 0, &["a"]), 10);
+        repo.insert_full(&snap(3, 0, &["b"]), 10);
+        repo.insert_full(&snap(5, 0, &["c"]), 20);
+        assert!(repo.get(PeerId(3)).is_none(), "equal stamps evict smaller id");
+        assert!(repo.get(PeerId(7)).is_some());
+        assert!(repo.get(PeerId(5)).is_some());
+    }
+
+    #[test]
+    fn eviction_keeps_sorted_invariant_when_inserting_above_victim() {
+        let mut repo = AdRepository::new(2);
+        repo.insert_full(&snap(1, 0, &["a"]), 10); // LRU victim
+        repo.insert_full(&snap(5, 0, &["b"]), 20);
+        // New source sorts after the victim: insertion point must shift.
+        repo.insert_full(&snap(3, 0, &["c"]), 30);
+        let order: Vec<PeerId> = repo.iter().map(|(p, _)| p).collect();
+        assert_eq!(order, vec![PeerId(3), PeerId(5)]);
+        assert!(repo.get(PeerId(3)).is_some());
+        assert!(repo.get(PeerId(5)).is_some());
+    }
+
+    #[test]
+    fn iter_is_ascending_by_source() {
+        let mut repo = AdRepository::new(10);
+        for id in [9, 2, 7, 1, 4] {
+            repo.insert_full(&snap(id, 0, &["k"]), 0);
+        }
+        let order: Vec<u32> = repo.iter().map(|(p, _)| p.0).collect();
+        assert_eq!(order, vec![1, 2, 4, 7, 9]);
+    }
+
+    #[test]
+    fn from_entries_sorts_and_keeps_last_duplicate() {
+        let mk = |id: u32, version: u16| {
+            (
+                PeerId(id),
+                CachedAd {
+                    topics: InterestSet(0b1),
+                    version,
+                    filter: Rc::new(BloomFilter::empty(BloomParams::for_capacity(10, 4))),
+                    last_used_us: 0,
+                    last_refreshed_us: 0,
+                    stale: false,
+                },
+            )
+        };
+        let repo = AdRepository::from_entries(10, vec![mk(5, 0), mk(2, 1), mk(5, 9)])
+            .unwrap_or_else(|| unreachable!("fits capacity"));
+        let order: Vec<(u32, u16)> = repo.iter().map(|(p, ad)| (p.0, ad.version)).collect();
+        assert_eq!(order, vec![(2, 1), (5, 9)], "sorted; later duplicate wins");
+        assert!(AdRepository::from_entries(2, vec![mk(1, 0), mk(2, 0), mk(3, 0)]).is_none());
+    }
+
+    #[test]
     fn patch_applies_in_sequence() {
         let params = BloomParams::for_capacity(100, 8);
         let v0 = BloomFilter::from_keys(params, ["a"]);
@@ -345,9 +462,7 @@ mod tests {
             ApplyOutcome::Applied
         );
         assert_eq!(repo.get(PeerId(1)).unwrap().version, 1);
-        assert!(repo
-            .lookup(&hashes(&["b"]), 20, 0)
-            .contains(&PeerId(1)));
+        assert!(repo.lookup(&hashes(&["b"]), 20, 0).contains(&PeerId(1)));
     }
 
     #[test]

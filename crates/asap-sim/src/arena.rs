@@ -1,0 +1,192 @@
+//! Dense per-node state arenas.
+//!
+//! Simulated peers are identified by [`PeerId`]s that are dense by
+//! construction — the workload numbers peers `0..n` and nothing ever
+//! allocates a new id mid-run — so per-node protocol state belongs in flat
+//! arrays indexed by that id, not in hash maps keyed by it. [`NodeTable`]
+//! is that array: a thin `Vec` wrapper whose index is a [`NodeIdx`] (or a
+//! `PeerId`/`usize` directly, for call sites that already hold one).
+//!
+//! **NodeIdx lifetime**: an index is valid for the whole simulation — the
+//! table is sized once at protocol construction (`new(n)` / `from_vec`)
+//! and never grows or shrinks. Peers that leave keep their slot (liveness
+//! is the engine's `alive` bitmap, not table membership), so an index
+//! captured in an event or checkpoint can never dangle or be reused for a
+//! different peer. That fixed-size discipline is what makes the map → arena
+//! swap digest-neutral: there is no iteration-order or rehashing freedom
+//! left to observe.
+//!
+//! Iteration (`iter`, `iter().enumerate()`) is ascending index order ==
+//! ascending `PeerId` order, which the checkpoint byte format and the
+//! replay digests rely on.
+
+use asap_overlay::PeerId;
+use std::ops::{Index, IndexMut};
+
+/// Dense index of a simulated node; interconvertible with [`PeerId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeIdx(pub u32);
+
+impl NodeIdx {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    #[inline]
+    pub fn peer(self) -> PeerId {
+        PeerId(self.0)
+    }
+}
+
+impl From<PeerId> for NodeIdx {
+    #[inline]
+    fn from(p: PeerId) -> Self {
+        NodeIdx(p.0)
+    }
+}
+
+/// Struct-of-arrays building block: one `T` per node, densely indexed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NodeTable<T> {
+    slots: Vec<T>,
+}
+
+impl<T> NodeTable<T> {
+    /// A table of `n` default slots.
+    pub fn new(n: usize) -> Self
+    where
+        T: Default,
+    {
+        let mut slots = Vec::with_capacity(n);
+        slots.resize_with(n, T::default);
+        Self { slots }
+    }
+
+    /// Wrap an existing dense vector (slot `i` belongs to peer `i`).
+    pub fn from_vec(slots: Vec<T>) -> Self {
+        Self { slots }
+    }
+
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    #[inline]
+    pub fn get(&self, p: PeerId) -> Option<&T> {
+        self.slots.get(p.index())
+    }
+
+    #[inline]
+    pub fn get_mut(&mut self, p: PeerId) -> Option<&mut T> {
+        self.slots.get_mut(p.index())
+    }
+
+    /// Slice iteration in ascending node order (digest-relevant).
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.slots.iter()
+    }
+
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.slots.iter_mut()
+    }
+
+    /// The backing slice (read-only; the length is the node count).
+    pub fn as_slice(&self) -> &[T] {
+        &self.slots
+    }
+}
+
+impl<T> Index<NodeIdx> for NodeTable<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: NodeIdx) -> &T {
+        &self.slots[i.index()]
+    }
+}
+
+impl<T> IndexMut<NodeIdx> for NodeTable<T> {
+    #[inline]
+    fn index_mut(&mut self, i: NodeIdx) -> &mut T {
+        &mut self.slots[i.index()]
+    }
+}
+
+impl<T> Index<PeerId> for NodeTable<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, p: PeerId) -> &T {
+        &self.slots[p.index()]
+    }
+}
+
+impl<T> IndexMut<PeerId> for NodeTable<T> {
+    #[inline]
+    fn index_mut(&mut self, p: PeerId) -> &mut T {
+        &mut self.slots[p.index()]
+    }
+}
+
+impl<T> Index<usize> for NodeTable<T> {
+    type Output = T;
+    #[inline]
+    fn index(&self, i: usize) -> &T {
+        &self.slots[i]
+    }
+}
+
+impl<T> IndexMut<usize> for NodeTable<T> {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.slots[i]
+    }
+}
+
+impl<'a, T> IntoIterator for &'a NodeTable<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.slots.iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a mut NodeTable<T> {
+    type Item = &'a mut T;
+    type IntoIter = std::slice::IterMut<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.slots.iter_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_indexing_and_conversions() {
+        let mut t: NodeTable<u64> = NodeTable::new(4);
+        t[PeerId(2)] = 7;
+        t[NodeIdx(0)] = 1;
+        t[3usize] = 9;
+        assert_eq!(t[PeerId(0)], 1);
+        assert_eq!(t[NodeIdx(2)], 7);
+        assert_eq!(t[3usize], 9);
+        assert_eq!(t.get(PeerId(4)), None, "out of range is None, not panic");
+        assert_eq!(NodeIdx::from(PeerId(5)).peer(), PeerId(5));
+        assert_eq!(NodeIdx(5).index(), 5);
+    }
+
+    #[test]
+    fn iteration_is_ascending_node_order() {
+        let t = NodeTable::from_vec(vec![10, 20, 30]);
+        let pairs: Vec<(usize, i32)> = t.iter().copied().enumerate().collect();
+        assert_eq!(pairs, vec![(0, 10), (1, 20), (2, 30)]);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(t.as_slice(), &[10, 20, 30]);
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::adversary::{AdversaryPlan, AdversaryState, AdversaryStats};
 use crate::audit::{AuditConfig, AuditReport, SimAuditor};
-use crate::event::{EngineEvent, EventHandle, EventQueue};
+use crate::event::{EngineEvent, EventHandle, EventQueue, QueueBackend};
 use crate::fault::{FaultDecision, FaultPlan, FaultState, FaultStats};
 use asap_metrics::{LoadRecorder, MsgClass, QueryLedger, RetryCounters, RetryStat};
 use asap_overlay::{Overlay, OverlayKind, PeerId};
@@ -501,6 +501,22 @@ impl<'a, P: Protocol> SimBuilder<'a, P> {
         self
     }
 
+    /// Run the event queue on the time-window-sharded calendar backend
+    /// instead of the monolithic binary heap (off by default). The backend
+    /// is an execution strategy only: pop order — and therefore every
+    /// digest — is identical on both (see [`crate::event`] for the proof
+    /// sketch), but the sharded backend turns out-of-window pushes into
+    /// O(1) buffer appends and sorts each window once, in parallel via the
+    /// rayon shim when a worker pool is installed.
+    pub fn sharded(mut self, on: bool) -> Self {
+        self.sim.ctx.queue.set_backend(if on {
+            QueueBackend::Sharded
+        } else {
+            QueueBackend::Heap
+        });
+        self
+    }
+
     /// Attach a trace sink: every engine and protocol event reaches
     /// [`TraceSink::record`] stamped with the virtual clock. Sinks are
     /// passive, so a traced run replays bit-identically to an untraced one;
@@ -792,12 +808,17 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         }
         let Some(sched) = self.ctx.queue.pop() else {
             self.halted = true;
+            self.ctx.queue.purge_cancelled();
             return false;
         };
         debug_assert!(sched.time_us >= self.ctx.now_us, "time goes forward");
         if sched.time_us > self.ctx.horizon_us {
             self.ctx.profile.past_horizon = self.ctx.queue.len() as u64 + 1;
             self.halted = true;
+            // Events behind the horizon will never pop, so their tombstones
+            // are dead — drain them (behaviorally invisible; bounds the
+            // serialized tombstone list of a post-halt checkpoint).
+            self.ctx.queue.purge_cancelled();
             return false;
         }
         self.ctx.now_us = sched.time_us;

@@ -12,6 +12,7 @@
 //! integration suite exploits for replay tests.
 
 pub mod adversary;
+pub mod arena;
 pub mod audit;
 pub mod checkpoint;
 pub mod engine;
@@ -33,6 +34,7 @@ pub use asap_trace as trace;
 pub use adversary::{
     assign_roles, AdversaryPlan, AdversaryRole, AdversaryState, AdversaryStats, EclipseTarget,
 };
+pub use arena::{NodeIdx, NodeTable};
 pub use audit::{AuditConfig, AuditReport, Fnv64};
 pub use checkpoint::{Checkpoint, CheckpointProtocol, CodecError, Decoder, Encoder};
 pub use engine::{Ctx, EngineProfile, Protocol, ScratchGuard, SimBuilder, SimReport, Simulation};

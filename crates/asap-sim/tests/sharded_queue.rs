@@ -1,0 +1,373 @@
+//! Sharded-queue ≡ single-queue determinism (see crates/asap-sim/src/event.rs
+//! module docs for the ordering proof this tier exercises empirically).
+//!
+//! Two layers:
+//!
+//! * **Raw queue**: randomized schedules and cancellations applied to both
+//!   backends must produce identical pop streams (proptest over op tapes).
+//! * **Whole engine**: a retrying protocol (timers armed, replies cancelling
+//!   them — live tombstones in flight) under randomized fault plans must
+//!   finish with the same audit digest, message count, and end time on both
+//!   backends, and a checkpoint taken on one backend must resume
+//!   bit-identically on the other.
+
+use asap_metrics::MsgClass;
+use asap_overlay::{Overlay, OverlayConfig, OverlayKind, PeerId};
+use asap_sim::event::{EngineEvent, EventQueue, QueueBackend};
+use asap_sim::{
+    query_hit_size, query_size, AuditConfig, Checkpoint, CheckpointProtocol, CodecError, Ctx,
+    Decoder, Encoder, EventHandle, FaultPlan, PartitionWindow, Protocol, SimReport, Simulation,
+};
+use asap_topology::{PhysicalNetwork, TransitStubConfig};
+use asap_workload::{DocId, QuerySpec, Workload, WorkloadConfig};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Raw queue layer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push at `last_popped_time + ahead_us` (sims never schedule in the past).
+    Push { ahead_us: u64 },
+    Pop,
+    /// Cancel the handle at `index % issued` (may already have fired).
+    Cancel { index: usize },
+    Peek,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // The vendored proptest shim's prop_oneof! is uniform; repeat arms to
+    // weight pushes over the rest.
+    prop_oneof![
+        (0u64..500_000).prop_map(|ahead_us| Op::Push { ahead_us }),
+        (0u64..500_000).prop_map(|ahead_us| Op::Push { ahead_us }),
+        (0u64..500_000).prop_map(|ahead_us| Op::Push { ahead_us }),
+        (0u64..500_000).prop_map(|ahead_us| Op::Push { ahead_us }),
+        (0u32..1).prop_map(|_| Op::Pop),
+        (0u32..1).prop_map(|_| Op::Pop),
+        (0usize..10_000).prop_map(|index| Op::Cancel { index }),
+        (0u32..1).prop_map(|_| Op::Peek),
+    ]
+}
+
+proptest! {
+    /// Any op tape — pushes spread over many windows, interleaved pops,
+    /// cancels of arbitrary (possibly fired) handles — drives both backends
+    /// through identical observable states.
+    #[test]
+    fn op_tapes_produce_identical_pop_streams(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let mut heap: EventQueue<()> = EventQueue::with_backend(QueueBackend::Heap);
+        let mut shard: EventQueue<()> = EventQueue::with_backend(QueueBackend::Sharded);
+        prop_assert_eq!(shard.backend_kind(), QueueBackend::Sharded);
+        let mut issued: Vec<EventHandle> = Vec::new();
+        let mut clock = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            match *op {
+                Op::Push { ahead_us } => {
+                    let t = clock + ahead_us;
+                    let ev = || EngineEvent::Timer { node: PeerId(0), tag: i as u64 };
+                    let a = heap.push(t, ev());
+                    let b = shard.push(t, ev());
+                    prop_assert_eq!(a, b, "handle divergence at op {}", i);
+                    issued.push(a);
+                }
+                Op::Pop => {
+                    let a = heap.pop().map(|s| (s.time_us, s.seq));
+                    let b = shard.pop().map(|s| (s.time_us, s.seq));
+                    prop_assert_eq!(a, b, "pop divergence at op {}", i);
+                    if let Some((t, _)) = a {
+                        clock = clock.max(t);
+                    }
+                }
+                Op::Cancel { index } => {
+                    if !issued.is_empty() {
+                        let h = issued[index % issued.len()];
+                        prop_assert_eq!(heap.cancel(h), shard.cancel(h));
+                    }
+                }
+                Op::Peek => {
+                    prop_assert_eq!(heap.peek_time(), shard.peek_time());
+                }
+            }
+            prop_assert_eq!(heap.len(), shard.len(), "len divergence at op {}", i);
+        }
+        // Drain: the tails must match too.
+        loop {
+            let a = heap.pop().map(|s| (s.time_us, s.seq));
+            let b = shard.pop().map(|s| (s.time_us, s.seq));
+            prop_assert_eq!(a, b, "drain divergence");
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Whole-engine layer
+// ---------------------------------------------------------------------------
+
+const PEERS: usize = 100;
+const QUERIES: usize = 120;
+const RETRY_DELAY_US: u64 = 30_000;
+
+/// Minimal retrying echo: each query arms one retry timer; a reply cancels
+/// it (live tombstone), a firing re-asks once. Enough to put stored handles
+/// and tombstones in flight without the full Pinger plumbing.
+#[derive(Default)]
+struct Echo {
+    pending: asap_sim::collections::DetHashMap<u32, (EventHandle, PeerId, DocId)>,
+    cancelled_live: u64,
+}
+
+#[derive(Debug, Clone)]
+enum EchoMsg {
+    Ask { query: u32, target: DocId },
+    Reply { query: u32 },
+}
+
+fn ask(ctx: &mut Ctx<'_, EchoMsg>, requester: PeerId, target: DocId, query: u32) {
+    let holder = ctx
+        .content
+        .holders(target)
+        .iter()
+        .copied()
+        .find(|&h| ctx.alive(h) && h != requester);
+    if let Some(h) = holder {
+        ctx.send(
+            requester,
+            h,
+            MsgClass::Query,
+            query_size(1),
+            EchoMsg::Ask { query, target },
+        );
+    }
+}
+
+impl Protocol for Echo {
+    type Msg = EchoMsg;
+
+    fn on_query(&mut self, ctx: &mut Ctx<'_, EchoMsg>, q: &QuerySpec) {
+        ask(ctx, q.requester, q.target, q.id);
+        let handle = ctx.set_timer(q.requester, RETRY_DELAY_US, u64::from(q.id));
+        self.pending.insert(q.id, (handle, q.requester, q.target));
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, EchoMsg>, to: PeerId, from: PeerId, msg: EchoMsg) {
+        match msg {
+            EchoMsg::Ask { query, .. } => {
+                ctx.send(
+                    to,
+                    from,
+                    MsgClass::QueryHit,
+                    query_hit_size(1),
+                    EchoMsg::Reply { query },
+                );
+            }
+            EchoMsg::Reply { query } => {
+                if let Some((handle, _, _)) = self.pending.remove(&query) {
+                    if ctx.cancel_timer(handle) {
+                        self.cancelled_live += 1;
+                    }
+                }
+                ctx.report_answer(query);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, EchoMsg>, _node: PeerId, tag: u64) {
+        let id = tag as u32;
+        if let Some((_, requester, target)) = self.pending.remove(&id) {
+            ask(ctx, requester, target, id);
+        }
+    }
+}
+
+impl CheckpointProtocol for Echo {
+    fn encode_msg(msg: &EchoMsg, enc: &mut Encoder) {
+        match msg {
+            EchoMsg::Ask { query, target } => {
+                enc.put_u8(0);
+                enc.put_u32(*query);
+                enc.put_u32(target.0);
+            }
+            EchoMsg::Reply { query } => {
+                enc.put_u8(1);
+                enc.put_u32(*query);
+            }
+        }
+    }
+
+    fn decode_msg(dec: &mut Decoder<'_>) -> Result<EchoMsg, CodecError> {
+        match dec.get_u8()? {
+            0 => Ok(EchoMsg::Ask {
+                query: dec.get_u32()?,
+                target: DocId(dec.get_u32()?),
+            }),
+            1 => Ok(EchoMsg::Reply {
+                query: dec.get_u32()?,
+            }),
+            _ => Err(CodecError::BadTag),
+        }
+    }
+
+    fn encode_state(&self, enc: &mut Encoder) {
+        let mut ids: Vec<u32> = self.pending.keys().copied().collect();
+        ids.sort_unstable();
+        enc.put_len(ids.len());
+        for id in ids {
+            let (handle, requester, target) = self.pending[&id];
+            enc.put_u32(id);
+            enc.put_u64(handle.raw());
+            enc.put_u32(requester.0);
+            enc.put_u32(target.0);
+        }
+        enc.put_u64(self.cancelled_live);
+    }
+
+    fn decode_state(&mut self, dec: &mut Decoder<'_>) -> Result<(), CodecError> {
+        let n = dec.get_count()?;
+        let mut pending = asap_sim::collections::DetHashMap::default();
+        for _ in 0..n {
+            let id = dec.get_u32()?;
+            let handle = EventHandle::from_raw(dec.get_u64()?);
+            let requester = PeerId(dec.get_u32()?);
+            let target = DocId(dec.get_u32()?);
+            pending.insert(id, (handle, requester, target));
+        }
+        self.pending = pending;
+        self.cancelled_live = dec.get_u64()?;
+        Ok(())
+    }
+}
+
+fn world(seed: u64) -> (PhysicalNetwork, Workload, Overlay) {
+    let phys = PhysicalNetwork::generate(&TransitStubConfig::reduced(seed));
+    let workload = asap_workload::generate(&WorkloadConfig::reduced(PEERS, QUERIES, seed));
+    let overlay = OverlayConfig::new(OverlayKind::Random, PEERS, seed).build();
+    (phys, workload, overlay)
+}
+
+fn run(
+    phys: &PhysicalNetwork,
+    workload: &Workload,
+    overlay: Overlay,
+    seed: u64,
+    faults: Option<&FaultPlan>,
+    sharded: bool,
+) -> SimReport<Echo> {
+    let mut b = Simulation::builder(
+        phys,
+        workload,
+        overlay,
+        OverlayKind::Random,
+        Echo::default(),
+        seed,
+    )
+    .audit(AuditConfig::default())
+    .sharded(sharded);
+    if let Some(f) = faults {
+        b = b.faults(f.clone());
+    }
+    b.run()
+}
+
+fn digest(report: &SimReport<Echo>, what: &str) -> u64 {
+    let audit = report.audit.as_ref().expect("audited run");
+    assert!(audit.is_clean(), "{what}: violations {:?}", audit.violations);
+    audit.digest
+}
+
+proptest! {
+    // Whole-simulation cases are expensive; the raw-queue tape proptest
+    // above carries the volume.
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Randomized fault plans (loss, jitter across window boundaries,
+    /// duplication, a partition cut) replay digest-identically on heap and
+    /// sharded backends, with live tombstones created along the way.
+    #[test]
+    fn faulted_runs_are_backend_invariant(
+        seed in 0u64..1_000_000,
+        loss_ppm in 0u32..=200_000,
+        jitter_max_us in 0u64..=120_000,
+        duplicate_ppm in 0u32..=100_000,
+        with_cut in 0u32..2,
+        cut_start in 0u64..20_000_000,
+        cut_len in 1u64..10_000_000,
+        cut_index in 0u32..(PEERS as u32),
+    ) {
+        let (phys, workload, overlay) = world(seed);
+        let partitions = if with_cut == 1 {
+            vec![PartitionWindow { start_us: cut_start, end_us: cut_start + cut_len, cut_index }]
+        } else {
+            Vec::new()
+        };
+        let plan = FaultPlan { loss_ppm, jitter_max_us, duplicate_ppm, partitions };
+        let heap = run(&phys, &workload, overlay.clone(), seed, Some(&plan), false);
+        let shard = run(&phys, &workload, overlay, seed, Some(&plan), true);
+        prop_assert_eq!(digest(&heap, "heap"), digest(&shard, "sharded"));
+        prop_assert_eq!(heap.messages_sent, shard.messages_sent);
+        prop_assert_eq!(heap.end_time_us, shard.end_time_us);
+        prop_assert_eq!(heap.profile.queue_hwm, shard.profile.queue_hwm);
+        prop_assert_eq!(heap.protocol.cancelled_live, shard.protocol.cancelled_live);
+    }
+}
+
+/// Cross-backend resume: a checkpoint written by a heap-backend run resumes
+/// on the sharded backend (and vice versa) to the cold digest — the backend
+/// really is an execution strategy, not checkpointed state.
+#[test]
+fn checkpoint_resumes_across_backends() {
+    let seed = 417;
+    let (phys, workload, overlay) = world(seed);
+    let plan = FaultPlan {
+        loss_ppm: 40_000,
+        jitter_max_us: 50_000,
+        ..FaultPlan::none()
+    };
+    let cold = run(&phys, &workload, overlay.clone(), seed, Some(&plan), false);
+    let cold_digest = digest(&cold, "cold");
+    assert!(cold.protocol.cancelled_live > 0, "no tombstones in flight — vacuous");
+
+    let t_split = workload.trace.duration_us() / 2;
+    for (src, dst) in [(false, true), (true, false)] {
+        let mut first = Simulation::builder(
+            &phys,
+            &workload,
+            overlay.clone(),
+            OverlayKind::Random,
+            Echo::default(),
+            seed,
+        )
+        .audit(AuditConfig::default())
+        .sharded(src)
+        .faults(plan.clone())
+        .build();
+        first.run_until(t_split);
+        let bytes = first.checkpoint().into_bytes();
+        drop(first);
+
+        let ckpt = Checkpoint::from_bytes(bytes).expect("self-produced bytes");
+        let warm = Simulation::builder(
+            &phys,
+            &workload,
+            overlay.clone(),
+            OverlayKind::Random,
+            Echo::default(),
+            seed,
+        )
+        .audit(AuditConfig::default())
+        .sharded(dst)
+        .from_checkpoint(&ckpt)
+        .expect("resume")
+        .run();
+        assert_eq!(
+            cold_digest,
+            digest(&warm, "warm"),
+            "resume {src}->{dst} diverged"
+        );
+        assert_eq!(cold.messages_sent, warm.messages_sent);
+    }
+}

@@ -30,6 +30,15 @@ pub struct TransitStubConfig {
     pub lat_intra_stub_us: u64,
     /// RNG seed for edge sampling.
     pub seed: u64,
+    /// Wire each stub domain from its own derived RNG stream (seeded from
+    /// `(seed, domain index)`) instead of threading one sequential stream
+    /// through the whole construction. Domains become independent, so the
+    /// generator streams one domain at a time with O(domain) working state
+    /// and never depends on how many domains preceded it. Changes the edge
+    /// sample for a given seed, so the pre-existing tiers keep this `false`
+    /// (their pinned golden digests depend on the sequential stream); the
+    /// xl tier turns it on.
+    pub stream_stub_domains: bool,
 }
 
 impl TransitStubConfig {
@@ -47,6 +56,21 @@ impl TransitStubConfig {
             lat_transit_stub_us: 5_000,
             lat_intra_stub_us: 2_000,
             seed,
+            stream_stub_domains: false,
+        }
+    }
+
+    /// The xl instance for the 100k-peer scale leg: 12 × 16 transit nodes,
+    /// 9 stub domains × 60 nodes per transit node ⇒ 192 + 103,680 = 103,872
+    /// physical nodes, wired with the streamed per-domain RNG.
+    pub fn xl(seed: u64) -> Self {
+        Self {
+            transit_domains: 12,
+            transit_nodes_per_domain: 16,
+            stub_domains_per_transit_node: 9,
+            stub_nodes_per_domain: 60,
+            stream_stub_domains: true,
+            ..Self::paper_default(seed)
         }
     }
 
@@ -119,6 +143,14 @@ mod tests {
         TransitStubConfig::paper_default(1).validate();
         TransitStubConfig::reduced(1).validate();
         TransitStubConfig::medium(1).validate();
+        TransitStubConfig::xl(1).validate();
+    }
+
+    #[test]
+    fn xl_counts() {
+        let cfg = TransitStubConfig::xl(0);
+        assert_eq!(cfg.expected_nodes(), 103_872);
+        assert!(cfg.stream_stub_domains);
     }
 
     #[test]

@@ -21,6 +21,13 @@ use crate::graph::{NodeKind, PhysGraph, PhysNodeId, StubDomainInfo};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
+/// Salt of the per-stub-domain child streams used by the streamed generator
+/// (`TransitStubConfig::stream_stub_domains`). Each domain `sd` draws from
+/// `seed ^ SALT ^ splitmix64(sd)`, so domains are mutually independent and
+/// the generator can wire them one at a time, in any order, with O(domain)
+/// working state. Registered in `lint.toml` as `streams.topology_stub`.
+const STUB_STREAM_SALT: u64 = 0x57B0_D0A1_17E5_EED5;
+
 /// Generate a physical network per `config`. Deterministic in `config.seed`.
 pub fn generate(config: &TransitStubConfig) -> PhysGraph {
     config.validate();
@@ -91,16 +98,36 @@ pub fn generate(config: &TransitStubConfig) -> PhysGraph {
     }
 
     // --- stub domains ---
+    // Streamed mode gives every domain its own derived stream; sequential
+    // mode threads the single topology stream through all domains in order
+    // (the historical construction the pinned goldens were generated with).
     for sd in 0..g.stub_domains().len() {
         let info = g.stub_domain(sd as u32).clone();
         let ids: Vec<PhysNodeId> = info.members.clone().map(PhysNodeId).collect();
-        wire_domain(&mut g, &ids, config.p_stub_edge, config.lat_intra_stub_us, &mut rng);
-        let gateway = ids[rng.gen_range(0..ids.len())];
+        let mut domain_rng;
+        let r: &mut SmallRng = if config.stream_stub_domains {
+            domain_rng =
+                SmallRng::seed_from_u64(config.seed ^ STUB_STREAM_SALT ^ splitmix64(sd as u64));
+            &mut domain_rng
+        } else {
+            &mut rng
+        };
+        wire_domain(&mut g, &ids, config.p_stub_edge, config.lat_intra_stub_us, r);
+        let gateway = ids[r.gen_range(0..ids.len())];
         g.set_gateway(sd as u32, gateway);
         g.add_edge(info.parent_transit, gateway, config.lat_transit_stub_us);
     }
 
     g
+}
+
+/// SplitMix64 finalizer: decorrelates consecutive domain indices into
+/// well-separated child seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
 }
 
 fn random_transit_of_domain(config: &TransitStubConfig, domain: u32, rng: &mut SmallRng) -> PhysNodeId {
@@ -254,6 +281,52 @@ mod tests {
             };
             assert_eq!(w, expected, "edge {a:?}-{b:?}");
         }
+    }
+
+    #[test]
+    fn streamed_mode_is_deterministic_and_connected() {
+        let mut cfg = TransitStubConfig::reduced(21);
+        cfg.stream_stub_domains = true;
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.edges().collect::<Vec<_>>(), b.edges().collect::<Vec<_>>());
+        let dist = dijkstra::sssp(&a, PhysNodeId(0));
+        assert!(dist.iter().all(|&d| d != u64::MAX), "streamed graph connected");
+        // A different stream per domain: the sample differs from sequential.
+        let seq = generate(&TransitStubConfig::reduced(21));
+        assert_ne!(a.edges().collect::<Vec<_>>(), seq.edges().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn streamed_domains_are_independent_of_domain_count() {
+        // Wiring of stub domain 0 depends only on (seed, domain index): its
+        // intra-domain edges are identical whether the config has 3 or 2
+        // stub domains per transit node. The sequential stream can't do
+        // this — every earlier domain shifts all later draws.
+        let mut big = TransitStubConfig::reduced(33);
+        big.stream_stub_domains = true;
+        let mut small = big.clone();
+        small.stub_domains_per_transit_node = 2;
+        let ga = generate(&big);
+        let gb = generate(&small);
+        let domain_edges = |g: &PhysGraph| {
+            let sd = g.stub_domain(0).clone();
+            let mut edges: Vec<(u32, u32)> = g
+                .edges()
+                .filter(|(a, b, _)| {
+                    sd.members.contains(&a.0) && sd.members.contains(&b.0)
+                })
+                .map(|(a, b, _)| (a.0 - sd.members.start, b.0 - sd.members.start))
+                .collect();
+            edges.sort_unstable();
+            edges
+        };
+        assert_eq!(domain_edges(&ga), domain_edges(&gb));
+        assert_eq!(
+            ga.stub_domain(0).gateway.0 - ga.stub_domain(0).members.start,
+            gb.stub_domain(0).gateway.0 - gb.stub_domain(0).members.start,
+            "gateway choice is also per-domain"
+        );
     }
 
     #[test]

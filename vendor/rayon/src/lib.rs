@@ -167,6 +167,76 @@ pub mod iter {
     }
 }
 
+pub mod slice {
+    //! Deterministic parallel sorting, in the spirit of upstream's
+    //! `par_sort_unstable`: chunk-sort on scoped workers, then a serial
+    //! k-way merge with lowest-run-index tie-breaking. For inputs whose
+    //! elements are pairwise distinct under `Ord` (every caller in this
+    //! workspace sorts unique `(time, seq)`-style keys) the output is a
+    //! pure function of the input multiset — identical for every worker
+    //! count, including the serial fallback.
+
+    /// Below this length the serial `sort_unstable` always wins; spawning
+    /// scoped threads costs more than the sort itself.
+    const PAR_SORT_MIN: usize = 4096;
+
+    /// Sort `v` ascending, fanning chunk sorts across
+    /// [`current_num_threads`](crate::current_num_threads) scoped workers.
+    pub fn par_sort_unstable<T: Ord + Send>(v: &mut Vec<T>) {
+        let workers = crate::current_num_threads();
+        if workers <= 1 || v.len() < PAR_SORT_MIN {
+            v.sort_unstable();
+            return;
+        }
+        let total = v.len();
+        let chunk = total.div_ceil(workers);
+        let mut runs: Vec<Vec<T>> = Vec::with_capacity(workers);
+        while !v.is_empty() {
+            let tail = v.split_off(v.len().saturating_sub(chunk));
+            runs.push(tail);
+        }
+        std::thread::scope(|scope| {
+            for run in &mut runs {
+                scope.spawn(move || run.sort_unstable());
+            }
+        });
+        let mut heads: Vec<std::iter::Peekable<std::vec::IntoIter<T>>> =
+            runs.into_iter().map(|r| r.into_iter().peekable()).collect();
+        let mut out = Vec::with_capacity(total);
+        while let Some(i) = argmin(&mut heads) {
+            if let Some(x) = heads[i].next() {
+                out.push(x);
+            }
+        }
+        *v = out;
+    }
+
+    /// Index of the run with the smallest head (lowest index wins ties);
+    /// `None` when every run is exhausted.
+    fn argmin<T: Ord>(heads: &mut [std::iter::Peekable<std::vec::IntoIter<T>>]) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        for i in 0..heads.len() {
+            if heads[i].peek().is_none() {
+                continue;
+            }
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    // Split the slice so both heads can be peeked at once.
+                    let (lo, hi) = heads.split_at_mut(i);
+                    let bv = lo[b].peek();
+                    let iv = hi[0].peek();
+                    match (bv, iv) {
+                        (Some(bv), Some(iv)) if iv < bv => Some(i),
+                        _ => Some(b),
+                    }
+                }
+            };
+        }
+        best
+    }
+}
+
 thread_local! {
     /// `ThreadPool::install` override; `None` means the global default.
     static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
@@ -292,6 +362,37 @@ mod tests {
     fn zero_threads_means_default() {
         let pool = ThreadPoolBuilder::new().build().unwrap();
         assert!(pool.current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn par_sort_matches_serial_sort_for_every_worker_count() {
+        // Pseudo-random distinct keys (LCG), > PAR_SORT_MIN so the parallel
+        // path actually engages.
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        let input: Vec<u64> = (0..10_000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x
+            })
+            .collect();
+        let mut expect = input.clone();
+        expect.sort_unstable();
+        for workers in [1, 2, 3, 8] {
+            let pool = ThreadPoolBuilder::new().num_threads(workers).build().unwrap();
+            let mut v = input.clone();
+            pool.install(|| slice::par_sort_unstable(&mut v));
+            assert_eq!(v, expect, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn par_sort_handles_short_and_empty_inputs() {
+        let mut v: Vec<u32> = Vec::new();
+        slice::par_sort_unstable(&mut v);
+        assert!(v.is_empty());
+        let mut v = vec![3u32, 1, 2];
+        slice::par_sort_unstable(&mut v);
+        assert_eq!(v, vec![1, 2, 3]);
     }
 
     #[test]

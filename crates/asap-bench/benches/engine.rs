@@ -3,7 +3,7 @@
 
 use asap_metrics::MsgClass;
 use asap_overlay::{OverlayConfig, OverlayKind, PeerId};
-use asap_sim::{query_size, Ctx, Protocol, Simulation};
+use asap_sim::{query_size, Protocol, Simulation, Transport};
 use asap_topology::{PhysicalNetwork, TransitStubConfig};
 use asap_workload::{QuerySpec, WorkloadConfig};
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
@@ -15,14 +15,14 @@ struct PingPong;
 impl Protocol for PingPong {
     type Msg = u32;
 
-    fn on_query(&mut self, ctx: &mut Ctx<'_, u32>, q: &QuerySpec) {
+    fn on_query<C: Transport<Msg = u32>>(&mut self, ctx: &mut C, q: &QuerySpec) {
         let neighbor = ctx.neighbors(q.requester).first().copied();
         if let Some(n) = neighbor {
             ctx.send(q.requester, n, MsgClass::Query, query_size(2), 64);
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, u32>, to: PeerId, from: PeerId, hops: u32) {
+    fn on_message<C: Transport<Msg = u32>>(&mut self, ctx: &mut C, to: PeerId, from: PeerId, hops: u32) {
         if hops > 0 {
             ctx.send(to, from, MsgClass::Query, query_size(2), hops - 1);
         }

@@ -33,9 +33,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use asap_bench::adversary::AdversaryProfile;
+use asap_bench::args::{next_value, Axes, CommonArgs};
 use asap_bench::faults::FaultProfile;
 use asap_bench::runner::{run_cell_spec, RunSpec, World};
-use asap_bench::scale::Scale;
 use asap_bench::AlgoKind;
 use asap_overlay::OverlayKind;
 use asap_search::{Flooding, FloodingConfig, Gsa, GsaConfig, RandomWalk, RandomWalkConfig};
@@ -88,30 +88,33 @@ impl SideSpec {
 }
 
 struct Args {
-    algo: AlgoKind,
-    overlay: OverlayKind,
-    scale: Scale,
-    seed: u64,
+    common: CommonArgs,
     a: SideSpec,
     b: SideSpec,
     out: PathBuf,
     capacity: usize,
 }
 
+/// The shared axes: which audited cell to bisect. Defaults match
+/// `CommonArgs` except the seed, which stays on the golden matrix's seed
+/// so a CI digest drift reproduces without extra flags.
+fn common_defaults() -> CommonArgs {
+    let mut common = CommonArgs::new(Axes::CELL);
+    common.seed = 11;
+    common
+}
+
 fn usage() -> String {
-    "usage: bisect --a 'faults=F,adversary=A' --b 'faults=F,adversary=A' \
-     [--algo fld|rw|gsa|asap-fld|asap-rw|asap-gsa] \
-     [--overlay random|powerlaw|crawled] [--scale tiny|default|paper] \
-     [--seed N] [--trace-capacity N] [--out PATH]"
-        .to_string()
+    format!(
+        "usage: bisect --a 'faults=F,adversary=A' --b 'faults=F,adversary=A' {} \
+         [--trace-capacity N] [--out PATH]",
+        common_defaults().usage()
+    )
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut parsed = Args {
-        algo: AlgoKind::AsapRw,
-        overlay: OverlayKind::Crawled,
-        scale: Scale::Tiny,
-        seed: 11,
+        common: common_defaults(),
         a: SideSpec {
             faults: FaultProfile::None,
             adversary: AdversaryProfile::None,
@@ -126,32 +129,20 @@ fn parse_args() -> Result<Args, String> {
     let mut saw_b = false;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
-        let mut value = || args.next().ok_or(format!("{flag} needs a value"));
+        if parsed.common.accept(&flag, &mut args)? {
+            continue;
+        }
         match flag.as_str() {
-            "--algo" => {
-                let v = value()?;
-                parsed.algo = AlgoKind::parse(&v).ok_or(format!("unknown algo '{v}'"))?;
-            }
-            "--overlay" => {
-                let v = value()?;
-                parsed.overlay = OverlayKind::ALL
-                    .into_iter()
-                    .find(|o| o.label() == v.to_ascii_lowercase())
-                    .ok_or(format!("unknown overlay '{v}'"))?;
-            }
-            "--scale" => {
-                let v = value()?;
-                parsed.scale = Scale::parse(&v).ok_or(format!("unknown scale '{v}'"))?;
-            }
-            "--seed" => parsed.seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?,
-            "--a" => parsed.a = SideSpec::parse(&value()?)?,
+            "--a" => parsed.a = SideSpec::parse(&next_value(&flag, &mut args)?)?,
             "--b" => {
-                parsed.b = SideSpec::parse(&value()?)?;
+                parsed.b = SideSpec::parse(&next_value(&flag, &mut args)?)?;
                 saw_b = true;
             }
-            "--out" => parsed.out = PathBuf::from(value()?),
+            "--out" => parsed.out = PathBuf::from(next_value(&flag, &mut args)?),
             "--trace-capacity" => {
-                parsed.capacity = value()?.parse().map_err(|e| format!("bad capacity: {e}"))?;
+                parsed.capacity = next_value(&flag, &mut args)?
+                    .parse()
+                    .map_err(|e| format!("bad capacity: {e}"))?;
                 if parsed.capacity == 0 {
                     return Err("--trace-capacity must be positive".into());
                 }
@@ -365,7 +356,7 @@ fn search_cell(
     let seed = world.seed;
     let peers = scale.peers();
     let (a, b) = (args.a, args.b);
-    match args.algo {
+    match args.common.algo {
         AlgoKind::Flooding => {
             let mk = |side: SideSpec| {
                 move || {
@@ -375,7 +366,7 @@ fn search_cell(
                     })
                 }
             };
-            search(world, args.overlay, a, b, hi_us, args.capacity, mk(a), mk(b))
+            search(world, args.common.overlay, a, b, hi_us, args.capacity, mk(a), mk(b))
         }
         AlgoKind::RandomWalk => {
             let mk = |side: SideSpec| {
@@ -387,7 +378,7 @@ fn search_cell(
                     })
                 }
             };
-            search(world, args.overlay, a, b, hi_us, args.capacity, mk(a), mk(b))
+            search(world, args.common.overlay, a, b, hi_us, args.capacity, mk(a), mk(b))
         }
         AlgoKind::Gsa => {
             let mk = |_: SideSpec| {
@@ -398,10 +389,10 @@ fn search_cell(
                     })
                 }
             };
-            search(world, args.overlay, a, b, hi_us, args.capacity, mk(a), mk(b))
+            search(world, args.common.overlay, a, b, hi_us, args.capacity, mk(a), mk(b))
         }
         AlgoKind::AsapFld | AlgoKind::AsapRw | AlgoKind::AsapGsa => {
-            let algo = args.algo;
+            let algo = args.common.algo;
             let model = &world.workload.model;
             let mk = |side: SideSpec| {
                 move || {
@@ -418,7 +409,7 @@ fn search_cell(
                     }
                 }
             };
-            search(world, args.overlay, a, b, hi_us, args.capacity, mk(a), mk(b))
+            search(world, args.common.overlay, a, b, hi_us, args.capacity, mk(a), mk(b))
         }
     }
 }
@@ -438,10 +429,10 @@ fn render_report(
     divergence: Option<&Divergence>,
 ) -> String {
     let mut out = String::from("{");
-    push_kv_str(&mut out, "algo", args.algo.label());
-    push_kv_str(&mut out, "overlay", args.overlay.label());
-    push_kv_str(&mut out, "scale", args.scale.label());
-    let _ = write!(out, "\"seed\":{},", args.seed);
+    push_kv_str(&mut out, "algo", args.common.algo.label());
+    push_kv_str(&mut out, "overlay", args.common.overlay.label());
+    push_kv_str(&mut out, "scale", args.common.scale.label());
+    let _ = write!(out, "\"seed\":{},", args.common.seed);
     let _ = write!(out, "\"trace_capacity\":{},", args.capacity);
     for (name, (side, digest, end_time_us, messages)) in
         ["side_a", "side_b"].into_iter().zip(sides)
@@ -491,20 +482,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let world = World::build(args.scale, args.seed);
+    let world = World::build(args.common.scale, args.common.seed);
 
     eprintln!(
         "[bisect] cold runs: {} / {} seed {} — A(faults={}, adversary={}) vs B(faults={}, adversary={})",
-        args.algo.label(),
-        args.overlay.label(),
-        args.seed,
+        args.common.algo.label(),
+        args.common.overlay.label(),
+        args.common.seed,
         args.a.faults.label(),
         args.a.adversary.label(),
         args.b.faults.label(),
         args.b.adversary.label()
     );
-    let cold_a = run_cell_spec(&world, args.algo, args.overlay, &args.a.spec());
-    let cold_b = run_cell_spec(&world, args.algo, args.overlay, &args.b.spec());
+    let cold_a = run_cell_spec(&world, args.common.algo, args.common.overlay, &args.a.spec());
+    let cold_b = run_cell_spec(&world, args.common.algo, args.common.overlay, &args.b.spec());
     let digest_a = cold_a.audit.as_ref().expect("audited side").digest;
     let digest_b = cold_b.audit.as_ref().expect("audited side").digest;
     let identical = digest_a == digest_b;

@@ -28,11 +28,12 @@
 // This binary IS the CLI; its tables go to stdout by design.
 #![allow(clippy::print_stdout)]
 
+use asap_bench::args::{next_value, Axes, CommonArgs};
 use asap_bench::figures;
-use asap_bench::runner::{sweep_cells_spec, RunSpec, RunSummary, World};
+use asap_bench::runner::{sweep_cells_spec, RunSummary, World};
 use asap_bench::scale::Scale;
 use asap_bench::table::{fnum, Table};
-use asap_bench::{AdversaryProfile, AlgoKind, FaultProfile};
+use asap_bench::{AdversaryProfile, AlgoKind};
 use asap_overlay::OverlayKind;
 use asap_sim::trace::{to_chrome_trace, TraceConfig};
 use std::path::PathBuf;
@@ -40,15 +41,16 @@ use std::process::ExitCode;
 
 struct Args {
     command: String,
-    scale: Scale,
-    seed: u64,
-    workers: usize,
+    common: CommonArgs,
     out: PathBuf,
-    faults: FaultProfile,
-    adversary: AdversaryProfile,
     trace: Option<PathBuf>,
     trace_query: Option<u32>,
-    sharded: bool,
+}
+
+fn common_defaults() -> CommonArgs {
+    let mut common = CommonArgs::new(Axes::SWEEP);
+    common.scale = Scale::Default;
+    common
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -56,43 +58,24 @@ fn parse_args() -> Result<Args, String> {
     let command = args.next().ok_or_else(usage)?;
     let mut parsed = Args {
         command,
-        scale: Scale::Default,
-        seed: 42,
-        workers: rayon::current_num_threads(),
+        common: common_defaults(),
         out: PathBuf::from("results"),
-        faults: FaultProfile::None,
-        adversary: AdversaryProfile::None,
         trace: None,
         trace_query: None,
-        sharded: false,
     };
     while let Some(flag) = args.next() {
-        let mut value = || args.next().ok_or(format!("{flag} needs a value"));
+        if parsed.common.accept(&flag, &mut args)? {
+            continue;
+        }
         match flag.as_str() {
-            "--scale" => {
-                let v = value()?;
-                parsed.scale = Scale::parse(&v).ok_or(format!("unknown scale '{v}'"))?;
-            }
-            "--seed" => parsed.seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?,
-            "--workers" => {
-                parsed.workers = value()?.parse().map_err(|e| format!("bad workers: {e}"))?
-            }
-            "--out" => parsed.out = PathBuf::from(value()?),
-            "--faults" => {
-                let v = value()?;
-                parsed.faults =
-                    FaultProfile::parse(&v).ok_or(format!("unknown fault profile '{v}'"))?;
-            }
-            "--adversary" => {
-                let v = value()?;
-                parsed.adversary = AdversaryProfile::parse(&v)
-                    .ok_or(format!("unknown adversary profile '{v}'"))?;
-            }
-            "--sharded" => parsed.sharded = true,
-            "--trace" => parsed.trace = Some(PathBuf::from(value()?)),
+            "--out" => parsed.out = PathBuf::from(next_value(&flag, &mut args)?),
+            "--trace" => parsed.trace = Some(PathBuf::from(next_value(&flag, &mut args)?)),
             "--trace-query" => {
-                parsed.trace_query =
-                    Some(value()?.parse().map_err(|e| format!("bad query id: {e}"))?)
+                parsed.trace_query = Some(
+                    next_value(&flag, &mut args)?
+                        .parse()
+                        .map_err(|e| format!("bad query id: {e}"))?,
+                )
             }
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
@@ -104,13 +87,11 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: experiments <fig2..fig10|all|ablate|robustness> \
-     [--scale tiny|default|paper] \
-     [--seed N] [--workers N (default: all cores)] [--out DIR] \
-     [--faults none|lossy|chaos] \
-     [--adversary none|spam<pct>|freeride<pct>|eclipse<pct>] \
-     [--trace PATH] [--trace-query ID] [--sharded]"
-        .to_string()
+    format!(
+        "usage: experiments <fig2..fig10|all|ablate|robustness> {} \
+         [--out DIR] [--trace PATH] [--trace-query ID]",
+        common_defaults().usage()
+    )
 }
 
 fn main() -> ExitCode {
@@ -129,17 +110,17 @@ fn main() -> ExitCode {
 
     println!(
         "# scale={} peers={} queries={} seed={} faults={} adversary={}",
-        args.scale.label(),
-        args.scale.peers(),
-        args.scale.queries(),
-        args.seed,
-        args.faults.label(),
-        args.adversary.label()
+        args.common.scale.label(),
+        args.common.scale.peers(),
+        args.common.scale.queries(),
+        args.common.seed,
+        args.common.faults.label(),
+        args.common.adversary.label()
     );
 
     match args.command.as_str() {
         "fig2" | "fig3" => {
-            let workload = asap_workload::generate(&args.scale.workload(args.seed));
+            let workload = asap_workload::generate(&args.common.scale.workload(args.common.seed));
             if args.command == "fig2" {
                 figures::emit(
                     &args.out,
@@ -157,7 +138,7 @@ fn main() -> ExitCode {
             }
         }
         "all" => {
-            let workload = asap_workload::generate(&args.scale.workload(args.seed));
+            let workload = asap_workload::generate(&args.common.scale.workload(args.common.seed));
             figures::emit(
                 &args.out,
                 "fig2.tsv",
@@ -218,7 +199,7 @@ fn main() -> ExitCode {
                     &args.out,
                     "fig7.tsv",
                     "Fig 7: ASAP(RW) system-load breakdown (crawled overlay)",
-                    &figures::fig7_breakdown(&runs[0], figures::fig7_skip_seconds(args.scale)),
+                    &figures::fig7_breakdown(&runs[0], figures::fig7_skip_seconds(args.common.scale)),
                 );
             } else {
                 let cells: Vec<_> = AlgoKind::ALL
@@ -226,7 +207,7 @@ fn main() -> ExitCode {
                     .map(|&a| (a, OverlayKind::Crawled))
                     .collect();
                 let runs = run_matrix(&args, cells);
-                let start = figures::fig10_start_second(args.scale);
+                let start = figures::fig10_start_second(args.common.scale);
                 figures::emit(
                     &args.out,
                     "fig10.tsv",
@@ -246,15 +227,12 @@ fn main() -> ExitCode {
 }
 
 fn run_matrix(args: &Args, cells: Vec<(AlgoKind, OverlayKind)>) -> Vec<RunSummary> {
-    let world = World::build(args.scale, args.seed);
-    let spec = RunSpec {
-        audit: None,
-        faults: args.faults,
-        trace: args.trace.as_ref().map(|_| TraceConfig::default()),
-        adversary: args.adversary,
-        sharded: args.sharded,
-    };
-    let reports = sweep_cells_spec(&world, &cells, args.workers, &spec);
+    let world = World::build(args.common.scale, args.common.seed);
+    let mut spec = args.common.run_spec();
+    if args.trace.is_some() {
+        spec = spec.with_trace(TraceConfig::default());
+    }
+    let reports = sweep_cells_spec(&world, &cells, args.common.workers, &spec);
     if let Some(stem) = &args.trace {
         export_traces(stem, args.trace_query, &reports);
     }
@@ -318,7 +296,7 @@ fn emit_matrix_figures(args: &Args, runs: &[RunSummary]) {
             &args.out,
             "fig7.tsv",
             "Fig 7: ASAP(RW) system-load breakdown (crawled overlay)",
-            &figures::fig7_breakdown(asap_rw, figures::fig7_skip_seconds(args.scale)),
+            &figures::fig7_breakdown(asap_rw, figures::fig7_skip_seconds(args.common.scale)),
         );
     }
     figures::emit(
@@ -333,7 +311,7 @@ fn emit_matrix_figures(args: &Args, runs: &[RunSummary]) {
         "Fig 9: system-load standard deviation",
         &figures::fig9_load_stddev(runs),
     );
-    let start = figures::fig10_start_second(args.scale);
+    let start = figures::fig10_start_second(args.common.scale);
     figures::emit(
         &args.out,
         "fig10.tsv",
@@ -352,7 +330,7 @@ fn emit_matrix_figures(args: &Args, runs: &[RunSummary]) {
 fn robustness(args: &Args) {
     use asap_bench::runner::CellReport;
 
-    let world = World::build(args.scale, args.seed);
+    let world = World::build(args.common.scale, args.common.seed);
     let overlay = OverlayKind::Crawled;
     let cells: Vec<(AlgoKind, OverlayKind)> = [AlgoKind::RandomWalk, AlgoKind::AsapRw]
         .iter()
@@ -361,11 +339,8 @@ fn robustness(args: &Args) {
 
     let sweep = |profile: AdversaryProfile| -> Vec<CellReport> {
         eprintln!("[robustness] adversary={}", profile.label());
-        let spec = RunSpec {
-            adversary: profile,
-            ..RunSpec::default()
-        };
-        sweep_cells_spec(&world, &cells, args.workers, &spec)
+        let spec = asap_bench::runner::RunSpec::figures().with_adversary(profile);
+        sweep_cells_spec(&world, &cells, args.common.workers, &spec)
     };
 
     let mut t = Table::new(&[
@@ -426,8 +401,8 @@ fn ablations(args: &Args) {
     use asap_core::Asap;
     use asap_sim::Simulation;
 
-    let world = World::build(args.scale, args.seed);
-    let base = AlgoKind::AsapRw.asap_config(args.scale);
+    let world = World::build(args.common.scale, args.common.seed);
+    let base = AlgoKind::AsapRw.asap_config(args.common.scale);
 
     let run_with = |name: &str, cfg: asap_core::AsapConfig| -> Vec<String> {
         eprintln!("[ablate] {name}");
@@ -439,7 +414,7 @@ fn ablations(args: &Args) {
             overlay,
             OverlayKind::Crawled,
             protocol,
-            args.seed,
+            args.common.seed,
         )
         .run();
         vec![

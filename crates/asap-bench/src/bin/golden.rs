@@ -27,6 +27,7 @@
 
 use std::process::ExitCode;
 
+use asap_bench::args::{Axes, CommonArgs};
 use asap_bench::faults::FaultProfile;
 use asap_bench::harness::{
     diff_golden, golden_lines_scenario, golden_lines_with, golden_world, replay_matrix_parallel,
@@ -202,10 +203,34 @@ fn trace_pass(world: &World, untraced: &[ReplayRecord], sharded: bool) -> bool {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let check = args.iter().any(|a| a == "--check");
-    let trace = args.iter().any(|a| a == "--trace");
-    let sharded = args.iter().any(|a| a == "--sharded");
+    // The golden matrix is pinned at the tiny scale by construction, so the
+    // only shared axis this CLI exposes is the queue backend.
+    let mut common = CommonArgs::new(Axes {
+        sharded: true,
+        ..Axes::NONE
+    });
+    let mut check = false;
+    let mut trace = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match common.accept(&flag, &mut args) {
+            Ok(true) => continue,
+            Ok(false) => {}
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        }
+        match flag.as_str() {
+            "--check" => check = true,
+            "--trace" => trace = true,
+            other => {
+                eprintln!("error: unknown flag {other}\nusage: golden [--check] [--trace] [--sharded]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let sharded = common.sharded;
     if sharded && !check {
         // Pinning from the sharded backend would be fine (digests are
         // backend-invariant), but regeneration should stay on the default

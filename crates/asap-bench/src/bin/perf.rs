@@ -40,6 +40,7 @@ use std::hint::black_box;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use asap_bench::args::next_value;
 use asap_bench::faults::FaultProfile;
 use asap_bench::runner::{run_cell_spec, run_cell_with, sweep_cells_spec, RunSpec, World};
 use asap_bench::{AlgoKind, Scale};
@@ -441,57 +442,78 @@ fn check(results: &Results, baseline_path: &str, tolerance: f64, gates: &[(Strin
     ok
 }
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: perf [--scale tiny|default|xl|all]... [--out FILE] \
-         [--check BASELINE [--tolerance F] [--gate KEY=TOL]...]"
-    );
-    ExitCode::FAILURE
+fn usage() -> String {
+    "usage: perf [--scale tiny|default|xl|all]... [--out FILE] \
+     [--check BASELINE [--tolerance F] [--gate KEY=TOL]...]"
+        .to_string()
+}
+
+/// The parsed CLI. Unlike the harness binaries, `--scale` here selects
+/// suite *legs* (which may repeat and include `all`), so perf shares only
+/// the flag-value plumbing with `asap_bench::args`, not the axis set.
+struct Cli {
+    legs: Vec<Leg>,
+    out: Option<String>,
+    baseline: Option<String>,
+    tolerance: f64,
+    gates: Vec<(String, f64)>,
+}
+
+fn parse_args() -> Result<Cli, String> {
+    let mut cli = Cli {
+        legs: Vec::new(),
+        out: None,
+        baseline: None,
+        tolerance: 0.25,
+        gates: Vec::new(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--scale" => {
+                let v = next_value(&flag, &mut args)?;
+                let mut legs = Leg::parse(&v).ok_or(format!("unknown leg '{v}'"))?;
+                cli.legs.append(&mut legs);
+            }
+            "--out" => cli.out = Some(next_value(&flag, &mut args)?),
+            "--check" => cli.baseline = Some(next_value(&flag, &mut args)?),
+            "--tolerance" => {
+                cli.tolerance = next_value(&flag, &mut args)?
+                    .parse()
+                    .map_err(|e| format!("bad tolerance: {e}"))?
+            }
+            "--gate" => {
+                let raw = next_value(&flag, &mut args)?;
+                let (key, tol) = raw
+                    .split_once('=')
+                    .and_then(|(k, v)| v.parse().ok().map(|t| (k.to_string(), t)))
+                    .ok_or(format!("--gate wants KEY=TOL, got '{raw}'"))?;
+                cli.gates.push((key, tol));
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if cli.legs.is_empty() {
+        cli.legs.push(Leg::Tiny);
+    }
+    cli.legs.dedup();
+    Ok(cli)
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut legs: Vec<Leg> = Vec::new();
-    let mut out: Option<String> = None;
-    let mut baseline: Option<String> = None;
-    let mut tolerance = 0.25;
-    let mut gates: Vec<(String, f64)> = Vec::new();
-    let mut it = args.iter();
-    while let Some(arg) = it.next() {
-        match arg.as_str() {
-            "--scale" => match it.next().map(|s| Leg::parse(s)) {
-                Some(Some(mut l)) => legs.append(&mut l),
-                _ => return usage(),
-            },
-            "--out" => match it.next() {
-                Some(f) => out = Some(f.clone()),
-                None => return usage(),
-            },
-            "--check" => match it.next() {
-                Some(f) => baseline = Some(f.clone()),
-                None => return usage(),
-            },
-            "--tolerance" => match it.next().and_then(|s| s.parse().ok()) {
-                Some(t) => tolerance = t,
-                None => return usage(),
-            },
-            "--gate" => {
-                let Some((key, tol)) = it
-                    .next()
-                    .and_then(|s| s.split_once('='))
-                    .and_then(|(k, v)| v.parse().ok().map(|t| (k.to_string(), t)))
-                else {
-                    return usage();
-                };
-                gates.push((key, tol));
-            }
-            _ => return usage(),
+    let Cli {
+        legs,
+        out,
+        baseline,
+        tolerance,
+        gates,
+    } = match parse_args() {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
         }
-    }
-    if legs.is_empty() {
-        legs.push(Leg::Tiny);
-    }
-    legs.dedup();
+    };
 
     let results = run_suite(&legs);
     println!(

@@ -32,6 +32,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
 
+use asap_bench::args::{next_value, Axes, CommonArgs};
 use asap_bench::runner::{run_cell_spec, RunSpec, World};
 use asap_bench::scale::Scale;
 use asap_bench::table::{fnum, Table};
@@ -45,64 +46,50 @@ use rayon::prelude::*;
 struct Args {
     checkpoint: PathBuf,
     warm_start: bool,
-    algo: AlgoKind,
-    overlay: OverlayKind,
-    scale: Scale,
-    seed: u64,
+    common: CommonArgs,
     /// Split point as a percentage of the workload trace duration.
     split_pct: u64,
-    workers: usize,
+}
+
+/// The shared axes this CLI exposes: the audited cell plus the sweep's
+/// worker count. The `CommonArgs` defaults (ASAP(RW) / crawled / tiny /
+/// seed 42) are exactly this tool's documented defaults.
+fn common_defaults() -> CommonArgs {
+    CommonArgs::new(Axes {
+        workers: true,
+        ..Axes::CELL
+    })
 }
 
 fn usage() -> String {
-    "usage: warmstart --checkpoint PATH [--warm-start] \
-     [--algo fld|rw|gsa|asap-fld|asap-rw|asap-gsa] \
-     [--overlay random|powerlaw|crawled] [--scale tiny|default|paper] \
-     [--seed N] [--split-pct 1..99] [--workers N]"
-        .to_string()
+    format!(
+        "usage: warmstart --checkpoint PATH [--warm-start] {} [--split-pct 1..99]",
+        common_defaults().usage()
+    )
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut parsed = Args {
         checkpoint: PathBuf::new(),
         warm_start: false,
-        algo: AlgoKind::AsapRw,
-        overlay: OverlayKind::Crawled,
-        scale: Scale::Tiny,
-        seed: 42,
+        common: common_defaults(),
         split_pct: 50,
-        workers: rayon::current_num_threads(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
-        let mut value = || args.next().ok_or(format!("{flag} needs a value"));
+        if parsed.common.accept(&flag, &mut args)? {
+            continue;
+        }
         match flag.as_str() {
-            "--checkpoint" => parsed.checkpoint = PathBuf::from(value()?),
+            "--checkpoint" => parsed.checkpoint = PathBuf::from(next_value(&flag, &mut args)?),
             "--warm-start" => parsed.warm_start = true,
-            "--algo" => {
-                let v = value()?;
-                parsed.algo = AlgoKind::parse(&v).ok_or(format!("unknown algo '{v}'"))?;
-            }
-            "--overlay" => {
-                let v = value()?;
-                parsed.overlay = OverlayKind::ALL
-                    .into_iter()
-                    .find(|o| o.label() == v.to_ascii_lowercase())
-                    .ok_or(format!("unknown overlay '{v}'"))?;
-            }
-            "--scale" => {
-                let v = value()?;
-                parsed.scale = Scale::parse(&v).ok_or(format!("unknown scale '{v}'"))?;
-            }
-            "--seed" => parsed.seed = value()?.parse().map_err(|e| format!("bad seed: {e}"))?,
             "--split-pct" => {
-                parsed.split_pct = value()?.parse().map_err(|e| format!("bad split: {e}"))?;
+                parsed.split_pct = next_value(&flag, &mut args)?
+                    .parse()
+                    .map_err(|e| format!("bad split: {e}"))?;
                 if !(1..=99).contains(&parsed.split_pct) {
                     return Err("--split-pct must be in 1..=99".into());
                 }
-            }
-            "--workers" => {
-                parsed.workers = value()?.parse().map_err(|e| format!("bad workers: {e}"))?
             }
             other => return Err(format!("unknown flag '{other}'\n{}", usage())),
         }
@@ -205,8 +192,8 @@ fn save(args: &Args, world: &World) -> ExitCode {
     let split_us = world.workload.trace.duration_us() * args.split_pct / 100;
     eprintln!(
         "[warmstart] running {} / {} to {split_us} us ({}% of the trace)...",
-        args.algo.label(),
-        args.overlay.label(),
+        args.common.algo.label(),
+        args.common.overlay.label(),
         args.split_pct
     );
     // Audited builder, no faults/adversary: the warm-start workflow covers
@@ -225,10 +212,10 @@ fn save(args: &Args, world: &World) -> ExitCode {
     println!(
         "continue with: warmstart --checkpoint {} --warm-start --algo '{}' --overlay {} --scale {} --seed {}",
         args.checkpoint.display(),
-        args.algo.label().to_ascii_lowercase(),
-        args.overlay.label(),
-        args.scale.label(),
-        args.seed
+        args.common.algo.label().to_ascii_lowercase(),
+        args.common.overlay.label(),
+        args.common.scale.label(),
+        args.common.seed
     );
     ExitCode::SUCCESS
 }
@@ -240,8 +227,8 @@ fn checkpoint_cell(args: &Args, world: &World, split_us: u64) -> Checkpoint {
             let mut sim = Simulation::builder(
                 &world.phys,
                 &world.workload,
-                world.overlay(args.overlay),
-                args.overlay,
+                world.overlay(args.common.overlay),
+                args.common.overlay,
                 $protocol,
                 world.seed,
             )
@@ -251,7 +238,7 @@ fn checkpoint_cell(args: &Args, world: &World, split_us: u64) -> Checkpoint {
             sim.checkpoint()
         }};
     }
-    match args.algo {
+    match args.common.algo {
         AlgoKind::Flooding => go!(Flooding::new(FloodingConfig::default())),
         AlgoKind::RandomWalk => go!(RandomWalk::new(RandomWalkConfig {
             walkers: 5,
@@ -263,7 +250,7 @@ fn checkpoint_cell(args: &Args, world: &World, split_us: u64) -> Checkpoint {
             branch: 4,
         })),
         AlgoKind::AsapFld | AlgoKind::AsapRw | AlgoKind::AsapGsa => {
-            go!(args.algo.build_asap(world.scale, &world.workload.model))
+            go!(args.common.algo.build_asap(world.scale, &world.workload.model))
         }
     }
 }
@@ -283,38 +270,38 @@ fn warm(args: &Args, world: &World) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if ckpt.run_seed() != args.seed || ckpt.num_peers() != args.scale.peers() {
+    if ckpt.run_seed() != args.common.seed || ckpt.num_peers() != args.common.scale.peers() {
         eprintln!(
             "error: checkpoint pins seed={} peers={}, but this invocation asks for seed={} peers={}",
             ckpt.run_seed(),
             ckpt.num_peers(),
-            args.seed,
-            args.scale.peers()
+            args.common.seed,
+            args.common.scale.peers()
         );
         return ExitCode::FAILURE;
     }
     eprintln!(
         "[warmstart] fanning {} / {} out from {} (t={} us) across up to {} workers...",
-        args.algo.label(),
-        args.overlay.label(),
+        args.common.algo.label(),
+        args.common.overlay.label(),
         args.checkpoint.display(),
         ckpt.now_us(),
-        args.workers
+        args.common.workers
     );
 
     let baseline_only = vec![("baseline".to_string(), ())];
-    let results = match args.algo {
-        AlgoKind::Flooding => warm_sweep(world, args.overlay, &ckpt, baseline_only, args.workers, |_| {
+    let results = match args.common.algo {
+        AlgoKind::Flooding => warm_sweep(world, args.common.overlay, &ckpt, baseline_only, args.common.workers, |_| {
             Flooding::new(FloodingConfig::default())
         }),
-        AlgoKind::RandomWalk => warm_sweep(world, args.overlay, &ckpt, baseline_only, args.workers, |_| {
+        AlgoKind::RandomWalk => warm_sweep(world, args.common.overlay, &ckpt, baseline_only, args.common.workers, |_| {
             RandomWalk::new(RandomWalkConfig {
                 walkers: 5,
                 ttl: world.scale.rw_ttl(),
                 retransmit: None,
             })
         }),
-        AlgoKind::Gsa => warm_sweep(world, args.overlay, &ckpt, baseline_only, args.workers, |_| {
+        AlgoKind::Gsa => warm_sweep(world, args.common.overlay, &ckpt, baseline_only, args.common.workers, |_| {
             Gsa::new(GsaConfig {
                 budget: world.scale.gsa_budget(),
                 branch: 4,
@@ -322,10 +309,10 @@ fn warm(args: &Args, world: &World) -> ExitCode {
         }),
         AlgoKind::AsapFld | AlgoKind::AsapRw | AlgoKind::AsapGsa => warm_sweep(
             world,
-            args.overlay,
+            args.common.overlay,
             &ckpt,
-            asap_variants(args.algo, world.scale),
-            args.workers,
+            asap_variants(args.common.algo, world.scale),
+            args.common.workers,
             |cfg| Asap::new(cfg.clone(), &world.workload.model),
         ),
     };
@@ -335,7 +322,7 @@ fn warm(args: &Args, world: &World) -> ExitCode {
     // so its wall time doubles as the measured ramp-up savings baseline.
     eprintln!("[warmstart] cold reference run for the bit-identity gate...");
     let cold_start = Instant::now();
-    let cold = run_cell_spec(world, args.algo, args.overlay, &spec());
+    let cold = run_cell_spec(world, args.common.algo, args.common.overlay, &spec());
     let cold_secs = cold_start.elapsed().as_secs_f64();
     let cold_digest = cold.audit.as_ref().expect("audited cold run").digest;
 
@@ -352,8 +339,8 @@ fn warm(args: &Args, world: &World) -> ExitCode {
     }
     println!(
         "Warm-start sweep: {} / {}, resumed at {} us",
-        args.algo.label(),
-        args.overlay.label(),
+        args.common.algo.label(),
+        args.common.overlay.label(),
         ckpt.now_us()
     );
     println!("{}", t.render());
@@ -388,7 +375,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let world = World::build(args.scale, args.seed);
+    let world = World::build(args.common.scale, args.common.seed);
     if args.warm_start {
         warm(&args, &world)
     } else {

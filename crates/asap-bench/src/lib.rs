@@ -15,12 +15,14 @@
 
 pub mod adversary;
 pub mod algo;
+pub mod args;
 pub mod faults;
 pub mod figures;
 pub mod harness;
 pub mod runner;
 pub mod scale;
 pub mod scenario;
+pub mod simnet;
 pub mod table;
 
 pub use adversary::AdversaryProfile;

@@ -1,0 +1,151 @@
+//! Sim≡net equivalence matrix: replay the pinned tiny workload through the
+//! deterministic sim engine **and** the `asap-net` loopback runtime, and
+//! compare backend-tagged lifecycle digests per algorithm.
+//!
+//! The loopback runtime mirrors the engine's scheduling but pushes every
+//! message through the length-prefixed wire codec (`asap_net::wire`), so a
+//! digest match here certifies the whole seam at once: the `Transport`
+//! trait extraction, the per-protocol checkpoint codecs doubling as wire
+//! codecs, and the framing layer. The matrix is pinned in
+//! `golden/simnet_tiny.txt` and checked by the CI `net-smoke` job via the
+//! `simnet` bin.
+
+use crate::algo::AlgoKind;
+use crate::harness::{golden_world, GOLDEN_SEED};
+use crate::runner::World;
+use asap_net::Loopback;
+use asap_overlay::OverlayKind;
+use asap_search::{Flooding, FloodingConfig, Gsa, GsaConfig, RandomWalk, RandomWalkConfig};
+use asap_sim::{CheckpointProtocol, Simulation};
+use asap_trace::{Backend, DigestSink, LifecycleDigest, TraceSink};
+
+/// The algorithms of the equivalence matrix: all three baselines plus the
+/// paper's headline ASAP variant, i.e. one per message-codec family.
+pub const SIMNET_ALGOS: [AlgoKind; 4] = [
+    AlgoKind::Flooding,
+    AlgoKind::RandomWalk,
+    AlgoKind::Gsa,
+    AlgoKind::AsapRw,
+];
+
+/// Key columns of a `simnet_tiny.txt` line (the algorithm label).
+pub const SIMNET_KEY_COLS: usize = 1;
+
+/// One algorithm's two-backend replay outcome.
+#[derive(Debug, Clone)]
+pub struct SimnetRecord {
+    pub algo: AlgoKind,
+    pub sim: LifecycleDigest,
+    pub net: LifecycleDigest,
+    pub messages: u64,
+    pub succeeded: usize,
+    pub wire_errors: u64,
+}
+
+impl SimnetRecord {
+    /// Digest equality is the sim≡net witness; a wire error means a frame
+    /// failed to decode (always fatal to the claim).
+    pub fn equivalent(&self) -> bool {
+        self.wire_errors == 0
+            && self.sim.value() == self.net.value()
+            && self.sim.count() == self.net.count()
+    }
+}
+
+fn digest_of(sink: Box<dyn TraceSink>) -> LifecycleDigest {
+    sink.into_any()
+        .downcast::<DigestSink>()
+        .expect("digest sink comes back out")
+        .digest()
+}
+
+/// Replay one protocol on both backends over the same world and overlay.
+fn replay_pair<P, F>(world: &World, algo: AlgoKind, make: F) -> SimnetRecord
+where
+    P: CheckpointProtocol,
+    F: Fn() -> P,
+{
+    let kind = OverlayKind::Random;
+    let sim = Simulation::builder(
+        &world.phys,
+        &world.workload,
+        world.overlay(kind),
+        kind,
+        make(),
+        world.seed,
+    )
+    .trace(Box::new(DigestSink::new(Backend::Sim)))
+    .run();
+    let net = Loopback::new(
+        &world.phys,
+        &world.workload,
+        world.overlay(kind),
+        kind,
+        make(),
+        world.seed,
+    )
+    .trace(Box::new(DigestSink::new(Backend::Net)))
+    .run();
+    debug_assert_eq!(sim.messages_sent, net.messages_sent);
+    SimnetRecord {
+        algo,
+        sim: digest_of(sim.trace.expect("sim sink")),
+        net: digest_of(net.trace.expect("net sink")),
+        messages: sim.messages_sent,
+        succeeded: sim.ledger.num_succeeded(),
+        wire_errors: net.wire_errors,
+    }
+}
+
+/// Run the full matrix over the golden world (same scale/seed as the
+/// replay golden files). Protocol configurations mirror the honest cells
+/// of the replay matrix.
+pub fn simnet_records() -> Vec<SimnetRecord> {
+    let world = golden_world();
+    let scale = world.scale;
+    SIMNET_ALGOS
+        .iter()
+        .map(|&algo| match algo {
+            AlgoKind::Flooding => replay_pair(&world, algo, || {
+                Flooding::new(FloodingConfig::default())
+            }),
+            AlgoKind::RandomWalk => replay_pair(&world, algo, || {
+                RandomWalk::new(RandomWalkConfig {
+                    walkers: 5,
+                    ttl: scale.rw_ttl(),
+                    retransmit: None,
+                })
+            }),
+            AlgoKind::Gsa => replay_pair(&world, algo, || {
+                Gsa::new(GsaConfig {
+                    budget: scale.gsa_budget(),
+                    branch: 4,
+                })
+            }),
+            AlgoKind::AsapRw => replay_pair(&world, algo, || {
+                algo.build_asap(scale, &world.workload.model)
+            }),
+            other => unreachable!("{other:?} is not in SIMNET_ALGOS"),
+        })
+        .collect()
+}
+
+/// Render the golden-file body: one line per algorithm,
+/// `<algo> <sim-report> <net-report> <messages> <succeeded>`.
+pub fn simnet_lines(records: &[SimnetRecord]) -> String {
+    let mut out = format!(
+        "# sim/net lifecycle digests: scale=tiny seed={GOLDEN_SEED} overlay=random\n\
+         # algo sim net messages succeeded\n"
+    );
+    for r in records {
+        out.push_str(&format!(
+            "{} {} {} {} {}\n",
+            r.algo.label(),
+            r.sim.report(),
+            r.net.report(),
+            r.messages,
+            r.succeeded,
+        ));
+    }
+    out
+}

@@ -3,8 +3,9 @@
 //!
 //! * attaching the recorder leaves every replay digest bit-identical;
 //! * replaying the same seed twice yields byte-identical JSONL;
-//! * the new `SimBuilder` is drop-in equivalent to the deprecated
-//!   `Simulation::new(..).with_*()` chain;
+//! * the `SimBuilder` path is deterministic: identical builds replay to
+//!   identical audit digests (the invariant the deleted deprecated
+//!   constructor chain used to be checked against);
 //! * exported JSONL and Chrome-trace documents obey their schemas.
 
 use asap_bench::faults::FaultProfile;
@@ -71,37 +72,31 @@ fn same_seed_replays_to_byte_identical_jsonl() {
 }
 
 #[test]
-#[allow(deprecated)]
-fn builder_is_equivalent_to_legacy_constructor_chain() {
+fn builder_replays_to_identical_audit_digests() {
+    // The deprecated `Simulation::new(..).with_*()` chain is gone; the
+    // parity property it anchored — same inputs, same audited run — now
+    // holds builder-vs-builder.
     let world = tiny_world();
-    let overlay = world.overlay(OverlayKind::Random);
-    let legacy = Simulation::new(
-        &world.phys,
-        &world.workload,
-        overlay,
-        OverlayKind::Random,
-        Flooding::new(FloodingConfig::default()),
-        SEED,
-    )
-    .with_audit(AuditConfig::default())
-    .run();
-    let overlay = world.overlay(OverlayKind::Random);
-    let built = Simulation::builder(
-        &world.phys,
-        &world.workload,
-        overlay,
-        OverlayKind::Random,
-        Flooding::new(FloodingConfig::default()),
-        SEED,
-    )
-    .audit(AuditConfig::default())
-    .run();
+    let build = || {
+        Simulation::builder(
+            &world.phys,
+            &world.workload,
+            world.overlay(OverlayKind::Random),
+            OverlayKind::Random,
+            Flooding::new(FloodingConfig::default()),
+            SEED,
+        )
+        .audit(AuditConfig::default())
+        .run()
+    };
+    let first = build();
+    let second = build();
     let digest = |r: &asap_sim::SimReport<Flooding>| {
         r.audit.as_ref().expect("audited run").digest
     };
-    assert_eq!(digest(&legacy), digest(&built), "builder diverged from the legacy chain");
-    assert_eq!(legacy.messages_sent, built.messages_sent);
-    assert_eq!(legacy.end_time_us, built.end_time_us);
+    assert_eq!(digest(&first), digest(&second), "builder replay diverged");
+    assert_eq!(first.messages_sent, second.messages_sent);
+    assert_eq!(first.end_time_us, second.end_time_us);
 }
 
 #[test]

@@ -9,7 +9,7 @@ use crate::ad::{AdPayload, AsapMsg, Forwarding};
 use crate::config::DeliveryKind;
 use asap_metrics::MsgClass;
 use asap_overlay::PeerId;
-use asap_sim::Ctx;
+use asap_sim::Transport;
 use rand::Rng;
 
 /// Load-accounting class of an ad payload.
@@ -23,8 +23,8 @@ pub(crate) fn ad_class(payload: &AdPayload) -> MsgClass {
 
 /// Kick off a fresh delivery of `payload` from `source`. `delivery` is the
 /// unique id used for duplicate suppression of flooded ads.
-pub(crate) fn start_delivery(
-    ctx: &mut Ctx<'_, AsapMsg>,
+pub(crate) fn start_delivery<C: Transport<Msg = AsapMsg>>(
+    ctx: &mut C,
     kind: DeliveryKind,
     budget_unit: u32,
     budget_factor: f64,
@@ -57,8 +57,8 @@ pub(crate) fn start_delivery(
 }
 
 /// Continue a delivery after `node` processed the ad.
-pub(crate) fn continue_delivery(
-    ctx: &mut Ctx<'_, AsapMsg>,
+pub(crate) fn continue_delivery<C: Transport<Msg = AsapMsg>>(
+    ctx: &mut C,
     node: PeerId,
     came_from: PeerId,
     payload: AdPayload,
@@ -91,8 +91,8 @@ pub(crate) fn continue_delivery(
     }
 }
 
-fn send_ad(
-    ctx: &mut Ctx<'_, AsapMsg>,
+fn send_ad<C: Transport<Msg = AsapMsg>>(
+    ctx: &mut C,
     from: PeerId,
     to: PeerId,
     payload: AdPayload,
@@ -114,8 +114,8 @@ fn send_ad(
     );
 }
 
-fn fan_to_all(
-    ctx: &mut Ctx<'_, AsapMsg>,
+fn fan_to_all<C: Transport<Msg = AsapMsg>>(
+    ctx: &mut C,
     node: PeerId,
     exclude: Option<PeerId>,
     payload: AdPayload,
@@ -141,8 +141,8 @@ fn fan_to_all(
 
 /// One walker hop: uniform random neighbor avoiding immediate backtrack.
 /// The hop itself costs one unit of budget.
-fn walk_step(
-    ctx: &mut Ctx<'_, AsapMsg>,
+fn walk_step<C: Transport<Msg = AsapMsg>>(
+    ctx: &mut C,
     node: PeerId,
     came_from: Option<PeerId>,
     payload: AdPayload,
@@ -157,7 +157,7 @@ fn walk_step(
         ctx.neighbors(node)[0]
     } else {
         loop {
-            let i = ctx.rng.gen_range(0..degree);
+            let i = ctx.rng().gen_range(0..degree);
             let cand = ctx.neighbors(node)[i];
             if Some(cand) != came_from {
                 break cand;
@@ -176,8 +176,8 @@ fn walk_step(
 
 /// GSA-style dispersal: fan to up to `branch` random neighbors while the
 /// budget is plentiful, degenerate to a walk once it is not.
-fn gsa_disperse(
-    ctx: &mut Ctx<'_, AsapMsg>,
+fn gsa_disperse<C: Transport<Msg = AsapMsg>>(
+    ctx: &mut C,
     node: PeerId,
     exclude: Option<PeerId>,
     payload: AdPayload,
@@ -211,7 +211,7 @@ fn gsa_disperse(
     };
     // Deterministic partial shuffle.
     for i in 0..fan {
-        let j = ctx.rng.gen_range(i..nbrs.len());
+        let j = ctx.rng().gen_range(i..nbrs.len());
         nbrs.swap(i, j);
     }
     nbrs.truncate(fan);

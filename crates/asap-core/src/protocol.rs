@@ -13,7 +13,7 @@ use asap_metrics::{MsgClass, RetryStat};
 use asap_overlay::PeerId;
 use asap_sim::collections::{DetHashMap, DetHashSet};
 use asap_sim::util::SeenTracker;
-use asap_sim::{Ctx, NodeTable, Protocol};
+use asap_sim::{NodeTable, Protocol, Transport};
 use asap_sim::AdversaryRole;
 use asap_workload::{ContentModel, DocId, InterestSet, KeywordId, QuerySpec};
 use rand::rngs::SmallRng;
@@ -212,8 +212,8 @@ impl Asap {
     /// Topics `node` advertises: its real content classes, unioned with any
     /// falsely claimed ones. Honest nodes union with `EMPTY` (a no-op), so
     /// this is one indexed load over [`Asap::new`]'s behavior.
-    fn advertised_topics(&self, ctx: &Ctx<'_, AsapMsg>, node: PeerId) -> InterestSet {
-        let real = ctx.content.peer_topics(ctx.model, node);
+    fn advertised_topics<C: Transport<Msg = AsapMsg>>(&self, ctx: &C, node: PeerId) -> InterestSet {
+        let real = ctx.content().peer_topics(ctx.model(), node);
         real.union(self.claimed_topics[node])
     }
 
@@ -260,9 +260,9 @@ impl Asap {
     /// Launch one ad delivery from `node`. `budget_factor` scales the
     /// paper's `topics × M₀` envelope (1.0 for initial/join announcements
     /// and patches, `refresh_budget_factor` for periodic beacons).
-    fn deliver(
+    fn deliver<C: Transport<Msg = AsapMsg>>(
         &mut self,
-        ctx: &mut Ctx<'_, AsapMsg>,
+        ctx: &mut C,
         node: PeerId,
         payload: AdPayload,
         budget_factor: f64,
@@ -290,9 +290,9 @@ impl Asap {
     /// (one hop, once per interested pair) — shipping kilobyte filters on
     /// every hop of a thousands-of-messages walk would dwarf every other
     /// load in the system (see DESIGN.md §6).
-    fn deliver_announce(
+    fn deliver_announce<C: Transport<Msg = AsapMsg>>(
         &mut self,
-        ctx: &mut Ctx<'_, AsapMsg>,
+        ctx: &mut C,
         node: PeerId,
         budget_factor: f64,
     ) -> bool {
@@ -323,7 +323,7 @@ impl Asap {
 
     /// Direct full-ad fetch from `source` to repair a gap or warm a miss.
     /// At most one fetch per (node, source) is in flight at a time.
-    fn repair_fetch(&mut self, ctx: &mut Ctx<'_, AsapMsg>, node: PeerId, source: PeerId) {
+    fn repair_fetch<C: Transport<Msg = AsapMsg>>(&mut self, ctx: &mut C, node: PeerId, source: PeerId) {
         if node == source || !self.nodes[node.index()].fetching.insert(source) {
             return;
         }
@@ -347,7 +347,12 @@ impl Asap {
     /// A repair-fetch retransmit timer fired: if the fetch is still
     /// unanswered, resend it (within the backoff budget) or give the source
     /// up — otherwise its `fetching` entry would leak forever under loss.
-    fn handle_fetch_timer(&mut self, ctx: &mut Ctx<'_, AsapMsg>, node: PeerId, source: PeerId) {
+    fn handle_fetch_timer<C: Transport<Msg = AsapMsg>>(
+        &mut self,
+        ctx: &mut C,
+        node: PeerId,
+        source: PeerId,
+    ) {
         let next = {
             let st = &mut self.nodes[node.index()];
             if !st.fetching.contains(&source) {
@@ -385,7 +390,7 @@ impl Asap {
     /// Arm the re-advertisement watchdog after an initial/join announcement
     /// (only when `robustness.readvert_retries > 0` — the inert default arms
     /// no timer, keeping fault-free digests unchanged).
-    fn arm_readvert(&mut self, ctx: &mut Ctx<'_, AsapMsg>, node: PeerId) {
+    fn arm_readvert<C: Transport<Msg = AsapMsg>>(&mut self, ctx: &mut C, node: PeerId) {
         let rb = self.config.robustness;
         if rb.readvert_retries == 0 {
             return;
@@ -401,7 +406,7 @@ impl Asap {
     /// The re-advertisement watchdog fired: if nobody fetched our full ad
     /// since the last announcement, the wave may have been lost — repeat it
     /// (within the backoff budget) or record the delivery as abandoned.
-    fn handle_readvert_timer(&mut self, ctx: &mut Ctx<'_, AsapMsg>, node: PeerId) {
+    fn handle_readvert_timer<C: Transport<Msg = AsapMsg>>(&mut self, ctx: &mut C, node: PeerId) {
         let (acked, next) = {
             let st = &mut self.nodes[node.index()];
             let Some(ra) = st.readvert.as_mut() else {
@@ -435,9 +440,9 @@ impl Asap {
 
     /// Ad received at `node`: cache if interesting, repair if inconsistent,
     /// keep the wave moving.
-    fn handle_ad(
+    fn handle_ad<C: Transport<Msg = AsapMsg>>(
         &mut self,
-        ctx: &mut Ctx<'_, AsapMsg>,
+        ctx: &mut C,
         node: PeerId,
         from: PeerId,
         payload: AdPayload,
@@ -453,7 +458,7 @@ impl Asap {
 
         let source = payload.source();
         let interested =
-            source != node && payload.topics().intersects(ctx.model.interests[node.index()]);
+            source != node && payload.topics().intersects(ctx.model().interests[node.index()]);
         if interested {
             let now = ctx.now_us();
             let st = &mut self.nodes[node.index()];
@@ -500,7 +505,7 @@ impl Asap {
 impl Protocol for Asap {
     type Msg = AsapMsg;
 
-    fn on_init(&mut self, ctx: &mut Ctx<'_, AsapMsg>) {
+    fn on_init<C: Transport<Msg = AsapMsg>>(&mut self, ctx: &mut C) {
         // Stagger the initial full-ad wave so the event queue (and the
         // network) isn't hit by every node at t = 0.
         let stagger = self.config.warmup_stagger_us.max(1);
@@ -509,16 +514,22 @@ impl Protocol for Asap {
             if !ctx.alive(peer) {
                 continue;
             }
-            let delay = ctx.rng.gen_range(0..stagger);
+            let delay = ctx.rng().gen_range(0..stagger);
             ctx.set_timer(peer, delay, TAG_INIT_AD);
         }
     }
 
-    fn on_query(&mut self, ctx: &mut Ctx<'_, AsapMsg>, query: &QuerySpec) {
+    fn on_query<C: Transport<Msg = AsapMsg>>(&mut self, ctx: &mut C, query: &QuerySpec) {
         search::start_query(self, ctx, query);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, AsapMsg>, to: PeerId, from: PeerId, msg: AsapMsg) {
+    fn on_message<C: Transport<Msg = AsapMsg>>(
+        &mut self,
+        ctx: &mut C,
+        to: PeerId,
+        from: PeerId,
+        msg: AsapMsg,
+    ) {
         match msg {
             AsapMsg::Ad {
                 payload,
@@ -571,7 +582,7 @@ impl Protocol for Asap {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, AsapMsg>, node: PeerId, tag: u64) {
+    fn on_timer<C: Transport<Msg = AsapMsg>>(&mut self, ctx: &mut C, node: PeerId, tag: u64) {
         if tag & TAG_FETCH_BIT != 0 {
             let source = PeerId((tag & !TAG_FETCH_BIT) as u32);
             self.handle_fetch_timer(ctx, node, source);
@@ -587,7 +598,7 @@ impl Protocol for Asap {
                     self.arm_readvert(ctx, node);
                 }
                 // First refresh lands one period (plus jitter) later.
-                let jitter = ctx.rng.gen_range(0..self.config.refresh_interval_us / 4 + 1);
+                let jitter = ctx.rng().gen_range(0..self.config.refresh_interval_us / 4 + 1);
                 ctx.set_timer(node, self.config.refresh_interval_us + jitter, TAG_REFRESH);
             }
             TAG_REFRESH => {
@@ -597,14 +608,14 @@ impl Protocol for Asap {
                 // phase-lock across the population — synchronized waves
                 // would turn the load series into a square wave.
                 let base = self.config.refresh_interval_us;
-                let next = ctx.rng.gen_range(base - base / 4..=base + base / 4);
+                let next = ctx.rng().gen_range(base - base / 4..=base + base / 4);
                 ctx.set_timer(node, next, TAG_REFRESH);
             }
             _ => search::handle_timeout(self, ctx, node, tag),
         }
     }
 
-    fn on_join(&mut self, ctx: &mut Ctx<'_, AsapMsg>, node: PeerId) {
+    fn on_join<C: Transport<Msg = AsapMsg>>(&mut self, ctx: &mut C, node: PeerId) {
         // Warm the cache: "this is the same ads requesting process as the
         // one when a brand new node joins."
         search::send_ads_request(self, ctx, node, None, None);
@@ -614,25 +625,26 @@ impl Protocol for Asap {
         if self.deliver_announce(ctx, node, 1.0) {
             self.arm_readvert(ctx, node);
         }
-        let jitter = ctx.rng.gen_range(0..self.config.refresh_interval_us / 4 + 1);
+        let jitter = ctx.rng().gen_range(0..self.config.refresh_interval_us / 4 + 1);
         ctx.set_timer(node, self.config.refresh_interval_us + jitter, TAG_REFRESH);
     }
 
-    fn on_leave(&mut self, _ctx: &mut Ctx<'_, AsapMsg>, node: PeerId) {
+    fn on_leave<C: Transport<Msg = AsapMsg>>(&mut self, _ctx: &mut C, node: PeerId) {
         // Abandon searches this node was running.
         self.pending.retain(|_, p| p.requester != node);
     }
 
-    fn on_content_change(
+    fn on_content_change<C: Transport<Msg = AsapMsg>>(
         &mut self,
-        ctx: &mut Ctx<'_, AsapMsg>,
+        ctx: &mut C,
         peer: PeerId,
         doc: DocId,
         added: bool,
     ) {
-        // Copy the `&ContentModel` out of `ctx` so the keyword list needn't
+        // Borrow the `&ContentModel` out of `ctx` so the keyword list needn't
         // be cloned while `self.nodes` is mutably borrowed.
-        let model = ctx.model;
+        let model = ctx.model();
+        let old_class = model.doc(doc).class;
         let st = &mut self.nodes[peer.index()];
         let old_snapshot = Rc::clone(&st.snapshot);
         for kw in &model.doc(doc).keywords {
@@ -656,7 +668,6 @@ impl Protocol for Asap {
         // class still hear about the removal. Claimed (spam) topics ride
         // along so cachers keyed on the false classes stay in sync too.
         let new_topics = self.advertised_topics(ctx, peer);
-        let old_class = ctx.model.doc(doc).class;
         let topics = new_topics.union(InterestSet::singleton(old_class));
 
         let patch = Rc::new(FilterPatch::diff(&old_snapshot, &new_snapshot));
@@ -684,7 +695,7 @@ impl Protocol for Asap {
     /// * no node caches its own ad (`handle_ad` filters `source == node`);
     /// * cached-entry timestamps never run ahead of the clock;
     /// * a node's own filter snapshot reflects its current version.
-    fn audit_invariants(&self, ctx: &Ctx<'_, AsapMsg>) -> Vec<String> {
+    fn audit_invariants<C: Transport<Msg = AsapMsg>>(&self, ctx: &C) -> Vec<String> {
         let mut violations = Vec::new();
         let now = ctx.now_us();
         for (i, st) in self.nodes.iter().enumerate() {

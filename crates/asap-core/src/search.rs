@@ -17,7 +17,7 @@ use asap_bloom::hashing::KeyHash;
 use asap_metrics::{MsgClass, RetryStat};
 use asap_overlay::PeerId;
 use asap_sim::collections::DetHashSet;
-use asap_sim::{ads_reply_size, ads_request_size, confirm_reply_size, confirm_size, Ctx};
+use asap_sim::{ads_reply_size, ads_request_size, confirm_reply_size, confirm_size, Transport};
 use asap_workload::{InterestSet, KeywordId, QuerySpec};
 use std::rc::Rc;
 
@@ -56,7 +56,7 @@ fn timeout_tag(query: u32, phase: Phase) -> u64 {
 }
 
 /// Entry point: a query was issued at its requester.
-pub(crate) fn start_query(asap: &mut Asap, ctx: &mut Ctx<'_, AsapMsg>, q: &QuerySpec) {
+pub(crate) fn start_query<C: Transport<Msg = AsapMsg>>(asap: &mut Asap, ctx: &mut C, q: &QuerySpec) {
     let terms: Rc<[KeywordId]> = q.terms.clone().into();
     let term_hashes: Vec<KeyHash> = q.terms.iter().map(|&k| asap.hash_of(k)).collect();
 
@@ -102,9 +102,9 @@ pub(crate) fn start_query(asap: &mut Asap, ctx: &mut Ctx<'_, AsapMsg>, q: &Query
 
 /// Confirm up to `max_confirm_fanout` fresh candidates; the rest queue on
 /// the backlog for the next round. Returns how many confirmations went out.
-fn send_confirms(
+fn send_confirms<C: Transport<Msg = AsapMsg>>(
     asap: &mut Asap,
-    ctx: &mut Ctx<'_, AsapMsg>,
+    ctx: &mut C,
     pending: &mut PendingSearch,
     query: u32,
     candidates: &[PeerId],
@@ -148,14 +148,14 @@ fn send_confirms(
 }
 
 /// Issue the neighbor ads-request round for `node`. Returns requests sent.
-pub(crate) fn send_ads_request(
+pub(crate) fn send_ads_request<C: Transport<Msg = AsapMsg>>(
     asap: &mut Asap,
-    ctx: &mut Ctx<'_, AsapMsg>,
+    ctx: &mut C,
     node: PeerId,
     query: Option<u32>,
     terms: Option<Rc<[KeywordId]>>,
 ) -> usize {
-    let interests = ctx.model.interests[node.index()];
+    let interests = ctx.model().interests[node.index()];
     let hops = asap.config.ads_request_hops;
     let targets: Vec<PeerId> = ctx.neighbors(node).to_vec();
     let bytes = ads_request_size(interests.len())
@@ -179,7 +179,7 @@ pub(crate) fn send_ads_request(
 }
 
 /// Move a pending search into the fallback round.
-fn begin_fallback(asap: &mut Asap, ctx: &mut Ctx<'_, AsapMsg>, query: u32) {
+fn begin_fallback<C: Transport<Msg = AsapMsg>>(asap: &mut Asap, ctx: &mut C, query: u32) {
     let Some(p) = asap.pending.get_mut(&query) else {
         return;
     };
@@ -206,9 +206,9 @@ fn begin_fallback(asap: &mut Asap, ctx: &mut Ctx<'_, AsapMsg>, query: u32) {
 
 /// A neighbor asked for interesting ads.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn handle_ads_request(
+pub(crate) fn handle_ads_request<C: Transport<Msg = AsapMsg>>(
     asap: &mut Asap,
-    ctx: &mut Ctx<'_, AsapMsg>,
+    ctx: &mut C,
     node: PeerId,
     from: PeerId,
     requester: PeerId,
@@ -274,9 +274,9 @@ pub(crate) fn handle_ads_request(
 }
 
 /// Requester received a batch of cached ads.
-pub(crate) fn handle_ads_reply(
+pub(crate) fn handle_ads_reply<C: Transport<Msg = AsapMsg>>(
     asap: &mut Asap,
-    ctx: &mut Ctx<'_, AsapMsg>,
+    ctx: &mut C,
     node: PeerId,
     ads: Vec<AdSnapshot>,
     query: Option<u32>,
@@ -312,16 +312,16 @@ pub(crate) fn handle_ads_reply(
 
 /// An ad's source checks its **actual** content ("node p needs to send the
 /// request to node q for content confirmation").
-pub(crate) fn handle_confirm(
+pub(crate) fn handle_confirm<C: Transport<Msg = AsapMsg>>(
     asap: &mut Asap,
-    ctx: &mut Ctx<'_, AsapMsg>,
+    ctx: &mut C,
     node: PeerId,
     requester: PeerId,
     query: u32,
     terms: &Rc<[KeywordId]>,
 ) {
     let _ = asap;
-    let results = ctx.content.matching_docs(ctx.model, node, terms).count() as u32;
+    let results = ctx.content().matching_docs(ctx.model(), node, terms).count() as u32;
     ctx.send(
         node,
         requester,
@@ -332,9 +332,9 @@ pub(crate) fn handle_confirm(
 }
 
 /// Requester received a confirmation verdict.
-pub(crate) fn handle_confirm_reply(
+pub(crate) fn handle_confirm_reply<C: Transport<Msg = AsapMsg>>(
     asap: &mut Asap,
-    ctx: &mut Ctx<'_, AsapMsg>,
+    ctx: &mut C,
     node: PeerId,
     from: PeerId,
     query: u32,
@@ -396,7 +396,7 @@ pub(crate) fn handle_confirm_reply(
 }
 
 /// A query timer fired at the requester.
-pub(crate) fn handle_timeout(asap: &mut Asap, ctx: &mut Ctx<'_, AsapMsg>, node: PeerId, tag: u64) {
+pub(crate) fn handle_timeout<C: Transport<Msg = AsapMsg>>(asap: &mut Asap, ctx: &mut C, node: PeerId, tag: u64) {
     debug_assert!(tag >= TAG_QUERY_BASE);
     let rel = tag - TAG_QUERY_BASE;
     let query = (rel / 2) as u32;
@@ -449,7 +449,7 @@ pub(crate) fn handle_timeout(asap: &mut Asap, ctx: &mut Ctx<'_, AsapMsg>, node: 
 /// Close a search: drop its state and account every confirmation still in
 /// flight as lost (its reply never arrived while the search was open —
 /// a dead source fault-free, possibly a dropped message under faults).
-fn close_search(asap: &mut Asap, ctx: &mut Ctx<'_, AsapMsg>, query: u32) {
+fn close_search<C: Transport<Msg = AsapMsg>>(asap: &mut Asap, ctx: &mut C, query: u32) {
     if let Some(p) = asap.pending.remove(&query) {
         for _ in &p.in_flight {
             ctx.count(RetryStat::ConfirmationsLost);

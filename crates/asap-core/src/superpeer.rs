@@ -32,8 +32,8 @@ use asap_bloom::{BloomFilter, CountingBloom, WireFilter};
 use asap_metrics::MsgClass;
 use asap_overlay::PeerId;
 use asap_sim::{
-    ads_reply_size, ads_request_size, confirm_reply_size, confirm_size, query_size, Ctx,
-    Protocol, HEADER_BYTES, TOPIC_WIRE_BYTES, VERSION_WIRE_BYTES,
+    ads_reply_size, ads_request_size, confirm_reply_size, confirm_size, query_size, Protocol,
+    Transport, HEADER_BYTES, TOPIC_WIRE_BYTES, VERSION_WIRE_BYTES,
 };
 use asap_workload::{ContentModel, DocId, InterestSet, KeywordId, QuerySpec};
 use rand::Rng;
@@ -203,7 +203,7 @@ impl SuperAsap {
     /// The super peer handling `node`'s traffic right now: its assigned home
     /// if that peer is still alive, otherwise the best live super neighbor,
     /// otherwise itself (self-promotion keeps partitions functional).
-    fn live_home(&self, ctx: &Ctx<'_, SuperMsg>, node: PeerId) -> PeerId {
+    fn live_home<C: Transport<Msg = SuperMsg>>(&self, ctx: &C, node: PeerId) -> PeerId {
         if self.is_super(node) {
             return node;
         }
@@ -216,7 +216,7 @@ impl SuperAsap {
             .iter()
             .copied()
             .filter(|&s| self.is_super(s) && ctx.alive(s))
-            .max_by_key(|&s| ctx.overlay.degree(s))
+            .max_by_key(|&s| ctx.degree(s))
             .unwrap_or(node)
     }
 
@@ -231,10 +231,10 @@ impl SuperAsap {
     }
 
     /// Assign roles from overlay degree and wire every leaf to a home.
-    fn assign_roles(&mut self, ctx: &mut Ctx<'_, SuperMsg>) {
+    fn assign_roles<C: Transport<Msg = SuperMsg>>(&mut self, ctx: &mut C) {
         let n = ctx.num_peers();
         let mut by_degree: Vec<PeerId> = (0..n as u32).map(PeerId).collect();
-        by_degree.sort_by_key(|&p| std::cmp::Reverse(ctx.overlay.degree(p)));
+        by_degree.sort_by_key(|&p| std::cmp::Reverse(ctx.degree(p)));
         let quota = ((n as f64 * self.config.super_fraction).ceil() as usize).max(1);
         let mut is_super = vec![false; n];
         for &p in by_degree.iter().take(quota) {
@@ -259,7 +259,7 @@ impl SuperAsap {
                 // because they cache on behalf of all their leaves.
                 self.nodes[p].repo =
                     Some(AdRepository::new(self.config.asap.cache_capacity * 4));
-                self.union_interests[p] = ctx.model.interests[p];
+                self.union_interests[p] = ctx.model().interests[p];
                 self.stats.supers += 1;
             } else {
                 let home = ctx
@@ -267,7 +267,7 @@ impl SuperAsap {
                     .iter()
                     .copied()
                     .filter(|&s| is_super[s.index()])
-                    .max_by_key(|&s| ctx.overlay.degree(s))
+                    .max_by_key(|&s| ctx.degree(s))
                     // lint: allow(unwrap, reason=the promotion loop above self-promotes any leaf without a super neighbor)
                     .expect("leaves have super neighbors by construction");
                 self.roles[p] = Role::Leaf { home };
@@ -277,8 +277,8 @@ impl SuperAsap {
     }
 
     /// Leaf (or super, to itself) registers its snapshot with its home.
-    fn register_with_home(&mut self, ctx: &mut Ctx<'_, SuperMsg>, node: PeerId) {
-        let topics = ctx.content.peer_topics(ctx.model, node);
+    fn register_with_home<C: Transport<Msg = SuperMsg>>(&mut self, ctx: &mut C, node: PeerId) {
+        let topics = ctx.content().peer_topics(ctx.model(), node);
         if topics.is_empty() {
             return; // free riders: nothing to advertise
         }
@@ -297,10 +297,10 @@ impl SuperAsap {
     }
 
     /// A super peer takes responsibility for a source and gossips a digest.
-    fn accept_registration(&mut self, ctx: &mut Ctx<'_, SuperMsg>, me: PeerId, snap: AdSnapshot) {
+    fn accept_registration<C: Transport<Msg = SuperMsg>>(&mut self, ctx: &mut C, me: PeerId, snap: AdSnapshot) {
         let entry = (snap.source, snap.topics, snap.version);
         self.union_interests[me.index()] =
-            self.union_interests[me.index()].union(ctx.model.interests[snap.source.index()]);
+            self.union_interests[me.index()].union(ctx.model().interests[snap.source.index()]);
         self.nodes[me.index()]
             .registered
             .insert(snap.source, (snap.topics, snap.version));
@@ -312,9 +312,9 @@ impl SuperAsap {
     }
 
     /// Launch a digest walk over the super-peer subgraph.
-    fn send_digest(
+    fn send_digest<C: Transport<Msg = SuperMsg>>(
         &mut self,
-        ctx: &mut Ctx<'_, SuperMsg>,
+        ctx: &mut C,
         from: PeerId,
         entries: Rc<[(PeerId, InterestSet, u16)]>,
     ) {
@@ -326,9 +326,9 @@ impl SuperAsap {
     }
 
     /// One hop of a digest walk: random live super neighbor.
-    fn forward_digest(
+    fn forward_digest<C: Transport<Msg = SuperMsg>>(
         &mut self,
-        ctx: &mut Ctx<'_, SuperMsg>,
+        ctx: &mut C,
         node: PeerId,
         came_from: Option<PeerId>,
         entries: Rc<[(PeerId, InterestSet, u16)]>,
@@ -346,7 +346,7 @@ impl SuperAsap {
         if candidates.is_empty() {
             return;
         }
-        let next = candidates[ctx.rng.gen_range(0..candidates.len())];
+        let next = candidates[ctx.rng().gen_range(0..candidates.len())];
         let bytes = HEADER_BYTES + entries.len() * (DIGEST_ENTRY_BYTES + TOPIC_WIRE_BYTES);
         ctx.send(
             node,
@@ -361,9 +361,9 @@ impl SuperAsap {
     }
 
     /// Digest received at a super peer: fetch anything interesting we lack.
-    fn handle_digest(
+    fn handle_digest<C: Transport<Msg = SuperMsg>>(
         &mut self,
-        ctx: &mut Ctx<'_, SuperMsg>,
+        ctx: &mut C,
         me: PeerId,
         from: PeerId,
         entries: Rc<[(PeerId, InterestSet, u16)]>,
@@ -401,9 +401,9 @@ impl SuperAsap {
 
     /// Repository lookup + confirmations at a super peer on behalf of a
     /// requester; on a miss, ask neighboring super peers.
-    fn run_search(
+    fn run_search<C: Transport<Msg = SuperMsg>>(
         &mut self,
-        ctx: &mut Ctx<'_, SuperMsg>,
+        ctx: &mut C,
         me: PeerId,
         query: u32,
         requester: PeerId,
@@ -430,7 +430,7 @@ impl SuperAsap {
             if source == me {
                 // Our own content matched: verdict without a network hop
                 // (the reply to the requester still travels).
-                let results = ctx.content.matching_docs(ctx.model, me, terms).count() as u32;
+                let results = ctx.content().matching_docs(ctx.model(), me, terms).count() as u32;
                 if results > 0 && requester != me {
                     ctx.send(
                         me,
@@ -477,7 +477,7 @@ impl SuperAsap {
         // chosen ones bounds the fallback fan-out.
         const FALLBACK_FANOUT: usize = 6;
         for i in 0..FALLBACK_FANOUT.min(supers.len()) {
-            let j = ctx.rng.gen_range(i..supers.len());
+            let j = ctx.rng().gen_range(i..supers.len());
             supers.swap(i, j);
         }
         supers.truncate(FALLBACK_FANOUT);
@@ -501,7 +501,7 @@ impl SuperAsap {
 impl Protocol for SuperAsap {
     type Msg = SuperMsg;
 
-    fn on_init(&mut self, ctx: &mut Ctx<'_, SuperMsg>) {
+    fn on_init<C: Transport<Msg = SuperMsg>>(&mut self, ctx: &mut C) {
         self.assign_roles(ctx);
         self.initialized = true;
         // Stagger registrations like flat ASAP's warm-up wave.
@@ -509,13 +509,13 @@ impl Protocol for SuperAsap {
         for p in 0..ctx.num_peers() as u32 {
             let peer = PeerId(p);
             if ctx.alive(peer) {
-                let delay = ctx.rng.gen_range(0..stagger);
+                let delay = ctx.rng().gen_range(0..stagger);
                 ctx.set_timer(peer, delay, 0);
             }
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, SuperMsg>, node: PeerId, tag: u64) {
+    fn on_timer<C: Transport<Msg = SuperMsg>>(&mut self, ctx: &mut C, node: PeerId, tag: u64) {
         match tag {
             0 => {
                 self.register_with_home(ctx, node);
@@ -523,7 +523,7 @@ impl Protocol for SuperAsap {
                 // the hierarchy's analogue of flat ASAP's refresh rounds.
                 if self.is_super(node) {
                     let base = self.config.asap.refresh_interval_us;
-                    let jitter = ctx.rng.gen_range(0..base / 4 + 1);
+                    let jitter = ctx.rng().gen_range(0..base / 4 + 1);
                     ctx.set_timer(node, base + jitter, 1);
                 }
             }
@@ -537,13 +537,13 @@ impl Protocol for SuperAsap {
                     self.send_digest(ctx, node, Rc::from(entries.into_boxed_slice()));
                 }
                 let base = self.config.asap.refresh_interval_us;
-                let next = ctx.rng.gen_range(base - base / 4..=base + base / 4);
+                let next = ctx.rng().gen_range(base - base / 4..=base + base / 4);
                 ctx.set_timer(node, next, 1);
             }
         }
     }
 
-    fn on_query(&mut self, ctx: &mut Ctx<'_, SuperMsg>, q: &QuerySpec) {
+    fn on_query<C: Transport<Msg = SuperMsg>>(&mut self, ctx: &mut C, q: &QuerySpec) {
         let terms: Rc<[KeywordId]> = q.terms.clone().into();
         let home = self.live_home(ctx, q.requester);
         if home == q.requester {
@@ -564,14 +564,14 @@ impl Protocol for SuperAsap {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, SuperMsg>, to: PeerId, from: PeerId, msg: SuperMsg) {
+    fn on_message<C: Transport<Msg = SuperMsg>>(&mut self, ctx: &mut C, to: PeerId, from: PeerId, msg: SuperMsg) {
         match msg {
             SuperMsg::Register { snap } => self.accept_registration(ctx, to, snap),
             SuperMsg::Digest { entries, budget } => {
                 self.handle_digest(ctx, to, from, entries, budget)
             }
             SuperMsg::Fetch => {
-                let topics = ctx.content.peer_topics(ctx.model, to);
+                let topics = ctx.content().peer_topics(ctx.model(), to);
                 if topics.is_empty() {
                     return;
                 }
@@ -598,7 +598,7 @@ impl Protocol for SuperAsap {
                 requester,
                 terms,
             } => {
-                let results = ctx.content.matching_docs(ctx.model, to, &terms).count() as u32;
+                let results = ctx.content().matching_docs(ctx.model(), to, &terms).count() as u32;
                 ctx.send(
                     to,
                     requester,
@@ -679,20 +679,20 @@ impl Protocol for SuperAsap {
         }
     }
 
-    fn on_join(&mut self, ctx: &mut Ctx<'_, SuperMsg>, node: PeerId) {
+    fn on_join<C: Transport<Msg = SuperMsg>>(&mut self, ctx: &mut C, node: PeerId) {
         if self.initialized {
             self.register_with_home(ctx, node);
         }
     }
 
-    fn on_content_change(
+    fn on_content_change<C: Transport<Msg = SuperMsg>>(
         &mut self,
-        ctx: &mut Ctx<'_, SuperMsg>,
+        ctx: &mut C,
         peer: PeerId,
         doc: DocId,
         added: bool,
     ) {
-        let model = ctx.model;
+        let model = ctx.model();
         let st = &mut self.nodes[peer.index()];
         for kw in &model.doc(doc).keywords {
             let h = self.kw_hashes[kw.index()];

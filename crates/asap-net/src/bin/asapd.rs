@@ -1,0 +1,297 @@
+//! `asapd` — a minimal ASAP search daemon over the loopback runtime.
+//!
+//! Hosts a whole node population in one process (see
+//! [`asap_net::daemon`]), paced against the wall clock, and exposes a
+//! line-oriented control protocol on a Unix domain socket:
+//!
+//! ```text
+//! asapd --nodes 16 --socket /tmp/asapd.sock --algo flooding --speed 50
+//! printf 'stats\n' | nc -U /tmp/asapd.sock
+//! ```
+//!
+//! Commands: `peers`, `join <p>`, `leave <p>`, `advertise <p> [doc]`,
+//! `search <p> [doc]`, `query <id>`, `stats`, `quit`.
+//!
+//! `--demo` runs the end-to-end smoke sequence CI pins: spawn the daemon,
+//! connect as a client, join an offline node, advertise a document on it,
+//! search for that document from another node, and poll until the query
+//! resolves — all in a few wall seconds at the default `--speed`.
+
+#![allow(clippy::print_stdout)]
+
+use asap_core::{Asap, AsapConfig};
+use asap_net::daemon::{run_daemon, DaemonConfig};
+use asap_search::{Flooding, FloodingConfig, Gsa, GsaConfig, RandomWalk, RandomWalkConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::thread;
+use std::time::{Duration, Instant};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Algo {
+    Flooding,
+    RandomWalk,
+    Gsa,
+    AsapRw,
+}
+
+impl Algo {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "flooding" | "fld" => Some(Self::Flooding),
+            "random-walk" | "rw" => Some(Self::RandomWalk),
+            "gsa" => Some(Self::Gsa),
+            "asap" | "asap-rw" => Some(Self::AsapRw),
+            _ => None,
+        }
+    }
+}
+
+struct Opts {
+    cfg: DaemonConfig,
+    algo: Algo,
+    demo: bool,
+}
+
+const USAGE: &str = "usage: asapd [--nodes N] [--seed S] [--speed X] [--socket PATH] \
+                     [--algo flooding|random-walk|gsa|asap-rw] [--demo]";
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut opts = Opts {
+        cfg: DaemonConfig {
+            peers: 8,
+            seed: 1,
+            speed: 50,
+            socket: PathBuf::from("/tmp/asapd.sock"),
+        },
+        algo: Algo::Flooding,
+        demo: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match arg.as_str() {
+            "--nodes" => {
+                opts.cfg.peers = value("--nodes")?
+                    .parse()
+                    .map_err(|_| "--nodes: not a number".to_string())?;
+                if opts.cfg.peers < 4 {
+                    return Err("--nodes must be at least 4".into());
+                }
+            }
+            "--seed" => {
+                opts.cfg.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed: not a number".to_string())?;
+            }
+            "--speed" => {
+                opts.cfg.speed = value("--speed")?
+                    .parse()
+                    .map_err(|_| "--speed: not a number".to_string())?;
+            }
+            "--socket" => opts.cfg.socket = PathBuf::from(value("--socket")?),
+            "--algo" => {
+                let raw = value("--algo")?;
+                opts.algo = Algo::parse(&raw).ok_or_else(|| format!("unknown algo {raw}"))?;
+            }
+            "--demo" => opts.demo = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn serve(cfg: &DaemonConfig, algo: Algo) -> std::io::Result<()> {
+    match algo {
+        Algo::Flooding => run_daemon(cfg, |_| Flooding::new(FloodingConfig::default())),
+        Algo::RandomWalk => run_daemon(cfg, |_| RandomWalk::new(RandomWalkConfig::default())),
+        Algo::Gsa => run_daemon(cfg, |_| Gsa::new(GsaConfig::default())),
+        Algo::AsapRw => run_daemon(cfg, |model| Asap::new(AsapConfig::rw(), model)),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if opts.demo {
+        return demo(opts);
+    }
+    println!(
+        "asapd: {} nodes, algo {:?}, speed {}x, socket {}",
+        opts.cfg.peers,
+        opts.algo,
+        opts.cfg.speed,
+        opts.cfg.socket.display()
+    );
+    match serve(&opts.cfg, opts.algo) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("asapd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+// --- demo client ----------------------------------------------------------
+
+/// A line-oriented control client.
+struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    fn connect(path: &PathBuf, timeout: Duration) -> std::io::Result<Self> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match UnixStream::connect(path) {
+                Ok(stream) => {
+                    let writer = stream.try_clone()?;
+                    return Ok(Self {
+                        reader: BufReader::new(stream),
+                        writer,
+                    });
+                }
+                Err(e) if Instant::now() < deadline => {
+                    let _ = e;
+                    thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn roundtrip(&mut self, command: &str) -> std::io::Result<String> {
+        writeln!(self.writer, "{command}")?;
+        let mut line = String::new();
+        self.reader.read_line(&mut line)?;
+        Ok(line.trim_end().to_string())
+    }
+}
+
+/// Pull `key=value` out of an `ok ...` response line.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    line.split_whitespace()
+        .find_map(|w| w.strip_prefix(key).and_then(|rest| rest.strip_prefix('=')))
+}
+
+fn demo(opts: Opts) -> ExitCode {
+    let cfg = opts.cfg.clone();
+    let algo = opts.algo;
+    let daemon = thread::spawn(move || serve(&cfg, algo));
+    match run_demo(&opts) {
+        Ok(()) => {
+            // The quit command stops the daemon loop; join surfaces errors.
+            match daemon.join() {
+                Ok(Ok(())) => ExitCode::SUCCESS,
+                Ok(Err(e)) => {
+                    eprintln!("demo: daemon failed: {e}");
+                    ExitCode::FAILURE
+                }
+                Err(_) => {
+                    eprintln!("demo: daemon panicked");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Err(msg) => {
+            eprintln!("demo: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_demo(opts: &Opts) -> Result<(), String> {
+    let fail = |what: &str, e: std::io::Error| format!("{what}: {e}");
+    let mut client = Client::connect(&opts.cfg.socket, Duration::from_secs(5))
+        .map_err(|e| fail("connect", e))?;
+
+    // Where is everyone? Join the first offline node (the reduced workload
+    // always generates a couple of late joiners).
+    let peers = client.roundtrip("peers").map_err(|e| fail("peers", e))?;
+    let alive: Vec<u32> = field(&peers, "alive")
+        .unwrap_or("")
+        .split(',')
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    let offline: Vec<u32> = field(&peers, "offline")
+        .unwrap_or("")
+        .split(',')
+        .filter_map(|s| s.parse().ok())
+        .collect();
+    if alive.is_empty() {
+        return Err(format!("no live peers in: {peers}"));
+    }
+    // Exercise churn: join the first offline node, or cycle the last live
+    // one through leave → join when the trace left nobody offline.
+    let (publisher, join_cmds): (u32, Vec<String>) = match offline.first() {
+        Some(&p) => (p, vec![format!("join {p}")]),
+        None => {
+            let p = *alive.last().expect("nonempty");
+            (p, vec![format!("leave {p}"), format!("join {p}")])
+        }
+    };
+    for cmd in &join_cmds {
+        let r = client.roundtrip(cmd).map_err(|e| fail(cmd, e))?;
+        if !r.starts_with("ok") {
+            return Err(format!("{cmd} failed: {r}"));
+        }
+    }
+    println!("demo: node {publisher} (re)joined the overlay");
+
+    // Publish a fresh document on the (possibly just-joined) node...
+    let ad = client
+        .roundtrip(&format!("advertise {publisher}"))
+        .map_err(|e| fail("advertise", e))?;
+    let doc = field(&ad, "doc").ok_or_else(|| format!("advertise failed: {ad}"))?;
+    println!("demo: node {publisher} now shares doc {doc}");
+
+    // ...and search for it from a different node.
+    let requester = alive
+        .iter()
+        .find(|&&p| p != publisher)
+        .ok_or_else(|| "need two live peers".to_string())?;
+    // Search, then poll; an unanswered query is re-issued (ASAP needs its
+    // warmup ad wave to propagate before a search can route, and a failed
+    // query stays failed — retrying is the realistic client behavior).
+    let deadline = Instant::now() + Duration::from_secs(8);
+    let mut answered_id = None;
+    'attempts: while Instant::now() < deadline {
+        let sr = client
+            .roundtrip(&format!("search {requester} {doc}"))
+            .map_err(|e| fail("search", e))?;
+        let id = field(&sr, "id")
+            .ok_or_else(|| format!("search failed: {sr}"))?
+            .to_string();
+        println!("demo: node {requester} searching for doc {doc} (query {id})");
+        let attempt_ends = (Instant::now() + Duration::from_millis(1_500)).min(deadline);
+        while Instant::now() < attempt_ends {
+            let q = client
+                .roundtrip(&format!("query {id}"))
+                .map_err(|e| fail("query", e))?;
+            if q.starts_with("ok answered") {
+                answered_id = Some(id);
+                break 'attempts;
+            }
+            thread::sleep(Duration::from_millis(30));
+        }
+    }
+    let Some(id) = answered_id else {
+        return Err("no search attempt resolved before the deadline".to_string());
+    };
+    let stats = client.roundtrip("stats").map_err(|e| fail("stats", e))?;
+    println!("demo: query {id} answered; {stats}");
+    let _ = client.roundtrip("quit");
+    Ok(())
+}

@@ -1,0 +1,103 @@
+//! Monotonic wall-clock → virtual-time mapping for the daemon runtime.
+//!
+//! The deterministic backends (sim engine, loopback harness) advance a
+//! purely virtual clock event-by-event. The daemon instead *paces* the same
+//! virtual timeline against the OS monotonic clock: virtual microsecond `v`
+//! becomes due once `v / speed` wall microseconds have elapsed since start.
+//! `speed > 1` compresses the timeline (a 150 ms virtual latency passes in
+//! 150/speed ms of wall time), which is how the loopback demo resolves
+//! multi-second protocol timelines in well under ten wall seconds.
+//!
+//! The scaling arithmetic is a pure function ([`virtual_us`] /
+//! [`wall_wait_us`]) so its edge cases are unit-testable without touching
+//! ambient time; only [`VirtualClock`] itself reads the OS clock, and that
+//! read is the daemon's *documented* determinism boundary — nothing derived
+//! from it feeds a digest.
+
+// lint: allow(ambient-entropy, reason=the daemon runtime is the documented wall-clock boundary; nothing derived from this read feeds a digest)
+use std::time::{Duration, Instant};
+
+/// Scale `elapsed_us` wall microseconds into virtual microseconds at an
+/// integer `speed` factor (saturating; `speed` 0 is clamped to 1).
+pub fn virtual_us(elapsed_us: u64, speed: u32) -> u64 {
+    elapsed_us.saturating_mul(u64::from(speed.max(1)))
+}
+
+/// Wall microseconds still to wait until virtual instant `deadline_us`,
+/// given the current virtual time `now_us`. Returns 0 when already due.
+pub fn wall_wait_us(now_us: u64, deadline_us: u64, speed: u32) -> u64 {
+    let speed = u64::from(speed.max(1));
+    let gap = deadline_us.saturating_sub(now_us);
+    // Round up: sleeping one partial wall-µs short would busy-spin.
+    gap.div_ceil(speed)
+}
+
+/// A monotonic virtual clock anchored at construction time.
+#[derive(Debug, Clone)]
+pub struct VirtualClock {
+    // lint: allow(ambient-entropy, reason=the daemon runtime is the documented wall-clock boundary; nothing derived from this read feeds a digest)
+    start: Instant,
+    speed: u32,
+}
+
+impl VirtualClock {
+    /// Anchor the clock now. `speed` is the virtual-per-wall time factor
+    /// (0 is treated as 1).
+    pub fn new(speed: u32) -> Self {
+        Self {
+            // lint: allow(ambient-entropy, reason=the daemon runtime is the documented wall-clock boundary; nothing derived from this read feeds a digest)
+            start: Instant::now(),
+            speed: speed.max(1),
+        }
+    }
+
+    /// Current virtual time in microseconds since the anchor. Monotonic
+    /// (`Instant` is), saturating at `u64::MAX`.
+    pub fn now_us(&self) -> u64 {
+        // lint: allow(ambient-entropy, reason=the daemon runtime is the documented wall-clock boundary; nothing derived from this read feeds a digest)
+        let elapsed = self.start.elapsed();
+        let us = u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+        virtual_us(us, self.speed)
+    }
+
+    /// How long to sleep (wall time) until virtual `deadline_us` comes due.
+    pub fn wall_until(&self, deadline_us: u64) -> Duration {
+        Duration::from_micros(wall_wait_us(self.now_us(), deadline_us, self.speed))
+    }
+
+    /// The configured virtual-per-wall speed factor.
+    pub fn speed(&self) -> u32 {
+        self.speed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaling_is_linear_and_saturating() {
+        assert_eq!(virtual_us(100, 1), 100);
+        assert_eq!(virtual_us(100, 20), 2_000);
+        assert_eq!(virtual_us(u64::MAX, 2), u64::MAX);
+        assert_eq!(virtual_us(100, 0), 100, "speed 0 clamps to 1");
+    }
+
+    #[test]
+    fn wall_wait_rounds_up_and_floors_at_zero() {
+        assert_eq!(wall_wait_us(0, 1_000, 1), 1_000);
+        assert_eq!(wall_wait_us(0, 1_001, 20), 51, "rounds up, never spins");
+        assert_eq!(wall_wait_us(5_000, 1_000, 4), 0, "past deadlines are due");
+        assert_eq!(wall_wait_us(7, 7, 3), 0);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let clock = VirtualClock::new(50);
+        let a = clock.now_us();
+        let b = clock.now_us();
+        assert!(b >= a);
+        assert_eq!(clock.speed(), 50);
+        assert_eq!(VirtualClock::new(0).speed(), 1);
+    }
+}

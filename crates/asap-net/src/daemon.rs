@@ -1,0 +1,339 @@
+//! The `asapd` daemon runtime: one process hosting a whole loopback node
+//! population, paced by the wall clock and driven over a control socket.
+//!
+//! Where [`crate::loopback`] replays a pinned workload trace for digest
+//! equivalence, the daemon's "trace" arrives live: text commands on a Unix
+//! domain socket (`join`, `leave`, `advertise`, `search`, `query`, `stats`,
+//! `peers`, `quit`) mutate the same [`NetCtx`] world the loopback uses,
+//! through the same [`Transport`]-generic protocol hooks. Messages still
+//! cross the wire codec; delivery is still latency-scheduled on the virtual
+//! timeline — but virtual time is paced against the OS clock through a
+//! [`VirtualClock`], and protocol sends are staged in per-peer outbound
+//! queues drained after each callback.
+//!
+//! Two deliberate nondeterminism boundaries (and why the daemon makes no
+//! digest claim — see DESIGN.md §7):
+//!
+//! * **Wall-clock pacing.** Command arrival times, and therefore query
+//!   issue and send timestamps, come from [`VirtualClock::now_us`].
+//! * **Outbound drain order.** Same-instant deliveries are sequenced by
+//!   destination peer id at drain time, not by the protocol's send order.
+//!
+//! The control protocol is line-oriented: one command in, one `ok ...` or
+//! `err ...` line out, so `nc -U`/scripts can drive a node population
+//! interactively.
+
+use crate::clock::VirtualClock;
+use crate::loopback::NetCtx;
+use asap_overlay::{OverlayConfig, OverlayKind, PeerId};
+use asap_sim::event::EngineEvent;
+use asap_sim::{CheckpointProtocol, Transport};
+use asap_topology::{PhysicalNetwork, TransitStubConfig};
+use asap_trace::Event as TraceEvt;
+use asap_workload::{DocId, QuerySpec, WorkloadConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+/// How the daemon builds and paces its world.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Node population size (≥ 4; the reduced workload generator's floor).
+    pub peers: usize,
+    /// World seed: topology, overlay, content model, placement.
+    pub seed: u64,
+    /// Virtual-per-wall clock speed factor (see [`VirtualClock`]).
+    pub speed: u32,
+    /// Control-socket path; an existing file there is replaced.
+    pub socket: PathBuf,
+}
+
+/// Idle wait cap: how long the event loop blocks for a command when no
+/// queued event comes due sooner.
+const IDLE_WAIT: Duration = Duration::from_millis(50);
+
+/// Run a daemon until a `quit` command (or the listener dies). Owns the
+/// calling thread; the control listener runs on background threads. The
+/// protocol is built from the generated content model (ASAP's ad tables
+/// are model-sized), so callers pass a constructor, not an instance.
+pub fn run_daemon<P, F>(cfg: &DaemonConfig, make_protocol: F) -> std::io::Result<()>
+where
+    P: CheckpointProtocol,
+    F: FnOnce(&asap_workload::ContentModel) -> P,
+{
+    let phys = PhysicalNetwork::generate(&TransitStubConfig::reduced(cfg.seed));
+    // One scripted query satisfies the generator's floor; the trace is
+    // never preloaded — the operator *is* the trace.
+    let workload = asap_workload::generate(&WorkloadConfig::reduced(cfg.peers, 1, cfg.seed));
+    let overlay = OverlayConfig::new(OverlayKind::Random, cfg.peers, cfg.seed).build();
+    let protocol = make_protocol(&workload.model);
+    let mut ctx =
+        NetCtx::<P>::assemble(&phys, &workload, overlay, OverlayKind::Random, cfg.seed, false);
+    ctx.stage_outbound();
+
+    let _ = std::fs::remove_file(&cfg.socket);
+    let listener = UnixListener::bind(&cfg.socket)?;
+    let (cmd_tx, cmd_rx) = mpsc::channel::<(String, mpsc::Sender<String>)>();
+    thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(stream) = stream else { break };
+            let tx = cmd_tx.clone();
+            thread::spawn(move || serve_connection(stream, &tx));
+        }
+    });
+
+    let clock = VirtualClock::new(cfg.speed);
+    let mut daemon = Daemon {
+        ctx,
+        protocol,
+        next_query_id: 0,
+    };
+    daemon.protocol.on_init(&mut daemon.ctx);
+    daemon.ctx.drain_outbound();
+
+    loop {
+        daemon.dispatch_due(&clock);
+        let wait = match daemon.ctx.queue.peek_time() {
+            Some(t) => clock.wall_until(t).min(IDLE_WAIT),
+            None => IDLE_WAIT,
+        };
+        match cmd_rx.recv_timeout(wait) {
+            Ok((line, reply)) => {
+                daemon.ctx.now_us = daemon.ctx.now_us.max(clock.now_us());
+                let (response, quit) = daemon.handle_command(&line);
+                let _ = reply.send(response);
+                daemon.ctx.drain_outbound();
+                if quit {
+                    break;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    let _ = std::fs::remove_file(&cfg.socket);
+    Ok(())
+}
+
+/// One control connection: line in, line out, until EOF.
+fn serve_connection(stream: UnixStream, tx: &mpsc::Sender<(String, mpsc::Sender<String>)>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let (reply_tx, reply_rx) = mpsc::channel();
+        if tx.send((line, reply_tx)).is_err() {
+            break;
+        }
+        let Ok(response) = reply_rx.recv() else { break };
+        if writeln!(write_half, "{response}").is_err() {
+            break;
+        }
+    }
+}
+
+struct Daemon<'a, P: CheckpointProtocol> {
+    ctx: NetCtx<'a, P>,
+    protocol: P,
+    next_query_id: u32,
+}
+
+impl<'a, P: CheckpointProtocol> Daemon<'a, P> {
+    /// Dispatch every event whose virtual due time has passed, draining
+    /// staged sends after each callback.
+    fn dispatch_due(&mut self, clock: &VirtualClock) {
+        loop {
+            let now_v = clock.now_us();
+            let Some(t) = self.ctx.queue.peek_time() else {
+                return;
+            };
+            if t > now_v {
+                return;
+            }
+            let Some(sched) = self.ctx.queue.pop() else {
+                return;
+            };
+            // Late events (due before a command bumped the clock) keep the
+            // timeline monotonic rather than exact — wall pacing, not
+            // virtual replay.
+            self.ctx.now_us = self.ctx.now_us.max(sched.time_us);
+            match sched.event {
+                EngineEvent::Deliver { to, from, msg, dup } => {
+                    let delivered = self.ctx.alive[to.index()];
+                    self.ctx
+                        .trace(|| TraceEvt::Deliver { to, from, delivered, dup });
+                    if delivered {
+                        match crate::wire::decode_frame_exact::<P>(&msg) {
+                            Ok(frame) => {
+                                self.protocol.on_message(&mut self.ctx, to, from, frame.msg)
+                            }
+                            Err(_) => self.ctx.wire_errors += 1,
+                        }
+                    }
+                }
+                EngineEvent::Timer { node, tag } => {
+                    let fired = self.ctx.alive[node.index()];
+                    self.ctx.trace(|| TraceEvt::TimerFired { node, tag, fired });
+                    if fired {
+                        self.protocol.on_timer(&mut self.ctx, node, tag);
+                    }
+                }
+                // The daemon never preloads a trace; nothing schedules this.
+                EngineEvent::Trace(_) => {}
+            }
+            self.ctx.drain_outbound();
+        }
+    }
+
+    /// Execute one control command; returns `(response_line, quit)`.
+    fn handle_command(&mut self, line: &str) -> (String, bool) {
+        let mut words = line.split_whitespace();
+        let verb = words.next().unwrap_or("");
+        let args: Vec<&str> = words.collect();
+        let response = match verb {
+            "stats" => Ok(format!(
+                "ok now_us={} alive={} sent={} answered={}/{}",
+                self.ctx.now_us,
+                self.ctx.alive_count,
+                self.ctx.messages_sent,
+                self.ctx.ledger.num_succeeded(),
+                self.ctx.ledger.num_queries(),
+            )),
+            "peers" => Ok(self.peers_line()),
+            "join" => self.parse_peer(&args, 0).map(|p| {
+                if self.ctx.apply_join(p) {
+                    self.protocol.on_join(&mut self.ctx, p);
+                    format!("ok join peer={}", p.0)
+                } else {
+                    format!("err peer {} already alive", p.0)
+                }
+            }),
+            "leave" => self.parse_peer(&args, 0).map(|p| {
+                if self.ctx.apply_leave(p) {
+                    self.protocol.on_leave(&mut self.ctx, p);
+                    format!("ok leave peer={}", p.0)
+                } else {
+                    format!("err peer {} already offline", p.0)
+                }
+            }),
+            "advertise" => self.cmd_advertise(&args),
+            "search" => self.cmd_search(&args),
+            "query" => match args.first().and_then(|s| s.parse::<u32>().ok()) {
+                Some(id) => Ok(if self.ctx.ledger.is_answered(id) {
+                    format!("ok answered id={id}")
+                } else {
+                    format!("ok pending id={id}")
+                }),
+                None => Err("usage: query <id>".to_string()),
+            },
+            "quit" => return ("ok bye".to_string(), true),
+            "" => Err("empty command".to_string()),
+            other => Err(format!("unknown command {other}")),
+        };
+        match response {
+            Ok(line) => (line, false),
+            Err(e) => (format!("err {e}"), false),
+        }
+    }
+
+    fn peers_line(&self) -> String {
+        let mut alive = String::new();
+        let mut offline = String::new();
+        for i in 0..self.ctx.alive.len() {
+            let slot = if self.ctx.alive[i] {
+                &mut alive
+            } else {
+                &mut offline
+            };
+            if !slot.is_empty() {
+                slot.push(',');
+            }
+            slot.push_str(&i.to_string());
+        }
+        format!("ok alive={alive} offline={offline}")
+    }
+
+    fn parse_peer(&self, args: &[&str], idx: usize) -> Result<PeerId, String> {
+        let raw = args
+            .get(idx)
+            .ok_or_else(|| "missing peer id".to_string())?;
+        let id: u32 = raw.parse().map_err(|_| format!("bad peer id {raw}"))?;
+        if (id as usize) < self.ctx.alive.len() {
+            Ok(PeerId(id))
+        } else {
+            Err(format!("peer {id} out of range"))
+        }
+    }
+
+    /// `advertise <peer> [<doc>]` — share a document (default: the first
+    /// one the peer does not hold yet) and run the protocol's
+    /// content-change hook, exactly like a trace `AddDocument`.
+    fn cmd_advertise(&mut self, args: &[&str]) -> Result<String, String> {
+        let peer = self.parse_peer(args, 0)?;
+        if !self.ctx.alive[peer.index()] {
+            return Err(format!("peer {} is offline", peer.0));
+        }
+        let doc = match args.get(1) {
+            Some(raw) => self.parse_doc(raw)?,
+            None => (0..self.ctx.model.num_docs() as u32)
+                .map(DocId)
+                .find(|&d| !self.ctx.content.peer_has_doc(peer, d))
+                .ok_or_else(|| "peer already holds every document".to_string())?,
+        };
+        if self.ctx.apply_content(peer, doc, true) {
+            self.protocol.on_content_change(&mut self.ctx, peer, doc, true);
+            Ok(format!("ok advertise peer={} doc={}", peer.0, doc.0))
+        } else {
+            Err(format!("peer {} already holds doc {}", peer.0, doc.0))
+        }
+    }
+
+    /// `search <peer> [<doc>]` — issue a query for a target document
+    /// (default: the lowest-id document some *other* live peer holds),
+    /// with the document's own keywords as the conjunctive terms.
+    fn cmd_search(&mut self, args: &[&str]) -> Result<String, String> {
+        let requester = self.parse_peer(args, 0)?;
+        if !self.ctx.alive[requester.index()] {
+            return Err(format!("peer {} is offline", requester.0));
+        }
+        let target = match args.get(1) {
+            Some(raw) => self.parse_doc(raw)?,
+            None => (0..self.ctx.model.num_docs() as u32)
+                .map(DocId)
+                .find(|&d| {
+                    self.ctx
+                        .content
+                        .holders(d)
+                        .iter()
+                        .any(|&h| h != requester && self.ctx.alive[h.index()])
+                })
+                .ok_or_else(|| "no live remote holder of any document".to_string())?,
+        };
+        let id = self.next_query_id;
+        self.next_query_id += 1;
+        let spec = QuerySpec {
+            id,
+            requester,
+            terms: self.ctx.model.doc(target).keywords.clone(),
+            target,
+        };
+        self.ctx.register_query(&spec);
+        self.protocol.on_query(&mut self.ctx, &spec);
+        Ok(format!("ok search id={id} target={}", target.0))
+    }
+
+    fn parse_doc(&self, raw: &str) -> Result<DocId, String> {
+        let id: u32 = raw.parse().map_err(|_| format!("bad doc id {raw}"))?;
+        if (id as usize) < self.ctx.model.num_docs() {
+            Ok(DocId(id))
+        } else {
+            Err(format!("doc {id} out of range"))
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! Wire-crossing runtimes for the ASAP protocol stack.
+//!
+//! The protocol crates (`asap-search`, `asap-core`) are written against the
+//! [`asap_sim::Transport`] capability trait, never against the sim engine
+//! itself. This crate supplies the *other* side of that seam:
+//!
+//! * [`wire`] — length-prefixed, checksummed framing over the protocols'
+//!   canonical checkpoint codecs; no per-protocol wire code.
+//! * [`loopback`] — a deterministic many-node in-process runtime whose
+//!   event queue carries encoded frames. It mirrors the sim engine's
+//!   scheduling exactly, so replaying a pinned workload through both
+//!   backends and comparing backend-tagged lifecycle digests
+//!   ([`asap_trace::LifecycleDigest`]) proves the API redesign preserved
+//!   protocol behavior *through serialization*.
+//! * [`clock`] — the monotonic wall→virtual clock mapping.
+//! * [`daemon`] — the `asapd` runtime: the same world paced by the wall
+//!   clock, driven over a Unix-socket control protocol, with per-peer
+//!   outbound queues. Deliberately nondeterministic at two documented
+//!   boundaries (pacing, drain order); it makes no digest claim.
+//!
+//! Determinism policy: lint rules R1–R5 apply to this crate. The wall
+//! clock reads in [`clock`] are the single sanctioned ambient-time
+//! boundary, pragma'd at each site.
+
+pub mod clock;
+pub mod daemon;
+pub mod loopback;
+pub mod wire;
+
+pub use clock::VirtualClock;
+pub use daemon::{run_daemon, DaemonConfig};
+pub use loopback::{Loopback, NetReport};
+pub use wire::{Frame, WireError, MAX_FRAME};

@@ -1,0 +1,129 @@
+//! Sim≡net: the loopback runtime replays a workload to the same lifecycle
+//! digest as the sim engine, for every protocol family.
+//!
+//! This is the tentpole invariant of the transport-trait redesign: the
+//! same monomorphized protocol state machine runs on both backends, with
+//! the wire codec load-bearing only on the net side. Equal backend-tagged
+//! [`LifecycleDigest`]s over a full replay prove (a) the `Transport`
+//! extraction preserved engine semantics and (b) encode→decode on every
+//! single delivered message is behaviorally invisible.
+//!
+//! The tiny-scale pinned matrix lives in `asap-bench` (`simnet` bin,
+//! `golden/simnet_tiny.txt`); this tier keeps a fast in-tree witness.
+
+use asap_core::{Asap, AsapConfig};
+use asap_net::Loopback;
+use asap_overlay::{OverlayConfig, OverlayKind};
+use asap_search::{Flooding, FloodingConfig, Gsa, GsaConfig, RandomWalk, RandomWalkConfig};
+use asap_sim::{CheckpointProtocol, Simulation};
+use asap_topology::{PhysicalNetwork, TransitStubConfig};
+use asap_trace::{Backend, DigestSink, LifecycleDigest, TraceSink};
+use asap_workload::{Workload, WorkloadConfig};
+
+const PEERS: usize = 120;
+const QUERIES: usize = 150;
+const SEED: u64 = 11;
+
+fn world() -> (PhysicalNetwork, Workload) {
+    let phys = PhysicalNetwork::generate(&TransitStubConfig::reduced(SEED));
+    let workload = asap_workload::generate(&WorkloadConfig::reduced(PEERS, QUERIES, SEED));
+    (phys, workload)
+}
+
+fn overlay() -> asap_overlay::Overlay {
+    OverlayConfig::new(OverlayKind::Random, PEERS, SEED).build()
+}
+
+fn digest_of(sink: Box<dyn TraceSink>) -> LifecycleDigest {
+    sink.into_any()
+        .downcast::<DigestSink>()
+        .expect("digest sink comes back out")
+        .digest()
+}
+
+/// Run one protocol on both backends; assert digest and metric equality.
+fn assert_equivalent<P: CheckpointProtocol>(label: &str, sim_proto: P, net_proto: P) {
+    let (phys, workload) = world();
+
+    let sim = Simulation::builder(
+        &phys,
+        &workload,
+        overlay(),
+        OverlayKind::Random,
+        sim_proto,
+        SEED,
+    )
+    .trace(Box::new(DigestSink::new(Backend::Sim)))
+    .run();
+    let net = Loopback::new(
+        &phys,
+        &workload,
+        overlay(),
+        OverlayKind::Random,
+        net_proto,
+        SEED,
+    )
+    .trace(Box::new(DigestSink::new(Backend::Net)))
+    .run();
+
+    assert_eq!(net.wire_errors, 0, "{label}: frames failed to decode");
+    let ds = digest_of(sim.trace.expect("sim sink"));
+    let dn = digest_of(net.trace.expect("net sink"));
+    assert_eq!(ds.backend(), Backend::Sim);
+    assert_eq!(dn.backend(), Backend::Net);
+    assert_eq!(
+        ds.count(),
+        dn.count(),
+        "{label}: lifecycle event counts diverge"
+    );
+    assert_eq!(
+        ds.value(),
+        dn.value(),
+        "{label}: sim and net lifecycle digests diverge"
+    );
+    // The digest already covers sends/deliveries/answers; cross-check the
+    // headline metrics directly for a readable failure mode.
+    assert_eq!(sim.messages_sent, net.messages_sent, "{label}");
+    assert_eq!(sim.end_time_us, net.end_time_us, "{label}");
+    assert_eq!(
+        sim.ledger.num_succeeded(),
+        net.ledger.num_succeeded(),
+        "{label}"
+    );
+    assert_eq!(sim.load.total_bytes(), net.load.total_bytes(), "{label}");
+    assert_eq!(sim.alive, net.alive, "{label}");
+}
+
+#[test]
+fn flooding_replays_identically_on_both_backends() {
+    assert_equivalent(
+        "flooding",
+        Flooding::new(FloodingConfig::default()),
+        Flooding::new(FloodingConfig::default()),
+    );
+}
+
+#[test]
+fn random_walk_replays_identically_on_both_backends() {
+    assert_equivalent(
+        "random-walk",
+        RandomWalk::new(RandomWalkConfig::default()),
+        RandomWalk::new(RandomWalkConfig::default()),
+    );
+}
+
+#[test]
+fn gsa_replays_identically_on_both_backends() {
+    assert_equivalent(
+        "gsa",
+        Gsa::new(GsaConfig::default()),
+        Gsa::new(GsaConfig::default()),
+    );
+}
+
+#[test]
+fn asap_rw_replays_identically_on_both_backends() {
+    let (_, workload) = world();
+    let make = || Asap::new(AsapConfig::rw(), &workload.model);
+    assert_equivalent("asap-rw", make(), make());
+}

@@ -3,7 +3,7 @@
 use asap_metrics::MsgClass;
 use asap_overlay::PeerId;
 use asap_sim::util::Backoff;
-use asap_sim::{query_hit_size, Ctx};
+use asap_sim::{query_hit_size, Transport};
 use asap_workload::KeywordId;
 use std::rc::Rc;
 
@@ -38,19 +38,19 @@ pub enum BaselineMsg {
 
 /// If `node` shares a matching document, send a hit to the requester.
 /// Returns `true` on a match.
-pub fn reply_if_match(
-    ctx: &mut Ctx<'_, BaselineMsg>,
+pub fn reply_if_match<C: Transport<Msg = BaselineMsg>>(
+    ctx: &mut C,
     node: PeerId,
     requester: PeerId,
     query: u32,
     terms: &[KeywordId],
 ) -> bool {
-    if node == requester || !ctx.content.peer_matches(ctx.model, node, terms) {
+    if node == requester || !ctx.content().peer_matches(ctx.model(), node, terms) {
         return false;
     }
     let results = ctx
-        .content
-        .matching_docs(ctx.model, node, terms)
+        .content()
+        .matching_docs(ctx.model(), node, terms)
         .count()
         .max(1) as u32;
     ctx.send(
@@ -64,7 +64,7 @@ pub fn reply_if_match(
 }
 
 /// The requester-side hit handler: record the answer.
-pub fn absorb_hit(ctx: &mut Ctx<'_, BaselineMsg>, query: u32) {
+pub fn absorb_hit<C: Transport<Msg = BaselineMsg>>(ctx: &mut C, query: u32) {
     ctx.report_answer(query);
 }
 

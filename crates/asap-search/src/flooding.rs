@@ -8,7 +8,7 @@ use crate::common::{absorb_hit, reply_if_match, BaselineMsg, Retransmit, Retrans
 use asap_metrics::{MsgClass, RetryStat};
 use asap_overlay::PeerId;
 use asap_sim::collections::DetHashMap;
-use asap_sim::{query_size, Ctx, Protocol};
+use asap_sim::{query_size, Protocol, Transport};
 use asap_workload::{KeywordId, QuerySpec};
 use std::rc::Rc;
 
@@ -57,8 +57,8 @@ impl Flooding {
         }
     }
 
-    fn fan_out(
-        ctx: &mut Ctx<'_, BaselineMsg>,
+    fn fan_out<C: Transport<Msg = BaselineMsg>>(
+        ctx: &mut C,
         node: PeerId,
         exclude: Option<PeerId>,
         query: u32,
@@ -108,7 +108,7 @@ impl Flooding {
 impl Protocol for Flooding {
     type Msg = BaselineMsg;
 
-    fn on_query(&mut self, ctx: &mut Ctx<'_, BaselineMsg>, q: &QuerySpec) {
+    fn on_query<C: Transport<Msg = BaselineMsg>>(&mut self, ctx: &mut C, q: &QuerySpec) {
         let terms: Rc<[KeywordId]> = q.terms.clone().into();
         // The requester is marked visited so reflected floods die instantly.
         self.seen.first_visit(q.id, q.requester);
@@ -126,7 +126,13 @@ impl Protocol for Flooding {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, BaselineMsg>, to: PeerId, from: PeerId, msg: BaselineMsg) {
+    fn on_message<C: Transport<Msg = BaselineMsg>>(
+        &mut self,
+        ctx: &mut C,
+        to: PeerId,
+        from: PeerId,
+        msg: BaselineMsg,
+    ) {
         match msg {
             BaselineMsg::Flood {
                 query,
@@ -148,7 +154,7 @@ impl Protocol for Flooding {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, BaselineMsg>, node: PeerId, tag: u64) {
+    fn on_timer<C: Transport<Msg = BaselineMsg>>(&mut self, ctx: &mut C, node: PeerId, tag: u64) {
         let query = tag as u32;
         let Some(state) = self.retrans.get_mut(&query) else {
             return;
@@ -156,7 +162,7 @@ impl Protocol for Flooding {
         if state.requester != node {
             return;
         }
-        if ctx.ledger.is_answered(query) {
+        if ctx.is_answered(query) {
             self.retrans.remove(&query);
             return;
         }
@@ -178,14 +184,14 @@ impl Protocol for Flooding {
         }
     }
 
-    fn on_leave(&mut self, _ctx: &mut Ctx<'_, BaselineMsg>, node: PeerId) {
+    fn on_leave<C: Transport<Msg = BaselineMsg>>(&mut self, _ctx: &mut C, node: PeerId) {
         // Abandon retransmission of searches the leaving node was running.
         self.retrans.retain(|_, s| s.requester != node);
     }
 
     /// Flooding's only cross-event state is the duplicate-suppression
     /// tracker, whose live-key count must respect its configured window.
-    fn audit_invariants(&self, _ctx: &Ctx<'_, BaselineMsg>) -> Vec<String> {
+    fn audit_invariants<C: Transport<Msg = BaselineMsg>>(&self, _ctx: &C) -> Vec<String> {
         let mut violations = Vec::new();
         if self.seen.tracked_queries() > self.config.seen_window {
             violations.push(format!(

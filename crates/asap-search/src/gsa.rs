@@ -12,7 +12,7 @@
 use crate::common::{absorb_hit, reply_if_match, BaselineMsg};
 use asap_metrics::MsgClass;
 use asap_overlay::PeerId;
-use asap_sim::{query_size, Ctx, Protocol};
+use asap_sim::{query_size, Protocol, Transport};
 use asap_workload::{KeywordId, QuerySpec};
 use rand::seq::SliceRandom;
 use std::rc::Rc;
@@ -52,9 +52,9 @@ impl Gsa {
     /// neighbors (one, once the budget is walk-sized), sending each probe
     /// with an equal share of what remains after paying for the sends.
     #[allow(clippy::too_many_arguments)]
-    fn disperse(
+    fn disperse<C: Transport<Msg = BaselineMsg>>(
         &self,
-        ctx: &mut Ctx<'_, BaselineMsg>,
+        ctx: &mut C,
         node: PeerId,
         exclude: Option<PeerId>,
         query: u32,
@@ -87,7 +87,7 @@ impl Gsa {
         } else {
             self.config.branch.min(nbrs.len())
         };
-        nbrs.shuffle(&mut ctx.rng);
+        nbrs.shuffle(ctx.rng());
         nbrs.truncate(fan);
         let fan = nbrs.len() as u32;
         ctx.trace(|| asap_sim::trace::Event::GsaDisperse {
@@ -122,13 +122,19 @@ impl Gsa {
 impl Protocol for Gsa {
     type Msg = BaselineMsg;
 
-    fn on_query(&mut self, ctx: &mut Ctx<'_, BaselineMsg>, q: &QuerySpec) {
+    fn on_query<C: Transport<Msg = BaselineMsg>>(&mut self, ctx: &mut C, q: &QuerySpec) {
         let terms: Rc<[KeywordId]> = q.terms.clone().into();
         // The initial dispersal pays for itself out of the query budget.
         self.disperse(ctx, q.requester, None, q.id, q.requester, &terms, self.config.budget);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, BaselineMsg>, to: PeerId, from: PeerId, msg: BaselineMsg) {
+    fn on_message<C: Transport<Msg = BaselineMsg>>(
+        &mut self,
+        ctx: &mut C,
+        to: PeerId,
+        from: PeerId,
+        msg: BaselineMsg,
+    ) {
         match msg {
             BaselineMsg::Gsa {
                 query,

@@ -9,7 +9,7 @@ use crate::common::{absorb_hit, reply_if_match, BaselineMsg, Retransmit, Retrans
 use asap_metrics::{MsgClass, RetryStat};
 use asap_overlay::PeerId;
 use asap_sim::collections::DetHashMap;
-use asap_sim::{query_size, Ctx, Protocol};
+use asap_sim::{query_size, Protocol, Transport};
 use asap_workload::{KeywordId, QuerySpec};
 use rand::Rng;
 use std::rc::Rc;
@@ -60,8 +60,8 @@ impl RandomWalk {
 
     /// Forward a walker one step: uniform neighbor, avoiding the node we
     /// just came from unless it is the only option.
-    fn step(
-        ctx: &mut Ctx<'_, BaselineMsg>,
+    fn step<C: Transport<Msg = BaselineMsg>>(
+        ctx: &mut C,
         node: PeerId,
         came_from: Option<PeerId>,
         query: u32,
@@ -77,7 +77,7 @@ impl RandomWalk {
             ctx.neighbors(node)[0]
         } else {
             loop {
-                let i = ctx.rng.gen_range(0..degree);
+                let i = ctx.rng().gen_range(0..degree);
                 let cand = ctx.neighbors(node)[i];
                 if Some(cand) != came_from {
                     break cand;
@@ -107,7 +107,7 @@ impl RandomWalk {
 impl Protocol for RandomWalk {
     type Msg = BaselineMsg;
 
-    fn on_query(&mut self, ctx: &mut Ctx<'_, BaselineMsg>, q: &QuerySpec) {
+    fn on_query<C: Transport<Msg = BaselineMsg>>(&mut self, ctx: &mut C, q: &QuerySpec) {
         let terms: Rc<[KeywordId]> = q.terms.clone().into();
         for _ in 0..self.config.walkers {
             Self::step(ctx, q.requester, None, q.id, q.requester, &terms, self.config.ttl);
@@ -125,7 +125,13 @@ impl Protocol for RandomWalk {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, BaselineMsg>, to: PeerId, from: PeerId, msg: BaselineMsg) {
+    fn on_message<C: Transport<Msg = BaselineMsg>>(
+        &mut self,
+        ctx: &mut C,
+        to: PeerId,
+        from: PeerId,
+        msg: BaselineMsg,
+    ) {
         match msg {
             BaselineMsg::Walk {
                 query,
@@ -143,7 +149,7 @@ impl Protocol for RandomWalk {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, BaselineMsg>, node: PeerId, tag: u64) {
+    fn on_timer<C: Transport<Msg = BaselineMsg>>(&mut self, ctx: &mut C, node: PeerId, tag: u64) {
         let query = tag as u32;
         let Some(state) = self.retrans.get_mut(&query) else {
             return;
@@ -151,7 +157,7 @@ impl Protocol for RandomWalk {
         if state.requester != node {
             return;
         }
-        if ctx.ledger.is_answered(query) {
+        if ctx.is_answered(query) {
             self.retrans.remove(&query);
             return;
         }
@@ -174,7 +180,7 @@ impl Protocol for RandomWalk {
         }
     }
 
-    fn on_leave(&mut self, _ctx: &mut Ctx<'_, BaselineMsg>, node: PeerId) {
+    fn on_leave<C: Transport<Msg = BaselineMsg>>(&mut self, _ctx: &mut C, node: PeerId) {
         // Abandon retransmission of searches the leaving node was running.
         self.retrans.retain(|_, s| s.requester != node);
     }

@@ -231,7 +231,7 @@ impl SimAuditor {
     }
 
     /// Serialize the full auditor state in checkpoint field order (see
-    /// DESIGN.md §7): config, violation ledger, counters, digest word, last
+    /// DESIGN.md §8): config, violation ledger, counters, digest word, last
     /// dispatch key, liveness mirror, per-class accounting, robustness and
     /// fault/adversary mirrors.
     pub(crate) fn encode_checkpoint(&self, enc: &mut crate::checkpoint::Encoder) {

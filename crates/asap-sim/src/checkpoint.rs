@@ -2,7 +2,7 @@
 //! timestamp and continue bit-identically.
 //!
 //! The codec is a hand-rolled, versioned, fixed-field-order binary format
-//! (little-endian, no external serialization dependency — see DESIGN.md §7
+//! (little-endian, no external serialization dependency — see DESIGN.md §8
 //! for the field-order specification). Everything behavior-relevant is
 //! captured: the event queue with uncollected tombstones, overlay adjacency
 //! verbatim (neighbor order is `swap_remove` history), content holdings and

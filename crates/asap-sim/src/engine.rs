@@ -4,6 +4,7 @@ use crate::adversary::{AdversaryPlan, AdversaryState, AdversaryStats};
 use crate::audit::{AuditConfig, AuditReport, SimAuditor};
 use crate::event::{EngineEvent, EventHandle, EventQueue, QueueBackend};
 use crate::fault::{FaultDecision, FaultPlan, FaultState, FaultStats};
+use crate::transport::{ScratchGuard, ScratchSlot, Transport};
 use asap_metrics::{LoadRecorder, MsgClass, QueryLedger, RetryCounters, RetryStat};
 use asap_overlay::{Overlay, OverlayKind, PeerId};
 use asap_topology::{PhysNodeId, PhysicalNetwork};
@@ -11,46 +12,58 @@ use asap_trace::{Event as TraceEvt, TraceSink};
 use asap_workload::{ContentModel, ContentState, DocId, QuerySpec, TraceEvent, Workload};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
-use std::ops::{Deref, DerefMut};
-use std::rc::Rc;
 
-/// A search algorithm under test. The engine owns the world (overlay,
+/// A search algorithm under test. The backend owns the world (overlay,
 /// liveness, content, clock); the protocol owns its own per-node state and
-/// reacts to events through these hooks.
+/// reacts to events through these hooks. Every hook is generic over the
+/// [`Transport`] it runs against, so the same monomorphized state machine
+/// drives the deterministic sim engine and `asap-net`'s wire-crossing
+/// runtimes alike.
 pub trait Protocol {
     /// Protocol-specific message payload.
-    type Msg;
+    type Msg: Clone;
 
     /// Called once at time 0, before any trace event — e.g. ASAP's initial
     /// ad delivery wave.
-    fn on_init(&mut self, ctx: &mut Ctx<'_, Self::Msg>) {
+    fn on_init<C: Transport<Msg = Self::Msg>>(&mut self, ctx: &mut C) {
         let _ = ctx;
     }
 
     /// A search request issued at `ctx.now_us()` by `query.requester`.
-    fn on_query(&mut self, ctx: &mut Ctx<'_, Self::Msg>, query: &QuerySpec);
+    fn on_query<C: Transport<Msg = Self::Msg>>(&mut self, ctx: &mut C, query: &QuerySpec);
 
     /// A message delivered to live node `to`.
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg>, to: PeerId, from: PeerId, msg: Self::Msg);
+    fn on_message<C: Transport<Msg = Self::Msg>>(
+        &mut self,
+        ctx: &mut C,
+        to: PeerId,
+        from: PeerId,
+        msg: Self::Msg,
+    );
 
-    /// A timer set via [`Ctx::set_timer`] fired at live node `node`.
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg>, node: PeerId, tag: u64) {
+    /// A timer set via [`Transport::set_timer`] fired at live node `node`.
+    fn on_timer<C: Transport<Msg = Self::Msg>>(&mut self, ctx: &mut C, node: PeerId, tag: u64) {
         let _ = (ctx, node, tag);
     }
 
     /// `node` joined (overlay already re-attached).
-    fn on_join(&mut self, ctx: &mut Ctx<'_, Self::Msg>, node: PeerId) {
+    fn on_join<C: Transport<Msg = Self::Msg>>(&mut self, ctx: &mut C, node: PeerId) {
         let _ = (ctx, node);
     }
 
     /// `node` departed (overlay already detached).
-    fn on_leave(&mut self, ctx: &mut Ctx<'_, Self::Msg>, node: PeerId) {
+    fn on_leave<C: Transport<Msg = Self::Msg>>(&mut self, ctx: &mut C, node: PeerId) {
         let _ = (ctx, node);
     }
 
     /// `peer`'s shared content changed (state already updated).
-    fn on_content_change(&mut self, ctx: &mut Ctx<'_, Self::Msg>, peer: PeerId, doc: DocId, added: bool) {
+    fn on_content_change<C: Transport<Msg = Self::Msg>>(
+        &mut self,
+        ctx: &mut C,
+        peer: PeerId,
+        doc: DocId,
+        added: bool,
+    ) {
         let _ = (ctx, peer, doc, added);
     }
 
@@ -58,7 +71,7 @@ pub trait Protocol {
     /// **audited** run (never on unaudited runs). Return one message per
     /// violated protocol invariant; they land in the
     /// [`AuditReport`](crate::audit::AuditReport) beside the engine's own.
-    fn audit_invariants(&self, ctx: &Ctx<'_, Self::Msg>) -> Vec<String> {
+    fn audit_invariants<C: Transport<Msg = Self::Msg>>(&self, ctx: &C) -> Vec<String> {
         let _ = ctx;
         Vec::new()
     }
@@ -80,7 +93,7 @@ pub struct Ctx<'a, M> {
     /// Reusable per-event buffer slot (see [`Ctx::scratch`]). Shared with
     /// outstanding [`ScratchGuard`]s so the guard can return capacity on
     /// drop while the protocol keeps using `ctx`.
-    pub(crate) scratch: Rc<RefCell<Vec<PeerId>>>,
+    pub(crate) scratch: ScratchSlot,
     /// Evolving shared-content state.
     pub content: ContentState,
     /// The static content model (documents, interests, vocabulary).
@@ -138,34 +151,6 @@ pub struct EngineProfile {
     pub past_horizon: u64,
 }
 
-/// RAII scratch-buffer lease (see [`Ctx::scratch`]): derefs to the
-/// `Vec<PeerId>`, and hands the capacity back to the engine on drop. Unlike
-/// the deprecated `take_scratch`/`put_scratch` pair, an early return can't
-/// leak the buffer.
-pub struct ScratchGuard {
-    slot: Rc<RefCell<Vec<PeerId>>>,
-    buf: Vec<PeerId>,
-}
-
-impl Deref for ScratchGuard {
-    type Target = Vec<PeerId>;
-    fn deref(&self) -> &Vec<PeerId> {
-        &self.buf
-    }
-}
-
-impl DerefMut for ScratchGuard {
-    fn deref_mut(&mut self) -> &mut Vec<PeerId> {
-        &mut self.buf
-    }
-}
-
-impl Drop for ScratchGuard {
-    fn drop(&mut self) {
-        *self.slot.borrow_mut() = std::mem::take(&mut self.buf);
-    }
-}
-
 impl<'a, M> Ctx<'a, M> {
     /// Current simulation time, µs.
     #[inline]
@@ -198,27 +183,7 @@ impl<'a, M> Ctx<'a, M> {
     /// returns to the engine automatically when the guard drops, so early
     /// returns can't leak it.
     pub fn scratch(&mut self) -> ScratchGuard {
-        let mut buf = std::mem::take(&mut *self.scratch.borrow_mut());
-        buf.clear();
-        ScratchGuard {
-            slot: Rc::clone(&self.scratch),
-            buf,
-        }
-    }
-
-    /// Borrow the engine's reusable scratch buffer (cleared).
-    #[deprecated(note = "use Ctx::scratch, which returns the buffer on drop")]
-    pub fn take_scratch(&mut self) -> Vec<PeerId> {
-        let mut buf = std::mem::take(&mut *self.scratch.borrow_mut());
-        buf.clear();
-        buf
-    }
-
-    /// Hand the scratch buffer back (capacity is kept; contents are cleared
-    /// on the next lease).
-    #[deprecated(note = "use Ctx::scratch, which returns the buffer on drop")]
-    pub fn put_scratch(&mut self, buf: Vec<PeerId>) {
-        *self.scratch.borrow_mut() = buf;
+        self.scratch.lease()
     }
 
     #[inline]
@@ -237,7 +202,7 @@ impl<'a, M> Ctx<'a, M> {
     /// consumed the bandwidth), delivery is scheduled after the network
     /// latency, and messages reaching a dead node are dropped there.
     ///
-    /// With a fault layer attached ([`Simulation::with_faults`]) the message
+    /// With a fault layer attached ([`SimBuilder::faults`]) the message
     /// may additionally be dropped, jittered, or duplicated *after* the
     /// bytes are charged — the sender paid for the transmission either way,
     /// so the byte-reconciliation invariant is untouched by faults.
@@ -404,6 +369,108 @@ impl<'a, M> Ctx<'a, M> {
     }
 }
 
+/// The sim engine is the reference [`Transport`]: every method delegates to
+/// the inherent `Ctx` method (or field) protocols used to touch directly,
+/// so the split is behaviorally invisible — the golden digests prove it.
+impl<'a, M: Clone> Transport for Ctx<'a, M> {
+    type Msg = M;
+
+    #[inline]
+    fn now_us(&self) -> u64 {
+        Ctx::now_us(self)
+    }
+
+    #[inline]
+    fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    #[inline]
+    fn send(&mut self, from: PeerId, to: PeerId, class: MsgClass, bytes: usize, msg: M) {
+        Ctx::send(self, from, to, class, bytes, msg);
+    }
+
+    #[inline]
+    fn set_timer(&mut self, node: PeerId, delay_us: u64, tag: u64) -> EventHandle {
+        Ctx::set_timer(self, node, delay_us, tag)
+    }
+
+    #[inline]
+    fn cancel_timer(&mut self, handle: EventHandle) -> bool {
+        Ctx::cancel_timer(self, handle)
+    }
+
+    #[inline]
+    fn scratch(&mut self) -> ScratchGuard {
+        Ctx::scratch(self)
+    }
+
+    #[inline]
+    fn content(&self) -> &ContentState {
+        &self.content
+    }
+
+    #[inline]
+    fn model(&self) -> &ContentModel {
+        self.model
+    }
+
+    #[inline]
+    fn neighbors(&self, p: PeerId) -> &[PeerId] {
+        self.overlay.neighbors(p)
+    }
+
+    #[inline]
+    fn degree(&self, p: PeerId) -> usize {
+        self.overlay.degree(p)
+    }
+
+    #[inline]
+    fn alive(&self, p: PeerId) -> bool {
+        Ctx::alive(self, p)
+    }
+
+    #[inline]
+    fn alive_count(&self) -> usize {
+        Ctx::alive_count(self)
+    }
+
+    #[inline]
+    fn alive_peers(&self) -> &[PeerId] {
+        Ctx::alive_peers(self)
+    }
+
+    #[inline]
+    fn num_peers(&self) -> usize {
+        Ctx::num_peers(self)
+    }
+
+    #[inline]
+    fn is_answered(&self, query: u32) -> bool {
+        self.ledger.is_answered(query)
+    }
+
+    #[inline]
+    fn report_answer(&mut self, query_id: u32) {
+        Ctx::report_answer(self, query_id);
+    }
+
+    #[inline]
+    fn count(&mut self, stat: RetryStat) {
+        Ctx::count(self, stat);
+    }
+
+    #[inline]
+    fn trace(&mut self, f: impl FnOnce() -> TraceEvt) {
+        Ctx::trace(self, f);
+    }
+
+    #[inline]
+    fn tracing_enabled(&self) -> bool {
+        Ctx::tracing_enabled(self)
+    }
+}
+
 /// Result of a finished run: metrics plus the protocol object (for
 /// protocol-specific statistics such as ad-cache occupancy).
 pub struct SimReport<P> {
@@ -419,7 +486,7 @@ pub struct SimReport<P> {
     /// Robustness counters accumulated via [`Ctx::count`].
     pub retry: RetryCounters,
     /// Fault-layer statistics; `Some` iff the run was built with
-    /// [`Simulation::with_faults`].
+    /// [`SimBuilder::faults`].
     pub faults: Option<FaultStats>,
     /// Adversary-layer statistics; `Some` iff the run was built with
     /// [`SimBuilder::adversary`].
@@ -555,19 +622,6 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         }
     }
 
-    /// Assemble a simulation with no optional layers.
-    #[deprecated(note = "use Simulation::builder(..) and finish with .build() or .run()")]
-    pub fn new(
-        phys: &'a PhysicalNetwork,
-        workload: &'a Workload,
-        overlay: Overlay,
-        overlay_kind: OverlayKind,
-        protocol: P,
-        seed: u64,
-    ) -> Self {
-        Self::assemble(phys, workload, overlay, overlay_kind, protocol, seed)
-    }
-
     fn assemble(
         phys: &'a PhysicalNetwork,
         workload: &'a Workload,
@@ -577,9 +631,9 @@ impl<'a, P: Protocol> Simulation<'a, P> {
         seed: u64,
     ) -> Self {
         let n = workload.model.num_peers();
-        // lint: allow(release-assert, reason=construction-time validation; Simulation::new runs before any event dispatch)
+        // lint: allow(release-assert, reason=construction-time validation; Simulation::assemble runs before any event dispatch)
         assert_eq!(overlay.num_peers(), n, "overlay/workload size mismatch");
-        // lint: allow(release-assert, reason=construction-time validation; Simulation::new runs before any event dispatch)
+        // lint: allow(release-assert, reason=construction-time validation; Simulation::assemble runs before any event dispatch)
         assert!(
             phys.num_nodes() >= n,
             "need at least as many physical nodes as peers"
@@ -631,7 +685,7 @@ impl<'a, P: Protocol> Simulation<'a, P> {
             alive,
             alive_count,
             alive_list,
-            scratch: Rc::new(RefCell::new(Vec::new())),
+            scratch: ScratchSlot::default(),
             content: ContentState::from_model(&workload.model),
             model: &workload.model,
             phys,
@@ -719,31 +773,6 @@ impl<'a, P: Protocol> Simulation<'a, P> {
 
     fn set_horizon_grace(&mut self, grace_us: u64) {
         self.ctx.horizon_us = self.ctx.trace_end_us + grace_us;
-    }
-
-    /// Enable the invariant auditor for this run.
-    #[deprecated(note = "use SimBuilder::audit via Simulation::builder")]
-    pub fn with_audit(mut self, cfg: AuditConfig) -> Self {
-        self.attach_audit(cfg);
-        self
-    }
-
-    /// Attach a fault-injection plan for this run.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the plan fails [`FaultPlan::validate`].
-    #[deprecated(note = "use SimBuilder::faults via Simulation::builder")]
-    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
-        self.attach_faults(plan);
-        self
-    }
-
-    /// Override the simulation horizon (default: trace end + 30 s).
-    #[deprecated(note = "use SimBuilder::horizon_grace via Simulation::builder")]
-    pub fn with_horizon_grace(mut self, grace_us: u64) -> Self {
-        self.set_horizon_grace(grace_us);
-        self
     }
 
     /// Run to the horizon (or queue exhaustion) and return the report.
@@ -1015,9 +1044,9 @@ mod tests {
     impl Protocol for OracleProtocol {
         type Msg = OracleMsg;
 
-        fn on_query(&mut self, ctx: &mut Ctx<'_, OracleMsg>, q: &QuerySpec) {
+        fn on_query<C: Transport<Msg = OracleMsg>>(&mut self, ctx: &mut C, q: &QuerySpec) {
             let holder = ctx
-                .content
+                .content()
                 .holders(q.target)
                 .iter()
                 .copied()
@@ -1036,10 +1065,10 @@ mod tests {
             }
         }
 
-        fn on_message(&mut self, ctx: &mut Ctx<'_, OracleMsg>, to: PeerId, from: PeerId, msg: OracleMsg) {
+        fn on_message<C: Transport<Msg = OracleMsg>>(&mut self, ctx: &mut C, to: PeerId, from: PeerId, msg: OracleMsg) {
             match msg {
                 OracleMsg::Ask { query, terms } => {
-                    if ctx.content.peer_matches(ctx.model, to, &terms) {
+                    if ctx.content().peer_matches(ctx.model(), to, &terms) {
                         ctx.send(
                             to,
                             from,
@@ -1185,9 +1214,9 @@ mod tests {
         struct Grumpy;
         impl Protocol for Grumpy {
             type Msg = ();
-            fn on_query(&mut self, _: &mut Ctx<'_, ()>, _: &QuerySpec) {}
-            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: PeerId, _: PeerId, _: ()) {}
-            fn audit_invariants(&self, _: &Ctx<'_, ()>) -> Vec<String> {
+            fn on_query<C: Transport<Msg = ()>>(&mut self, _: &mut C, _: &QuerySpec) {}
+            fn on_message<C: Transport<Msg = ()>>(&mut self, _: &mut C, _: PeerId, _: PeerId, _: ()) {}
+            fn audit_invariants<C: Transport<Msg = ()>>(&self, _: &C) -> Vec<String> {
                 vec!["cache over capacity".into()]
             }
         }
@@ -1210,14 +1239,14 @@ mod tests {
         }
         impl Protocol for CancelProto {
             type Msg = ();
-            fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+            fn on_init<C: Transport<Msg = ()>>(&mut self, ctx: &mut C) {
                 ctx.set_timer(PeerId(0), 1_000, 1);
                 self.handle = Some(ctx.set_timer(PeerId(0), 2_000, 2));
                 ctx.set_timer(PeerId(0), 3_000, 3);
             }
-            fn on_query(&mut self, _: &mut Ctx<'_, ()>, _: &QuerySpec) {}
-            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: PeerId, _: PeerId, _: ()) {}
-            fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _: PeerId, tag: u64) {
+            fn on_query<C: Transport<Msg = ()>>(&mut self, _: &mut C, _: &QuerySpec) {}
+            fn on_message<C: Transport<Msg = ()>>(&mut self, _: &mut C, _: PeerId, _: PeerId, _: ()) {}
+            fn on_timer<C: Transport<Msg = ()>>(&mut self, ctx: &mut C, _: PeerId, tag: u64) {
                 if tag == 1 {
                     assert!(ctx.cancel_timer(self.handle.take().unwrap()));
                 }
@@ -1248,7 +1277,7 @@ mod tests {
             checked: usize,
         }
         impl ChurnWatcher {
-            fn check(&mut self, ctx: &mut Ctx<'_, ()>) {
+            fn check<C: Transport<Msg = ()>>(&mut self, ctx: &mut C) {
                 let list = ctx.alive_peers();
                 assert_eq!(list.len(), ctx.alive_count());
                 assert!(list.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
@@ -1265,12 +1294,12 @@ mod tests {
         }
         impl Protocol for ChurnWatcher {
             type Msg = ();
-            fn on_query(&mut self, _: &mut Ctx<'_, ()>, _: &QuerySpec) {}
-            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: PeerId, _: PeerId, _: ()) {}
-            fn on_join(&mut self, ctx: &mut Ctx<'_, ()>, _: PeerId) {
+            fn on_query<C: Transport<Msg = ()>>(&mut self, _: &mut C, _: &QuerySpec) {}
+            fn on_message<C: Transport<Msg = ()>>(&mut self, _: &mut C, _: PeerId, _: PeerId, _: ()) {}
+            fn on_join<C: Transport<Msg = ()>>(&mut self, ctx: &mut C, _: PeerId) {
                 self.check(ctx);
             }
-            fn on_leave(&mut self, ctx: &mut Ctx<'_, ()>, _: PeerId) {
+            fn on_leave<C: Transport<Msg = ()>>(&mut self, ctx: &mut C, _: PeerId) {
                 self.check(ctx);
             }
         }
@@ -1294,14 +1323,14 @@ mod tests {
         }
         impl Protocol for TimerProto {
             type Msg = ();
-            fn on_init(&mut self, ctx: &mut Ctx<'_, ()>) {
+            fn on_init<C: Transport<Msg = ()>>(&mut self, ctx: &mut C) {
                 ctx.set_timer(PeerId(0), 1_000, 1);
                 ctx.set_timer(PeerId(0), 3_000, 3);
                 ctx.set_timer(PeerId(0), 2_000, 2);
             }
-            fn on_query(&mut self, _: &mut Ctx<'_, ()>, _: &QuerySpec) {}
-            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: PeerId, _: PeerId, _: ()) {}
-            fn on_timer(&mut self, ctx: &mut Ctx<'_, ()>, _: PeerId, tag: u64) {
+            fn on_query<C: Transport<Msg = ()>>(&mut self, _: &mut C, _: &QuerySpec) {}
+            fn on_message<C: Transport<Msg = ()>>(&mut self, _: &mut C, _: PeerId, _: PeerId, _: ()) {}
+            fn on_timer<C: Transport<Msg = ()>>(&mut self, ctx: &mut C, _: PeerId, tag: u64) {
                 self.fired.push(tag);
                 let _ = ctx.now_us();
             }
@@ -1377,7 +1406,7 @@ mod tests {
         struct ScratchProto;
         impl Protocol for ScratchProto {
             type Msg = ();
-            fn on_query(&mut self, ctx: &mut Ctx<'_, ()>, _: &QuerySpec) {
+            fn on_query<C: Transport<Msg = ()>>(&mut self, ctx: &mut C, _: &QuerySpec) {
                 {
                     let mut buf = ctx.scratch();
                     assert!(buf.is_empty());
@@ -1390,7 +1419,7 @@ mod tests {
                 assert!(buf.is_empty(), "next lease starts cleared");
                 assert!(buf.capacity() >= 1024, "capacity was recycled");
             }
-            fn on_message(&mut self, _: &mut Ctx<'_, ()>, _: PeerId, _: PeerId, _: ()) {}
+            fn on_message<C: Transport<Msg = ()>>(&mut self, _: &mut C, _: PeerId, _: PeerId, _: ()) {}
         }
         let (phys, workload, overlay) = small_world(2);
         Simulation::builder(&phys, &workload, overlay, OverlayKind::Random, ScratchProto, 2).run();

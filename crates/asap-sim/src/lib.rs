@@ -19,6 +19,7 @@ pub mod engine;
 pub mod event;
 pub mod fault;
 pub mod message;
+pub mod transport;
 pub mod util;
 
 /// Deterministic fixed-seed hash collections (see `lint.toml` rule R1).
@@ -37,8 +38,9 @@ pub use adversary::{
 pub use arena::{NodeIdx, NodeTable};
 pub use audit::{AuditConfig, AuditReport, Fnv64};
 pub use checkpoint::{Checkpoint, CheckpointProtocol, CodecError, Decoder, Encoder};
-pub use engine::{Ctx, EngineProfile, Protocol, ScratchGuard, SimBuilder, SimReport, Simulation};
+pub use engine::{Ctx, EngineProfile, Protocol, SimBuilder, SimReport, Simulation};
 pub use event::{EngineEvent, EventHandle};
+pub use transport::{ScratchGuard, ScratchSlot, Transport};
 pub use fault::{FaultDecision, FaultPlan, FaultState, FaultStats, PartitionWindow};
 pub use message::{
     ads_reply_size, ads_request_size, confirm_reply_size, confirm_size, query_hit_size,

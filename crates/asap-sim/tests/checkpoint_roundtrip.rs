@@ -21,8 +21,8 @@ use asap_overlay::{Overlay, OverlayConfig, OverlayKind, PeerId};
 use asap_sim::collections::DetHashMap;
 use asap_sim::{
     query_hit_size, query_size, AdversaryPlan, AuditConfig, Checkpoint, CheckpointProtocol,
-    CodecError, Ctx, Decoder, Encoder, EventHandle, FaultPlan, Fnv64, PartitionWindow, Protocol,
-    SimReport, Simulation,
+    CodecError, Decoder, Encoder, EventHandle, FaultPlan, Fnv64, PartitionWindow, Protocol,
+    SimReport, Simulation, Transport,
 };
 use asap_topology::{PhysicalNetwork, TransitStubConfig};
 use asap_workload::{DocId, KeywordId, QuerySpec, Workload, WorkloadConfig};
@@ -66,9 +66,9 @@ enum PingMsg {
     Reply { query: u32 },
 }
 
-fn ask(ctx: &mut Ctx<'_, PingMsg>, requester: PeerId, target: DocId, query: u32, terms: &[KeywordId]) {
+fn ask<C: Transport<Msg = PingMsg>>(ctx: &mut C, requester: PeerId, target: DocId, query: u32, terms: &[KeywordId]) {
     let holder = ctx
-        .content
+        .content()
         .holders(target)
         .iter()
         .copied()
@@ -90,7 +90,7 @@ fn ask(ctx: &mut Ctx<'_, PingMsg>, requester: PeerId, target: DocId, query: u32,
 impl Protocol for Pinger {
     type Msg = PingMsg;
 
-    fn on_query(&mut self, ctx: &mut Ctx<'_, PingMsg>, q: &QuerySpec) {
+    fn on_query<C: Transport<Msg = PingMsg>>(&mut self, ctx: &mut C, q: &QuerySpec) {
         ask(ctx, q.requester, q.target, q.id, &q.terms);
         let handle = ctx.set_timer(q.requester, RETRY_DELAY_US, u64::from(q.id));
         self.pending.insert(
@@ -105,10 +105,10 @@ impl Protocol for Pinger {
         );
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, PingMsg>, to: PeerId, from: PeerId, msg: PingMsg) {
+    fn on_message<C: Transport<Msg = PingMsg>>(&mut self, ctx: &mut C, to: PeerId, from: PeerId, msg: PingMsg) {
         match msg {
             PingMsg::Ask { query, terms } => {
-                if ctx.content.peer_matches(ctx.model, to, &terms) {
+                if ctx.content().peer_matches(ctx.model(), to, &terms) {
                     ctx.send(
                         to,
                         from,
@@ -129,7 +129,7 @@ impl Protocol for Pinger {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, PingMsg>, _node: PeerId, tag: u64) {
+    fn on_timer<C: Transport<Msg = PingMsg>>(&mut self, ctx: &mut C, _node: PeerId, tag: u64) {
         let id = tag as u32;
         let Some(mut p) = self.pending.remove(&id) else {
             return;

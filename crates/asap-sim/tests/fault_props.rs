@@ -17,8 +17,8 @@
 use asap_overlay::{Overlay, OverlayConfig, OverlayKind, PeerId};
 use asap_metrics::MsgClass;
 use asap_sim::{
-    query_hit_size, query_size, AuditConfig, Ctx, FaultDecision, FaultPlan, FaultState,
-    PartitionWindow, Protocol, SimReport, Simulation,
+    query_hit_size, query_size, AuditConfig, FaultDecision, FaultPlan, FaultState,
+    PartitionWindow, Protocol, SimReport, Simulation, Transport,
 };
 use asap_topology::{PhysicalNetwork, TransitStubConfig};
 use asap_workload::{QuerySpec, Workload, WorkloadConfig};
@@ -40,9 +40,9 @@ enum EchoMsg {
 impl Protocol for Echo {
     type Msg = EchoMsg;
 
-    fn on_query(&mut self, ctx: &mut Ctx<'_, EchoMsg>, q: &QuerySpec) {
+    fn on_query<C: Transport<Msg = EchoMsg>>(&mut self, ctx: &mut C, q: &QuerySpec) {
         let holder = ctx
-            .content
+            .content()
             .holders(q.target)
             .iter()
             .copied()
@@ -61,10 +61,10 @@ impl Protocol for Echo {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, EchoMsg>, to: PeerId, from: PeerId, msg: EchoMsg) {
+    fn on_message<C: Transport<Msg = EchoMsg>>(&mut self, ctx: &mut C, to: PeerId, from: PeerId, msg: EchoMsg) {
         match msg {
             EchoMsg::Ask { query, terms } => {
-                if ctx.content.peer_matches(ctx.model, to, &terms) {
+                if ctx.content().peer_matches(ctx.model(), to, &terms) {
                     ctx.send(
                         to,
                         from,

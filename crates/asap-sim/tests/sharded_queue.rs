@@ -15,8 +15,9 @@ use asap_metrics::MsgClass;
 use asap_overlay::{Overlay, OverlayConfig, OverlayKind, PeerId};
 use asap_sim::event::{EngineEvent, EventQueue, QueueBackend};
 use asap_sim::{
-    query_hit_size, query_size, AuditConfig, Checkpoint, CheckpointProtocol, CodecError, Ctx,
+    query_hit_size, query_size, AuditConfig, Checkpoint, CheckpointProtocol, CodecError,
     Decoder, Encoder, EventHandle, FaultPlan, PartitionWindow, Protocol, SimReport, Simulation,
+    Transport,
 };
 use asap_topology::{PhysicalNetwork, TransitStubConfig};
 use asap_workload::{DocId, QuerySpec, Workload, WorkloadConfig};
@@ -127,9 +128,9 @@ enum EchoMsg {
     Reply { query: u32 },
 }
 
-fn ask(ctx: &mut Ctx<'_, EchoMsg>, requester: PeerId, target: DocId, query: u32) {
+fn ask<C: Transport<Msg = EchoMsg>>(ctx: &mut C, requester: PeerId, target: DocId, query: u32) {
     let holder = ctx
-        .content
+        .content()
         .holders(target)
         .iter()
         .copied()
@@ -148,13 +149,13 @@ fn ask(ctx: &mut Ctx<'_, EchoMsg>, requester: PeerId, target: DocId, query: u32)
 impl Protocol for Echo {
     type Msg = EchoMsg;
 
-    fn on_query(&mut self, ctx: &mut Ctx<'_, EchoMsg>, q: &QuerySpec) {
+    fn on_query<C: Transport<Msg = EchoMsg>>(&mut self, ctx: &mut C, q: &QuerySpec) {
         ask(ctx, q.requester, q.target, q.id);
         let handle = ctx.set_timer(q.requester, RETRY_DELAY_US, u64::from(q.id));
         self.pending.insert(q.id, (handle, q.requester, q.target));
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<'_, EchoMsg>, to: PeerId, from: PeerId, msg: EchoMsg) {
+    fn on_message<C: Transport<Msg = EchoMsg>>(&mut self, ctx: &mut C, to: PeerId, from: PeerId, msg: EchoMsg) {
         match msg {
             EchoMsg::Ask { query, .. } => {
                 ctx.send(
@@ -176,7 +177,7 @@ impl Protocol for Echo {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, EchoMsg>, _node: PeerId, tag: u64) {
+    fn on_timer<C: Transport<Msg = EchoMsg>>(&mut self, ctx: &mut C, _node: PeerId, tag: u64) {
         let id = tag as u32;
         if let Some((_, requester, target)) = self.pending.remove(&id) {
             ask(ctx, requester, target, id);
